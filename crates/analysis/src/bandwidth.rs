@@ -1,0 +1,141 @@
+//! Bandwidth-loss model: Eqns (11)–(14) of the paper.
+//!
+//! A ×16 CXL 3.0 link serialises one 256-byte flit every 2 ns. A go-back-N
+//! retry occupies the link for the retry latency (100 ns) on top of the
+//! flit time. The bandwidth loss of a protection scheme is the fraction of
+//! link time not spent on first-time flit delivery.
+
+/// The analytic bandwidth model of Section 7.2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BandwidthModel {
+    /// Time to serialise one flit, in nanoseconds.
+    pub flit_time_ns: f64,
+    /// Go-back-N retry penalty, in nanoseconds.
+    pub retry_latency_ns: f64,
+    /// Post-FEC uncorrectable flit error rate per link.
+    pub fer_uc: f64,
+}
+
+impl Default for BandwidthModel {
+    fn default() -> Self {
+        Self::cxl3_x16()
+    }
+}
+
+impl BandwidthModel {
+    /// The paper's operating point: 2 ns flits, 100 ns retry, FER_UC 3×10⁻⁵.
+    pub fn cxl3_x16() -> Self {
+        BandwidthModel {
+            flit_time_ns: 2.0,
+            retry_latency_ns: 100.0,
+            fer_uc: 3.0e-5,
+        }
+    }
+
+    /// Generic go-back-N loss for a path whose per-flit retry probability is
+    /// `retry_rate`: Eqns (11), (12) and (14) all instantiate this with a
+    /// different retry rate.
+    pub fn go_back_n_loss(&self, retry_rate: f64) -> f64 {
+        let good = (1.0 - retry_rate) * self.flit_time_ns;
+        let retried = retry_rate * (self.flit_time_ns + self.retry_latency_ns);
+        1.0 - self.flit_time_ns / (good + retried)
+    }
+
+    /// Eqn (11): bandwidth loss of CXL on a direct connection
+    /// (retry rate = FER_UC on the single link).
+    pub fn loss_cxl_direct(&self) -> f64 {
+        self.go_back_n_loss(self.fer_uc)
+    }
+
+    /// Eqns (12)/(14): bandwidth loss over a path of `links` hops with
+    /// piggybacked ACKs (CXL) or ISN (RXL): every hop's uncorrectable flits
+    /// eventually trigger one end-to-end retry.
+    pub fn loss_switched_path(&self, links: u32) -> f64 {
+        self.go_back_n_loss(links as f64 * self.fer_uc)
+    }
+
+    /// Eqn (12): the paper's two-link (single switch) CXL-with-piggybacking
+    /// case.
+    pub fn loss_cxl_switched_piggyback(&self) -> f64 {
+        self.loss_switched_path(2)
+    }
+
+    /// Eqn (14): RXL over the same two-link path — identical retry volume,
+    /// since ISN turns every drop into an ordinary retry.
+    pub fn loss_rxl_switched(&self) -> f64 {
+        self.loss_switched_path(2)
+    }
+
+    /// Eqn (13): bandwidth loss of the standalone-ACK alternative, equal to
+    /// the fraction of flits that are ACK-only (`p_coalescing`).
+    pub fn loss_standalone_ack(&self, p_coalescing: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p_coalescing));
+        p_coalescing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        ((a - b) / b).abs() < rel
+    }
+
+    #[test]
+    fn eqn11_direct_loss_is_about_0_15_percent() {
+        let m = BandwidthModel::cxl3_x16();
+        assert!(close(m.loss_cxl_direct(), 0.0015, 0.05), "loss = {}", m.loss_cxl_direct());
+    }
+
+    #[test]
+    fn eqn12_switched_piggyback_loss_is_about_0_3_percent() {
+        let m = BandwidthModel::cxl3_x16();
+        assert!(
+            close(m.loss_cxl_switched_piggyback(), 0.0030, 0.05),
+            "loss = {}",
+            m.loss_cxl_switched_piggyback()
+        );
+    }
+
+    #[test]
+    fn eqn14_rxl_loss_equals_the_cxl_piggyback_loss() {
+        let m = BandwidthModel::cxl3_x16();
+        assert_eq!(m.loss_rxl_switched(), m.loss_cxl_switched_piggyback());
+    }
+
+    #[test]
+    fn eqn13_standalone_ack_loss_equals_p_coalescing() {
+        let m = BandwidthModel::cxl3_x16();
+        assert_eq!(m.loss_standalone_ack(1.0), 1.0);
+        assert_eq!(m.loss_standalone_ack(0.1), 0.1);
+        assert_eq!(m.loss_standalone_ack(0.0), 0.0);
+    }
+
+    #[test]
+    fn loss_grows_monotonically_with_path_length() {
+        let m = BandwidthModel::cxl3_x16();
+        let mut prev = 0.0;
+        for links in 1..=5 {
+            let loss = m.loss_switched_path(links);
+            assert!(loss > prev);
+            prev = loss;
+        }
+    }
+
+    #[test]
+    fn zero_error_rate_means_zero_loss() {
+        let m = BandwidthModel {
+            fer_uc: 0.0,
+            ..BandwidthModel::cxl3_x16()
+        };
+        assert_eq!(m.loss_cxl_direct(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_coalescing_fraction_is_rejected() {
+        let m = BandwidthModel::cxl3_x16();
+        let _ = m.loss_standalone_ack(1.5);
+    }
+}

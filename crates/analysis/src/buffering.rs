@@ -1,0 +1,107 @@
+//! Reassembly-buffer sizing: why chip interconnects avoid reordering and
+//! selective repeat (Section 5 of the paper).
+//!
+//! ISN deliberately gives up packet reordering: a CRC mismatch cannot say
+//! *which* flit is missing, only that the stream is no longer the expected
+//! one. The paper justifies this with the on-chip buffering that reordering
+//! would require:
+//!
+//! * multi-path routing with a 1 ms worst-case arrival skew on a 1 Tb/s ×16
+//!   link needs a 1 Gb (128 MB) reassembly buffer,
+//! * selective repeat with a 1 µs stop-the-transmitter window still needs a
+//!   1 Mb buffer,
+//!
+//! both of which dwarf the cost of simply going back N. This module encodes
+//! that arithmetic.
+
+/// Buffer-sizing model for a link of a given bandwidth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BufferingModel {
+    /// Link bandwidth in bits per second.
+    pub link_bits_per_second: f64,
+}
+
+impl Default for BufferingModel {
+    fn default() -> Self {
+        Self::cxl3_x16()
+    }
+}
+
+impl BufferingModel {
+    /// The paper's ×16 CXL 3.0 link: 1 Tb/s.
+    pub fn cxl3_x16() -> Self {
+        BufferingModel {
+            link_bits_per_second: 1e12,
+        }
+    }
+
+    /// Bits buffered to absorb `window_seconds` of in-flight traffic.
+    pub fn buffer_bits(&self, window_seconds: f64) -> f64 {
+        self.link_bits_per_second * window_seconds
+    }
+
+    /// Bytes buffered to absorb `window_seconds` of in-flight traffic.
+    pub fn buffer_bytes(&self, window_seconds: f64) -> f64 {
+        self.buffer_bits(window_seconds) / 8.0
+    }
+
+    /// The multi-path reordering case: reassembly buffer for a given
+    /// worst-case arrival skew.
+    pub fn multipath_reassembly_bytes(&self, skew_seconds: f64) -> f64 {
+        self.buffer_bytes(skew_seconds)
+    }
+
+    /// The selective-repeat case: buffer for the in-flight window between a
+    /// NACK and the transmitter halting.
+    pub fn selective_repeat_bytes(&self, halt_window_seconds: f64) -> f64 {
+        self.buffer_bytes(halt_window_seconds)
+    }
+
+    /// Number of 256-byte flits the buffer must hold for a given window.
+    pub fn flits_in_window(&self, window_seconds: f64) -> f64 {
+        self.buffer_bytes(window_seconds) / 256.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_multipath_number_1ms_skew_needs_128_megabytes() {
+        let m = BufferingModel::cxl3_x16();
+        let bits = m.buffer_bits(1e-3);
+        let bytes = m.multipath_reassembly_bytes(1e-3);
+        assert!((bits - 1e9).abs() < 1.0, "expected 1 Gb, got {bits}");
+        assert!((bytes - 1.25e8).abs() < 1.0, "expected 125 MB-class buffer, got {bytes}");
+        // The paper rounds 1 Gb to "128 MB"; both are within 3% of each other.
+        assert!((bytes / (128.0 * 1024.0 * 1024.0) - 0.93).abs() < 0.05);
+    }
+
+    #[test]
+    fn paper_selective_repeat_number_1us_window_needs_1_megabit() {
+        let m = BufferingModel::cxl3_x16();
+        let bits = m.buffer_bits(1e-6);
+        assert!((bits - 1e6).abs() < 1e-3, "expected 1 Mb, got {bits}");
+        assert!((m.selective_repeat_bytes(1e-6) - 125_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn go_back_n_by_contrast_only_needs_the_replay_window() {
+        // The go-back-N replay buffer holds the unacknowledged flits of a
+        // 100 ns retry loop: two orders of magnitude below selective repeat.
+        let m = BufferingModel::cxl3_x16();
+        let flits = m.flits_in_window(100e-9);
+        assert!(flits < 100.0, "go-back-N window is tiny: {flits} flits");
+        assert!(flits > 10.0);
+    }
+
+    #[test]
+    fn buffer_size_scales_linearly_with_bandwidth() {
+        let slow = BufferingModel {
+            link_bits_per_second: 5e11,
+        };
+        let fast = BufferingModel::cxl3_x16();
+        assert!((fast.buffer_bits(1e-6) / slow.buffer_bits(1e-6) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Closed-form model of the Section 2.5 FEC detection fractions.
+//!
+//! The 3-way interleaved single-symbol-correct FEC corrects any burst of up
+//! to three symbols. A longer burst overloads one or more sub-blocks; an
+//! overloaded shortened RS(255, 253) sub-block *miscorrects* (instead of
+//! detecting) with probability ≈ `used_fraction` — the fraction of the
+//! 255-symbol codeword actually occupied by the 85-ish transmitted symbols.
+//! A flit-level miscorrection requires every overloaded sub-block to
+//! miscorrect, which yields the paper's 2/3, 8/9 and 26/27 figures.
+
+/// Geometry of the interleaved FEC for detection-fraction purposes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FecDetectionModel {
+    /// Interleave ways (3 for CXL flits).
+    pub ways: u32,
+    /// Fraction of mother-code positions used by each shortened sub-block
+    /// (≈ 85/255 = 1/3 for CXL flits).
+    pub used_fraction: f64,
+}
+
+impl Default for FecDetectionModel {
+    fn default() -> Self {
+        Self::cxl_flit()
+    }
+}
+
+impl FecDetectionModel {
+    /// The CXL 256-byte flit geometry.
+    pub fn cxl_flit() -> Self {
+        FecDetectionModel {
+            ways: 3,
+            used_fraction: 85.0 / 255.0,
+        }
+    }
+
+    /// Number of sub-blocks that receive two or more symbols of a burst of
+    /// `burst_symbols` consecutive symbols.
+    pub fn overloaded_ways(&self, burst_symbols: u32) -> u32 {
+        if burst_symbols <= self.ways {
+            0
+        } else {
+            (burst_symbols - self.ways).min(self.ways)
+        }
+    }
+
+    /// `true` if a burst of this length is always corrected.
+    pub fn always_corrected(&self, burst_symbols: u32) -> bool {
+        self.overloaded_ways(burst_symbols) == 0
+    }
+
+    /// Probability that a burst of `burst_symbols` symbols is *detected*
+    /// given that it is uncorrectable (Section 2.5's 2/3, 8/9, 26/27).
+    pub fn detection_fraction(&self, burst_symbols: u32) -> f64 {
+        let overloaded = self.overloaded_ways(burst_symbols);
+        if overloaded == 0 {
+            // Correctable bursts never need detection.
+            return 1.0;
+        }
+        1.0 - self.used_fraction.powi(overloaded as i32)
+    }
+
+    /// Probability that a burst of `burst_symbols` symbols silently
+    /// miscorrects at the flit level.
+    pub fn miscorrection_fraction(&self, burst_symbols: u32) -> f64 {
+        1.0 - self.detection_fraction(burst_symbols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn bursts_up_to_three_symbols_are_always_corrected() {
+        let m = FecDetectionModel::cxl_flit();
+        for b in 1..=3 {
+            assert!(m.always_corrected(b));
+            assert_eq!(m.overloaded_ways(b), 0);
+            assert_eq!(m.detection_fraction(b), 1.0);
+        }
+    }
+
+    #[test]
+    fn paper_detection_fractions() {
+        let m = FecDetectionModel::cxl_flit();
+        // The paper quotes 2/3, 8/9 and 26/27 using the round 1/3 figure;
+        // the exact 85/255 = 1/3 matches it precisely.
+        assert!(close(m.detection_fraction(4), 2.0 / 3.0, 1e-9));
+        assert!(close(m.detection_fraction(5), 8.0 / 9.0, 1e-9));
+        assert!(close(m.detection_fraction(6), 26.0 / 27.0, 1e-9));
+        // Longer bursts cannot overload more than three ways.
+        assert!(close(m.detection_fraction(9), 26.0 / 27.0, 1e-9));
+        assert_eq!(m.overloaded_ways(100), 3);
+    }
+
+    #[test]
+    fn miscorrection_is_the_complement() {
+        let m = FecDetectionModel::cxl_flit();
+        for b in 1..=8 {
+            assert!(close(
+                m.detection_fraction(b) + m.miscorrection_fraction(b),
+                1.0,
+                1e-12
+            ));
+        }
+    }
+
+    #[test]
+    fn a_less_shortened_code_detects_less() {
+        let long = FecDetectionModel {
+            ways: 3,
+            used_fraction: 0.9,
+        };
+        let short = FecDetectionModel::cxl_flit();
+        assert!(long.detection_fraction(4) < short.detection_fraction(4));
+    }
+}

@@ -1,0 +1,65 @@
+//! The Fig. 8 curves: FIT_device of CXL and RXL versus switching levels.
+
+use crate::reliability::ReliabilityModel;
+
+/// One point of the Fig. 8 comparison.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FitCurvePoint {
+    /// Number of switching levels between the endpoints (0 = direct link).
+    pub levels: u32,
+    /// FIT of the baseline CXL protocol.
+    pub fit_cxl: f64,
+    /// FIT of RXL.
+    pub fit_rxl: f64,
+}
+
+impl FitCurvePoint {
+    /// The reliability advantage of RXL at this point.
+    pub fn improvement_ratio(&self) -> f64 {
+        self.fit_cxl / self.fit_rxl
+    }
+}
+
+/// Computes the Fig. 8 curve for switching levels `0..=max_levels`.
+pub fn fit_curve(model: &ReliabilityModel, max_levels: u32) -> Vec<FitCurvePoint> {
+    (0..=max_levels)
+        .map(|levels| FitCurvePoint {
+            levels,
+            fit_cxl: model.fit_cxl_levels(levels),
+            fit_rxl: model.fit_rxl_levels(levels),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_has_the_expected_shape() {
+        let model = ReliabilityModel::cxl3_x16();
+        let curve = fit_curve(&model, 4);
+        assert_eq!(curve.len(), 5);
+        // Direct connection: both protocols are extremely reliable and equal
+        // to within the CRC escape probability.
+        assert!(curve[0].fit_cxl < 1.0);
+        assert!(curve[0].fit_rxl < 1.0);
+        // One switch level: CXL collapses by ~18 orders of magnitude.
+        assert!(curve[1].improvement_ratio() > 1e18);
+        // CXL keeps degrading with depth; RXL stays flat.
+        for w in curve.windows(2).skip(1) {
+            assert!(w[1].fit_cxl > w[0].fit_cxl);
+            assert!(w[1].fit_rxl / w[0].fit_rxl < 1.001);
+        }
+    }
+
+    #[test]
+    fn paper_headline_numbers_appear_on_the_curve() {
+        let model = ReliabilityModel::cxl3_x16();
+        let curve = fit_curve(&model, 1);
+        let rel = |a: f64, b: f64| ((a - b) / b).abs() < 0.05;
+        assert!(rel(curve[0].fit_cxl, 2.9e-3));
+        assert!(rel(curve[1].fit_cxl, 5.4e15));
+        assert!(rel(curve[1].fit_rxl, 2.9e-3));
+    }
+}

@@ -1,0 +1,138 @@
+//! Gate-level cost model for the ISN hardware argument (Section 7.3).
+//!
+//! The paper argues that folding the 10-bit sequence number into the CRC
+//! datapath costs only ten parallel XOR gates and one extra level of logic
+//! depth at each of the encoder and decoder, while *removing* the 10-bit
+//! comparator that previously matched SeqNum against ESeqNum. This module
+//! provides a simple, explicit gate-counting model so the claim can be
+//! reproduced as a table.
+
+/// Rough gate counts for one CRC encoder/decoder datapath plus the sequence
+/// handling around it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HardwareCostModel {
+    /// CRC width in bits.
+    pub crc_bits: u32,
+    /// CRC input width in bits (header + payload for a 256B flit).
+    pub input_bits: u32,
+    /// Sequence-number width in bits.
+    pub seq_bits: u32,
+}
+
+/// The incremental hardware cost (or saving) of switching to ISN.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IsnHardwareDelta {
+    /// Extra 2-input XOR gates in the encoder datapath.
+    pub encoder_extra_xors: u32,
+    /// Extra 2-input XOR gates in the decoder datapath.
+    pub decoder_extra_xors: u32,
+    /// Extra levels of logic depth on the CRC path.
+    pub extra_logic_depth: u32,
+    /// 2-input gates saved by removing the explicit SeqNum comparator
+    /// (XNOR per bit plus an AND-reduce tree).
+    pub comparator_gates_removed: u32,
+}
+
+impl IsnHardwareDelta {
+    /// Net change in 2-input gate count (positive = ISN uses more gates).
+    pub fn net_gates(&self) -> i64 {
+        self.encoder_extra_xors as i64 + self.decoder_extra_xors as i64
+            - self.comparator_gates_removed as i64
+    }
+}
+
+impl Default for HardwareCostModel {
+    fn default() -> Self {
+        Self::cxl_flit()
+    }
+}
+
+impl HardwareCostModel {
+    /// The CXL 256-byte flit datapath: 64-bit CRC over 242 input bytes,
+    /// 10-bit sequence number.
+    pub fn cxl_flit() -> Self {
+        HardwareCostModel {
+            crc_bits: 64,
+            input_bits: 242 * 8,
+            seq_bits: 10,
+        }
+    }
+
+    /// Estimated 2-input XOR gates of a fully parallel CRC encoder
+    /// (each output bit is the XOR of roughly half the input + state bits).
+    pub fn baseline_crc_xor_gates(&self) -> u64 {
+        let terms_per_output = (self.input_bits as u64 + self.crc_bits as u64) / 2;
+        // An XOR tree over `n` terms needs `n − 1` 2-input gates.
+        self.crc_bits as u64 * terms_per_output.saturating_sub(1)
+    }
+
+    /// Estimated logic depth (levels of 2-input XOR) of the baseline CRC.
+    pub fn baseline_crc_depth(&self) -> u32 {
+        let terms_per_output = (self.input_bits + self.crc_bits) / 2;
+        (terms_per_output as f64).log2().ceil() as u32
+    }
+
+    /// Gate count of the explicit SeqNum/ESeqNum comparator that baseline CXL
+    /// needs and ISN removes: one XNOR per bit plus an AND-reduce tree.
+    pub fn seqnum_comparator_gates(&self) -> u32 {
+        self.seq_bits + (self.seq_bits - 1)
+    }
+
+    /// The ISN delta of Section 7.3.
+    pub fn isn_delta(&self) -> IsnHardwareDelta {
+        IsnHardwareDelta {
+            encoder_extra_xors: self.seq_bits,
+            decoder_extra_xors: self.seq_bits,
+            extra_logic_depth: 1,
+            comparator_gates_removed: self.seqnum_comparator_gates(),
+        }
+    }
+
+    /// The relative area increase of the CRC datapath due to ISN.
+    pub fn relative_area_increase(&self) -> f64 {
+        let delta = self.isn_delta();
+        (delta.encoder_extra_xors + delta.decoder_extra_xors) as f64
+            / (2.0 * self.baseline_crc_xor_gates() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isn_adds_ten_xors_per_side_and_one_depth_level() {
+        let m = HardwareCostModel::cxl_flit();
+        let d = m.isn_delta();
+        assert_eq!(d.encoder_extra_xors, 10);
+        assert_eq!(d.decoder_extra_xors, 10);
+        assert_eq!(d.extra_logic_depth, 1);
+    }
+
+    #[test]
+    fn isn_removes_the_explicit_comparator() {
+        let m = HardwareCostModel::cxl_flit();
+        assert_eq!(m.seqnum_comparator_gates(), 19);
+        let d = m.isn_delta();
+        // Net cost: 20 XORs added, 19 comparator gates removed → ~1 gate.
+        assert_eq!(d.net_gates(), 1);
+    }
+
+    #[test]
+    fn isn_overhead_is_negligible_relative_to_the_crc_datapath() {
+        let m = HardwareCostModel::cxl_flit();
+        assert!(m.baseline_crc_xor_gates() > 10_000);
+        assert!(m.relative_area_increase() < 1e-3);
+        assert!(m.baseline_crc_depth() >= 8);
+    }
+
+    #[test]
+    fn smaller_sequence_numbers_cost_less() {
+        let small = HardwareCostModel {
+            seq_bits: 8,
+            ..HardwareCostModel::cxl_flit()
+        };
+        assert_eq!(small.isn_delta().encoder_extra_xors, 8);
+        assert!(small.seqnum_comparator_gates() < HardwareCostModel::cxl_flit().seqnum_comparator_gates());
+    }
+}

@@ -1,0 +1,33 @@
+//! # rxl-analysis — Closed-form models of the paper's evaluation
+//!
+//! Every numbered equation and every figure in Section 7 of the paper is
+//! analytic. This crate reproduces those models so the experiment harnesses
+//! can print "paper vs. model vs. simulation" side by side:
+//!
+//! * [`reliability`] — Eqns (1)–(10): flit error rate, uncorrectable and
+//!   undetectable error rates, FIT for direct and switched CXL and for RXL,
+//! * [`fit`] — the Fig. 8 curves: FIT versus the number of switching levels,
+//! * [`bandwidth`] — Eqns (11)–(14): go-back-N retry bandwidth loss and the
+//!   standalone-ACK alternative,
+//! * [`buffering`] — the Section 5 reassembly-buffer sizing argument for why
+//!   chip interconnects forgo reordering and selective repeat,
+//! * [`fec_model`] — the Section 2.5 burst-detection fractions of the 3-way
+//!   interleaved shortened Reed–Solomon FEC,
+//! * [`hardware`] — the Section 7.3 gate-count argument for ISN,
+//! * [`overhead`] — the Section 2.4 header-overhead comparison against
+//!   TCP/IP-class transports.
+
+pub mod bandwidth;
+pub mod buffering;
+pub mod fec_model;
+pub mod fit;
+pub mod hardware;
+pub mod overhead;
+pub mod reliability;
+
+pub use bandwidth::BandwidthModel;
+pub use buffering::BufferingModel;
+pub use fit::{fit_curve, FitCurvePoint};
+pub use hardware::{HardwareCostModel, IsnHardwareDelta};
+pub use overhead::{HeaderOverhead, ProtocolOverhead};
+pub use reliability::ReliabilityModel;

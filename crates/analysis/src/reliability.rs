@@ -1,0 +1,252 @@
+//! Reliability model: Eqns (1)–(10) of the paper.
+//!
+//! The model takes the CXL 3.0 ×16 operating point as its default
+//! (BER 10⁻⁶, 2048-bit flits, 500 M flits/s, 64-bit CRC, PCIe 6.0's
+//! post-FEC uncorrectable bound of 3×10⁻⁵) and exposes each intermediate
+//! quantity of Section 7.1 so harnesses can print them next to the paper's
+//! numbers.
+
+/// Hours per 10⁹ device-hours, used by the FIT definition.
+const FIT_HOURS: f64 = 1e9;
+/// Seconds per hour.
+const SECONDS_PER_HOUR: f64 = 3_600.0;
+
+/// The analytic reliability model of Section 7.1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReliabilityModel {
+    /// Raw bit error rate of each link.
+    pub ber: f64,
+    /// Flit size in bits (2048 for 256-byte flits).
+    pub flit_bits: u32,
+    /// Post-FEC uncorrectable flit error rate per link (PCIe 6.0 bound).
+    pub fer_uc: f64,
+    /// Width of the end-to-end CRC in bits.
+    pub crc_bits: u32,
+    /// Flits transferred per second by the device under analysis.
+    pub flits_per_second: f64,
+    /// Fraction of flits that carry an AckNum instead of their own SeqNum
+    /// (the paper's `p_coalescing`).
+    pub p_coalescing: f64,
+}
+
+impl Default for ReliabilityModel {
+    fn default() -> Self {
+        Self::cxl3_x16()
+    }
+}
+
+impl ReliabilityModel {
+    /// The paper's ×16 CXL 3.0 operating point.
+    pub fn cxl3_x16() -> Self {
+        ReliabilityModel {
+            ber: 1e-6,
+            flit_bits: 2048,
+            fer_uc: 3.0e-5,
+            crc_bits: 64,
+            flits_per_second: 500_000_000.0,
+            p_coalescing: 0.1,
+        }
+    }
+
+    /// Eqn (1): flit error rate before FEC, `1 − (1 − BER)^flit_bits`.
+    pub fn fer(&self) -> f64 {
+        1.0 - (1.0 - self.ber).powi(self.flit_bits as i32)
+    }
+
+    /// Eqn (2): uncorrectable flit error rate after FEC (per link).
+    pub fn fer_uncorrectable(&self) -> f64 {
+        self.fer_uc
+    }
+
+    /// Eqn (3): fraction of erroneous flits the FEC corrects.
+    pub fn fec_correction_fraction(&self) -> f64 {
+        1.0 - self.fer_uc / self.fer()
+    }
+
+    /// The CRC's undetected-error fraction, `2^-crc_bits`.
+    pub fn crc_escape_fraction(&self) -> f64 {
+        2f64.powi(-(self.crc_bits as i32))
+    }
+
+    /// Eqn (4): undetectable flit error rate for a direct connection.
+    pub fn fer_undetected_direct(&self) -> f64 {
+        self.fer_uc * self.crc_escape_fraction()
+    }
+
+    /// Converts a per-flit failure probability into a FIT rate
+    /// (failures per 10⁹ device-hours) at this device's flit rate —
+    /// the conversion used by Eqns (5), (8) and (10).
+    pub fn fit_from_failure_rate(&self, per_flit_failure: f64) -> f64 {
+        per_flit_failure * self.flits_per_second * SECONDS_PER_HOUR * FIT_HOURS
+    }
+
+    /// Eqn (5): FIT of a CXL device on a direct connection.
+    pub fn fit_cxl_direct(&self) -> f64 {
+        self.fit_from_failure_rate(self.fer_undetected_direct())
+    }
+
+    /// Eqn (6): per-endpoint flit-drop rate behind one switch level.
+    pub fn fer_drop_single_switch(&self) -> f64 {
+        self.fer_uc
+    }
+
+    /// Eqn (7): ordering-failure rate of baseline CXL behind one switch
+    /// (a dropped flit whose successor carries an AckNum goes unnoticed).
+    pub fn fer_order_single_switch(&self) -> f64 {
+        self.fer_drop_single_switch() * self.p_coalescing
+    }
+
+    /// Eqn (8): FIT of baseline CXL behind one switch level.
+    pub fn fit_cxl_single_switch(&self) -> f64 {
+        self.fit_from_failure_rate(self.fer_order_single_switch())
+    }
+
+    /// Eqn (9): undetected failure rate of RXL behind one switch level.
+    ///
+    /// Flits that arrive erroneous (rate ≈ FER_UC per hop, the retried drops
+    /// adding a second-order `FER_UC²` term) escape the 64-bit ECRC with
+    /// probability 2⁻⁶⁴. The paper's Eqn (9) prints the expression as
+    /// `(1 + FER_UC)·2⁻⁶⁴` but evaluates it to 1.6×10⁻²⁴, which corresponds
+    /// to `FER_UC·(1 + FER_UC)·2⁻⁶⁴`; this model follows the evaluated
+    /// number (and Eqn (4), with which it is consistent).
+    pub fn fer_undetected_rxl_single_switch(&self) -> f64 {
+        self.fer_uc * (1.0 + self.fer_uc) * self.crc_escape_fraction()
+    }
+
+    /// Eqn (10): FIT of RXL behind one switch level.
+    pub fn fit_rxl_single_switch(&self) -> f64 {
+        self.fit_from_failure_rate(self.fer_undetected_rxl_single_switch())
+    }
+
+    /// Generalisation used by Fig. 8: ordering-failure rate of baseline CXL
+    /// behind `levels` switch levels (drops accumulate proportionally).
+    pub fn fer_order_multi_switch(&self, levels: u32) -> f64 {
+        levels as f64 * self.fer_uc * self.p_coalescing
+    }
+
+    /// Generalisation used by Fig. 8: FIT of baseline CXL behind `levels`
+    /// switch levels. Level 0 is the direct connection.
+    pub fn fit_cxl_levels(&self, levels: u32) -> f64 {
+        if levels == 0 {
+            self.fit_cxl_direct()
+        } else {
+            self.fit_from_failure_rate(self.fer_order_multi_switch(levels))
+        }
+    }
+
+    /// Generalisation used by Fig. 8: FIT of RXL behind `levels` switch
+    /// levels — drops are always detected and retried, so only erroneous
+    /// arrivals escaping the 64-bit ECRC remain; each additional hop adds a
+    /// (negligible) `FER_UC` of extra exposure.
+    pub fn fit_rxl_levels(&self, levels: u32) -> f64 {
+        let erroneous_arrival_rate = self.fer_uc * (1.0 + levels as f64 * self.fer_uc);
+        self.fit_from_failure_rate(erroneous_arrival_rate * self.crc_escape_fraction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        if b == 0.0 {
+            return a == 0.0;
+        }
+        ((a - b) / b).abs() < rel
+    }
+
+    #[test]
+    fn eqn1_fer_matches_the_paper() {
+        let m = ReliabilityModel::cxl3_x16();
+        assert!(close(m.fer(), 2.0e-3, 0.05), "FER = {}", m.fer());
+    }
+
+    #[test]
+    fn eqn3_fec_corrects_more_than_98_5_percent() {
+        let m = ReliabilityModel::cxl3_x16();
+        assert!(m.fec_correction_fraction() > 0.985);
+        assert!(m.fec_correction_fraction() < 1.0);
+    }
+
+    #[test]
+    fn eqn4_undetected_rate_matches_the_paper() {
+        let m = ReliabilityModel::cxl3_x16();
+        assert!(
+            close(m.fer_undetected_direct(), 1.6e-24, 0.05),
+            "FER_UD = {}",
+            m.fer_undetected_direct()
+        );
+    }
+
+    #[test]
+    fn eqn5_direct_fit_matches_the_paper() {
+        let m = ReliabilityModel::cxl3_x16();
+        assert!(
+            close(m.fit_cxl_direct(), 2.9e-3, 0.05),
+            "FIT = {}",
+            m.fit_cxl_direct()
+        );
+    }
+
+    #[test]
+    fn eqn7_ordering_failure_rate_matches_the_paper() {
+        let m = ReliabilityModel::cxl3_x16();
+        assert!(close(m.fer_order_single_switch(), 3.0e-6, 0.01));
+    }
+
+    #[test]
+    fn eqn8_switched_cxl_fit_matches_the_paper() {
+        let m = ReliabilityModel::cxl3_x16();
+        assert!(
+            close(m.fit_cxl_single_switch(), 5.4e15, 0.05),
+            "FIT = {}",
+            m.fit_cxl_single_switch()
+        );
+    }
+
+    #[test]
+    fn eqn9_and_10_rxl_fit_matches_the_paper() {
+        let m = ReliabilityModel::cxl3_x16();
+        assert!(close(m.fer_undetected_rxl_single_switch(), 1.6e-24, 0.05));
+        assert!(
+            close(m.fit_rxl_single_switch(), 2.9e-3, 0.05),
+            "FIT = {}",
+            m.fit_rxl_single_switch()
+        );
+    }
+
+    #[test]
+    fn the_reliability_gap_is_about_eighteen_orders_of_magnitude() {
+        let m = ReliabilityModel::cxl3_x16();
+        let ratio = m.fit_cxl_single_switch() / m.fit_rxl_single_switch();
+        assert!(ratio > 1e18, "ratio = {ratio:e}");
+        assert!(ratio < 1e19, "ratio = {ratio:e}");
+    }
+
+    #[test]
+    fn multi_level_generalisation_is_monotonic_for_cxl_and_flat_for_rxl() {
+        let m = ReliabilityModel::cxl3_x16();
+        assert_eq!(m.fit_cxl_levels(0), m.fit_cxl_direct());
+        assert_eq!(m.fit_cxl_levels(1), m.fit_cxl_single_switch());
+        let mut prev = m.fit_cxl_levels(1);
+        for levels in 2..=4 {
+            let fit = m.fit_cxl_levels(levels);
+            assert!(fit > prev);
+            prev = fit;
+        }
+        // RXL stays within a factor of ~2 of its direct-connection FIT even
+        // at four switching levels.
+        let rxl_direct = m.fit_rxl_levels(0);
+        let rxl_deep = m.fit_rxl_levels(4);
+        assert!(rxl_deep / rxl_direct < 2.0);
+        assert!(rxl_deep >= rxl_direct);
+    }
+
+    #[test]
+    fn fit_conversion_uses_the_papers_constants() {
+        let m = ReliabilityModel::cxl3_x16();
+        // 1 failure per flit → flits/s · 3600 · 1e9 FIT.
+        let fit = m.fit_from_failure_rate(1.0);
+        assert!(close(fit, 500_000_000.0 * 3_600.0 * 1e9, 1e-12));
+    }
+}

@@ -1,0 +1,94 @@
+//! Criterion benchmarks for the CRC / ISN codecs and the full flit pipelines.
+//!
+//! These are library-performance benchmarks (not paper artifacts): they show
+//! the cost of the ISN construction relative to the baseline CRC is
+//! negligible in software, mirroring the paper's hardware argument
+//! (Section 7.3), and they size the flit encode/decode throughput that the
+//! Monte-Carlo simulator builds on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use rxl_core::{CxlStack, RxlStack};
+use rxl_crc::{catalog::FLIT_CRC64, Crc64, IsnCrc64};
+use rxl_flit::{CxlFlitCodec, Flit256, FlitHeader, RxlFlitCodec};
+
+fn payload() -> Vec<u8> {
+    (0..240u32).map(|i| (i * 31 + 7) as u8).collect()
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = payload();
+    let crc = Crc64::flit();
+    let isn = IsnCrc64::new(FLIT_CRC64);
+    let header = [0x12u8, 0x34];
+
+    let mut group = c.benchmark_group("crc64");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("baseline_checksum_240B", |b| {
+        b.iter(|| black_box(crc.checksum(black_box(&data))))
+    });
+    group.bench_function("isn_encode_240B", |b| {
+        b.iter(|| black_box(isn.encode(black_box(&header), black_box(&data), black_box(713))))
+    });
+    group.bench_function("isn_verify_240B", |b| {
+        let tag = isn.encode(&header, &data, 713);
+        b.iter(|| black_box(isn.verify(black_box(&header), black_box(&data), 713, tag)))
+    });
+    group.finish();
+}
+
+fn bench_flit_codecs(c: &mut Criterion) {
+    let mut flit = Flit256::new(FlitHeader::with_seq(5));
+    flit.payload.copy_from_slice(&payload());
+    let cxl = CxlFlitCodec::new();
+    let rxl = RxlFlitCodec::new();
+    let cxl_wire = cxl.encode(&flit);
+    let rxl_wire = rxl.encode(&flit, 5);
+
+    let mut group = c.benchmark_group("flit_codec");
+    group.throughput(Throughput::Bytes(256));
+    group.bench_function("cxl_encode", |b| b.iter(|| black_box(cxl.encode(black_box(&flit)))));
+    group.bench_function("rxl_encode", |b| {
+        b.iter(|| black_box(rxl.encode(black_box(&flit), black_box(5))))
+    });
+    group.bench_function("cxl_decode_clean", |b| b.iter(|| black_box(cxl.decode(black_box(&cxl_wire)))));
+    group.bench_function("rxl_decode_clean", |b| {
+        b.iter(|| black_box(rxl.decode(black_box(&rxl_wire), black_box(5))))
+    });
+    group.finish();
+}
+
+fn bench_stacks(c: &mut Criterion) {
+    let mut flit = Flit256::new(FlitHeader::ack(0));
+    flit.payload.copy_from_slice(&payload());
+
+    let mut group = c.benchmark_group("stack_session");
+    group.throughput(Throughput::Bytes(256));
+    group.bench_function("rxl_send_receive", |b| {
+        b.iter(|| {
+            let mut tx = RxlStack::new();
+            let mut rx = RxlStack::new();
+            for _ in 0..8 {
+                let wire = tx.send(&flit);
+                black_box(rx.receive(&wire).unwrap());
+            }
+        })
+    });
+    group.bench_function("cxl_send_receive", |b| {
+        b.iter(|| {
+            let mut tx = CxlStack::new();
+            let mut rx = CxlStack::new();
+            let mut f = flit.clone();
+            f.header = FlitHeader::with_seq(0);
+            for _ in 0..8 {
+                let wire = tx.send(&f);
+                black_box(rx.receive(&wire).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crc, bench_flit_codecs, bench_stacks);
+criterion_main!(benches);

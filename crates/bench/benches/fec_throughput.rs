@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the Reed–Solomon FEC substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use rxl_fec::{InterleavedFec, RsCode, RsDecoder, ShortenedRs};
+
+fn bench_rs_codec(c: &mut Criterion) {
+    let code = RsCode::new(255, 239);
+    let decoder = RsDecoder::new(code.clone());
+    let data: Vec<u8> = (0..239).map(|i| (i * 13 + 5) as u8).collect();
+    let clean = code.encode(&data);
+    let mut with_errors = clean.clone();
+    with_errors[10] ^= 0x55;
+    with_errors[200] ^= 0x2A;
+
+    let mut group = c.benchmark_group("rs_255_239");
+    group.throughput(Throughput::Bytes(255));
+    group.bench_function("encode", |b| b.iter(|| black_box(code.encode(black_box(&data)))));
+    group.bench_function("decode_clean", |b| {
+        b.iter(|| {
+            let mut w = clean.clone();
+            black_box(decoder.decode_in_place(&mut w))
+        })
+    });
+    group.bench_function("decode_two_errors", |b| {
+        b.iter(|| {
+            let mut w = with_errors.clone();
+            black_box(decoder.decode_in_place(&mut w))
+        })
+    });
+    group.finish();
+}
+
+fn bench_flit_fec(c: &mut Criterion) {
+    let fec = InterleavedFec::cxl_flit();
+    let data: Vec<u8> = (0..250u32).map(|i| (i * 7 + 1) as u8).collect();
+    let clean = fec.encode(&data);
+    let mut burst = clean.clone();
+    burst[100] ^= 0xFF;
+    burst[101] ^= 0x0F;
+    burst[102] ^= 0xF0;
+
+    let mut group = c.benchmark_group("cxl_flit_fec");
+    group.throughput(Throughput::Bytes(256));
+    group.bench_function("encode_256B", |b| b.iter(|| black_box(fec.encode(black_box(&data)))));
+    group.bench_function("decode_clean_256B", |b| {
+        b.iter(|| {
+            let mut w = clean.clone();
+            black_box(fec.decode(&mut w))
+        })
+    });
+    group.bench_function("decode_3_symbol_burst_256B", |b| {
+        b.iter(|| {
+            let mut w = burst.clone();
+            black_box(fec.decode(&mut w))
+        })
+    });
+    group.finish();
+}
+
+fn bench_subblock(c: &mut Criterion) {
+    let sb = ShortenedRs::cxl_subblock(83);
+    let data: Vec<u8> = (0..83).map(|i| (i * 3) as u8).collect();
+    let clean = sb.encode(&data);
+    let mut group = c.benchmark_group("shortened_subblock");
+    group.throughput(Throughput::Bytes(85));
+    group.bench_function("encode_85B", |b| b.iter(|| black_box(sb.encode(black_box(&data)))));
+    group.bench_function("decode_single_error_85B", |b| {
+        b.iter(|| {
+            let mut w = clean.clone();
+            w[40] ^= 0x3C;
+            black_box(sb.decode_in_place(&mut w))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rs_codec, bench_flit_fec, bench_subblock);
+criterion_main!(benches);

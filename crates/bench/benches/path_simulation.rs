@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the flit-level path simulator: how fast the
+//! Monte-Carlo engine moves traffic for each protocol variant and topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rxl_link::{ChannelErrorModel, ProtocolVariant};
+use rxl_sim::{request_stream, response_stream, PathSim, SimConfig, TrafficPattern};
+
+fn bench_path(c: &mut Criterion) {
+    let down = request_stream(300, TrafficPattern::Reads { cqids: 8 }, 1);
+    let up = response_stream(150, 8, 2);
+
+    let mut group = c.benchmark_group("path_sim");
+    group.throughput(Throughput::Elements((down.len() + up.len()) as u64));
+    group.sample_size(20);
+    for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+        for levels in [0u32, 1, 3] {
+            let id = BenchmarkId::new(format!("{variant:?}"), format!("{levels}_levels"));
+            group.bench_with_input(id, &levels, |b, &levels| {
+                b.iter(|| {
+                    let config = SimConfig::new(variant, levels)
+                        .with_channel(ChannelErrorModel::random(1e-5));
+                    black_box(PathSim::new(config).run(&down, &up))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_noisy_path(c: &mut Criterion) {
+    let down = request_stream(300, TrafficPattern::DataStream { cqids: 8 }, 3);
+    let up = response_stream(100, 8, 4);
+
+    let mut group = c.benchmark_group("path_sim_noisy");
+    group.sample_size(15);
+    for ber in [1e-4f64, 5e-4] {
+        let id = BenchmarkId::new("rxl_1_level", format!("ber_{ber:.0e}"));
+        group.bench_with_input(id, &ber, |b, &ber| {
+            b.iter(|| {
+                let config = SimConfig::new(ProtocolVariant::Rxl, 1)
+                    .with_channel(ChannelErrorModel::random(ber));
+                black_box(PathSim::new(config).run(&down, &up))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path, bench_noisy_path);
+criterion_main!(benches);

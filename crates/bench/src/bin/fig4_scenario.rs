@@ -1,0 +1,6 @@
+//! Regenerates the Fig. 4 trace: baseline CXL forwarding a flit it could not
+//! sequence-check after a silent drop.
+fn main() {
+    let out = rxl_bench::fig4_scenario();
+    println!("{}", out.trace);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the Fig. 5a (duplicate request) and Fig. 5b (out-of-order
+//! data) transaction-layer failure traces.
+fn main() {
+    let a = rxl_bench::fig5a_scenario();
+    println!("--- Fig. 5a: duplicated request ---\n{}", a.trace);
+    let b = rxl_bench::fig5b_scenario();
+    println!("--- Fig. 5b: out-of-order data within one CQID ---\n{}", b.trace);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the Fig. 6c trace: RXL detecting the dropped flit on the very
+//! next arrival via the ISN ECRC.
+fn main() {
+    let out = rxl_bench::fig6_isn_scenario();
+    println!("{}", out.trace);
+}

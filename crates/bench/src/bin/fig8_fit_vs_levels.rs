@@ -1,0 +1,8 @@
+//! Regenerates Fig. 8: FIT_device of CXL and RXL versus switching levels.
+fn main() {
+    let max_levels: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    println!("{}", rxl_bench::fig8_table(max_levels));
+}

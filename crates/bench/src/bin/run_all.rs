@@ -1,0 +1,19 @@
+//! Regenerates every table and figure of the paper's evaluation in one run.
+//! The output of this binary is the basis of EXPERIMENTS.md.
+fn main() {
+    println!("{}", rxl_bench::reliability_table());
+    println!("{}", rxl_bench::fig8_table(4));
+    println!("{}", rxl_bench::bandwidth_table());
+    println!("{}", rxl_bench::buffering_table());
+    println!("{}", rxl_bench::hw_overhead_table());
+    println!("{}", rxl_bench::header_overhead_table());
+    println!("{}", rxl_bench::crc_detection_table());
+    println!("{}", rxl_bench::fec_detection_table(2_000));
+    println!("--- Fig. 4 scenario (baseline CXL) ---");
+    println!("{}", rxl_bench::fig4_scenario().trace);
+    println!("--- Fig. 5b scenario (baseline CXL, same-CQID data) ---");
+    println!("{}", rxl_bench::fig5b_scenario().trace);
+    println!("--- Fig. 6c scenario (RXL / ISN) ---");
+    println!("{}", rxl_bench::fig6_isn_scenario().trace);
+    println!("{}", rxl_bench::sim_crosscheck_table(2e-4, 8, 2_000));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Section 7.2 bandwidth-loss analysis (Eqns (11)–(14)).
+fn main() {
+    println!("{}", rxl_bench::bandwidth_table());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Section 5 buffering-cost comparison that justifies ISN's
+//! go-back-N-only design.
+fn main() {
+    println!("{}", rxl_bench::buffering_table());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Section 4.1 CRC detection-capability claims.
+fn main() {
+    println!("{}", rxl_bench::crc_detection_table());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the Section 2.5 FEC burst-detection fractions by measuring the
+//! real shortened Reed–Solomon decoder.
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2_000);
+    println!("{}", rxl_bench::fec_detection_table(trials));
+}

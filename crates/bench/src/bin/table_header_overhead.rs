@@ -1,0 +1,4 @@
+//! Regenerates the Section 2.4 header-overhead comparison (Fig. 2 context).
+fn main() {
+    println!("{}", rxl_bench::header_overhead_table());
+}

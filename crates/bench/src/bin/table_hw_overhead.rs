@@ -1,0 +1,4 @@
+//! Regenerates the Section 7.3 ISN hardware-overhead table.
+fn main() {
+    println!("{}", rxl_bench::hw_overhead_table());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Section 7.1 reliability analysis (Eqns (1)–(10)).
+fn main() {
+    println!("{}", rxl_bench::reliability_table());
+}

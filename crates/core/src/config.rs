@@ -1,0 +1,79 @@
+//! Protocol stack configuration.
+
+use rxl_crc::isn::IsnMode;
+
+/// Which protocol stack an endpoint speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ProtocolKind {
+    /// Baseline CXL 3.x: link-layer CRC, explicit (multiplexed) FSN.
+    Cxl,
+    /// RXL: transport-layer ECRC with the Implicit Sequence Number.
+    #[default]
+    Rxl,
+}
+
+impl ProtocolKind {
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Cxl => "CXL",
+            ProtocolKind::Rxl => "RXL",
+        }
+    }
+}
+
+/// Configuration of one protocol-stack session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StackConfig {
+    /// Which protocol the session speaks.
+    pub kind: ProtocolKind,
+    /// How the sequence number is folded into the CRC (RXL only).
+    pub isn_mode: IsnMode,
+    /// Width of the sequence space in bits.
+    pub seq_bits: u32,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            kind: ProtocolKind::Rxl,
+            isn_mode: IsnMode::default(),
+            seq_bits: 10,
+        }
+    }
+}
+
+impl StackConfig {
+    /// An RXL session with default parameters.
+    pub fn rxl() -> Self {
+        Self::default()
+    }
+
+    /// A baseline CXL session.
+    pub fn cxl() -> Self {
+        StackConfig {
+            kind: ProtocolKind::Cxl,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_rxl_with_ten_bit_sequences() {
+        let cfg = StackConfig::default();
+        assert_eq!(cfg.kind, ProtocolKind::Rxl);
+        assert_eq!(cfg.seq_bits, 10);
+        assert_eq!(StackConfig::cxl().kind, ProtocolKind::Cxl);
+        assert_eq!(StackConfig::rxl(), StackConfig::default());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ProtocolKind::Cxl.name(), "CXL");
+        assert_eq!(ProtocolKind::Rxl.name(), "RXL");
+    }
+}

@@ -1,0 +1,123 @@
+//! Fabric-level reliability projection.
+//!
+//! The paper motivates RXL with fleet-scale incidents (Llama-3.1 training
+//! interruptions, the Delta system's 6.9-hour NVLink MTBE). This module
+//! projects the per-device FIT analysis of Section 7.1 onto whole fabrics so
+//! examples can answer questions like "how often would a 16K-accelerator job
+//! be interrupted by an undetected interconnect ordering failure?".
+
+use rxl_analysis::ReliabilityModel;
+
+use crate::config::ProtocolKind;
+
+/// Description of a scaled-out fabric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FabricSpec {
+    /// Protocol the fabric runs.
+    pub kind: ProtocolKind,
+    /// Number of devices (accelerators) attached to the fabric.
+    pub devices: u64,
+    /// Switching levels between any host–device pair.
+    pub switch_levels: u32,
+    /// The per-link reliability operating point.
+    pub model: ReliabilityModel,
+}
+
+/// Projected reliability of a fabric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FabricReliability {
+    /// FIT (failures per 10⁹ hours) of a single device's connection.
+    pub per_device_fit: f64,
+    /// FIT of the whole fabric (any device failing).
+    pub fabric_fit: f64,
+    /// Mean time between failures for the whole fabric, in hours.
+    pub fabric_mtbf_hours: f64,
+    /// Expected number of failures during a job of the given duration.
+    pub failures_per_job: f64,
+    /// The job duration used for `failures_per_job`, in hours.
+    pub job_hours: f64,
+}
+
+impl FabricSpec {
+    /// A fabric at the paper's CXL 3.0 ×16 operating point.
+    pub fn new(kind: ProtocolKind, devices: u64, switch_levels: u32) -> Self {
+        FabricSpec {
+            kind,
+            devices,
+            switch_levels,
+            model: ReliabilityModel::cxl3_x16(),
+        }
+    }
+
+    /// FIT of one device's connection under this fabric's protocol.
+    pub fn per_device_fit(&self) -> f64 {
+        match self.kind {
+            ProtocolKind::Cxl => self.model.fit_cxl_levels(self.switch_levels),
+            ProtocolKind::Rxl => self.model.fit_rxl_levels(self.switch_levels),
+        }
+    }
+
+    /// Projects reliability for a job of `job_hours` hours using the whole
+    /// fabric.
+    pub fn project(&self, job_hours: f64) -> FabricReliability {
+        let per_device_fit = self.per_device_fit();
+        let fabric_fit = per_device_fit * self.devices as f64;
+        let fabric_mtbf_hours = if fabric_fit > 0.0 {
+            1e9 / fabric_fit
+        } else {
+            f64::INFINITY
+        };
+        FabricReliability {
+            per_device_fit,
+            fabric_fit,
+            fabric_mtbf_hours,
+            failures_per_job: fabric_fit * job_hours / 1e9,
+            job_hours,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cxl_fabric_at_scale_fails_constantly_rxl_practically_never() {
+        // A Llama-3.1-scale job: 16K accelerators, 54 days, one switch level.
+        let job_hours = 54.0 * 24.0;
+        let cxl = FabricSpec::new(ProtocolKind::Cxl, 16_384, 1).project(job_hours);
+        let rxl = FabricSpec::new(ProtocolKind::Rxl, 16_384, 1).project(job_hours);
+
+        // Baseline CXL: the projected ordering-failure MTBF is far below one
+        // hour — the job cannot finish without hitting the failure mode.
+        assert!(cxl.fabric_mtbf_hours < 1e-3);
+        assert!(cxl.failures_per_job > 1e6);
+
+        // RXL: a vanishing number of expected failures over the whole job,
+        // and a fabric-level MTBF measured in millennia.
+        assert!(rxl.failures_per_job < 1e-3);
+        assert!(rxl.fabric_mtbf_hours > 1e7);
+    }
+
+    #[test]
+    fn direct_connections_are_reliable_for_both_protocols() {
+        let cxl = FabricSpec::new(ProtocolKind::Cxl, 8, 0).project(1000.0);
+        let rxl = FabricSpec::new(ProtocolKind::Rxl, 8, 0).project(1000.0);
+        assert!(cxl.failures_per_job < 1e-6);
+        assert!(rxl.failures_per_job < 1e-6);
+    }
+
+    #[test]
+    fn fabric_fit_scales_linearly_with_device_count() {
+        let small = FabricSpec::new(ProtocolKind::Cxl, 100, 1).project(1.0);
+        let large = FabricSpec::new(ProtocolKind::Cxl, 200, 1).project(1.0);
+        assert!((large.fabric_fit / small.fabric_fit - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_reports_the_job_duration() {
+        let p = FabricSpec::new(ProtocolKind::Rxl, 4, 2).project(42.0);
+        assert_eq!(p.job_hours, 42.0);
+        assert!(p.per_device_fit > 0.0);
+    }
+}

@@ -1,0 +1,388 @@
+//! Session-level protocol stacks: [`RxlStack`] and [`CxlStack`].
+//!
+//! A *stack* is one endpoint's view of one direction of a connection: a send
+//! counter that assigns sequence numbers to outgoing flits and a receive
+//! counter that validates incoming ones. The two stacks expose identical
+//! APIs so experiments and applications can swap protocols with a one-line
+//! change; their difference is exactly the paper's thesis:
+//!
+//! * [`RxlStack::receive`] rejects a flit whenever its payload is corrupted
+//!   **or** it is not the flit the receiver expects next — both conditions
+//!   surface as one ISN ECRC mismatch.
+//! * [`CxlStack::receive`] can only check the sequence when the flit header
+//!   carries an explicit FSN; ACK-carrying flits are accepted on data
+//!   integrity alone, recreating the Fig. 4 blind spot.
+
+use rxl_flit::{CxlFlitCodec, Flit256, ReplayCmd, RxlFlitCodec, WireFlit};
+
+use crate::config::StackConfig;
+
+/// Why a received flit was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReceiveError {
+    /// The link-layer FEC could not repair the flit (it would be dropped by
+    /// a switch, or discarded at the endpoint).
+    FecUncorrectable,
+    /// The end-to-end check failed: the payload is corrupted, or this is not
+    /// the expected flit in the sequence (a predecessor was dropped, or this
+    /// flit is a replay). RXL cannot — and does not need to — distinguish
+    /// the two: both trigger a retry.
+    SequenceOrDataMismatch,
+    /// Baseline CXL only: the link CRC failed.
+    CrcMismatch,
+    /// Baseline CXL only: the flit carries an explicit FSN that does not
+    /// match the expected sequence number.
+    ExplicitSequenceMismatch {
+        /// The FSN carried by the flit.
+        got: u16,
+        /// The sequence number the receiver expected.
+        expected: u16,
+    },
+}
+
+impl std::fmt::Display for ReceiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReceiveError::FecUncorrectable => write!(f, "FEC uncorrectable"),
+            ReceiveError::SequenceOrDataMismatch => write!(f, "ISN ECRC mismatch (corruption or sequence violation)"),
+            ReceiveError::CrcMismatch => write!(f, "link CRC mismatch"),
+            ReceiveError::ExplicitSequenceMismatch { got, expected } => {
+                write!(f, "explicit sequence mismatch (got {got}, expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReceiveError {}
+
+/// An RXL endpoint session.
+#[derive(Clone, Debug)]
+pub struct RxlStack {
+    codec: RxlFlitCodec,
+    next_seq: u16,
+    expected_seq: u16,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl Default for RxlStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RxlStack {
+    /// Creates a session with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(StackConfig::rxl())
+    }
+
+    /// Creates a session with an explicit configuration.
+    pub fn with_config(config: StackConfig) -> Self {
+        RxlStack {
+            codec: RxlFlitCodec::with_mode(config.isn_mode),
+            next_seq: 0,
+            expected_seq: 0,
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The sequence number the next transmitted flit will be bound to.
+    pub fn next_seq(&self) -> u16 {
+        self.next_seq
+    }
+
+    /// The sequence number the receiver expects next.
+    pub fn expected_seq(&self) -> u16 {
+        self.expected_seq
+    }
+
+    /// Number of flits accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Number of flits rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Encodes `flit` for transmission, binding it to the next sequence
+    /// number and advancing the send counter.
+    pub fn send(&mut self, flit: &Flit256) -> WireFlit {
+        let wire = self.codec.encode(flit, self.next_seq);
+        self.next_seq = (self.next_seq + 1) & self.codec.seq_mask();
+        wire
+    }
+
+    /// Validates a received wire flit. On success the expected sequence
+    /// number advances and the recovered flit is returned; on failure the
+    /// receiver state is unchanged so the retried flit can be re-validated.
+    pub fn receive(&mut self, wire: &WireFlit) -> Result<Flit256, ReceiveError> {
+        let out = self.codec.decode(wire, self.expected_seq);
+        if !out.fec.accepted() {
+            self.rejected += 1;
+            return Err(ReceiveError::FecUncorrectable);
+        }
+        if !out.ecrc_ok {
+            self.rejected += 1;
+            return Err(ReceiveError::SequenceOrDataMismatch);
+        }
+        self.expected_seq = (self.expected_seq + 1) & self.codec.seq_mask();
+        self.accepted += 1;
+        Ok(out.flit.expect("accepted flit carries contents"))
+    }
+}
+
+/// A baseline CXL endpoint session.
+#[derive(Clone, Debug)]
+pub struct CxlStack {
+    codec: CxlFlitCodec,
+    next_seq: u16,
+    expected_seq: u16,
+    accepted: u64,
+    rejected: u64,
+    unchecked_accepts: u64,
+}
+
+impl Default for CxlStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CxlStack {
+    /// Creates a baseline CXL session.
+    pub fn new() -> Self {
+        CxlStack {
+            codec: CxlFlitCodec::new(),
+            next_seq: 0,
+            expected_seq: 0,
+            accepted: 0,
+            rejected: 0,
+            unchecked_accepts: 0,
+        }
+    }
+
+    /// The sequence number the next transmitted flit will carry (when not
+    /// piggybacking an ACK).
+    pub fn next_seq(&self) -> u16 {
+        self.next_seq
+    }
+
+    /// The sequence number the receiver expects next.
+    pub fn expected_seq(&self) -> u16 {
+        self.expected_seq
+    }
+
+    /// Number of flits accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Number of flits accepted *without* a sequence check because their FSN
+    /// field carried an acknowledgement — the paper's blind spot.
+    pub fn unchecked_accepts(&self) -> u64 {
+        self.unchecked_accepts
+    }
+
+    /// Number of flits rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Encodes `flit` for transmission. If the flit's header does not carry
+    /// an acknowledgement, its FSN field is overwritten with the session's
+    /// next sequence number (the baseline CXL behaviour); either way the send
+    /// counter advances.
+    pub fn send(&mut self, flit: &Flit256) -> WireFlit {
+        let mut to_send = flit.clone();
+        if !to_send.header.replay_cmd.hides_own_sequence() {
+            to_send.header.fsn = self.next_seq & 0x3FF;
+        }
+        self.next_seq = (self.next_seq + 1) & 0x3FF;
+        self.codec.encode(&to_send)
+    }
+
+    /// Validates a received wire flit with the baseline CXL rules.
+    pub fn receive(&mut self, wire: &WireFlit) -> Result<Flit256, ReceiveError> {
+        let out = self.codec.decode(wire);
+        if !out.fec.accepted() {
+            self.rejected += 1;
+            return Err(ReceiveError::FecUncorrectable);
+        }
+        if !out.crc_ok {
+            self.rejected += 1;
+            return Err(ReceiveError::CrcMismatch);
+        }
+        let flit = out.flit.expect("accepted flit carries contents");
+        if flit.header.replay_cmd == ReplayCmd::SeqNum {
+            if flit.header.fsn != self.expected_seq {
+                self.rejected += 1;
+                return Err(ReceiveError::ExplicitSequenceMismatch {
+                    got: flit.header.fsn,
+                    expected: self.expected_seq,
+                });
+            }
+        } else {
+            // ACK-carrying (or NACK-carrying) flit: no sequence check is
+            // possible; accept on data integrity alone.
+            self.unchecked_accepts += 1;
+        }
+        self.expected_seq = (self.expected_seq + 1) & 0x3FF;
+        self.accepted += 1;
+        Ok(flit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxl_crc::isn::IsnMode;
+    use rxl_flit::{FlitHeader, MemOp, Message};
+
+    fn flit_with(tag: u16, header: FlitHeader) -> Flit256 {
+        let mut f = Flit256::new(header);
+        f.pack_messages(&[Message::request(MemOp::RdCurr, tag as u64 * 64, 0, tag)])
+            .unwrap();
+        f
+    }
+
+    #[test]
+    fn rxl_round_trip_in_order() {
+        let mut tx = RxlStack::new();
+        let mut rx = RxlStack::new();
+        for tag in 0..20u16 {
+            let f = flit_with(tag, FlitHeader::ack(0));
+            let wire = tx.send(&f);
+            let got = rx.receive(&wire).expect("in-order flit accepted");
+            assert_eq!(got, f);
+        }
+        assert_eq!(rx.accepted(), 20);
+        assert_eq!(rx.rejected(), 0);
+        assert_eq!(rx.expected_seq(), 20);
+    }
+
+    #[test]
+    fn rxl_detects_drops_replays_and_corruption() {
+        let mut tx = RxlStack::new();
+        let mut rx = RxlStack::new();
+        let f0 = flit_with(0, FlitHeader::ack(0));
+        let f1 = flit_with(1, FlitHeader::ack(0));
+        let w0 = tx.send(&f0);
+        let w1 = tx.send(&f1);
+
+        // Drop w0: w1 is rejected, receiver state unchanged.
+        assert_eq!(rx.receive(&w1), Err(ReceiveError::SequenceOrDataMismatch));
+        assert_eq!(rx.expected_seq(), 0);
+        // Replay arrives: everything recovers in order.
+        assert!(rx.receive(&w0).is_ok());
+        assert!(rx.receive(&w1).is_ok());
+        // A replay of an already-accepted flit is also rejected.
+        assert_eq!(rx.receive(&w1), Err(ReceiveError::SequenceOrDataMismatch));
+        // Corruption that defeats the FEC is reported distinctly.
+        let mut corrupted = tx.send(&f0);
+        corrupted[0] ^= 0x11;
+        corrupted[3] ^= 0x11;
+        assert_eq!(rx.receive(&corrupted), Err(ReceiveError::FecUncorrectable));
+    }
+
+    #[test]
+    fn rxl_append_mode_behaves_identically() {
+        let cfg = StackConfig {
+            isn_mode: IsnMode::AppendToInput,
+            ..StackConfig::rxl()
+        };
+        let mut tx = RxlStack::with_config(cfg);
+        let mut rx = RxlStack::with_config(cfg);
+        let f = flit_with(9, FlitHeader::ack(3));
+        let w0 = tx.send(&f);
+        let w1 = tx.send(&f);
+        assert!(rx.receive(&w0).is_ok());
+        assert!(rx.receive(&w1).is_ok());
+        assert_eq!(rx.receive(&w1), Err(ReceiveError::SequenceOrDataMismatch));
+    }
+
+    #[test]
+    fn cxl_round_trip_and_explicit_mismatch() {
+        let mut tx = CxlStack::new();
+        let mut rx = CxlStack::new();
+        let f = flit_with(0, FlitHeader::with_seq(0));
+        let w0 = tx.send(&f);
+        let w1 = tx.send(&f);
+        assert!(rx.receive(&w0).is_ok());
+        // Drop-equivalent: skipping w1 and replaying w0 later is detected
+        // because these flits carry explicit FSNs.
+        match rx.receive(&w0) {
+            Err(ReceiveError::ExplicitSequenceMismatch { got, expected }) => {
+                assert_eq!(got, 0);
+                assert_eq!(expected, 1);
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        assert!(rx.receive(&w1).is_ok());
+    }
+
+    #[test]
+    fn cxl_blind_spot_on_ack_carrying_flits() {
+        let mut tx = CxlStack::new();
+        let mut rx = CxlStack::new();
+        let f0 = flit_with(0, FlitHeader::with_seq(0));
+        let f1 = flit_with(1, FlitHeader::with_seq(0));
+        let f2_ack = flit_with(2, FlitHeader::ack(100));
+        let w0 = tx.send(&f0);
+        let _w1_dropped = tx.send(&f1);
+        let w2 = tx.send(&f2_ack);
+
+        assert!(rx.receive(&w0).is_ok());
+        // Flit 1 is dropped; flit 2 hides its sequence behind the ACK and is
+        // accepted anyway — the failure RXL eliminates.
+        let accepted = rx.receive(&w2).expect("baseline CXL accepts the ACK-carrying flit");
+        assert_eq!(accepted.unpack_messages().unwrap()[0].tag(), 2);
+        assert_eq!(rx.unchecked_accepts(), 1);
+
+        // The same scenario under RXL is caught immediately.
+        let mut rtx = RxlStack::new();
+        let mut rrx = RxlStack::new();
+        let r0 = rtx.send(&f0);
+        let _r1_dropped = rtx.send(&f1);
+        let r2 = rtx.send(&f2_ack);
+        assert!(rrx.receive(&r0).is_ok());
+        assert_eq!(rrx.receive(&r2), Err(ReceiveError::SequenceOrDataMismatch));
+    }
+
+    #[test]
+    fn cxl_crc_rejection_is_reported() {
+        let mut tx = CxlStack::new();
+        let mut rx = CxlStack::new();
+        let wire = tx.send(&flit_with(0, FlitHeader::with_seq(0)));
+        // Corrupt beyond FEC: equal flips in one way.
+        let mut bad = wire;
+        bad[1] ^= 0x40;
+        bad[4] ^= 0x40;
+        assert_eq!(rx.receive(&bad), Err(ReceiveError::FecUncorrectable));
+    }
+
+    #[test]
+    fn error_display_strings_are_informative() {
+        let e = ReceiveError::ExplicitSequenceMismatch { got: 3, expected: 2 };
+        assert!(e.to_string().contains("got 3"));
+        assert!(ReceiveError::SequenceOrDataMismatch.to_string().contains("ISN"));
+        assert!(ReceiveError::FecUncorrectable.to_string().contains("FEC"));
+        assert!(ReceiveError::CrcMismatch.to_string().contains("CRC"));
+    }
+
+    #[test]
+    fn sequence_counters_wrap_cleanly() {
+        let mut tx = RxlStack::new();
+        let mut rx = RxlStack::new();
+        let f = flit_with(1, FlitHeader::ack(0));
+        for _ in 0..1030 {
+            let w = tx.send(&f);
+            assert!(rx.receive(&w).is_ok());
+        }
+        assert_eq!(tx.next_seq(), 1030 % 1024);
+        assert_eq!(rx.expected_seq(), 1030 % 1024);
+    }
+}

@@ -1,0 +1,282 @@
+//! Error-detection capability analysis for CRC codes.
+//!
+//! Section 4.1 of the paper states that the 64-bit flit CRC
+//!
+//! * detects **all** random error patterns of up to four flipped bits,
+//! * detects **all** burst errors up to 64 bits long,
+//! * and detects any more severe corruption with probability `1 − 2⁻⁶⁴`.
+//!
+//! These helpers quantify such claims empirically for any [`CrcSpec`]. They
+//! rely on CRC linearity: whether an error pattern `e` is detected is
+//! independent of the underlying message, so coverage can be measured by
+//! applying patterns to an all-zero message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::CrcSpec;
+use crate::table::TableCrc;
+
+/// Result of a detection-coverage experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoverageReport {
+    /// Number of error patterns evaluated.
+    pub trials: u64,
+    /// Number of patterns whose corruption went undetected.
+    pub undetected: u64,
+}
+
+impl CoverageReport {
+    /// Fraction of patterns detected.
+    pub fn detected_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        1.0 - self.undetected as f64 / self.trials as f64
+    }
+
+    /// Fraction of patterns that escaped detection.
+    pub fn undetected_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.undetected as f64 / self.trials as f64
+    }
+}
+
+/// An analyser bound to one CRC algorithm and one message length.
+#[derive(Clone, Debug)]
+pub struct CrcAnalyzer {
+    crc: TableCrc,
+    message_len: usize,
+    baseline: u64,
+}
+
+impl CrcAnalyzer {
+    /// Creates an analyser for messages of `message_len` bytes.
+    pub fn new(spec: CrcSpec, message_len: usize) -> Self {
+        let crc = TableCrc::new(spec);
+        let baseline = crc.checksum(&vec![0u8; message_len]);
+        CrcAnalyzer {
+            crc,
+            message_len,
+            baseline,
+        }
+    }
+
+    /// The message length (in bytes) under analysis.
+    pub fn message_len(&self) -> usize {
+        self.message_len
+    }
+
+    /// Returns `true` if the error pattern (given as a full-length XOR mask)
+    /// would go undetected on *any* message, by CRC linearity.
+    pub fn pattern_undetected(&self, xor_mask: &[u8]) -> bool {
+        assert_eq!(xor_mask.len(), self.message_len);
+        if xor_mask.iter().all(|&b| b == 0) {
+            // No corruption at all is not an "undetected error".
+            return false;
+        }
+        self.crc.checksum(xor_mask) == self.baseline
+    }
+
+    /// Checks a sparse error pattern specified as flipped bit positions.
+    pub fn bits_undetected(&self, bit_positions: &[usize]) -> bool {
+        let mut mask = vec![0u8; self.message_len];
+        for &pos in bit_positions {
+            assert!(pos < self.message_len * 8, "bit position out of range");
+            mask[pos / 8] ^= 1 << (pos % 8);
+        }
+        self.pattern_undetected(&mask)
+    }
+
+    /// Measures detection of random `k`-bit error patterns.
+    pub fn random_kbit_coverage(&self, k: usize, trials: u64, seed: u64) -> CoverageReport {
+        assert!(k >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total_bits = self.message_len * 8;
+        let mut undetected = 0u64;
+        for _ in 0..trials {
+            // Sample k distinct bit positions.
+            let mut positions = Vec::with_capacity(k);
+            while positions.len() < k {
+                let p = rng.random_range(0..total_bits);
+                if !positions.contains(&p) {
+                    positions.push(p);
+                }
+            }
+            if self.bits_undetected(&positions) {
+                undetected += 1;
+            }
+        }
+        CoverageReport { trials, undetected }
+    }
+
+    /// Measures detection of contiguous burst errors of exactly `burst_bits`
+    /// bits (first and last bit of the burst are always flipped; interior bits
+    /// are random). Bursts no longer than the CRC width must always be
+    /// detected for a proper CRC polynomial.
+    pub fn burst_coverage(&self, burst_bits: usize, trials: u64, seed: u64) -> CoverageReport {
+        assert!(burst_bits >= 1);
+        let total_bits = self.message_len * 8;
+        assert!(burst_bits <= total_bits);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut undetected = 0u64;
+        for _ in 0..trials {
+            let start = rng.random_range(0..=(total_bits - burst_bits));
+            let mut mask = vec![0u8; self.message_len];
+            for offset in 0..burst_bits {
+                let flip = if offset == 0 || offset == burst_bits - 1 {
+                    true
+                } else {
+                    rng.random_bool(0.5)
+                };
+                if flip {
+                    let pos = start + offset;
+                    mask[pos / 8] ^= 1 << (pos % 8);
+                }
+            }
+            if self.pattern_undetected(&mask) {
+                undetected += 1;
+            }
+        }
+        CoverageReport { trials, undetected }
+    }
+
+    /// Measures detection of fully random corruption (every byte replaced by a
+    /// uniformly random value). The expected undetected fraction is ≈ 2⁻ʷ for
+    /// a w-bit CRC, which for 64 bits is unobservably small; this function is
+    /// mainly useful for narrow CRCs where the 2⁻ʷ floor is measurable.
+    pub fn random_corruption_coverage(&self, trials: u64, seed: u64) -> CoverageReport {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut undetected = 0u64;
+        let mut mask = vec![0u8; self.message_len];
+        for _ in 0..trials {
+            rng.fill(&mut mask[..]);
+            if mask.iter().all(|&b| b == 0) {
+                continue;
+            }
+            if self.pattern_undetected(&mask) {
+                undetected += 1;
+            }
+        }
+        CoverageReport { trials, undetected }
+    }
+
+    /// Exhaustively checks all single-bit and all two-bit error patterns for
+    /// short messages. Returns `(single_undetected, double_undetected)`.
+    /// Intended for messages of at most a few hundred bits.
+    pub fn exhaustive_one_and_two_bit(&self) -> (u64, u64) {
+        let total_bits = self.message_len * 8;
+        let mut single = 0u64;
+        let mut double = 0u64;
+        for i in 0..total_bits {
+            if self.bits_undetected(&[i]) {
+                single += 1;
+            }
+        }
+        for i in 0..total_bits {
+            for j in (i + 1)..total_bits {
+                if self.bits_undetected(&[i, j]) {
+                    double += 1;
+                }
+            }
+        }
+        (single, double)
+    }
+}
+
+/// The theoretical undetected-error probability floor of a `width`-bit CRC
+/// under severe corruption: `2^-width`.
+pub fn theoretical_undetected_fraction(width: u32) -> f64 {
+    2f64.powi(-(width as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{CRC16_CCITT_FALSE, CRC32_ISO_HDLC, FLIT_CRC64};
+
+    #[test]
+    fn coverage_report_math() {
+        let r = CoverageReport {
+            trials: 1000,
+            undetected: 5,
+        };
+        assert!((r.detected_fraction() - 0.995).abs() < 1e-12);
+        assert!((r.undetected_fraction() - 0.005).abs() < 1e-12);
+        let empty = CoverageReport { trials: 0, undetected: 0 };
+        assert_eq!(empty.detected_fraction(), 1.0);
+    }
+
+    #[test]
+    fn null_pattern_is_not_an_error() {
+        let a = CrcAnalyzer::new(FLIT_CRC64, 32);
+        assert!(!a.pattern_undetected(&vec![0u8; 32]));
+    }
+
+    #[test]
+    fn crc64_detects_all_single_bit_errors_on_flit_sized_messages() {
+        // 242 bytes = 2B header + 240B payload, the CXL CRC input size.
+        let a = CrcAnalyzer::new(FLIT_CRC64, 242);
+        for pos in (0..242 * 8).step_by(97) {
+            assert!(!a.bits_undetected(&[pos]));
+        }
+    }
+
+    #[test]
+    fn crc64_detects_sampled_four_bit_errors() {
+        let a = CrcAnalyzer::new(FLIT_CRC64, 242);
+        let report = a.random_kbit_coverage(4, 2_000, 42);
+        assert_eq!(report.undetected, 0, "4-bit error escaped the 64-bit CRC");
+    }
+
+    #[test]
+    fn crc64_detects_sampled_bursts_up_to_64_bits() {
+        let a = CrcAnalyzer::new(FLIT_CRC64, 242);
+        for burst in [2usize, 8, 33, 64] {
+            let report = a.burst_coverage(burst, 500, 7);
+            assert_eq!(report.undetected, 0, "burst of {burst} bits escaped");
+        }
+    }
+
+    #[test]
+    fn crc16_exhaustive_small_message_has_no_undetected_one_or_two_bit_errors() {
+        // CRC-16/CCITT has Hamming distance ≥ 4 for short messages, so all
+        // 1- and 2-bit errors must be caught on an 8-byte message.
+        let a = CrcAnalyzer::new(CRC16_CCITT_FALSE, 8);
+        let (single, double) = a.exhaustive_one_and_two_bit();
+        assert_eq!(single, 0);
+        assert_eq!(double, 0);
+    }
+
+    #[test]
+    fn random_corruption_floor_is_visible_for_narrow_crcs() {
+        // With a 16-bit CRC the undetected fraction under random corruption
+        // should be in the vicinity of 2^-16 ≈ 1.5e-5. With 60k trials we
+        // mostly just check it is far below 1e-3 and not exactly zero-biased.
+        let a = CrcAnalyzer::new(CRC16_CCITT_FALSE, 64);
+        let report = a.random_corruption_coverage(60_000, 1234);
+        assert!(report.undetected_fraction() < 1e-3);
+    }
+
+    #[test]
+    fn crc32_random_corruption_rarely_escapes() {
+        let a = CrcAnalyzer::new(CRC32_ISO_HDLC, 64);
+        let report = a.random_corruption_coverage(20_000, 99);
+        assert_eq!(report.undetected, 0);
+    }
+
+    #[test]
+    fn theoretical_floor() {
+        assert!((theoretical_undetected_fraction(16) - 1.52587890625e-5).abs() < 1e-12);
+        assert!(theoretical_undetected_fraction(64) < 1e-18);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_bit_position_panics() {
+        let a = CrcAnalyzer::new(FLIT_CRC64, 4);
+        let _ = a.bits_undetected(&[400]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Reference bitwise CRC engine.
+//!
+//! Processes input one bit at a time. This engine is the correctness
+//! reference: the table-driven engine in [`crate::table`] is validated
+//! against it, and the analysis helpers use whichever is convenient.
+
+use crate::spec::{reflect_bits, CrcSpec};
+
+/// A bit-at-a-time CRC engine for any [`CrcSpec`].
+#[derive(Clone, Copy, Debug)]
+pub struct BitwiseCrc {
+    spec: CrcSpec,
+}
+
+impl BitwiseCrc {
+    /// Creates an engine for the given algorithm.
+    pub const fn new(spec: CrcSpec) -> Self {
+        BitwiseCrc { spec }
+    }
+
+    /// The algorithm parameters.
+    pub const fn spec(&self) -> &CrcSpec {
+        &self.spec
+    }
+
+    /// Computes the checksum of `data` in one call.
+    pub fn checksum(&self, data: &[u8]) -> u64 {
+        let reg = self.update(self.init_register(), data);
+        self.finalize(reg)
+    }
+
+    /// Returns the initial (pre-finalisation) register value.
+    #[inline]
+    pub fn init_register(&self) -> u64 {
+        self.spec.init & self.spec.mask()
+    }
+
+    /// Feeds `data` through the register and returns the updated register.
+    pub fn update(&self, mut reg: u64, data: &[u8]) -> u64 {
+        let spec = &self.spec;
+        let top = spec.top_bit();
+        let mask = spec.mask();
+        for &byte in data {
+            let b = if spec.reflect_in {
+                byte.reverse_bits()
+            } else {
+                byte
+            };
+            reg ^= (b as u64) << (spec.width - 8);
+            for _ in 0..8 {
+                if reg & top != 0 {
+                    reg = ((reg << 1) ^ spec.poly) & mask;
+                } else {
+                    reg = (reg << 1) & mask;
+                }
+            }
+        }
+        reg
+    }
+
+    /// Applies output reflection and the final XOR to a register value.
+    #[inline]
+    pub fn finalize(&self, mut reg: u64) -> u64 {
+        if self.spec.reflect_out {
+            reg = reflect_bits(reg, self.spec.width);
+        }
+        (reg ^ self.spec.xor_out) & self.spec.mask()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    /// The standard "check" input from the CRC catalogue.
+    const CHECK_INPUT: &[u8] = b"123456789";
+
+    #[test]
+    fn crc32_check_value() {
+        let e = BitwiseCrc::new(catalog::CRC32_ISO_HDLC);
+        assert_eq!(e.checksum(CHECK_INPUT), 0xCBF43926);
+    }
+
+    #[test]
+    fn crc16_ccitt_false_check_value() {
+        let e = BitwiseCrc::new(catalog::CRC16_CCITT_FALSE);
+        assert_eq!(e.checksum(CHECK_INPUT), 0x29B1);
+    }
+
+    #[test]
+    fn crc16_ibm_check_value() {
+        let e = BitwiseCrc::new(catalog::CRC16_ARC);
+        assert_eq!(e.checksum(CHECK_INPUT), 0xBB3D);
+    }
+
+    #[test]
+    fn crc64_xz_check_value() {
+        let e = BitwiseCrc::new(catalog::CRC64_XZ);
+        assert_eq!(e.checksum(CHECK_INPUT), 0x995DC9BBDF1939FA);
+    }
+
+    #[test]
+    fn crc64_ecma_182_check_value() {
+        let e = BitwiseCrc::new(catalog::CRC64_ECMA_182);
+        assert_eq!(e.checksum(CHECK_INPUT), 0x6C40DF5F0B497347);
+    }
+
+    #[test]
+    fn crc8_check_value() {
+        let e = BitwiseCrc::new(catalog::CRC8_SMBUS);
+        assert_eq!(e.checksum(CHECK_INPUT), 0xF4);
+    }
+
+    #[test]
+    fn incremental_update_matches_one_shot() {
+        let e = BitwiseCrc::new(catalog::CRC64_XZ);
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let one_shot = e.checksum(&data);
+        let mut reg = e.init_register();
+        for chunk in data.chunks(7) {
+            reg = e.update(reg, chunk);
+        }
+        assert_eq!(e.finalize(reg), one_shot);
+    }
+
+    #[test]
+    fn empty_input_yields_init_xor_out() {
+        // For a non-reflected spec with init == 0, the checksum of the empty
+        // message is just xor_out.
+        let spec = crate::spec::CrcSpec::new("plain64", 64, catalog::CRC64_ECMA_182.poly, 0, false, false, 0);
+        let e = BitwiseCrc::new(spec);
+        assert_eq!(e.checksum(&[]), 0);
+    }
+
+    #[test]
+    fn single_bit_change_always_changes_checksum() {
+        let e = BitwiseCrc::new(catalog::FLIT_CRC64);
+        let base = vec![0x5Au8; 64];
+        let c0 = e.checksum(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut m = base.clone();
+                m[byte] ^= 1 << bit;
+                assert_ne!(e.checksum(&m), c0, "undetected single-bit error at {byte}.{bit}");
+            }
+        }
+    }
+}

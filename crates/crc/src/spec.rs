@@ -1,0 +1,129 @@
+//! Parameterised CRC algorithm description.
+//!
+//! A CRC algorithm is fully described by the "Rocksoft model" parameters:
+//! width, generator polynomial, initial register value, input/output bit
+//! reflection, and the final XOR value. [`CrcSpec`] captures those parameters
+//! for widths up to 64 bits and is consumed by both the bitwise and the
+//! table-driven engines.
+
+/// A CRC algorithm specification (Rocksoft / catalogue parameter model).
+///
+/// The polynomial is given in normal (non-reflected) representation with the
+/// implicit top bit omitted, e.g. CRC-32 uses `0x04C11DB7`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CrcSpec {
+    /// Width of the CRC register in bits (8..=64).
+    pub width: u32,
+    /// Generator polynomial (normal representation, top bit implicit).
+    pub poly: u64,
+    /// Initial register value.
+    pub init: u64,
+    /// Whether input bytes are reflected (LSB-first processing).
+    pub reflect_in: bool,
+    /// Whether the final register value is reflected before the XOR-out step.
+    pub reflect_out: bool,
+    /// Value XORed onto the register to produce the final checksum.
+    pub xor_out: u64,
+    /// Human-readable name for reports.
+    pub name: &'static str,
+}
+
+impl CrcSpec {
+    /// Creates a new spec, validating the width.
+    pub const fn new(
+        name: &'static str,
+        width: u32,
+        poly: u64,
+        init: u64,
+        reflect_in: bool,
+        reflect_out: bool,
+        xor_out: u64,
+    ) -> Self {
+        assert!(width >= 8 && width <= 64, "CRC width must be in 8..=64");
+        CrcSpec {
+            width,
+            poly,
+            init,
+            reflect_in,
+            reflect_out,
+            xor_out,
+            name,
+        }
+    }
+
+    /// Bit mask selecting `width` low-order bits.
+    #[inline]
+    pub const fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// The most-significant bit of the register for this width.
+    #[inline]
+    pub const fn top_bit(&self) -> u64 {
+        1u64 << (self.width - 1)
+    }
+
+    /// Number of whole bytes needed to store a checksum of this width.
+    #[inline]
+    pub const fn bytes(&self) -> usize {
+        self.width.div_ceil(8) as usize
+    }
+}
+
+/// Reflects (bit-reverses) the low `width` bits of `value`.
+#[inline]
+pub fn reflect_bits(value: u64, width: u32) -> u64 {
+    let mut out = 0u64;
+    for i in 0..width {
+        if value & (1u64 << i) != 0 {
+            out |= 1u64 << (width - 1 - i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_and_top_bit() {
+        let s16 = CrcSpec::new("t16", 16, 0x1021, 0, false, false, 0);
+        assert_eq!(s16.mask(), 0xFFFF);
+        assert_eq!(s16.top_bit(), 0x8000);
+        assert_eq!(s16.bytes(), 2);
+
+        let s64 = CrcSpec::new("t64", 64, 0x42F0E1EBA9EA3693, 0, false, false, 0);
+        assert_eq!(s64.mask(), u64::MAX);
+        assert_eq!(s64.top_bit(), 1u64 << 63);
+        assert_eq!(s64.bytes(), 8);
+    }
+
+    #[test]
+    fn reflect_small_patterns() {
+        assert_eq!(reflect_bits(0b0000_0001, 8), 0b1000_0000);
+        assert_eq!(reflect_bits(0b1100_0000, 8), 0b0000_0011);
+        assert_eq!(reflect_bits(0x1, 16), 0x8000);
+        assert_eq!(reflect_bits(0xF0F0, 16), 0x0F0F);
+    }
+
+    #[test]
+    fn reflect_is_an_involution() {
+        for v in [0u64, 1, 0xDEADBEEF, u64::MAX, 0x123456789ABCDEF0] {
+            for w in [8u32, 16, 32, 64] {
+                let masked = if w == 64 { v } else { v & ((1 << w) - 1) };
+                assert_eq!(reflect_bits(reflect_bits(masked, w), w), masked);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn width_out_of_range_panics() {
+        let _ = CrcSpec::new("bad", 4, 0x3, 0, false, false, 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! Full Reed–Solomon decoding: syndromes, Berlekamp–Massey, Chien search and
+//! Forney's algorithm.
+//!
+//! The decoder corrects up to `t` symbol errors per codeword and reports an
+//! uncorrectable pattern whenever its internal consistency checks fail
+//! (error-locator degree vs. number of roots, out-of-range locations, or
+//! non-zero syndromes after correction). Note that — like real hardware —
+//! the decoder can still *miscorrect*: an error pattern with more than `t`
+//! symbol errors may look exactly like a correctable pattern of a different
+//! codeword. Quantifying how often that happens (and how often the shortened
+//! code catches it) is the job of [`crate::stats`].
+
+use rxl_gf256::{Gf256, GfPoly};
+
+use crate::rs::{RsCode, FIRST_CONSECUTIVE_ROOT};
+
+/// The decoder's verdict on one codeword.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RsDecodeOutcome {
+    /// All syndromes were zero; the word was accepted unchanged.
+    NoError,
+    /// The decoder corrected this many symbol errors in place.
+    Corrected { symbols: usize },
+    /// The decoder detected an uncorrectable pattern and left the word as-is.
+    DetectedUncorrectable,
+}
+
+impl RsDecodeOutcome {
+    /// `true` if the outcome is [`RsDecodeOutcome::Corrected`].
+    pub fn is_corrected(&self) -> bool {
+        matches!(self, RsDecodeOutcome::Corrected { .. })
+    }
+
+    /// `true` if the decoder accepted the word (either clean or corrected).
+    pub fn accepted(&self) -> bool {
+        !matches!(self, RsDecodeOutcome::DetectedUncorrectable)
+    }
+
+    /// Number of symbols the decoder changed.
+    pub fn corrected_symbols(&self) -> usize {
+        match self {
+            RsDecodeOutcome::Corrected { symbols } => *symbols,
+            _ => 0,
+        }
+    }
+}
+
+/// A Berlekamp–Massey Reed–Solomon decoder bound to one [`RsCode`].
+#[derive(Clone, Debug)]
+pub struct RsDecoder {
+    code: RsCode,
+}
+
+impl RsDecoder {
+    /// Creates a decoder for the given code.
+    pub fn new(code: RsCode) -> Self {
+        RsDecoder { code }
+    }
+
+    /// The underlying code.
+    pub fn code(&self) -> &RsCode {
+        &self.code
+    }
+
+    /// Decodes a full-length (`n`-symbol) received word in place.
+    ///
+    /// On success the corrected codeword (data ‖ parity) is left in
+    /// `received`; on `DetectedUncorrectable` the buffer is unmodified.
+    pub fn decode_in_place(&self, received: &mut [u8]) -> RsDecodeOutcome {
+        match self.decode_with_locations(received) {
+            (outcome, _) => outcome,
+        }
+    }
+
+    /// Decodes in place and additionally reports the corrected symbol
+    /// positions (indices into `received`). Used by the shortened-code layer
+    /// to recognise corrections that land on virtual padding.
+    pub fn decode_with_locations(&self, received: &mut [u8]) -> (RsDecodeOutcome, Vec<usize>) {
+        let n = self.code.n();
+        assert_eq!(received.len(), n, "received word must be n symbols");
+
+        let syndromes = self.code.syndromes(received);
+        if syndromes.iter().all(|s| s.is_zero()) {
+            return (RsDecodeOutcome::NoError, Vec::new());
+        }
+
+        let t = self.code.t();
+        let Some(sigma) = berlekamp_massey(&syndromes) else {
+            return (RsDecodeOutcome::DetectedUncorrectable, Vec::new());
+        };
+        let num_errors = sigma.degree();
+        if num_errors == 0 || num_errors > t {
+            return (RsDecodeOutcome::DetectedUncorrectable, Vec::new());
+        }
+
+        // Chien search: find roots of sigma. A root at x = α^{-p} (p counted
+        // from the *end* of the codeword) marks an error at degree p, i.e.
+        // received index n - 1 - p.
+        let mut error_positions = Vec::with_capacity(num_errors);
+        for p in 0..n {
+            let x_inv = Gf256::alpha_pow(p as u32).inverse();
+            if sigma.eval(x_inv).is_zero() {
+                error_positions.push(p);
+            }
+        }
+        if error_positions.len() != num_errors {
+            return (RsDecodeOutcome::DetectedUncorrectable, Vec::new());
+        }
+
+        // Error evaluator Ω(x) = [S(x)·σ(x)] mod x^{2t}.
+        let s_poly = GfPoly::from_coeffs(syndromes.clone());
+        let omega_full = s_poly.mul(&sigma);
+        let omega = GfPoly::from_coeffs(
+            omega_full.coeffs()[..omega_full.coeffs().len().min(self.code.parity_len())].to_vec(),
+        );
+        let sigma_prime = sigma.formal_derivative();
+
+        // Forney: e_p = - Ω(X_p^{-1}) / σ'(X_p^{-1}) · X_p^{1-fcr};
+        // with fcr = 0 the extra factor is X_p.
+        let mut corrections = Vec::with_capacity(num_errors);
+        for &p in &error_positions {
+            let x_p = Gf256::alpha_pow(p as u32);
+            let x_inv = x_p.inverse();
+            let denom = sigma_prime.eval(x_inv);
+            if denom.is_zero() {
+                return (RsDecodeOutcome::DetectedUncorrectable, Vec::new());
+            }
+            let mut magnitude = omega.eval(x_inv) / denom;
+            // fcr = 0 ⇒ multiply by X_p^{1 - 0} = X_p ... derived below.
+            // Standard Forney for roots at α^{fcr..}: e = X^{1-fcr}·Ω(X^{-1})/σ'(X^{-1}).
+            magnitude = magnitude * x_p.pow(1 - FIRST_CONSECUTIVE_ROOT);
+            if magnitude.is_zero() {
+                return (RsDecodeOutcome::DetectedUncorrectable, Vec::new());
+            }
+            let index = n - 1 - p;
+            corrections.push((index, magnitude));
+        }
+
+        // Apply and verify.
+        for &(index, magnitude) in &corrections {
+            received[index] ^= magnitude.value();
+        }
+        if !self.code.is_codeword(received) {
+            // Roll back and report failure.
+            for &(index, magnitude) in &corrections {
+                received[index] ^= magnitude.value();
+            }
+            return (RsDecodeOutcome::DetectedUncorrectable, Vec::new());
+        }
+
+        let locations: Vec<usize> = corrections.iter().map(|&(i, _)| i).collect();
+        (
+            RsDecodeOutcome::Corrected {
+                symbols: locations.len(),
+            },
+            locations,
+        )
+    }
+}
+
+/// Berlekamp–Massey algorithm: returns the error-locator polynomial σ(x) for
+/// the given syndromes, or `None` if the iteration produces an inconsistent
+/// locator (signalling an uncorrectable pattern).
+fn berlekamp_massey(syndromes: &[Gf256]) -> Option<GfPoly> {
+    let n = syndromes.len();
+    let mut sigma = GfPoly::one();
+    let mut prev_sigma = GfPoly::one();
+    let mut l = 0usize;
+    let mut m = 1usize;
+    let mut b = Gf256::ONE;
+
+    for i in 0..n {
+        // Discrepancy d = S_i + Σ_{j=1..l} σ_j · S_{i-j}
+        let mut d = syndromes[i];
+        for j in 1..=l {
+            if j <= sigma.degree() {
+                d += sigma.coeff(j) * syndromes[i - j];
+            }
+        }
+        if d.is_zero() {
+            m += 1;
+        } else if 2 * l <= i {
+            let temp = sigma.clone();
+            let coef = d / b;
+            sigma = sigma.add(&prev_sigma.scale(coef).shift_up(m));
+            prev_sigma = temp;
+            l = i + 1 - l;
+            b = d;
+            m = 1;
+        } else {
+            let coef = d / b;
+            sigma = sigma.add(&prev_sigma.scale(coef).shift_up(m));
+            m += 1;
+        }
+    }
+    if sigma.degree() != l {
+        return None;
+    }
+    Some(sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn corrupt(word: &mut [u8], positions: &[usize], rng: &mut StdRng) {
+        for &p in positions {
+            let flip: u8 = rng.random_range(1..=255);
+            word[p] ^= flip;
+        }
+    }
+
+    #[test]
+    fn clean_word_reports_no_error() {
+        let code = RsCode::new(255, 239);
+        let dec = RsDecoder::new(code.clone());
+        let data: Vec<u8> = (0..239).map(|i| i as u8).collect();
+        let mut cw = code.encode(&data);
+        assert_eq!(dec.decode_in_place(&mut cw), RsDecodeOutcome::NoError);
+        assert_eq!(&cw[..239], &data[..]);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let code = RsCode::new(255, 239); // t = 8
+        let dec = RsDecoder::new(code.clone());
+        let data: Vec<u8> = (0..239).map(|i| (i * 7 + 3) as u8).collect();
+        let clean = code.encode(&data);
+
+        for errors in 1..=8usize {
+            let mut word = clean.clone();
+            let mut positions: Vec<usize> = Vec::new();
+            while positions.len() < errors {
+                let p = rng.random_range(0..255);
+                if !positions.contains(&p) {
+                    positions.push(p);
+                }
+            }
+            corrupt(&mut word, &positions, &mut rng);
+            let outcome = dec.decode_in_place(&mut word);
+            assert_eq!(outcome, RsDecodeOutcome::Corrected { symbols: errors });
+            assert_eq!(word, clean, "failed with {errors} errors");
+        }
+    }
+
+    #[test]
+    fn reports_locations_of_corrections() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let code = RsCode::new(255, 251); // t = 2
+        let dec = RsDecoder::new(code.clone());
+        let data: Vec<u8> = (0..251).map(|i| (i + 1) as u8).collect();
+        let clean = code.encode(&data);
+        let mut word = clean.clone();
+        corrupt(&mut word, &[17, 200], &mut rng);
+        let (outcome, mut locations) = dec.decode_with_locations(&mut word);
+        assert!(outcome.is_corrected());
+        locations.sort_unstable();
+        assert_eq!(locations, vec![17, 200]);
+        assert_eq!(word, clean);
+    }
+
+    #[test]
+    fn full_length_ssc_code_mostly_miscorrects_double_errors() {
+        // For the *unshortened* RS(255, 253) code almost every syndrome value
+        // maps onto some single-symbol correction, so a two-symbol error is
+        // usually miscorrected rather than detected. This is precisely why the
+        // paper leans on the shortened code's virtual positions for detection
+        // (see `crate::shortened` and `crate::stats`).
+        let mut rng = StdRng::seed_from_u64(42);
+        let code = RsCode::rs_255_253();
+        let dec = RsDecoder::new(code.clone());
+        let data: Vec<u8> = (0..253).map(|i| (i * 5) as u8).collect();
+        let clean = code.encode(&data);
+
+        let mut miscorrected = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let mut word = clean.clone();
+            let p1 = rng.random_range(0..255);
+            let mut p2 = rng.random_range(0..255);
+            while p2 == p1 {
+                p2 = rng.random_range(0..255);
+            }
+            corrupt(&mut word, &[p1, p2], &mut rng);
+            let outcome = dec.decode_in_place(&mut word);
+            if outcome.is_corrected() && word != clean {
+                miscorrected += 1;
+            }
+        }
+        assert!(
+            miscorrected > trials / 2,
+            "expected miscorrection to dominate for the unshortened code, got {miscorrected}/{trials}"
+        );
+    }
+
+    #[test]
+    fn uncorrectable_word_is_left_untouched() {
+        let code = RsCode::rs_255_253();
+        let dec = RsDecoder::new(code.clone());
+        let data: Vec<u8> = vec![9; 253];
+        let clean = code.encode(&data);
+        // Two equal-magnitude errors at distinct positions give S0 = 0 but
+        // S1 != 0, which the t = 1 decoder must flag as uncorrectable.
+        let mut word = clean.clone();
+        word[10] ^= 0x3C;
+        word[30] ^= 0x3C;
+        let snapshot = word.clone();
+        assert_eq!(
+            dec.decode_in_place(&mut word),
+            RsDecodeOutcome::DetectedUncorrectable
+        );
+        assert_eq!(word, snapshot);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(RsDecodeOutcome::Corrected { symbols: 2 }.is_corrected());
+        assert!(RsDecodeOutcome::NoError.accepted());
+        assert!(!RsDecodeOutcome::DetectedUncorrectable.accepted());
+        assert_eq!(RsDecodeOutcome::Corrected { symbols: 3 }.corrected_symbols(), 3);
+        assert_eq!(RsDecodeOutcome::NoError.corrected_symbols(), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn single_error_always_corrected_rs15_11(
+                data in proptest::collection::vec(any::<u8>(), 11),
+                pos in 0usize..15,
+                flip in 1u8..=255,
+            ) {
+                let code = RsCode::new(15, 11); // t = 2
+                let dec = RsDecoder::new(code.clone());
+                let clean = code.encode(&data);
+                let mut word = clean.clone();
+                word[pos] ^= flip;
+                let outcome = dec.decode_in_place(&mut word);
+                prop_assert_eq!(outcome, RsDecodeOutcome::Corrected { symbols: 1 });
+                prop_assert_eq!(word, clean);
+            }
+
+            #[test]
+            fn double_error_always_corrected_rs255_239(
+                seed: u64,
+                p1 in 0usize..255,
+                p2 in 0usize..255,
+                f1 in 1u8..=255,
+                f2 in 1u8..=255,
+            ) {
+                prop_assume!(p1 != p2);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let code = RsCode::new(255, 239); // t = 8
+                let dec = RsDecoder::new(code.clone());
+                let data: Vec<u8> = (0..239).map(|_| rng.random()).collect();
+                let clean = code.encode(&data);
+                let mut word = clean.clone();
+                word[p1] ^= f1;
+                word[p2] ^= f2;
+                let outcome = dec.decode_in_place(&mut word);
+                prop_assert!(outcome.is_corrected());
+                prop_assert_eq!(word, clean);
+            }
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! The CXL 256-byte flit FEC layout: 3-way interleaved single-symbol
+//! correction.
+//!
+//! Per Section 2.5 / Fig. 3 of the paper, the 250-byte block formed by the
+//! 2-byte header, 240-byte payload and 8-byte CRC is distributed round-robin
+//! over three sub-blocks of 84/83/83 bytes. Each sub-block receives two
+//! Reed–Solomon parity bytes (shortened RS(255, 253)), giving transmitted
+//! sub-blocks of 86/85/85 bytes = 256 bytes total.
+//!
+//! On the wire, byte `i` of the 256-byte block belongs to way `i % 3`
+//! (this holds for the parity region too, because 250 ≡ 1 (mod 3) and the
+//! parity bytes are laid out to continue the round-robin). Consequently a
+//! burst of up to three consecutive bytes places at most one error in each
+//! sub-block and is always corrected; longer bursts overload at least one
+//! sub-block and are detected with the probabilities analysed in
+//! [`crate::stats`].
+
+use crate::decoder::RsDecodeOutcome;
+use crate::shortened::ShortenedRs;
+
+/// Number of protected data bytes per CXL 256B flit (header + payload + CRC).
+pub const CXL_FLIT_DATA_LEN: usize = 250;
+/// Number of FEC parity bytes per CXL 256B flit.
+pub const CXL_FLIT_FEC_LEN: usize = 6;
+/// Total transmitted flit size.
+pub const CXL_FLIT_TOTAL_LEN: usize = CXL_FLIT_DATA_LEN + CXL_FLIT_FEC_LEN;
+/// Interleaving factor.
+pub const CXL_FEC_WAYS: usize = 3;
+
+/// Result of decoding one interleaved FEC block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlitFecResult {
+    /// Aggregate outcome across all interleaved ways.
+    pub outcome: RsDecodeOutcome,
+    /// Per-way outcomes, in interleave order.
+    pub per_way: Vec<RsDecodeOutcome>,
+}
+
+impl FlitFecResult {
+    /// `true` if the flit was accepted (clean or fully corrected).
+    pub fn accepted(&self) -> bool {
+        self.outcome.accepted()
+    }
+}
+
+/// An N-way interleaved single-symbol-correct FEC block codec.
+#[derive(Clone, Debug)]
+pub struct InterleavedFec {
+    ways: Vec<ShortenedRs>,
+    data_len: usize,
+}
+
+impl InterleavedFec {
+    /// Builds an interleaved FEC over `data_len` bytes with `ways`
+    /// round-robin sub-blocks, each protected by a shortened RS(255, 253).
+    pub fn new(data_len: usize, ways: usize) -> Self {
+        assert!(ways >= 1, "at least one interleave way required");
+        assert!(data_len >= ways, "data must cover every way");
+        let mut way_codes = Vec::with_capacity(ways);
+        for w in 0..ways {
+            // Way w receives data bytes w, w+ways, w+2·ways, ...
+            let sub_len = (data_len - w).div_ceil(ways);
+            way_codes.push(ShortenedRs::cxl_subblock(sub_len));
+        }
+        InterleavedFec {
+            ways: way_codes,
+            data_len,
+        }
+    }
+
+    /// The CXL 256-byte flit geometry: 250 data bytes, 3 ways, 6 parity bytes.
+    pub fn cxl_flit() -> Self {
+        let fec = Self::new(CXL_FLIT_DATA_LEN, CXL_FEC_WAYS);
+        debug_assert_eq!(fec.encoded_len(), CXL_FLIT_TOTAL_LEN);
+        fec
+    }
+
+    /// Number of protected data bytes.
+    pub fn data_len(&self) -> usize {
+        self.data_len
+    }
+
+    /// Number of interleave ways.
+    pub fn ways(&self) -> usize {
+        self.ways.len()
+    }
+
+    /// Number of parity bytes appended by [`InterleavedFec::encode`].
+    pub fn parity_len(&self) -> usize {
+        self.ways.iter().map(|w| w.parity_len()).sum()
+    }
+
+    /// Total encoded length (data + parity).
+    pub fn encoded_len(&self) -> usize {
+        self.data_len + self.parity_len()
+    }
+
+    /// Sub-block data lengths, in way order (84/83/83 for the CXL flit).
+    pub fn way_data_lens(&self) -> Vec<usize> {
+        self.ways.iter().map(|w| w.data_len()).collect()
+    }
+
+    /// The way that wire position `i` of the encoded block belongs to.
+    #[inline]
+    pub fn way_of_position(&self, i: usize) -> usize {
+        i % self.ways.len()
+    }
+
+    /// Splits an encoded block (or, with `data_only`, just the data portion)
+    /// into per-way symbol vectors in wire order.
+    fn deinterleave(&self, bytes: &[u8]) -> Vec<Vec<u8>> {
+        let ways = self.ways.len();
+        let mut subs: Vec<Vec<u8>> = (0..ways)
+            .map(|_| Vec::with_capacity(bytes.len().div_ceil(ways)))
+            .collect();
+        for (i, &b) in bytes.iter().enumerate() {
+            subs[i % ways].push(b);
+        }
+        subs
+    }
+
+    /// Writes per-way symbol vectors back into an interleaved byte buffer.
+    fn reinterleave(&self, subs: &[Vec<u8>], out: &mut [u8]) {
+        let ways = self.ways.len();
+        let mut cursors = vec![0usize; ways];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let w = i % ways;
+            *slot = subs[w][cursors[w]];
+            cursors[w] += 1;
+        }
+    }
+
+    /// Encodes `data` (exactly [`data_len`](Self::data_len) bytes) into a
+    /// transmitted block: the original data followed by the per-way parity
+    /// bytes, laid out so the whole block stays round-robin interleaved.
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), self.data_len, "wrong data length for this FEC");
+        let ways = self.ways.len();
+        let subs = self.deinterleave(data);
+        // Compute parity per way, then emit parity bytes continuing the
+        // round-robin pattern at wire positions data_len..encoded_len.
+        let parities: Vec<Vec<u8>> = self
+            .ways
+            .iter()
+            .zip(&subs)
+            .map(|(way, sub)| way.code().parity_shortened(sub))
+            .collect();
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(data);
+        let mut cursors = vec![0usize; ways];
+        for i in self.data_len..self.encoded_len() {
+            let w = i % ways;
+            out.push(parities[w][cursors[w]]);
+            cursors[w] += 1;
+        }
+        out
+    }
+
+    /// Decodes a transmitted block in place.
+    ///
+    /// If every way is clean or correctable, the corrected block is written
+    /// back and the aggregate outcome is reported. If any way detects an
+    /// uncorrectable pattern the block is left untouched (a real switch or
+    /// endpoint would discard it) and the aggregate outcome is
+    /// [`RsDecodeOutcome::DetectedUncorrectable`].
+    pub fn decode(&self, block: &mut [u8]) -> FlitFecResult {
+        assert_eq!(block.len(), self.encoded_len(), "wrong block length for this FEC");
+        // Each way's word is its data symbols followed by its parity symbols,
+        // which is exactly the order its wire positions appear in.
+        let mut words = self.deinterleave(block);
+
+        let mut per_way = Vec::with_capacity(self.ways.len());
+        let mut total_corrected = 0usize;
+        let mut any_uncorrectable = false;
+        for (w, word) in self.ways.iter().zip(words.iter_mut()) {
+            debug_assert_eq!(word.len(), w.word_len());
+            let outcome = w.decode_in_place(word);
+            match outcome {
+                RsDecodeOutcome::Corrected { symbols } => total_corrected += symbols,
+                RsDecodeOutcome::DetectedUncorrectable => any_uncorrectable = true,
+                RsDecodeOutcome::NoError => {}
+            }
+            per_way.push(outcome);
+        }
+
+        if any_uncorrectable {
+            return FlitFecResult {
+                outcome: RsDecodeOutcome::DetectedUncorrectable,
+                per_way,
+            };
+        }
+
+        self.reinterleave(&words, block);
+
+        let outcome = if total_corrected == 0 {
+            RsDecodeOutcome::NoError
+        } else {
+            RsDecodeOutcome::Corrected {
+                symbols: total_corrected,
+            }
+        };
+        FlitFecResult { outcome, per_way }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.random()).collect()
+    }
+
+    #[test]
+    fn cxl_flit_geometry() {
+        let fec = InterleavedFec::cxl_flit();
+        assert_eq!(fec.data_len(), 250);
+        assert_eq!(fec.ways(), 3);
+        assert_eq!(fec.parity_len(), 6);
+        assert_eq!(fec.encoded_len(), 256);
+        let lens = fec.way_data_lens();
+        assert_eq!(lens.iter().sum::<usize>(), 250);
+        assert_eq!(lens, vec![84, 83, 83]);
+        // Every wire position, parity included, follows the i % 3 rule.
+        for i in 0..256 {
+            assert_eq!(fec.way_of_position(i), i % 3);
+        }
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let fec = InterleavedFec::cxl_flit();
+        let data = random_data(250, 1);
+        let mut block = fec.encode(&data);
+        assert_eq!(block.len(), 256);
+        let res = fec.decode(&mut block);
+        assert_eq!(res.outcome, RsDecodeOutcome::NoError);
+        assert!(res.accepted());
+        assert_eq!(&block[..250], &data[..]);
+    }
+
+    #[test]
+    fn corrects_three_byte_bursts_anywhere_including_the_parity_tail() {
+        let fec = InterleavedFec::cxl_flit();
+        let data = random_data(250, 2);
+        let clean = fec.encode(&data);
+        for start in 0..=253 {
+            let mut block = clean.clone();
+            block[start] ^= 0xFF;
+            block[start + 1] ^= 0x3C;
+            block[start + 2] ^= 0x81;
+            let res = fec.decode(&mut block);
+            assert!(res.outcome.is_corrected(), "burst at {start} not corrected");
+            assert_eq!(res.outcome.corrected_symbols(), 3);
+            assert_eq!(&block[..250], &data[..], "burst at {start} produced wrong data");
+            assert_eq!(block, clean, "burst at {start} left parity corrupted");
+        }
+    }
+
+    #[test]
+    fn corrects_single_errors_in_the_parity_region() {
+        let fec = InterleavedFec::cxl_flit();
+        let data = random_data(250, 3);
+        let clean = fec.encode(&data);
+        for pos in 250..256 {
+            let mut block = clean.clone();
+            block[pos] ^= 0x42;
+            let res = fec.decode(&mut block);
+            assert!(res.outcome.is_corrected(), "parity error at {pos} not corrected");
+            assert_eq!(&block[..250], &data[..]);
+        }
+    }
+
+    #[test]
+    fn per_way_outcomes_are_reported() {
+        let fec = InterleavedFec::cxl_flit();
+        let data = random_data(250, 4);
+        let clean = fec.encode(&data);
+        let mut block = clean.clone();
+        // Bytes 0 and 3 both belong to way 0; byte 1 → way 1.
+        block[0] ^= 0x01;
+        block[1] ^= 0x02;
+        let res = fec.decode(&mut block);
+        assert!(res.outcome.is_corrected());
+        assert_eq!(res.per_way.len(), 3);
+        assert!(res.per_way[0].is_corrected());
+        assert!(res.per_way[1].is_corrected());
+        assert_eq!(res.per_way[2], RsDecodeOutcome::NoError);
+    }
+
+    #[test]
+    fn overloaded_way_with_equal_magnitudes_is_detected_and_block_untouched() {
+        let fec = InterleavedFec::cxl_flit();
+        let data = random_data(250, 5);
+        let clean = fec.encode(&data);
+        let mut block = clean.clone();
+        // Two equal-magnitude errors in the same way (positions 0 and 3 are
+        // both way 0) force S0 = 0, S1 ≠ 0 → detected uncorrectable.
+        block[0] ^= 0x99;
+        block[3] ^= 0x99;
+        let snapshot = block.clone();
+        let res = fec.decode(&mut block);
+        assert_eq!(res.outcome, RsDecodeOutcome::DetectedUncorrectable);
+        assert!(!res.accepted());
+        assert_eq!(block, snapshot, "uncorrectable block must not be modified");
+    }
+
+    #[test]
+    fn six_byte_bursts_are_mostly_detected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let fec = InterleavedFec::cxl_flit();
+        let data = random_data(250, 7);
+        let clean = fec.encode(&data);
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for _ in 0..200 {
+            let mut block = clean.clone();
+            let start = rng.random_range(0..250);
+            for i in 0..6 {
+                block[start + i] ^= rng.random_range(1..=255u8);
+            }
+            let res = fec.decode(&mut block);
+            if res.accepted() {
+                accepted += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > accepted, "6-byte bursts should mostly be detected");
+        assert_eq!(rejected + accepted, 200);
+    }
+
+    #[test]
+    fn other_geometries_are_supported() {
+        // 68-byte flit style geometry: 66 data bytes, 2 ways.
+        let fec = InterleavedFec::new(66, 2);
+        assert_eq!(fec.encoded_len(), 70);
+        let data = random_data(66, 8);
+        let mut block = fec.encode(&data);
+        block[10] ^= 0x10;
+        block[11] ^= 0x20;
+        let res = fec.decode(&mut block);
+        assert!(res.outcome.is_corrected());
+        assert_eq!(&block[..66], &data[..]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn encode_length_mismatch_panics() {
+        let fec = InterleavedFec::cxl_flit();
+        let _ = fec.encode(&[0u8; 100]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn decode_length_mismatch_panics() {
+        let fec = InterleavedFec::cxl_flit();
+        let mut block = vec![0u8; 200];
+        let _ = fec.decode(&mut block);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn any_three_byte_burst_is_corrected(
+                data in proptest::collection::vec(any::<u8>(), 250),
+                start in 0usize..254,
+                flips in proptest::collection::vec(1u8..=255, 3),
+            ) {
+                let fec = InterleavedFec::cxl_flit();
+                let clean = fec.encode(&data);
+                let mut block = clean.clone();
+                for (i, f) in flips.iter().enumerate() {
+                    block[start + i] ^= f;
+                }
+                let res = fec.decode(&mut block);
+                prop_assert!(res.outcome.is_corrected());
+                prop_assert_eq!(&block[..250], &data[..]);
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Fast single-symbol-correction (SSC) decoding for two-parity RS codes.
+//!
+//! The CXL flit FEC protects each interleaved sub-block with exactly two
+//! Reed–Solomon parity symbols, i.e. `t = 1`. For that special case the full
+//! Berlekamp–Massey machinery collapses to two syndromes:
+//!
+//! * `S0 = S1 = 0` — the word is clean,
+//! * `S0 ≠ 0` and `S1 ≠ 0` — a single error of magnitude `S0` sits at degree
+//!   `p = log_α(S1 / S0)`,
+//! * anything else (exactly one zero syndrome, or `p` outside the word) — an
+//!   uncorrectable pattern was detected.
+//!
+//! The "p outside the word" case is the shortened-code detection capability
+//! the paper highlights in Section 2.5: positions that fall into the virtual
+//! zero padding cannot legitimately be corrected, so the decoder reports the
+//! pattern instead of silently miscorrecting.
+
+use rxl_gf256::Gf256;
+
+use crate::decoder::RsDecodeOutcome;
+use crate::rs::RsCode;
+
+/// Single-symbol-correct decoder for a (possibly shortened) two-parity code.
+#[derive(Clone, Debug)]
+pub struct SingleSymbolCorrector {
+    code: RsCode,
+}
+
+impl SingleSymbolCorrector {
+    /// Creates an SSC decoder. Panics unless the code has exactly two parity
+    /// symbols.
+    pub fn new(code: RsCode) -> Self {
+        assert_eq!(code.parity_len(), 2, "SSC requires exactly 2 parity symbols");
+        SingleSymbolCorrector { code }
+    }
+
+    /// The underlying mother code.
+    pub fn code(&self) -> &RsCode {
+        &self.code
+    }
+
+    /// Decodes a (possibly shortened) word of `word.len() ≤ n` symbols in
+    /// place. The word is interpreted as the low-degree tail of the
+    /// mother-code codeword, i.e. the omitted leading symbols are virtual
+    /// zeros.
+    ///
+    /// Returns the outcome plus the corrected index (if any).
+    pub fn decode_in_place(&self, word: &mut [u8]) -> (RsDecodeOutcome, Option<usize>) {
+        let len = word.len();
+        assert!(len <= self.code.n(), "word longer than the mother code");
+        assert!(len > 2, "word must contain at least one data symbol");
+
+        // Syndromes S0 = r(α^0), S1 = r(α^1), evaluated over the shortened
+        // word only: virtual leading zeros contribute nothing.
+        let alpha = Gf256::ALPHA;
+        let mut s0 = Gf256::ZERO;
+        let mut s1 = Gf256::ZERO;
+        for &b in word.iter() {
+            let v = Gf256::new(b);
+            s0 += v;
+            s1 = s1 * alpha + v;
+        }
+        // Note: s0 accumulates r evaluated at α^0 = 1 (plain XOR of symbols);
+        // s1 uses Horner at α.
+
+        if s0.is_zero() && s1.is_zero() {
+            return (RsDecodeOutcome::NoError, None);
+        }
+        if s0.is_zero() || s1.is_zero() {
+            return (RsDecodeOutcome::DetectedUncorrectable, None);
+        }
+
+        // Single error at degree p: S1/S0 = α^p.
+        let ratio = s1 / s0;
+        let p = ratio.log().expect("ratio of non-zero elements is non-zero") as usize;
+        if p >= len {
+            // The correction points into the virtual zero padding of the
+            // shortened code: definitely more than one error. Detected.
+            return (RsDecodeOutcome::DetectedUncorrectable, None);
+        }
+        let index = len - 1 - p;
+        word[index] ^= s0.value();
+        (RsDecodeOutcome::Corrected { symbols: 1 }, Some(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::RsDecoder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn encode_shortened(code: &RsCode, data: &[u8]) -> Vec<u8> {
+        let mut word = data.to_vec();
+        word.extend_from_slice(&code.parity_shortened(data));
+        word
+    }
+
+    #[test]
+    fn clean_words_pass() {
+        let code = RsCode::rs_255_253();
+        let ssc = SingleSymbolCorrector::new(code.clone());
+        let data: Vec<u8> = (0..83).map(|i| (i * 3) as u8).collect();
+        let mut word = encode_shortened(&code, &data);
+        let (outcome, loc) = ssc.decode_in_place(&mut word);
+        assert_eq!(outcome, RsDecodeOutcome::NoError);
+        assert_eq!(loc, None);
+    }
+
+    #[test]
+    fn corrects_any_single_symbol_error_in_a_shortened_word() {
+        let code = RsCode::rs_255_253();
+        let ssc = SingleSymbolCorrector::new(code.clone());
+        let data: Vec<u8> = (0..83).map(|i| (i as u8).wrapping_mul(7)).collect();
+        let clean = encode_shortened(&code, &data);
+        for pos in 0..clean.len() {
+            let mut word = clean.clone();
+            word[pos] ^= 0xA5;
+            let (outcome, loc) = ssc.decode_in_place(&mut word);
+            assert_eq!(outcome, RsDecodeOutcome::Corrected { symbols: 1 }, "pos {pos}");
+            assert_eq!(loc, Some(pos));
+            assert_eq!(word, clean);
+        }
+    }
+
+    #[test]
+    fn matches_the_general_decoder_on_full_length_words() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let code = RsCode::rs_255_253();
+        let ssc = SingleSymbolCorrector::new(code.clone());
+        let general = RsDecoder::new(code.clone());
+        let data: Vec<u8> = (0..253).map(|_| rng.random()).collect();
+        let clean = code.encode(&data);
+        for _ in 0..50 {
+            let pos = rng.random_range(0..255);
+            let flip: u8 = rng.random_range(1..=255);
+            let mut w1 = clean.clone();
+            let mut w2 = clean.clone();
+            w1[pos] ^= flip;
+            w2[pos] ^= flip;
+            let (o1, _) = ssc.decode_in_place(&mut w1);
+            let o2 = general.decode_in_place(&mut w2);
+            assert_eq!(o1, o2);
+            assert_eq!(w1, w2);
+        }
+    }
+
+    #[test]
+    fn equal_magnitude_double_error_is_detected() {
+        let code = RsCode::rs_255_253();
+        let ssc = SingleSymbolCorrector::new(code.clone());
+        let data: Vec<u8> = vec![0x11; 83];
+        let clean = encode_shortened(&code, &data);
+        let mut word = clean.clone();
+        word[5] ^= 0x77;
+        word[50] ^= 0x77;
+        let (outcome, _) = ssc.decode_in_place(&mut word);
+        assert_eq!(outcome, RsDecodeOutcome::DetectedUncorrectable);
+        assert_eq!(word, clean.iter().enumerate().map(|(i, &b)| if i == 5 || i == 50 { b ^ 0x77 } else { b }).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shortened_code_detects_out_of_range_corrections() {
+        // Count, over random double errors, how many are flagged because the
+        // implied correction lands in the virtual padding. For an 85-symbol
+        // shortened word of a 255-symbol mother code roughly two thirds of
+        // miscorrections point out of range (Section 2.5 of the paper).
+        let mut rng = StdRng::seed_from_u64(7);
+        let code = RsCode::rs_255_253();
+        let ssc = SingleSymbolCorrector::new(code.clone());
+        let data: Vec<u8> = (0..83).map(|_| rng.random()).collect();
+        let clean = encode_shortened(&code, &data);
+
+        let trials = 3000;
+        let mut detected = 0u32;
+        for _ in 0..trials {
+            let mut word = clean.clone();
+            let p1 = rng.random_range(0..word.len());
+            let mut p2 = rng.random_range(0..word.len());
+            while p2 == p1 {
+                p2 = rng.random_range(0..word.len());
+            }
+            word[p1] ^= rng.random_range(1..=255u8);
+            word[p2] ^= rng.random_range(1..=255u8);
+            if ssc.decode_in_place(&mut word).0 == RsDecodeOutcome::DetectedUncorrectable {
+                detected += 1;
+            }
+        }
+        let fraction = detected as f64 / trials as f64;
+        assert!(
+            (0.58..0.76).contains(&fraction),
+            "expected ≈2/3 detection of double errors, measured {fraction:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_codes_with_more_parity() {
+        let _ = SingleSymbolCorrector::new(RsCode::new(255, 239));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_oversized_words() {
+        let code = RsCode::new(15, 13);
+        let ssc = SingleSymbolCorrector::new(code);
+        let mut word = vec![0u8; 20];
+        let _ = ssc.decode_in_place(&mut word);
+    }
+}

@@ -1,0 +1,210 @@
+//! Monte-Carlo measurement of FEC correction / detection / miscorrection
+//! behaviour versus burst length.
+//!
+//! Section 2.5 of the paper states that the CXL 3-way interleaved SSC FEC
+//!
+//! * corrects all bursts of up to 3 symbols,
+//! * detects about 2/3 of 4-symbol bursts,
+//! * detects about 8/9 of 5-symbol bursts,
+//! * detects about 26/27 of bursts of 6 symbols or more,
+//!
+//! because a flit-level miscorrection requires *every* overloaded sub-block
+//! to miscorrect, and each shortened sub-block miscorrects with probability
+//! ≈ 1/3 (85 used positions out of 255). The harness here measures those
+//! fractions directly against the real decoder; the corresponding closed-form
+//! model lives in `rxl-analysis::fec_model`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::interleaved::InterleavedFec;
+
+/// Outcome counts of a burst-injection experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BurstReport {
+    /// Trials where the decoder accepted the block and the data was correct.
+    pub corrected: u64,
+    /// Trials where the decoder reported an uncorrectable pattern.
+    pub detected: u64,
+    /// Trials where the decoder accepted the block but the data was wrong.
+    pub miscorrected: u64,
+}
+
+impl BurstReport {
+    /// Total number of trials recorded.
+    pub fn trials(&self) -> u64 {
+        self.corrected + self.detected + self.miscorrected
+    }
+
+    /// Fraction of trials corrected to the right data.
+    pub fn corrected_fraction(&self) -> f64 {
+        self.corrected as f64 / self.trials().max(1) as f64
+    }
+
+    /// Fraction of trials where the erroneous block was detected (and would
+    /// therefore be dropped / retried rather than consumed).
+    pub fn detected_fraction(&self) -> f64 {
+        self.detected as f64 / self.trials().max(1) as f64
+    }
+
+    /// Fraction of trials where the decoder silently produced wrong data.
+    pub fn miscorrected_fraction(&self) -> f64 {
+        self.miscorrected as f64 / self.trials().max(1) as f64
+    }
+
+    /// Of the trials the FEC could not genuinely repair (detected +
+    /// miscorrected), the fraction it at least detected.
+    pub fn detection_given_uncorrectable(&self) -> f64 {
+        let unrepairable = self.detected + self.miscorrected;
+        if unrepairable == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / unrepairable as f64
+    }
+}
+
+/// Injects `trials` random bursts of exactly `burst_symbols` consecutive
+/// bytes (each byte XORed with a uniformly random non-zero value) into freshly
+/// encoded random blocks and classifies the decoder's behaviour.
+pub fn burst_experiment(
+    fec: &InterleavedFec,
+    burst_symbols: usize,
+    trials: u64,
+    seed: u64,
+) -> BurstReport {
+    assert!(burst_symbols >= 1);
+    assert!(burst_symbols <= fec.encoded_len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = BurstReport::default();
+    for _ in 0..trials {
+        let data: Vec<u8> = (0..fec.data_len()).map(|_| rng.random()).collect();
+        let clean = fec.encode(&data);
+        let mut block = clean.clone();
+        let start = rng.random_range(0..=fec.encoded_len() - burst_symbols);
+        for i in 0..burst_symbols {
+            block[start + i] ^= rng.random_range(1..=255u8);
+        }
+        let res = fec.decode(&mut block);
+        if !res.accepted() {
+            report.detected += 1;
+        } else if block == clean {
+            report.corrected += 1;
+        } else {
+            report.miscorrected += 1;
+        }
+    }
+    report
+}
+
+/// Injects `trials` blocks with each bit independently flipped with
+/// probability `ber` and classifies the decoder's behaviour. Used to measure
+/// the flit error rate decomposition (correctable vs. detected vs. silent)
+/// under the random-error channel of Section 7.1.
+pub fn random_ber_experiment(fec: &InterleavedFec, ber: f64, trials: u64, seed: u64) -> BurstReport {
+    assert!((0.0..1.0).contains(&ber));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = BurstReport::default();
+    for _ in 0..trials {
+        let data: Vec<u8> = (0..fec.data_len()).map(|_| rng.random()).collect();
+        let clean = fec.encode(&data);
+        let mut block = clean.clone();
+        for byte in block.iter_mut() {
+            for bit in 0..8 {
+                if rng.random_bool(ber) {
+                    *byte ^= 1 << bit;
+                }
+            }
+        }
+        let res = fec.decode(&mut block);
+        if !res.accepted() {
+            report.detected += 1;
+        } else if block == clean {
+            report.corrected += 1;
+        } else {
+            report.miscorrected += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_fraction_arithmetic() {
+        let r = BurstReport {
+            corrected: 50,
+            detected: 40,
+            miscorrected: 10,
+        };
+        assert_eq!(r.trials(), 100);
+        assert!((r.corrected_fraction() - 0.5).abs() < 1e-12);
+        assert!((r.detected_fraction() - 0.4).abs() < 1e-12);
+        assert!((r.miscorrected_fraction() - 0.1).abs() < 1e-12);
+        assert!((r.detection_given_uncorrectable() - 0.8).abs() < 1e-12);
+        assert_eq!(BurstReport::default().detection_given_uncorrectable(), 1.0);
+    }
+
+    #[test]
+    fn three_symbol_bursts_are_always_corrected() {
+        let fec = InterleavedFec::cxl_flit();
+        for burst in 1..=3usize {
+            let r = burst_experiment(&fec, burst, 150, 10 + burst as u64);
+            assert_eq!(r.detected, 0, "burst {burst} was detected instead of corrected");
+            assert_eq!(r.miscorrected, 0, "burst {burst} was miscorrected");
+            assert_eq!(r.corrected, 150);
+        }
+    }
+
+    #[test]
+    fn four_symbol_bursts_are_detected_about_two_thirds_of_the_time() {
+        let fec = InterleavedFec::cxl_flit();
+        let r = burst_experiment(&fec, 4, 1200, 77);
+        let frac = r.detection_given_uncorrectable();
+        assert!(
+            (0.58..0.76).contains(&frac),
+            "4-symbol burst detection fraction {frac:.3}, expected ≈ 2/3"
+        );
+        // No 4-symbol burst can be genuinely corrected.
+        assert_eq!(r.corrected, 0);
+    }
+
+    #[test]
+    fn five_symbol_bursts_are_detected_about_eight_ninths_of_the_time() {
+        let fec = InterleavedFec::cxl_flit();
+        let r = burst_experiment(&fec, 5, 1200, 78);
+        let frac = r.detection_given_uncorrectable();
+        assert!(
+            (0.83..0.95).contains(&frac),
+            "5-symbol burst detection fraction {frac:.3}, expected ≈ 8/9"
+        );
+    }
+
+    #[test]
+    fn six_symbol_bursts_are_detected_about_26_of_27_times() {
+        let fec = InterleavedFec::cxl_flit();
+        let r = burst_experiment(&fec, 6, 1500, 79);
+        let frac = r.detection_given_uncorrectable();
+        assert!(
+            frac > 0.92,
+            "6-symbol burst detection fraction {frac:.3}, expected ≈ 26/27"
+        );
+    }
+
+    #[test]
+    fn random_ber_experiment_classifies_every_trial() {
+        let fec = InterleavedFec::cxl_flit();
+        let r = random_ber_experiment(&fec, 1e-3, 150, 99);
+        assert_eq!(r.trials(), 150);
+        // At BER 1e-3 a 2048-bit flit carries ~2 bit errors on average: most
+        // flits are corrected outright, a minority is detected-uncorrectable,
+        // and only a small tail is silently miscorrected (same-way collisions
+        // that also land inside the used positions of the shortened code).
+        assert!(r.corrected > 75, "corrected = {}", r.corrected);
+        assert!(
+            r.miscorrected < r.corrected,
+            "miscorrection should be the rare outcome: {r:?}"
+        );
+    }
+}

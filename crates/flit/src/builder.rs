@@ -1,0 +1,107 @@
+//! Convenience builder for assembling flits from transaction messages.
+
+use crate::flit256::Flit256;
+use crate::header::FlitHeader;
+use crate::message::Message;
+use crate::slots::{SlotError, MESSAGES_PER_FLIT};
+
+/// Accumulates transaction messages and emits full flits.
+///
+/// The builder is the glue between a transaction-layer message stream and the
+/// link layer: messages are appended until a flit fills up (or [`FlitBuilder::flush`]
+/// is called), at which point a [`Flit256`] is produced and the accumulation
+/// restarts. The header of each emitted flit is supplied by the caller, since
+/// its FSN/ReplayCmd contents depend on link-layer state (ACK piggybacking).
+#[derive(Clone, Debug, Default)]
+pub struct FlitBuilder {
+    pending: Vec<Message>,
+}
+
+impl FlitBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of messages waiting to be emitted.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` if no messages are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Remaining message capacity before the next flit is full.
+    pub fn remaining_capacity(&self) -> usize {
+        MESSAGES_PER_FLIT - self.pending.len()
+    }
+
+    /// Appends a message. Returns a completed flit payload (as the list of
+    /// messages) when the append fills the flit.
+    pub fn push(&mut self, msg: Message) -> Option<Vec<Message>> {
+        self.pending.push(msg);
+        if self.pending.len() == MESSAGES_PER_FLIT {
+            Some(std::mem::take(&mut self.pending))
+        } else {
+            None
+        }
+    }
+
+    /// Drains whatever is pending (possibly an empty list).
+    pub fn flush(&mut self) -> Vec<Message> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Builds a flit directly from a message list and a header.
+    pub fn build_flit(header: FlitHeader, messages: &[Message]) -> Result<Flit256, SlotError> {
+        let mut flit = Flit256::new(header);
+        flit.pack_messages(messages)?;
+        Ok(flit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MemOp, Message};
+
+    #[test]
+    fn fills_and_emits_at_capacity() {
+        let mut b = FlitBuilder::new();
+        assert!(b.is_empty());
+        for i in 0..MESSAGES_PER_FLIT - 1 {
+            assert!(b.push(Message::response_ok(0, i as u16)).is_none());
+        }
+        assert_eq!(b.remaining_capacity(), 1);
+        let full = b.push(Message::response_ok(0, 99)).expect("flit should complete");
+        assert_eq!(full.len(), MESSAGES_PER_FLIT);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn flush_returns_partial_contents() {
+        let mut b = FlitBuilder::new();
+        b.push(Message::request(MemOp::RdCurr, 0, 0, 0));
+        b.push(Message::request(MemOp::RdCurr, 64, 0, 1));
+        assert_eq!(b.pending_len(), 2);
+        let drained = b.flush();
+        assert_eq!(drained.len(), 2);
+        assert!(b.is_empty());
+        assert!(b.flush().is_empty());
+    }
+
+    #[test]
+    fn build_flit_round_trips() {
+        let msgs = vec![
+            Message::request(MemOp::RdOwn, 0x100, 4, 7),
+            Message::response_ok(4, 7),
+        ];
+        let flit = FlitBuilder::build_flit(FlitHeader::with_seq(2), &msgs).unwrap();
+        assert_eq!(flit.unpack_messages().unwrap(), msgs);
+        // Overfull message lists propagate the slot error.
+        let too_many: Vec<Message> = (0..20).map(|i| Message::response_ok(0, i)).collect();
+        assert!(FlitBuilder::build_flit(FlitHeader::with_seq(2), &too_many).is_err());
+    }
+}

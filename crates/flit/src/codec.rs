@@ -1,0 +1,422 @@
+//! Wire codecs for 256-byte flits: the CXL baseline and the RXL (ISN)
+//! pipelines.
+//!
+//! Both pipelines share the same wire geometry (Fig. 3 / Section 6.2 of the
+//! paper): `2B header ‖ 240B payload ‖ 8B CRC`, protected by a 6-byte 3-way
+//! interleaved FEC for a total of 256 bytes. They differ in what the CRC
+//! means:
+//!
+//! * **CXL baseline** ([`CxlFlitCodec`]) — the CRC is a link-layer check over
+//!   `header ‖ payload` only. Sequence tracking relies on the explicit FSN
+//!   header field, which is unavailable whenever the flit piggybacks an ACK.
+//! * **RXL** ([`RxlFlitCodec`]) — the CRC is a transport-layer ECRC computed
+//!   with the Implicit Sequence Number folded in. The header FSN field is
+//!   free to carry acknowledgements (or zeros) at all times, yet every flit
+//!   remains bound to its position in the stream.
+
+use rxl_crc::catalog::FLIT_CRC64;
+use rxl_crc::isn::{IsnCrc64, IsnMode};
+use rxl_fec::{FlitFecResult, InterleavedFec};
+
+use crate::flit256::{Flit256, FLIT_CRC_LEN, FLIT_HEADER_LEN, FLIT_PAYLOAD_LEN, FLIT_TOTAL_LEN};
+use crate::header::FlitHeader;
+
+/// Total bytes of a wire flit.
+pub const WIRE_FLIT_LEN: usize = FLIT_TOTAL_LEN;
+
+/// A fully encoded 256-byte flit as it travels over a link.
+pub type WireFlit = [u8; WIRE_FLIT_LEN];
+
+const CRC_OFFSET: usize = FLIT_HEADER_LEN + FLIT_PAYLOAD_LEN;
+const FEC_DATA_LEN: usize = CRC_OFFSET + FLIT_CRC_LEN; // 250
+
+fn split_protected(block: &[u8]) -> (FlitHeader, [u8; FLIT_PAYLOAD_LEN], u64) {
+    let header = FlitHeader::from_bytes([block[0], block[1]]);
+    let mut payload = [0u8; FLIT_PAYLOAD_LEN];
+    payload.copy_from_slice(&block[FLIT_HEADER_LEN..CRC_OFFSET]);
+    let mut crc_bytes = [0u8; 8];
+    crc_bytes.copy_from_slice(&block[CRC_OFFSET..FEC_DATA_LEN]);
+    (header, payload, u64::from_le_bytes(crc_bytes))
+}
+
+/// Result of decoding a wire flit with the CXL baseline pipeline.
+#[derive(Clone, Debug)]
+pub struct CxlDecode {
+    /// Outcome of the link-layer FEC stage.
+    pub fec: FlitFecResult,
+    /// Whether the link-layer CRC over `header ‖ payload` matched.
+    pub crc_ok: bool,
+    /// The recovered flit (present whenever the FEC accepted the block).
+    pub flit: Option<Flit256>,
+    /// The received CRC value (after FEC), for diagnostics and re-checks.
+    pub crc: u64,
+}
+
+impl CxlDecode {
+    /// `true` if the link layer would accept and forward this flit.
+    pub fn accepted(&self) -> bool {
+        self.fec.accepted() && self.crc_ok
+    }
+}
+
+/// Result of decoding a wire flit with the RXL pipeline.
+#[derive(Clone, Debug)]
+pub struct RxlDecode {
+    /// Outcome of the link-layer FEC stage.
+    pub fec: FlitFecResult,
+    /// Whether the transport-layer ISN ECRC matched the expected sequence.
+    pub ecrc_ok: bool,
+    /// The recovered flit (present whenever the FEC accepted the block).
+    pub flit: Option<Flit256>,
+    /// The received ECRC value (after FEC), for diagnostics and re-checks.
+    pub crc: u64,
+}
+
+impl RxlDecode {
+    /// `true` if the endpoint would accept this flit: data intact *and* the
+    /// sequence matches the receiver's expectation.
+    pub fn accepted(&self) -> bool {
+        self.fec.accepted() && self.ecrc_ok
+    }
+}
+
+/// The CXL-baseline flit codec: link-layer CRC plus FEC.
+#[derive(Clone, Debug)]
+pub struct CxlFlitCodec {
+    crc: IsnCrc64,
+    fec: InterleavedFec,
+}
+
+impl Default for CxlFlitCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CxlFlitCodec {
+    /// Creates the codec with the standard flit CRC-64 and CXL FEC geometry.
+    pub fn new() -> Self {
+        CxlFlitCodec {
+            crc: IsnCrc64::new(FLIT_CRC64),
+            fec: InterleavedFec::cxl_flit(),
+        }
+    }
+
+    /// Encodes a flit into its 256-byte wire form.
+    pub fn encode(&self, flit: &Flit256) -> WireFlit {
+        let header = flit.header.to_bytes();
+        let crc = self.crc.encode_explicit(&header, &flit.payload);
+        let mut protected = Vec::with_capacity(FEC_DATA_LEN);
+        protected.extend_from_slice(&header);
+        protected.extend_from_slice(&flit.payload);
+        protected.extend_from_slice(&crc.to_le_bytes());
+        let encoded = self.fec.encode(&protected);
+        let mut wire = [0u8; WIRE_FLIT_LEN];
+        wire.copy_from_slice(&encoded);
+        wire
+    }
+
+    /// Decodes a wire flit: FEC first, then the link-layer CRC.
+    pub fn decode(&self, wire: &WireFlit) -> CxlDecode {
+        let mut block = wire.to_vec();
+        let fec = self.fec.decode(&mut block);
+        if !fec.accepted() {
+            return CxlDecode {
+                fec,
+                crc_ok: false,
+                flit: None,
+                crc: 0,
+            };
+        }
+        let (header, payload, crc) = split_protected(&block);
+        let crc_ok = self.crc.verify_explicit(&header.to_bytes(), &payload, crc);
+        CxlDecode {
+            fec,
+            crc_ok,
+            flit: Some(Flit256::with_payload(header, payload)),
+            crc,
+        }
+    }
+
+    /// Re-verifies a decoded flit's link CRC against a received CRC value.
+    pub fn verify_flit(&self, flit: &Flit256, received_crc: u64) -> bool {
+        self.crc
+            .verify_explicit(&flit.header.to_bytes(), &flit.payload, received_crc)
+    }
+}
+
+/// The RXL flit codec: transport-layer ISN ECRC plus link-layer FEC.
+#[derive(Clone, Debug)]
+pub struct RxlFlitCodec {
+    isn: IsnCrc64,
+    fec: InterleavedFec,
+}
+
+impl Default for RxlFlitCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RxlFlitCodec {
+    /// Creates the codec with the default ISN folding mode.
+    pub fn new() -> Self {
+        Self::with_mode(IsnMode::default())
+    }
+
+    /// Creates the codec with an explicit ISN folding mode.
+    pub fn with_mode(mode: IsnMode) -> Self {
+        RxlFlitCodec {
+            isn: IsnCrc64::with_mode(FLIT_CRC64, mode, rxl_crc::isn::DEFAULT_SEQ_BITS),
+            fec: InterleavedFec::cxl_flit(),
+        }
+    }
+
+    /// The sequence-number mask (wrap point) of the ISN construction.
+    pub fn seq_mask(&self) -> u16 {
+        self.isn.seq_mask()
+    }
+
+    /// Encodes a flit bound to transport sequence number `seq`.
+    pub fn encode(&self, flit: &Flit256, seq: u16) -> WireFlit {
+        let header = flit.header.to_bytes();
+        let crc = self.isn.encode(&header, &flit.payload, seq);
+        let mut protected = Vec::with_capacity(FEC_DATA_LEN);
+        protected.extend_from_slice(&header);
+        protected.extend_from_slice(&flit.payload);
+        protected.extend_from_slice(&crc.to_le_bytes());
+        let encoded = self.fec.encode(&protected);
+        let mut wire = [0u8; WIRE_FLIT_LEN];
+        wire.copy_from_slice(&encoded);
+        wire
+    }
+
+    /// Decodes a wire flit at the final destination: FEC first, then the ISN
+    /// ECRC checked against the receiver's expected sequence number.
+    pub fn decode(&self, wire: &WireFlit, expected_seq: u16) -> RxlDecode {
+        let mut block = wire.to_vec();
+        let fec = self.fec.decode(&mut block);
+        if !fec.accepted() {
+            return RxlDecode {
+                fec,
+                ecrc_ok: false,
+                flit: None,
+                crc: 0,
+            };
+        }
+        let (header, payload, crc) = split_protected(&block);
+        let ecrc_ok = self
+            .isn
+            .verify(&header.to_bytes(), &payload, expected_seq, crc);
+        RxlDecode {
+            fec,
+            ecrc_ok,
+            flit: Some(Flit256::with_payload(header, payload)),
+            crc,
+        }
+    }
+
+    /// Re-verifies a decoded flit's ECRC against another candidate sequence
+    /// number (e.g. sequence 0 for link-control flits that live outside the
+    /// transport sequence space).
+    pub fn verify_flit(&self, flit: &Flit256, received_crc: u64, seq: u16) -> bool {
+        self.isn
+            .verify(&flit.header.to_bytes(), &flit.payload, seq, received_crc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::ReplayCmd;
+    use crate::message::{MemOp, Message};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_flit(seed: u8) -> Flit256 {
+        let mut flit = Flit256::new(FlitHeader::with_seq(seed as u16));
+        flit.pack_messages(&[
+            Message::request(MemOp::RdCurr, 0x40 * seed as u64, 1, seed as u16),
+            Message::response_ok(1, seed as u16),
+        ])
+        .unwrap();
+        flit
+    }
+
+    #[test]
+    fn cxl_round_trip_clean() {
+        let codec = CxlFlitCodec::new();
+        let flit = sample_flit(3);
+        let wire = codec.encode(&flit);
+        let out = codec.decode(&wire);
+        assert!(out.accepted());
+        assert_eq!(out.flit.unwrap(), flit);
+    }
+
+    #[test]
+    fn rxl_round_trip_clean() {
+        let codec = RxlFlitCodec::new();
+        let flit = sample_flit(4);
+        let wire = codec.encode(&flit, 12);
+        let out = codec.decode(&wire, 12);
+        assert!(out.accepted());
+        assert_eq!(out.flit.unwrap(), flit);
+    }
+
+    #[test]
+    fn rxl_detects_sequence_mismatch_cxl_does_not() {
+        // The heart of the paper: after a silent drop, the next flit arrives
+        // with a sequence the receiver does not expect. RXL notices via the
+        // ECRC; baseline CXL (when the flit piggybacks an ACK) has no way to
+        // tell and accepts it.
+        let rxl = RxlFlitCodec::new();
+        let cxl = CxlFlitCodec::new();
+
+        let mut flit = sample_flit(5);
+        flit.header = FlitHeader::ack(100); // piggybacking: no own FSN visible
+
+        let rxl_wire = rxl.encode(&flit, 2);
+        let cxl_wire = cxl.encode(&flit);
+
+        // Receiver expected sequence 1 (flit 1 was dropped).
+        assert!(!rxl.decode(&rxl_wire, 1).accepted());
+        assert!(rxl.decode(&rxl_wire, 2).accepted());
+        // CXL's check has no sequence component at all.
+        let cxl_out = cxl.decode(&cxl_wire);
+        assert!(cxl_out.accepted());
+        assert_eq!(cxl_out.flit.unwrap().header.replay_cmd, ReplayCmd::Ack);
+    }
+
+    #[test]
+    fn three_byte_bursts_are_transparent_to_both_codecs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cxl = CxlFlitCodec::new();
+        let rxl = RxlFlitCodec::new();
+        let flit = sample_flit(6);
+        let cxl_wire = cxl.encode(&flit);
+        let rxl_wire = rxl.encode(&flit, 900);
+        for _ in 0..20 {
+            let start = rng.random_range(0..253);
+            let mut w1 = cxl_wire;
+            let mut w2 = rxl_wire;
+            for i in 0..3 {
+                let flip: u8 = rng.random_range(1..=255);
+                w1[start + i] ^= flip;
+                w2[start + i] ^= flip;
+            }
+            assert!(cxl.decode(&w1).accepted());
+            let out = rxl.decode(&w2, 900);
+            assert!(out.accepted());
+            assert_eq!(out.flit.unwrap(), flit);
+        }
+    }
+
+    #[test]
+    fn uncorrectable_fec_is_reported_and_flit_withheld() {
+        let cxl = CxlFlitCodec::new();
+        let flit = sample_flit(7);
+        let mut wire = cxl.encode(&flit);
+        // Two equal-magnitude errors in the same FEC way (positions 0 and 3).
+        wire[0] ^= 0x77;
+        wire[3] ^= 0x77;
+        let out = cxl.decode(&wire);
+        assert!(!out.accepted());
+        assert!(out.flit.is_none());
+        assert!(!out.fec.accepted());
+    }
+
+    #[test]
+    fn corruption_that_slips_past_fec_is_caught_by_the_crc() {
+        // Simulate corruption *inside a switch*, i.e. applied to the protected
+        // block before FEC re-encoding, so the FEC cannot see it. Only the
+        // (E)CRC can. We model it by re-encoding a tampered flit without
+        // updating the CRC: impossible to do through the public API, so build
+        // the wire image manually.
+        let rxl = RxlFlitCodec::new();
+        let flit = sample_flit(8);
+        let wire = rxl.encode(&flit, 33);
+        // Decode the FEC layer, flip a payload bit, re-encode the FEC layer
+        // (exactly what a corrupting switch would do).
+        let fec = InterleavedFec::cxl_flit();
+        let mut block = wire.to_vec();
+        let res = fec.decode(&mut block);
+        assert!(res.accepted());
+        block[10] ^= 0x01; // corrupt payload inside the "switch"
+        let reencoded = fec.encode(&block[..FEC_DATA_LEN]);
+        let mut tampered = [0u8; WIRE_FLIT_LEN];
+        tampered.copy_from_slice(&reencoded);
+
+        let out = rxl.decode(&tampered, 33);
+        assert!(out.fec.accepted(), "FEC cannot see switch-internal corruption");
+        assert!(!out.ecrc_ok, "the end-to-end CRC must catch it");
+        assert!(!out.accepted());
+    }
+
+    #[test]
+    fn cxl_crc_failure_is_distinguished_from_fec_failure() {
+        let cxl = CxlFlitCodec::new();
+        let flit = sample_flit(9);
+        let wire = cxl.encode(&flit);
+        let fec = InterleavedFec::cxl_flit();
+        let mut block = wire.to_vec();
+        assert!(fec.decode(&mut block).accepted());
+        block[50] ^= 0x80;
+        let reencoded = fec.encode(&block[..FEC_DATA_LEN]);
+        let mut tampered = [0u8; WIRE_FLIT_LEN];
+        tampered.copy_from_slice(&reencoded);
+        let out = cxl.decode(&tampered);
+        assert!(out.fec.accepted());
+        assert!(!out.crc_ok);
+        assert!(!out.accepted());
+        // The flit is still surfaced for diagnostics even though it fails CRC.
+        assert!(out.flit.is_some());
+    }
+
+    #[test]
+    fn rxl_sequence_space_wraps_at_ten_bits() {
+        let rxl = RxlFlitCodec::new();
+        assert_eq!(rxl.seq_mask(), 0x3FF);
+        let flit = sample_flit(10);
+        let wire = rxl.encode(&flit, 1024 + 5);
+        assert!(rxl.decode(&wire, 5).accepted());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            #[test]
+            fn rxl_round_trips_any_payload_and_sequence(
+                payload in proptest::collection::vec(any::<u8>(), FLIT_PAYLOAD_LEN),
+                seq in 0u16..1024,
+                ack in 0u16..1024,
+            ) {
+                let codec = RxlFlitCodec::new();
+                let mut arr = [0u8; FLIT_PAYLOAD_LEN];
+                arr.copy_from_slice(&payload);
+                let flit = Flit256::with_payload(FlitHeader::ack(ack), arr);
+                let wire = codec.encode(&flit, seq);
+                let out = codec.decode(&wire, seq);
+                prop_assert!(out.accepted());
+                prop_assert_eq!(out.flit.unwrap(), flit);
+            }
+
+            #[test]
+            fn cxl_round_trips_any_payload(
+                payload in proptest::collection::vec(any::<u8>(), FLIT_PAYLOAD_LEN),
+                seq in 0u16..1024,
+            ) {
+                let codec = CxlFlitCodec::new();
+                let mut arr = [0u8; FLIT_PAYLOAD_LEN];
+                arr.copy_from_slice(&payload);
+                let flit = Flit256::with_payload(FlitHeader::with_seq(seq), arr);
+                let wire = codec.encode(&flit);
+                let out = codec.decode(&wire);
+                prop_assert!(out.accepted());
+                prop_assert_eq!(out.flit.unwrap(), flit);
+            }
+        }
+    }
+}

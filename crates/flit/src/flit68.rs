@@ -1,0 +1,128 @@
+//! The 68-byte reduced-latency flit.
+//!
+//! CXL 3.0 defines a 68-byte flit for lower-speed modes (Section 2.2 of the
+//! paper): a 2-byte header, a 64-byte payload (one cache line) and a 2-byte
+//! CRC, with no FEC. It is unsuitable for the full-speed, high-BER regime the
+//! paper targets, but it is part of the protocol surface and is used by the
+//! header-overhead comparison (experiment E19).
+
+use rxl_crc::catalog::Crc16;
+
+use crate::header::FlitHeader;
+use crate::message::Message;
+use crate::slots::{pack_messages, unpack_messages, SlotError};
+
+/// Payload bytes per 68-byte flit.
+pub const FLIT68_PAYLOAD_LEN: usize = 64;
+/// Total wire size of a 68-byte flit (2B header + 64B payload + 2B CRC).
+pub const FLIT68_TOTAL_LEN: usize = 68;
+
+/// An unencoded 68-byte-class flit.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Flit68 {
+    /// The 2-byte control header.
+    pub header: FlitHeader,
+    /// The 64-byte payload (one cache line).
+    pub payload: [u8; FLIT68_PAYLOAD_LEN],
+}
+
+impl std::fmt::Debug for Flit68 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Flit68")
+            .field("header", &self.header)
+            .field("payload_prefix", &&self.payload[..8])
+            .finish()
+    }
+}
+
+impl Flit68 {
+    /// Creates a flit with an all-zero payload.
+    pub fn new(header: FlitHeader) -> Self {
+        Flit68 {
+            header,
+            payload: [0u8; FLIT68_PAYLOAD_LEN],
+        }
+    }
+
+    /// Packs transaction messages into the payload (up to 4 slots).
+    pub fn pack_messages(&mut self, messages: &[Message]) -> Result<(), SlotError> {
+        let packed = pack_messages(messages, FLIT68_PAYLOAD_LEN)?;
+        self.payload.copy_from_slice(&packed);
+        Ok(())
+    }
+
+    /// Unpacks the transaction messages currently in the payload.
+    pub fn unpack_messages(&self) -> Result<Vec<Message>, SlotError> {
+        unpack_messages(&self.payload)
+    }
+
+    /// Encodes the flit to its 68-byte wire form (header ‖ payload ‖ CRC-16).
+    pub fn encode(&self) -> [u8; FLIT68_TOTAL_LEN] {
+        let mut wire = [0u8; FLIT68_TOTAL_LEN];
+        wire[..2].copy_from_slice(&self.header.to_bytes());
+        wire[2..66].copy_from_slice(&self.payload);
+        let crc = Crc16::new().checksum(&wire[..66]);
+        wire[66..68].copy_from_slice(&crc.to_le_bytes());
+        wire
+    }
+
+    /// Decodes a 68-byte wire flit, returning `None` if the CRC check fails.
+    pub fn decode(wire: &[u8; FLIT68_TOTAL_LEN]) -> Option<Flit68> {
+        let expected = Crc16::new().checksum(&wire[..66]);
+        let received = u16::from_le_bytes([wire[66], wire[67]]);
+        if expected != received {
+            return None;
+        }
+        let header = FlitHeader::from_bytes([wire[0], wire[1]]);
+        let mut payload = [0u8; FLIT68_PAYLOAD_LEN];
+        payload.copy_from_slice(&wire[2..66]);
+        Some(Flit68 { header, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MemOp;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut flit = Flit68::new(FlitHeader::with_seq(17));
+        flit.pack_messages(&[Message::request(MemOp::RdShared, 0xABC0, 2, 5)])
+            .unwrap();
+        let wire = flit.encode();
+        assert_eq!(wire.len(), 68);
+        let decoded = Flit68::decode(&wire).expect("clean flit must decode");
+        assert_eq!(decoded, flit);
+        assert_eq!(
+            decoded.unpack_messages().unwrap(),
+            vec![Message::request(MemOp::RdShared, 0xABC0, 2, 5)]
+        );
+    }
+
+    #[test]
+    fn corruption_anywhere_is_caught_by_the_crc() {
+        let flit = Flit68::new(FlitHeader::ack(55));
+        let clean = flit.encode();
+        for pos in 0..68 {
+            let mut wire = clean;
+            wire[pos] ^= 0x08;
+            assert!(Flit68::decode(&wire).is_none(), "corruption at {pos} escaped");
+        }
+    }
+
+    #[test]
+    fn payload_capacity_is_four_messages() {
+        let mut flit = Flit68::new(FlitHeader::with_seq(0));
+        let four: Vec<Message> = (0..4).map(|i| Message::response_ok(0, i)).collect();
+        assert!(flit.pack_messages(&four).is_ok());
+        let five: Vec<Message> = (0..5).map(|i| Message::response_ok(0, i)).collect();
+        assert!(flit.pack_messages(&five).is_err());
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let s = format!("{:?}", Flit68::new(FlitHeader::with_seq(9)));
+        assert!(s.contains("Flit68"));
+    }
+}

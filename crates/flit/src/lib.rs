@@ -1,0 +1,50 @@
+//! # rxl-flit — CXL/RXL flit formats and codec pipelines
+//!
+//! This crate models the data units the paper reasons about:
+//!
+//! * [`header`] — the 2-byte flit header with its 10-bit Flit Sequence
+//!   Number (FSN) and 2-bit ReplayCmd field (Fig. 3 of the paper),
+//! * [`message`] — transaction-layer messages (requests, responses, data)
+//!   with Command Queue IDs (CQIDs), the units whose ordering and duplication
+//!   failures Section 4.2 analyses,
+//! * [`slots`] — packing/unpacking of messages into the 240-byte flit
+//!   payload,
+//! * [`flit256`] / [`flit68`] — the 256-byte full-speed flit and the 68-byte
+//!   low-latency flit,
+//! * [`codec`] — the two wire pipelines: the **CXL baseline** (link-layer
+//!   CRC over header‖payload, FEC, explicit FSN) and **RXL** (transport-layer
+//!   ISN CRC bound to the sequence number, FEC unchanged),
+//! * [`builder`] — a convenience builder for filling flits with messages.
+//!
+//! # Example
+//!
+//! ```
+//! use rxl_flit::{Flit256, FlitHeader, Message, MemOp, RxlFlitCodec};
+//!
+//! let codec = RxlFlitCodec::new();
+//! let mut flit = Flit256::new(FlitHeader::ack(0));
+//! flit.pack_messages(&[Message::request(MemOp::RdCurr, 0x8000, 3, 1)]).unwrap();
+//!
+//! // Sender binds the flit to sequence number 7.
+//! let wire = codec.encode(&flit, 7);
+//! // Receiver expecting sequence 7 accepts it ...
+//! assert!(codec.decode(&wire, 7).accepted());
+//! // ... but a receiver expecting sequence 8 (a flit was dropped) rejects it.
+//! assert!(!codec.decode(&wire, 8).accepted());
+//! ```
+
+pub mod builder;
+pub mod codec;
+pub mod flit256;
+pub mod flit68;
+pub mod header;
+pub mod message;
+pub mod slots;
+
+pub use builder::FlitBuilder;
+pub use codec::{CxlDecode, CxlFlitCodec, RxlDecode, RxlFlitCodec, WireFlit, WIRE_FLIT_LEN};
+pub use flit256::{Flit256, FLIT_PAYLOAD_LEN};
+pub use flit68::Flit68;
+pub use header::{FlitHeader, FlitType, ReplayCmd, FSN_BITS, FSN_MASK};
+pub use message::{MemOp, Message, RspStatus};
+pub use slots::{pack_messages, unpack_messages, SlotError, MESSAGES_PER_FLIT, SLOT_LEN};

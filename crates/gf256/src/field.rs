@@ -1,0 +1,330 @@
+//! The [`Gf256`] field-element type with operator overloads.
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::tables;
+
+/// An element of GF(2^8) over the primitive polynomial 0x11D.
+///
+/// Addition and subtraction are both bitwise XOR; multiplication and division
+/// are table-driven. The type is a transparent wrapper over `u8`, so slices of
+/// `Gf256` can be reinterpreted as byte slices where needed.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The generator α of the multiplicative group.
+    pub const ALPHA: Gf256 = Gf256(tables::GF256_GENERATOR);
+
+    /// Wraps a raw byte as a field element.
+    #[inline]
+    pub const fn new(v: u8) -> Self {
+        Gf256(v)
+    }
+
+    /// Returns the raw byte value.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns α^i (the `i`-th power of the generator).
+    #[inline]
+    pub fn alpha_pow(i: u32) -> Self {
+        Gf256(tables::pow(tables::GF256_GENERATOR, i))
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    #[inline]
+    pub fn inverse(self) -> Self {
+        Gf256(tables::inv(self.0))
+    }
+
+    /// Checked multiplicative inverse; returns `None` for zero.
+    #[inline]
+    pub fn checked_inverse(self) -> Option<Self> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(self.inverse())
+        }
+    }
+
+    /// Exponentiation `self^n`.
+    #[inline]
+    pub fn pow(self, n: u32) -> Self {
+        Gf256(tables::pow(self.0, n))
+    }
+
+    /// Discrete logarithm base α. Returns `None` for zero.
+    #[inline]
+    pub fn log(self) -> Option<u8> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(tables::log_table()[self.0 as usize])
+        }
+    }
+
+    /// Reinterprets a byte slice as a slice of field elements (zero-cost).
+    #[inline]
+    pub fn from_bytes(bytes: &[u8]) -> &[Gf256] {
+        // SAFETY: Gf256 is #[repr(transparent)] over u8.
+        unsafe { core::slice::from_raw_parts(bytes.as_ptr() as *const Gf256, bytes.len()) }
+    }
+
+    /// Reinterprets a slice of field elements as bytes (zero-cost).
+    #[inline]
+    pub fn as_bytes(elems: &[Gf256]) -> &[u8] {
+        // SAFETY: Gf256 is #[repr(transparent)] over u8.
+        unsafe { core::slice::from_raw_parts(elems.as_ptr() as *const u8, elems.len()) }
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256(0x{:02X})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:02X}", self.0)
+    }
+}
+
+impl From<u8> for Gf256 {
+    #[inline]
+    fn from(v: u8) -> Self {
+        Gf256(v)
+    }
+}
+
+impl From<Gf256> for u8 {
+    #[inline]
+    fn from(v: Gf256) -> Self {
+        v.0
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        // Characteristic 2: subtraction is identical to addition.
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl SubAssign for Gf256 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn neg(self) -> Gf256 {
+        self
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        Gf256(tables::mul(self.0, rhs.0))
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        self.0 = tables::mul(self.0, rhs.0);
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        Gf256(tables::div(self.0, rhs.0))
+    }
+}
+
+impl DivAssign for Gf256 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Gf256) {
+        self.0 = tables::div(self.0, rhs.0);
+    }
+}
+
+impl Sum for Gf256 {
+    fn sum<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Gf256 {
+    fn product<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_identity_and_self_inverse() {
+        for a in 0..=255u16 {
+            let a = Gf256::new(a as u8);
+            assert_eq!(a + Gf256::ZERO, a);
+            assert_eq!(a + a, Gf256::ZERO);
+            assert_eq!(-a, a);
+            assert_eq!(a - a, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn multiplicative_identity() {
+        for a in 0..=255u16 {
+            let a = Gf256::new(a as u8);
+            assert_eq!(a * Gf256::ONE, a);
+            assert_eq!(Gf256::ONE * a, a);
+            assert_eq!(a * Gf256::ZERO, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn alpha_generates_the_multiplicative_group() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..255 {
+            seen.insert(Gf256::alpha_pow(i).value());
+        }
+        assert_eq!(seen.len(), 255);
+        assert!(!seen.contains(&0));
+    }
+
+    #[test]
+    fn log_round_trips() {
+        for a in 1..=255u16 {
+            let a = Gf256::new(a as u8);
+            let l = a.log().unwrap() as u32;
+            assert_eq!(Gf256::alpha_pow(l), a);
+        }
+        assert_eq!(Gf256::ZERO.log(), None);
+    }
+
+    #[test]
+    fn checked_inverse() {
+        assert_eq!(Gf256::ZERO.checked_inverse(), None);
+        for a in 1..=255u16 {
+            let a = Gf256::new(a as u8);
+            assert_eq!(a * a.checked_inverse().unwrap(), Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let elems = [Gf256::new(3), Gf256::new(5), Gf256::new(3)];
+        let s: Gf256 = elems.iter().copied().sum();
+        assert_eq!(s, Gf256::new(5));
+        let p: Gf256 = elems.iter().copied().product();
+        assert_eq!(p, Gf256::new(3) * Gf256::new(5) * Gf256::new(3));
+    }
+
+    #[test]
+    fn byte_slice_round_trip() {
+        let bytes = [1u8, 2, 3, 250];
+        let elems = Gf256::from_bytes(&bytes);
+        assert_eq!(elems.len(), 4);
+        assert_eq!(elems[3], Gf256::new(250));
+        assert_eq!(Gf256::as_bytes(elems), &bytes);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Gf256::new(0xAB)), "0xAB");
+        assert_eq!(format!("{:?}", Gf256::new(0x0F)), "Gf256(0x0F)");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn addition_is_commutative(a: u8, b: u8) {
+                let (a, b) = (Gf256::new(a), Gf256::new(b));
+                prop_assert_eq!(a + b, b + a);
+            }
+
+            #[test]
+            fn multiplication_is_commutative(a: u8, b: u8) {
+                let (a, b) = (Gf256::new(a), Gf256::new(b));
+                prop_assert_eq!(a * b, b * a);
+            }
+
+            #[test]
+            fn multiplication_is_associative(a: u8, b: u8, c: u8) {
+                let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+                prop_assert_eq!((a * b) * c, a * (b * c));
+            }
+
+            #[test]
+            fn addition_is_associative(a: u8, b: u8, c: u8) {
+                let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+                prop_assert_eq!((a + b) + c, a + (b + c));
+            }
+
+            #[test]
+            fn distributive_law(a: u8, b: u8, c: u8) {
+                let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+                prop_assert_eq!(a * (b + c), a * b + a * c);
+            }
+
+            #[test]
+            fn division_inverts_multiplication(a: u8, b in 1u8..=255) {
+                let (a, b) = (Gf256::new(a), Gf256::new(b));
+                prop_assert_eq!((a * b) / b, a);
+            }
+
+            #[test]
+            fn pow_adds_exponents(a in 1u8..=255, m in 0u32..300, n in 0u32..300) {
+                let a = Gf256::new(a);
+                prop_assert_eq!(a.pow(m) * a.pow(n), a.pow(m + n));
+            }
+        }
+    }
+}

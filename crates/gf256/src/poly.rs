@@ -1,0 +1,344 @@
+//! Dense polynomials over GF(2^8).
+//!
+//! [`GfPoly`] stores coefficients in *ascending* degree order
+//! (`coeffs[i]` is the coefficient of `x^i`). It supports the operations
+//! needed by a Reed–Solomon codec: addition, multiplication, scaling,
+//! evaluation (Horner), Euclidean division, and the formal derivative used by
+//! Forney's algorithm.
+
+use crate::field::Gf256;
+use core::fmt;
+
+/// A polynomial over GF(2^8) with coefficients in ascending degree order.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct GfPoly {
+    coeffs: Vec<Gf256>,
+}
+
+impl GfPoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        GfPoly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        GfPoly {
+            coeffs: vec![Gf256::ONE],
+        }
+    }
+
+    /// Builds a polynomial from coefficients in ascending degree order.
+    /// Trailing zeros are trimmed.
+    pub fn from_coeffs(coeffs: Vec<Gf256>) -> Self {
+        let mut p = GfPoly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// Builds a polynomial from raw bytes in ascending degree order.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Self::from_coeffs(bytes.iter().map(|&b| Gf256::new(b)).collect())
+    }
+
+    /// The monomial `c * x^degree`.
+    pub fn monomial(degree: usize, c: Gf256) -> Self {
+        if c.is_zero() {
+            return Self::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; degree + 1];
+        coeffs[degree] = c;
+        GfPoly { coeffs }
+    }
+
+    /// Returns `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree of the polynomial; the zero polynomial reports degree 0.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// The coefficient of `x^i` (zero if beyond the stored length).
+    pub fn coeff(&self, i: usize) -> Gf256 {
+        self.coeffs.get(i).copied().unwrap_or(Gf256::ZERO)
+    }
+
+    /// The coefficients in ascending degree order (no trailing zeros).
+    pub fn coeffs(&self) -> &[Gf256] {
+        &self.coeffs
+    }
+
+    /// The leading (highest-degree) coefficient; zero for the zero polynomial.
+    pub fn leading(&self) -> Gf256 {
+        self.coeffs.last().copied().unwrap_or(Gf256::ZERO)
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last().is_some_and(|c| c.is_zero()) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Evaluates the polynomial at `x` using Horner's rule.
+    pub fn eval(&self, x: Gf256) -> Gf256 {
+        let mut acc = Gf256::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Polynomial addition (which, in characteristic 2, is also subtraction).
+    pub fn add(&self, other: &GfPoly) -> GfPoly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.coeff(i) + other.coeff(i));
+        }
+        GfPoly::from_coeffs(out)
+    }
+
+    /// Polynomial multiplication (schoolbook; code polynomials are short).
+    pub fn mul(&self, other: &GfPoly) -> GfPoly {
+        if self.is_zero() || other.is_zero() {
+            return GfPoly::zero();
+        }
+        let mut out = vec![Gf256::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        GfPoly::from_coeffs(out)
+    }
+
+    /// Multiplies every coefficient by the scalar `s`.
+    pub fn scale(&self, s: Gf256) -> GfPoly {
+        GfPoly::from_coeffs(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Multiplies by `x^n` (shifts coefficients up by `n` degrees).
+    pub fn shift_up(&self, n: usize) -> GfPoly {
+        if self.is_zero() {
+            return GfPoly::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; n];
+        coeffs.extend_from_slice(&self.coeffs);
+        GfPoly { coeffs }
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)` such that
+    /// `self = quotient * divisor + remainder` with
+    /// `deg(remainder) < deg(divisor)`. Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &GfPoly) -> (GfPoly, GfPoly) {
+        assert!(!divisor.is_zero(), "polynomial division by zero");
+        if self.is_zero() || self.degree() < divisor.degree() {
+            return (GfPoly::zero(), self.clone());
+        }
+        let mut rem = self.coeffs.clone();
+        let dlead_inv = divisor.leading().inverse();
+        let dd = divisor.degree();
+        let mut quot = vec![Gf256::ZERO; self.degree() - dd + 1];
+        for i in (dd..rem.len()).rev() {
+            let c = rem[i];
+            if c.is_zero() {
+                continue;
+            }
+            let q = c * dlead_inv;
+            quot[i - dd] = q;
+            for (j, &dc) in divisor.coeffs.iter().enumerate() {
+                rem[i - dd + j] += q * dc;
+            }
+        }
+        (GfPoly::from_coeffs(quot), GfPoly::from_coeffs(rem))
+    }
+
+    /// The formal derivative. In characteristic 2 the even-degree terms of the
+    /// derivative vanish: d/dx Σ c_i x^i = Σ_{i odd} c_i x^{i-1}.
+    pub fn formal_derivative(&self) -> GfPoly {
+        if self.coeffs.len() <= 1 {
+            return GfPoly::zero();
+        }
+        let mut out = vec![Gf256::ZERO; self.coeffs.len() - 1];
+        for (i, &c) in self.coeffs.iter().enumerate().skip(1) {
+            // i * c in GF(2^m) is c if i is odd, 0 if i is even.
+            if i % 2 == 1 {
+                out[i - 1] = c;
+            }
+        }
+        GfPoly::from_coeffs(out)
+    }
+
+    /// Returns the coefficients as raw bytes (ascending degree order).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.coeffs.iter().map(|c| c.value()).collect()
+    }
+}
+
+impl fmt::Debug for GfPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "GfPoly(0)");
+        }
+        write!(f, "GfPoly(")?;
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match i {
+                0 => write!(f, "{c}")?,
+                1 => write!(f, "{c}·x")?,
+                _ => write!(f, "{c}·x^{i}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bytes: &[u8]) -> GfPoly {
+        GfPoly::from_bytes(bytes)
+    }
+
+    #[test]
+    fn construction_trims_trailing_zeros() {
+        let q = p(&[1, 2, 0, 0]);
+        assert_eq!(q.degree(), 1);
+        assert_eq!(q.coeffs().len(), 2);
+        assert!(p(&[0, 0, 0]).is_zero());
+    }
+
+    #[test]
+    fn evaluation_horner() {
+        // p(x) = 3 + 2x + x^2 over GF(2^8)
+        let q = p(&[3, 2, 1]);
+        assert_eq!(q.eval(Gf256::ZERO), Gf256::new(3));
+        let x = Gf256::new(5);
+        let expect = Gf256::new(3) + Gf256::new(2) * x + x * x;
+        assert_eq!(q.eval(x), expect);
+    }
+
+    #[test]
+    fn addition_is_xor_per_coefficient() {
+        let a = p(&[1, 2, 3]);
+        let b = p(&[3, 2, 1, 7]);
+        let s = a.add(&b);
+        assert_eq!(s, p(&[2, 0, 2, 7]));
+        // Adding a polynomial to itself yields zero.
+        assert!(a.add(&a).is_zero());
+    }
+
+    #[test]
+    fn monomial_and_shift() {
+        let m = GfPoly::monomial(3, Gf256::new(7));
+        assert_eq!(m.degree(), 3);
+        assert_eq!(m.coeff(3), Gf256::new(7));
+        let s = p(&[1, 2]).shift_up(2);
+        assert_eq!(s, p(&[0, 0, 1, 2]));
+        assert!(GfPoly::monomial(5, Gf256::ZERO).is_zero());
+    }
+
+    #[test]
+    fn multiplication_degree_and_identity() {
+        let a = p(&[1, 2, 3]);
+        assert_eq!(a.mul(&GfPoly::one()), a);
+        assert!(a.mul(&GfPoly::zero()).is_zero());
+        let b = p(&[5, 6]);
+        assert_eq!(a.mul(&b).degree(), a.degree() + b.degree());
+    }
+
+    #[test]
+    fn division_round_trips() {
+        let a = p(&[7, 1, 9, 4, 250, 3]);
+        let d = p(&[3, 0, 1]);
+        let (q, r) = a.div_rem(&d);
+        assert!(r.degree() < d.degree() || r.is_zero());
+        let back = q.mul(&d).add(&r);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn division_by_larger_degree_gives_zero_quotient() {
+        let a = p(&[1, 2]);
+        let d = p(&[1, 2, 3, 4]);
+        let (q, r) = a.div_rem(&d);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn division_by_zero_polynomial_panics() {
+        let _ = p(&[1, 2]).div_rem(&GfPoly::zero());
+    }
+
+    #[test]
+    fn formal_derivative_drops_even_terms() {
+        // p(x) = c0 + c1 x + c2 x^2 + c3 x^3 → p'(x) = c1 + c3 x^2
+        let q = p(&[10, 20, 30, 40]);
+        let d = q.formal_derivative();
+        assert_eq!(d.coeff(0), Gf256::new(20));
+        assert_eq!(d.coeff(1), Gf256::ZERO);
+        assert_eq!(d.coeff(2), Gf256::new(40));
+        assert!(GfPoly::one().formal_derivative().is_zero());
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let q = p(&[1, 0, 3]);
+        let s = format!("{q:?}");
+        assert!(s.contains("x^2"));
+        assert_eq!(format!("{:?}", GfPoly::zero()), "GfPoly(0)");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_poly(max_len: usize) -> impl Strategy<Value = GfPoly> {
+            proptest::collection::vec(any::<u8>(), 0..max_len).prop_map(|v| GfPoly::from_bytes(&v))
+        }
+
+        proptest! {
+            #[test]
+            fn mul_is_commutative(a in arb_poly(16), b in arb_poly(16)) {
+                prop_assert_eq!(a.mul(&b), b.mul(&a));
+            }
+
+            #[test]
+            fn mul_distributes_over_add(a in arb_poly(12), b in arb_poly(12), c in arb_poly(12)) {
+                prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            }
+
+            #[test]
+            fn div_rem_reconstructs(a in arb_poly(24), d in arb_poly(8)) {
+                prop_assume!(!d.is_zero());
+                let (q, r) = a.div_rem(&d);
+                prop_assert_eq!(q.mul(&d).add(&r), a);
+                if !r.is_zero() {
+                    prop_assert!(r.degree() < d.degree());
+                }
+            }
+
+            #[test]
+            fn eval_of_product_is_product_of_evals(a in arb_poly(10), b in arb_poly(10), x: u8) {
+                let x = Gf256::new(x);
+                prop_assert_eq!(a.mul(&b).eval(x), a.eval(x) * b.eval(x));
+            }
+        }
+    }
+}

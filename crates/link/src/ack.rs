@@ -1,0 +1,143 @@
+//! Acknowledgement scheduling: coalescing and piggybacking.
+//!
+//! Section 2.4.2 / 7.2.2 of the paper: acknowledgements can be coalesced
+//! (one cumulative ACK per `N` accepted flits) and either piggybacked on
+//! protocol flits travelling in the reverse direction or sent as standalone
+//! ACK flits. The coalescing level determines both the fraction of flits that
+//! hide their own sequence number in baseline CXL (`p_coalescing`) and the
+//! bandwidth cost of the standalone-ACK alternative.
+
+/// How acknowledgements reach the peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AckPolicy {
+    /// Attach the pending ACK to the next outgoing protocol flit.
+    Piggyback,
+    /// Emit a dedicated ACK flit for every pending acknowledgement.
+    Standalone,
+}
+
+/// Tracks accepted flits and decides when an acknowledgement is due.
+#[derive(Clone, Debug)]
+pub struct AckScheduler {
+    policy: AckPolicy,
+    coalescing: u32,
+    accepted_since_ack: u32,
+    /// Highest accepted sequence number not yet acknowledged.
+    pending_ack: Option<u16>,
+}
+
+impl AckScheduler {
+    /// Creates a scheduler acknowledging once every `coalescing` flits.
+    pub fn new(policy: AckPolicy, coalescing: u32) -> Self {
+        assert!(coalescing >= 1, "coalescing level must be at least 1");
+        AckScheduler {
+            policy,
+            coalescing,
+            accepted_since_ack: 0,
+            pending_ack: None,
+        }
+    }
+
+    /// The acknowledgement policy.
+    pub fn policy(&self) -> AckPolicy {
+        self.policy
+    }
+
+    /// The coalescing level.
+    pub fn coalescing(&self) -> u32 {
+        self.coalescing
+    }
+
+    /// Records that the receive side accepted the flit with sequence `seq`.
+    pub fn record_accepted(&mut self, seq: u16) {
+        self.pending_ack = Some(seq);
+        self.accepted_since_ack += 1;
+    }
+
+    /// `true` if enough flits have accumulated that an ACK should be emitted.
+    pub fn ack_due(&self) -> bool {
+        self.pending_ack.is_some() && self.accepted_since_ack >= self.coalescing
+    }
+
+    /// The cumulative acknowledgement that *would* be sent right now.
+    pub fn pending(&self) -> Option<u16> {
+        self.pending_ack
+    }
+
+    /// Takes the due acknowledgement, resetting the coalescing counter.
+    /// Returns `None` if no ACK is due yet.
+    pub fn take_due_ack(&mut self) -> Option<u16> {
+        if !self.ack_due() {
+            return None;
+        }
+        self.accepted_since_ack = 0;
+        self.pending_ack.take()
+    }
+
+    /// Takes whatever acknowledgement is pending regardless of coalescing
+    /// (used when flushing, e.g. before an idle period).
+    pub fn flush(&mut self) -> Option<u16> {
+        self.accepted_since_ack = 0;
+        self.pending_ack.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescing_counts_accepted_flits() {
+        let mut s = AckScheduler::new(AckPolicy::Piggyback, 3);
+        assert!(!s.ack_due());
+        s.record_accepted(0);
+        s.record_accepted(1);
+        assert!(!s.ack_due());
+        assert_eq!(s.take_due_ack(), None);
+        s.record_accepted(2);
+        assert!(s.ack_due());
+        assert_eq!(s.take_due_ack(), Some(2));
+        assert!(!s.ack_due());
+        assert_eq!(s.pending(), None);
+    }
+
+    #[test]
+    fn ack_is_cumulative_to_the_latest_sequence() {
+        let mut s = AckScheduler::new(AckPolicy::Standalone, 2);
+        s.record_accepted(10);
+        s.record_accepted(11);
+        assert_eq!(s.take_due_ack(), Some(11));
+    }
+
+    #[test]
+    fn flush_returns_partial_acknowledgements() {
+        let mut s = AckScheduler::new(AckPolicy::Piggyback, 10);
+        s.record_accepted(7);
+        assert!(!s.ack_due());
+        assert_eq!(s.flush(), Some(7));
+        assert_eq!(s.flush(), None);
+    }
+
+    #[test]
+    fn coalescing_of_one_acks_every_flit() {
+        let mut s = AckScheduler::new(AckPolicy::Standalone, 1);
+        s.record_accepted(5);
+        assert!(s.ack_due());
+        assert_eq!(s.take_due_ack(), Some(5));
+        s.record_accepted(6);
+        assert_eq!(s.take_due_ack(), Some(6));
+    }
+
+    #[test]
+    fn accessors() {
+        let s = AckScheduler::new(AckPolicy::Piggyback, 4);
+        assert_eq!(s.policy(), AckPolicy::Piggyback);
+        assert_eq!(s.coalescing(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_coalescing_is_rejected() {
+        let _ = AckScheduler::new(AckPolicy::Piggyback, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Bit-error channel models.
+//!
+//! The paper's reliability analysis assumes independent bit errors at a
+//! configurable BER (10⁻⁶ for CXL 3.0), optionally extended with DFE error
+//! propagation that turns a first symbol error into a short burst
+//! (Section 2.2). [`ChannelErrorModel`] corrupts wire-level byte buffers
+//! accordingly; it is the only place physical-layer behaviour enters the
+//! simulation, which is what makes the laptop-scale reproduction of the
+//! paper's hardware testbed sound (see DESIGN.md, substitution table).
+
+use rand::Rng;
+
+/// DFE-style burst extension: once a bit error occurs, each following bit is
+/// also flipped with probability `continue_prob`, producing geometric bursts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstModel {
+    /// Probability that an error burst continues into the next bit.
+    pub continue_prob: f64,
+}
+
+impl BurstModel {
+    /// A moderate DFE propagation model (mean burst length 1 / (1 - p) ≈ 2).
+    pub fn dfe_default() -> Self {
+        BurstModel { continue_prob: 0.5 }
+    }
+}
+
+/// An additive bit-error channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChannelErrorModel {
+    /// Probability that any given transmitted bit starts an error event.
+    pub ber: f64,
+    /// Optional burst extension applied after each initial bit error.
+    pub burst: Option<BurstModel>,
+}
+
+impl ChannelErrorModel {
+    /// A perfect channel (no errors).
+    pub fn ideal() -> Self {
+        ChannelErrorModel {
+            ber: 0.0,
+            burst: None,
+        }
+    }
+
+    /// A random-error channel with the given BER and no burst extension.
+    pub fn random(ber: f64) -> Self {
+        assert!((0.0..1.0).contains(&ber), "BER must be in [0, 1)");
+        ChannelErrorModel { ber, burst: None }
+    }
+
+    /// The CXL 3.0 operating point: BER 10⁻⁶ with DFE burst propagation.
+    pub fn cxl3() -> Self {
+        ChannelErrorModel {
+            ber: 1e-6,
+            burst: Some(BurstModel::dfe_default()),
+        }
+    }
+
+    /// Same error statistics but with the BER scaled by `factor`; used to
+    /// accelerate Monte-Carlo experiments while keeping the burst shape.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let ber = (self.ber * factor).min(0.999_999);
+        ChannelErrorModel { ber, burst: self.burst }
+    }
+
+    /// Corrupts `data` in place; returns the number of bits flipped.
+    ///
+    /// Error *starts* are sampled with geometric gap sampling so the cost is
+    /// proportional to the number of errors, not the number of bits — at
+    /// BER 10⁻⁶ and 2048-bit flits the vast majority of flits are untouched.
+    pub fn apply<R: Rng + ?Sized>(&self, data: &mut [u8], rng: &mut R) -> usize {
+        if self.ber <= 0.0 || data.is_empty() {
+            return 0;
+        }
+        let total_bits = data.len() * 8;
+        let mut flipped = 0usize;
+        let mut pos = 0usize;
+        loop {
+            // Geometric gap to the next error start.
+            let gap = sample_geometric(self.ber, rng);
+            pos = match pos.checked_add(gap) {
+                Some(p) => p,
+                None => break,
+            };
+            if pos >= total_bits {
+                break;
+            }
+            // Flip the starting bit, then optionally extend the burst.
+            data[pos / 8] ^= 1 << (pos % 8);
+            flipped += 1;
+            if let Some(burst) = self.burst {
+                let mut next = pos + 1;
+                while next < total_bits && rng.random_bool(burst.continue_prob) {
+                    data[next / 8] ^= 1 << (next % 8);
+                    flipped += 1;
+                    next += 1;
+                }
+                pos = next;
+            } else {
+                pos += 1;
+            }
+        }
+        flipped
+    }
+
+    /// Probability that a buffer of `bits` transmitted bits experiences at
+    /// least one error event (ignores burst extension; matches Eqn (1) of the
+    /// paper for error-start statistics).
+    pub fn unit_error_probability(&self, bits: usize) -> f64 {
+        1.0 - (1.0 - self.ber).powi(bits as i32)
+    }
+}
+
+/// Samples the number of error-free bits before the next error
+/// (geometric distribution with success probability `p`).
+fn sample_geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> usize {
+    debug_assert!(p > 0.0);
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    if p >= 1.0 {
+        return 0;
+    }
+    // floor(ln(U) / ln(1 - p)) is the standard inverse-CDF sample.
+    let g = (u.ln() / (1.0 - p).ln()).floor();
+    if g < 0.0 {
+        0
+    } else if g > usize::MAX as f64 {
+        usize::MAX
+    } else {
+        g as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_channel_never_corrupts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ch = ChannelErrorModel::ideal();
+        let mut data = vec![0xAB; 256];
+        let orig = data.clone();
+        assert_eq!(ch.apply(&mut data, &mut rng), 0);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn high_ber_corrupts_roughly_the_expected_number_of_bits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ch = ChannelErrorModel::random(0.01);
+        let mut total = 0usize;
+        let trials = 200;
+        for _ in 0..trials {
+            let mut data = vec![0u8; 256];
+            total += ch.apply(&mut data, &mut rng);
+        }
+        let expected = 0.01 * 2048.0 * trials as f64;
+        let measured = total as f64;
+        assert!(
+            (measured - expected).abs() < expected * 0.2,
+            "measured {measured}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn flip_count_matches_popcount_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ch = ChannelErrorModel::random(0.005);
+        let mut data = vec![0u8; 512];
+        let flipped = ch.apply(&mut data, &mut rng);
+        let ones: usize = data.iter().map(|b| b.count_ones() as usize).sum();
+        assert_eq!(flipped, ones);
+    }
+
+    #[test]
+    fn burst_model_produces_longer_bursts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bursty = ChannelErrorModel {
+            ber: 0.002,
+            burst: Some(BurstModel { continue_prob: 0.8 }),
+        };
+        let plain = ChannelErrorModel::random(0.002);
+        let mut bursty_bits = 0;
+        let mut plain_bits = 0;
+        for _ in 0..300 {
+            let mut a = vec![0u8; 256];
+            let mut b = vec![0u8; 256];
+            bursty_bits += bursty.apply(&mut a, &mut rng);
+            plain_bits += plain.apply(&mut b, &mut rng);
+        }
+        assert!(
+            bursty_bits > plain_bits * 2,
+            "burst extension should multiply flipped bits: {bursty_bits} vs {plain_bits}"
+        );
+    }
+
+    #[test]
+    fn unit_error_probability_matches_the_paper_eqn_1() {
+        // FER = 1 − (1 − BER)^2048 ≈ 2.0e-3 at BER 1e-6.
+        let ch = ChannelErrorModel::random(1e-6);
+        let fer = ch.unit_error_probability(2048);
+        assert!((fer - 2.046e-3).abs() < 5e-5, "fer = {fer}");
+    }
+
+    #[test]
+    fn scaled_keeps_burst_configuration() {
+        let base = ChannelErrorModel::cxl3();
+        let fast = base.scaled(1000.0);
+        assert!((fast.ber - 1e-3).abs() < 1e-12);
+        assert_eq!(fast.burst, base.burst);
+        // Scaling cannot exceed probability 1.
+        assert!(base.scaled(1e9).ber < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_ber_is_rejected() {
+        let _ = ChannelErrorModel::random(1.5);
+    }
+}

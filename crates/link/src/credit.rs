@@ -1,0 +1,129 @@
+//! Credit-based flow control.
+//!
+//! CXL links exchange credits per virtual channel so a transmitter never
+//! overruns the receiver's buffers. Flow control is orthogonal to the
+//! reliability mechanisms the paper studies, but a credible link layer needs
+//! it: the replay buffer bounds *unacknowledged* flits, while credits bound
+//! *unconsumed* ones. [`CreditCounter`] models one virtual channel's counter
+//! pair (consumed / returned) with wrap-safe arithmetic.
+
+/// A credit counter for one virtual channel of one link direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CreditCounter {
+    /// Total credits advertised by the receiver (its buffer capacity).
+    advertised: u32,
+    /// Credits consumed by transmissions.
+    consumed: u64,
+    /// Credits returned by the receiver as it drains its buffer.
+    returned: u64,
+}
+
+impl CreditCounter {
+    /// Creates a counter with `advertised` initial credits.
+    pub fn new(advertised: u32) -> Self {
+        assert!(advertised >= 1, "a channel needs at least one credit");
+        CreditCounter {
+            advertised,
+            consumed: 0,
+            returned: 0,
+        }
+    }
+
+    /// Credits currently available to the transmitter.
+    pub fn available(&self) -> u32 {
+        debug_assert!(self.consumed >= self.returned || self.returned - self.consumed <= self.advertised as u64);
+        let outstanding = self.consumed.saturating_sub(self.returned);
+        self.advertised.saturating_sub(outstanding as u32)
+    }
+
+    /// Number of flits the receiver has not yet drained.
+    pub fn outstanding(&self) -> u32 {
+        self.consumed.saturating_sub(self.returned) as u32
+    }
+
+    /// `true` if at least one credit is available.
+    pub fn can_send(&self) -> bool {
+        self.available() > 0
+    }
+
+    /// Consumes one credit for a transmission. Returns `false` (and consumes
+    /// nothing) if no credit is available.
+    pub fn consume(&mut self) -> bool {
+        if !self.can_send() {
+            return false;
+        }
+        self.consumed += 1;
+        true
+    }
+
+    /// Returns `count` credits from the receiver. Returning more credits than
+    /// are outstanding indicates a protocol error and panics.
+    pub fn return_credits(&mut self, count: u32) {
+        assert!(
+            count as u64 + self.returned <= self.consumed,
+            "receiver returned more credits than were consumed"
+        );
+        self.returned += count as u64;
+    }
+
+    /// The advertised (maximum) credit count.
+    pub fn advertised(&self) -> u32 {
+        self.advertised
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credits_bound_the_number_of_in_flight_flits() {
+        let mut c = CreditCounter::new(3);
+        assert_eq!(c.available(), 3);
+        assert!(c.consume());
+        assert!(c.consume());
+        assert!(c.consume());
+        assert!(!c.can_send());
+        assert!(!c.consume());
+        assert_eq!(c.outstanding(), 3);
+    }
+
+    #[test]
+    fn returning_credits_reopens_the_window() {
+        let mut c = CreditCounter::new(2);
+        assert!(c.consume());
+        assert!(c.consume());
+        c.return_credits(1);
+        assert_eq!(c.available(), 1);
+        assert!(c.consume());
+        assert_eq!(c.outstanding(), 2);
+        c.return_credits(2);
+        assert_eq!(c.available(), 2);
+        assert_eq!(c.outstanding(), 0);
+    }
+
+    #[test]
+    fn long_running_counters_do_not_overflow_the_window() {
+        let mut c = CreditCounter::new(4);
+        for _ in 0..100_000 {
+            assert!(c.consume());
+            c.return_credits(1);
+        }
+        assert_eq!(c.available(), 4);
+        assert_eq!(c.advertised(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_returning_credits_panics() {
+        let mut c = CreditCounter::new(2);
+        c.consume();
+        c.return_credits(2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_credit_channels_are_rejected() {
+        let _ = CreditCounter::new(0);
+    }
+}

@@ -1,0 +1,526 @@
+//! The receive side of one link direction.
+//!
+//! [`LinkRx`] is where the paper's central reliability difference lives:
+//!
+//! * the **baseline CXL** receiver can verify a flit's position in the stream
+//!   only when the flit's FSN field carries its own sequence number. When the
+//!   field carries a piggybacked ACK instead, the receiver must forward the
+//!   flit after a data-integrity check alone — so a silently dropped
+//!   predecessor goes unnoticed until a later FSN-carrying flit arrives
+//!   (Fig. 4), by which time mis-ordered messages have already escaped to the
+//!   transaction layer;
+//! * the **RXL** receiver validates every flit against its expected sequence
+//!   number through the ISN ECRC, so a drop is caught on the very next flit
+//!   and nothing out of order is ever forwarded.
+
+use rxl_flit::{CxlFlitCodec, FlitHeader, FlitType, Message, ReplayCmd, RxlFlitCodec, WireFlit};
+
+use crate::ack::{AckPolicy, AckScheduler};
+use crate::seq::{seq_add, seq_next};
+use crate::stats::LinkStats;
+use crate::variant::{LinkConfig, ProtocolVariant};
+
+/// Everything the receiver decided about one arriving wire flit.
+#[derive(Clone, Debug, Default)]
+pub struct RxResult {
+    /// `true` if the link layer accepted the flit (payload forwarded, or a
+    /// control flit consumed).
+    pub accepted: bool,
+    /// Transaction messages forwarded to the upper layer by this flit.
+    pub delivered: Vec<Message>,
+    /// Header of the forwarded flit, if one was forwarded.
+    pub delivered_header: Option<FlitHeader>,
+    /// `true` if the flit's position in the sequence was actually verified
+    /// before forwarding (always true for RXL; false for ACK-carrying flits
+    /// in baseline CXL).
+    pub sequence_checked: bool,
+    /// Acknowledgement number extracted from the peer's flit, to be passed to
+    /// the co-located transmitter.
+    pub peer_ack: Option<u16>,
+    /// Go-back-N NACK extracted from the peer's flit, to be passed to the
+    /// co-located transmitter.
+    pub peer_nack: Option<u16>,
+    /// The receiver wants to acknowledge this sequence number to the peer.
+    pub send_ack: Option<u16>,
+    /// The receiver wants to request a retry after this sequence number.
+    pub send_nack: Option<u16>,
+    /// `true` if the flit was rejected (FEC uncorrectable, CRC/ECRC mismatch,
+    /// or explicit sequence mismatch).
+    pub rejected: bool,
+}
+
+enum Codec {
+    Cxl(CxlFlitCodec),
+    Rxl(RxlFlitCodec),
+}
+
+/// The receive state machine for one link direction.
+pub struct LinkRx {
+    config: LinkConfig,
+    codec: Codec,
+    /// Count-based expected sequence number of the next protocol flit.
+    expected_seq: u16,
+    /// Last sequence number that was explicitly verified (CXL only).
+    last_verified_fsn: Option<u16>,
+    /// `true` while waiting for a requested go-back-N replay to arrive.
+    awaiting_replay: bool,
+    acks: AckScheduler,
+    stats: LinkStats,
+}
+
+impl LinkRx {
+    /// Creates a receiver with the given configuration.
+    pub fn new(config: LinkConfig) -> Self {
+        let codec = match config.variant {
+            ProtocolVariant::Rxl => Codec::Rxl(RxlFlitCodec::new()),
+            _ => Codec::Cxl(CxlFlitCodec::new()),
+        };
+        let policy = if config.variant.piggybacks_acks() {
+            AckPolicy::Piggyback
+        } else {
+            AckPolicy::Standalone
+        };
+        LinkRx {
+            codec,
+            expected_seq: 0,
+            last_verified_fsn: None,
+            awaiting_replay: false,
+            acks: AckScheduler::new(policy, config.ack_coalescing),
+            stats: LinkStats::default(),
+            config,
+        }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Accumulated receive-side statistics.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// The sequence number the receiver expects next.
+    pub fn expected_seq(&self) -> u16 {
+        self.expected_seq
+    }
+
+    /// `true` while the receiver is discarding flits waiting for a replay.
+    pub fn awaiting_replay(&self) -> bool {
+        self.awaiting_replay
+    }
+
+    /// Takes whatever acknowledgement is pending even if the coalescing
+    /// threshold has not been reached — the delayed-ACK flush used when the
+    /// link would otherwise go idle with unacknowledged flits outstanding.
+    pub fn flush_ack(&mut self) -> Option<u16> {
+        self.acks.flush()
+    }
+
+    /// Processes one arriving wire flit.
+    pub fn receive(&mut self, wire: &WireFlit) -> RxResult {
+        match self.config.variant {
+            ProtocolVariant::Rxl => self.receive_rxl(wire),
+            _ => self.receive_cxl(wire),
+        }
+    }
+
+    // ----- baseline CXL ---------------------------------------------------
+
+    fn receive_cxl(&mut self, wire: &WireFlit) -> RxResult {
+        let Codec::Cxl(codec) = &self.codec else {
+            unreachable!("CXL receive with RXL codec")
+        };
+        let decode = codec.decode(wire);
+        let mut result = RxResult::default();
+
+        if !decode.fec.accepted() || !decode.crc_ok {
+            // Data-integrity failure at the endpoint: discard and request a
+            // retry from the last sequence number we can vouch for.
+            self.stats.flits_rejected += 1;
+            result.rejected = true;
+            if !self.awaiting_replay {
+                let last_good = self.nack_reference();
+                result.send_nack = Some(last_good);
+                self.stats.nacks_sent += 1;
+                self.expected_seq = seq_next(last_good);
+                self.awaiting_replay = true;
+            } else {
+                self.stats.flits_discarded_in_replay += 1;
+            }
+            return result;
+        }
+
+        let flit = decode.flit.expect("accepted CXL flit carries contents");
+        match flit.header.flit_type {
+            FlitType::LinkControl => {
+                result.accepted = true;
+                result.peer_nack = Some(flit.header.fsn);
+                return result;
+            }
+            FlitType::StandaloneAck => {
+                result.accepted = true;
+                result.peer_ack = Some(flit.header.fsn);
+                return result;
+            }
+            FlitType::Idle => {
+                result.accepted = true;
+                return result;
+            }
+            FlitType::Protocol => {}
+        }
+
+        match flit.header.replay_cmd {
+            ReplayCmd::Ack => {
+                // The paper's blind spot: the flit's own sequence number is
+                // not visible, so the receiver can only check data integrity
+                // (already done) and must forward the flit.
+                result.peer_ack = Some(flit.header.fsn);
+                result.sequence_checked = false;
+                self.stats.unchecked_sequence_accepts += 1;
+                self.accept_and_forward(flit.header, &flit.payload, &mut result);
+            }
+            ReplayCmd::SeqNum => {
+                if flit.header.fsn == self.expected_seq {
+                    self.last_verified_fsn = Some(flit.header.fsn);
+                    self.awaiting_replay = false;
+                    result.sequence_checked = true;
+                    self.accept_and_forward(flit.header, &flit.payload, &mut result);
+                } else if self.awaiting_replay {
+                    // Discard silently until the replay reaches the expected
+                    // sequence number.
+                    self.stats.flits_discarded_in_replay += 1;
+                    result.rejected = true;
+                } else {
+                    // Explicit sequence mismatch: a drop is finally visible.
+                    self.stats.explicit_sequence_mismatches += 1;
+                    self.stats.flits_rejected += 1;
+                    result.rejected = true;
+                    let last_good = self.nack_reference();
+                    result.send_nack = Some(last_good);
+                    self.stats.nacks_sent += 1;
+                    self.expected_seq = seq_next(last_good);
+                    self.awaiting_replay = true;
+                }
+            }
+            ReplayCmd::NackGoBackN | ReplayCmd::NackSingleRetry => {
+                // NACK information piggybacked on a protocol flit.
+                result.peer_nack = Some(flit.header.fsn);
+                result.accepted = true;
+            }
+        }
+        result
+    }
+
+    /// The sequence number a CXL NACK refers to: the last *verified* FSN if
+    /// one exists, otherwise one before the count-based expectation.
+    fn nack_reference(&self) -> u16 {
+        self.last_verified_fsn
+            .unwrap_or_else(|| seq_add(self.expected_seq, -1))
+    }
+
+    // ----- RXL --------------------------------------------------------------
+
+    fn receive_rxl(&mut self, wire: &WireFlit) -> RxResult {
+        let Codec::Rxl(codec) = &self.codec else {
+            unreachable!("RXL receive with CXL codec")
+        };
+        let decode = codec.decode(wire, self.expected_seq);
+        let mut result = RxResult::default();
+
+        if !decode.fec.accepted() {
+            self.stats.flits_rejected += 1;
+            result.rejected = true;
+            if !self.awaiting_replay {
+                let last_good = seq_add(self.expected_seq, -1);
+                result.send_nack = Some(last_good);
+                self.stats.nacks_sent += 1;
+                self.awaiting_replay = true;
+            } else {
+                self.stats.flits_discarded_in_replay += 1;
+            }
+            return result;
+        }
+
+        let flit = decode.flit.as_ref().expect("FEC-accepted flit has contents");
+
+        // Control flits live outside the transport sequence space and are
+        // bound to sequence 0 by the transmitter.
+        if matches!(
+            flit.header.flit_type,
+            FlitType::LinkControl | FlitType::StandaloneAck | FlitType::Idle
+        ) {
+            if codec.verify_flit(flit, decode.crc, 0) {
+                result.accepted = true;
+                match flit.header.flit_type {
+                    FlitType::LinkControl => result.peer_nack = Some(flit.header.fsn),
+                    FlitType::StandaloneAck => result.peer_ack = Some(flit.header.fsn),
+                    _ => {}
+                }
+            } else {
+                self.stats.flits_rejected += 1;
+                result.rejected = true;
+            }
+            return result;
+        }
+
+        if decode.ecrc_ok {
+            // Data intact *and* sequence as expected: forward.
+            self.awaiting_replay = false;
+            result.sequence_checked = true;
+            if flit.header.replay_cmd == ReplayCmd::Ack {
+                result.peer_ack = Some(flit.header.fsn);
+            }
+            let header = flit.header;
+            let payload = flit.payload;
+            self.accept_and_forward(header, &payload, &mut result);
+        } else {
+            // Either the payload is corrupted or (at least) one flit before
+            // this one was dropped. Both trigger the same response: retry.
+            self.stats.ecrc_rejections += 1;
+            self.stats.flits_rejected += 1;
+            result.rejected = true;
+            if !self.awaiting_replay {
+                let last_good = seq_add(self.expected_seq, -1);
+                result.send_nack = Some(last_good);
+                self.stats.nacks_sent += 1;
+                self.awaiting_replay = true;
+            } else {
+                self.stats.flits_discarded_in_replay += 1;
+            }
+        }
+        result
+    }
+
+    // ----- shared ----------------------------------------------------------
+
+    fn accept_and_forward(
+        &mut self,
+        header: FlitHeader,
+        payload: &[u8; rxl_flit::FLIT_PAYLOAD_LEN],
+        result: &mut RxResult,
+    ) {
+        result.accepted = true;
+        result.delivered_header = Some(header);
+        result.delivered = rxl_flit::unpack_messages(payload).unwrap_or_default();
+        self.stats.flits_accepted += 1;
+
+        let accepted_seq = self.expected_seq;
+        self.expected_seq = seq_next(self.expected_seq);
+        self.acks.record_accepted(accepted_seq);
+        if let Some(ack) = self.acks.take_due_ack() {
+            result.send_ack = Some(ack);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{LinkTx, TxEmission};
+    use rxl_flit::{Flit256, MemOp};
+
+    fn config(variant: ProtocolVariant) -> LinkConfig {
+        LinkConfig::cxl3_x16(variant)
+    }
+
+    fn protocol_wire(tx: &mut LinkTx, tag: u16) -> (Box<WireFlit>, u16) {
+        tx.enqueue_messages([Message::request(MemOp::RdCurr, tag as u64 * 64, 1, tag)]);
+        match tx.emit(0.0) {
+            TxEmission::Protocol { wire, seq, .. } => (wire, seq),
+            other => panic!("expected protocol flit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_order_flits_are_forwarded_by_both_variants() {
+        for variant in [
+            ProtocolVariant::CxlPiggyback,
+            ProtocolVariant::CxlStandaloneAck,
+            ProtocolVariant::Rxl,
+        ] {
+            let mut tx = LinkTx::new(config(variant));
+            let mut rx = LinkRx::new(config(variant));
+            for tag in 0..5u16 {
+                let (wire, _) = protocol_wire(&mut tx, tag);
+                let out = rx.receive(&wire);
+                assert!(out.accepted, "{variant:?} tag {tag}");
+                assert_eq!(out.delivered.len(), 1);
+                assert_eq!(out.delivered[0].tag(), tag);
+                assert!(!out.rejected);
+            }
+            assert_eq!(rx.expected_seq(), 5);
+            assert_eq!(rx.stats().flits_accepted, 5);
+        }
+    }
+
+    #[test]
+    fn cxl_forwards_ack_carrying_flit_despite_a_drop() {
+        // Reproduces Fig. 4: flit #1 is dropped; flit #2 carries an ACK so the
+        // baseline receiver forwards it without any sequence check.
+        let variant = ProtocolVariant::CxlPiggyback;
+        let mut tx = LinkTx::new(config(variant));
+        let mut rx = LinkRx::new(config(variant));
+
+        let (w0, _) = protocol_wire(&mut tx, 0);
+        assert!(rx.receive(&w0).accepted);
+
+        let (_w1_dropped, _) = protocol_wire(&mut tx, 1);
+
+        // Flit #2 piggybacks an acknowledgement (FSN field = AckNum).
+        tx.queue_ack(100);
+        let (w2, _) = protocol_wire(&mut tx, 2);
+        let out = rx.receive(&w2);
+        assert!(out.accepted, "CXL cannot detect the gap on an ACK-carrying flit");
+        assert!(!out.sequence_checked);
+        assert_eq!(out.peer_ack, Some(100));
+        assert_eq!(out.delivered[0].tag(), 2);
+        assert_eq!(rx.stats().unchecked_sequence_accepts, 1);
+
+        // Flit #3 carries its own FSN (= 3) and finally exposes the gap.
+        let (w3, _) = protocol_wire(&mut tx, 3);
+        let out = rx.receive(&w3);
+        assert!(out.rejected);
+        assert_eq!(out.send_nack, Some(0), "NACK references the last verified FSN");
+        assert!(rx.awaiting_replay());
+        assert_eq!(rx.stats().explicit_sequence_mismatches, 1);
+    }
+
+    #[test]
+    fn rxl_detects_the_drop_on_the_very_next_flit() {
+        let variant = ProtocolVariant::Rxl;
+        let mut tx = LinkTx::new(config(variant));
+        let mut rx = LinkRx::new(config(variant));
+
+        let (w0, _) = protocol_wire(&mut tx, 0);
+        assert!(rx.receive(&w0).accepted);
+
+        let (_w1_dropped, _) = protocol_wire(&mut tx, 1);
+
+        tx.queue_ack(100);
+        let (w2, _) = protocol_wire(&mut tx, 2);
+        let out = rx.receive(&w2);
+        assert!(!out.accepted, "RXL must reject the out-of-sequence flit");
+        assert!(out.rejected);
+        assert_eq!(out.send_nack, Some(0));
+        assert!(out.delivered.is_empty());
+        assert_eq!(rx.stats().ecrc_rejections, 1);
+        // Nothing was forwarded, so the expected sequence is still 1.
+        assert_eq!(rx.expected_seq(), 1);
+    }
+
+    #[test]
+    fn rxl_recovers_in_order_after_a_replay() {
+        let variant = ProtocolVariant::Rxl;
+        let mut tx = LinkTx::new(config(variant));
+        let mut rx = LinkRx::new(config(variant));
+
+        // Send 0, drop 1, send 2 → NACK(0) → replay 1, 2 → all delivered once,
+        // in order.
+        let (w0, _) = protocol_wire(&mut tx, 10);
+        assert!(rx.receive(&w0).accepted);
+        let (_w1, _) = protocol_wire(&mut tx, 11);
+        let (w2, _) = protocol_wire(&mut tx, 12);
+        let out = rx.receive(&w2);
+        let nack = out.send_nack.expect("drop must trigger a NACK");
+        tx.handle_peer_nack(nack, 100.0);
+
+        let mut delivered_tags = vec![10u16];
+        loop {
+            match tx.emit(101.0) {
+                TxEmission::Protocol { wire, .. } => {
+                    let out = rx.receive(&wire);
+                    if out.accepted {
+                        delivered_tags.extend(out.delivered.iter().map(|m| m.tag()));
+                    }
+                }
+                TxEmission::Idle => break,
+                _ => {}
+            }
+        }
+        assert_eq!(delivered_tags, vec![10, 11, 12]);
+        assert_eq!(rx.expected_seq(), 3);
+    }
+
+    #[test]
+    fn corrupted_flit_is_rejected_and_nacked_once() {
+        let variant = ProtocolVariant::Rxl;
+        let mut tx = LinkTx::new(config(variant));
+        let mut rx = LinkRx::new(config(variant));
+        let (w0, _) = protocol_wire(&mut tx, 0);
+        assert!(rx.receive(&w0).accepted);
+
+        let (w1, _) = protocol_wire(&mut tx, 1);
+        let mut corrupted = *w1;
+        // Massive corruption that overwhelms the FEC (same-way equal flips).
+        corrupted[0] ^= 0x55;
+        corrupted[3] ^= 0x55;
+        let out = rx.receive(&corrupted);
+        assert!(out.rejected);
+        assert_eq!(out.send_nack, Some(0));
+        // A second bad flit while awaiting replay does not NACK again.
+        let (w2, _) = protocol_wire(&mut tx, 2);
+        let out2 = rx.receive(&w2);
+        assert!(out2.rejected);
+        assert_eq!(out2.send_nack, None);
+        assert_eq!(rx.stats().nacks_sent, 1);
+        assert_eq!(rx.stats().flits_discarded_in_replay, 1);
+    }
+
+    #[test]
+    fn control_flits_are_consumed_not_forwarded() {
+        for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+            let mut tx = LinkTx::new(config(variant));
+            let mut rx = LinkRx::new(config(variant));
+            tx.queue_nack(5);
+            let nack_wire = match tx.emit(0.0) {
+                TxEmission::Nack { wire, .. } => wire,
+                other => panic!("expected NACK, got {other:?}"),
+            };
+            let out = rx.receive(&nack_wire);
+            assert!(out.accepted);
+            assert_eq!(out.peer_nack, Some(5));
+            assert!(out.delivered.is_empty());
+
+            tx.queue_ack(9);
+            let ack_wire = match tx.emit(1.0) {
+                TxEmission::StandaloneAck { wire, .. } => wire,
+                other => panic!("expected standalone ACK, got {other:?}"),
+            };
+            let out = rx.receive(&ack_wire);
+            assert!(out.accepted);
+            assert_eq!(out.peer_ack, Some(9));
+            // Control flits never advance the protocol sequence.
+            assert_eq!(rx.expected_seq(), 0);
+        }
+    }
+
+    #[test]
+    fn acks_are_scheduled_at_the_coalescing_level() {
+        let mut cfg = config(ProtocolVariant::Rxl);
+        cfg.ack_coalescing = 3;
+        let mut tx = LinkTx::new(cfg);
+        let mut rx = LinkRx::new(cfg);
+        let mut acks = Vec::new();
+        for tag in 0..9u16 {
+            let (wire, _) = protocol_wire(&mut tx, tag);
+            let out = rx.receive(&wire);
+            if let Some(a) = out.send_ack {
+                acks.push(a);
+            }
+        }
+        assert_eq!(acks, vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn cxl_idle_flits_are_accepted_without_side_effects() {
+        let mut rx = LinkRx::new(config(ProtocolVariant::CxlPiggyback));
+        let codec = CxlFlitCodec::new();
+        let wire = codec.encode(&Flit256::idle());
+        let out = rx.receive(&wire);
+        assert!(out.accepted);
+        assert!(out.delivered.is_empty());
+        assert_eq!(rx.expected_seq(), 0);
+    }
+}

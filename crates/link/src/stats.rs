@@ -1,0 +1,101 @@
+//! Link-layer statistics counters.
+
+/// Counters accumulated by one link direction (a TX/RX pair).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Protocol flits transmitted for the first time.
+    pub flits_sent: u64,
+    /// Flits retransmitted due to NACKs / retries.
+    pub flits_retransmitted: u64,
+    /// Standalone ACK flits transmitted (no payload).
+    pub standalone_acks_sent: u64,
+    /// Idle flits emitted when nothing was pending.
+    pub idle_flits_sent: u64,
+    /// Flits received and accepted by the link layer.
+    pub flits_accepted: u64,
+    /// Flits received but rejected (FEC uncorrectable or CRC mismatch).
+    pub flits_rejected: u64,
+    /// Flits discarded while waiting for a go-back-N replay to reach the
+    /// expected sequence number.
+    pub flits_discarded_in_replay: u64,
+    /// NACKs emitted by the receive side.
+    pub nacks_sent: u64,
+    /// Acknowledgements emitted (piggybacked or standalone).
+    pub acks_sent: u64,
+    /// Flits accepted whose own sequence number could not be checked because
+    /// the FSN field carried an acknowledgement (baseline CXL blind spot).
+    pub unchecked_sequence_accepts: u64,
+    /// Sequence mismatches detected via the explicit FSN field.
+    pub explicit_sequence_mismatches: u64,
+    /// Sequence-or-data mismatches detected via the ISN ECRC.
+    pub ecrc_rejections: u64,
+}
+
+impl LinkStats {
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.flits_sent += other.flits_sent;
+        self.flits_retransmitted += other.flits_retransmitted;
+        self.standalone_acks_sent += other.standalone_acks_sent;
+        self.idle_flits_sent += other.idle_flits_sent;
+        self.flits_accepted += other.flits_accepted;
+        self.flits_rejected += other.flits_rejected;
+        self.flits_discarded_in_replay += other.flits_discarded_in_replay;
+        self.nacks_sent += other.nacks_sent;
+        self.acks_sent += other.acks_sent;
+        self.unchecked_sequence_accepts += other.unchecked_sequence_accepts;
+        self.explicit_sequence_mismatches += other.explicit_sequence_mismatches;
+        self.ecrc_rejections += other.ecrc_rejections;
+    }
+
+    /// Total flits put on the wire (payload, retransmissions, ACKs, idles).
+    pub fn total_wire_flits(&self) -> u64 {
+        self.flits_sent + self.flits_retransmitted + self.standalone_acks_sent + self.idle_flits_sent
+    }
+
+    /// Fraction of wire flits that were not first-time payload flits —
+    /// a direct estimate of the bandwidth loss of Section 7.2.
+    pub fn bandwidth_overhead(&self) -> f64 {
+        let total = self.total_wire_flits();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.flits_sent as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = LinkStats {
+            flits_sent: 10,
+            flits_retransmitted: 2,
+            ..Default::default()
+        };
+        let b = LinkStats {
+            flits_sent: 5,
+            nacks_sent: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.flits_sent, 15);
+        assert_eq!(a.flits_retransmitted, 2);
+        assert_eq!(a.nacks_sent, 1);
+    }
+
+    #[test]
+    fn bandwidth_overhead_counts_non_payload_flits() {
+        let s = LinkStats {
+            flits_sent: 90,
+            flits_retransmitted: 5,
+            standalone_acks_sent: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.total_wire_flits(), 100);
+        assert!((s.bandwidth_overhead() - 0.1).abs() < 1e-12);
+        assert_eq!(LinkStats::default().bandwidth_overhead(), 0.0);
+    }
+}

@@ -1,0 +1,476 @@
+//! The transmit side of one link direction.
+//!
+//! [`LinkTx`] turns a stream of transaction messages into wire flits, retains
+//! transmitted flits in a replay buffer until they are acknowledged, and
+//! services retransmission requests (go-back-N NACKs and watchdog timeouts).
+//! ACK piggybacking and NACK emission on behalf of the co-located receiver are
+//! also handled here, because they compete for the same transmit slots.
+
+use std::collections::VecDeque;
+
+use rxl_flit::{
+    CxlFlitCodec, Flit256, FlitHeader, Message, RxlFlitCodec, WireFlit, MESSAGES_PER_FLIT,
+};
+
+use crate::retry::ReplayBuffer;
+use crate::seq::{seq_add, seq_next};
+use crate::stats::LinkStats;
+use crate::variant::{LinkConfig, ProtocolVariant};
+
+/// What the transmitter put on the wire for one transmit slot.
+#[derive(Clone, Debug)]
+pub enum TxEmission {
+    /// A protocol flit carrying payload (new or retransmitted).
+    Protocol {
+        /// The encoded wire flit.
+        wire: Box<WireFlit>,
+        /// The transport sequence number bound to this flit.
+        seq: u16,
+        /// `true` if this is a retransmission from the replay buffer.
+        retransmission: bool,
+    },
+    /// A standalone acknowledgement flit (no payload).
+    StandaloneAck {
+        /// The encoded wire flit.
+        wire: Box<WireFlit>,
+        /// The acknowledged sequence number.
+        ack: u16,
+    },
+    /// A NACK / retry-request control flit.
+    Nack {
+        /// The encoded wire flit.
+        wire: Box<WireFlit>,
+        /// The last correctly received sequence number.
+        last_good: u16,
+    },
+    /// Nothing to send this slot.
+    Idle,
+}
+
+impl TxEmission {
+    /// The wire bytes of this emission, if any.
+    pub fn wire(&self) -> Option<&WireFlit> {
+        match self {
+            TxEmission::Protocol { wire, .. }
+            | TxEmission::StandaloneAck { wire, .. }
+            | TxEmission::Nack { wire, .. } => Some(wire),
+            TxEmission::Idle => None,
+        }
+    }
+
+    /// `true` if nothing was emitted.
+    pub fn is_idle(&self) -> bool {
+        matches!(self, TxEmission::Idle)
+    }
+}
+
+enum Codec {
+    Cxl(CxlFlitCodec),
+    Rxl(RxlFlitCodec),
+}
+
+/// The transmit state machine for one link direction.
+pub struct LinkTx {
+    config: LinkConfig,
+    codec: Codec,
+    next_seq: u16,
+    replay: ReplayBuffer,
+    pending_msgs: VecDeque<Message>,
+    retransmit_queue: VecDeque<(u16, Flit256)>,
+    pending_ack: Option<u16>,
+    pending_nack: Option<u16>,
+    last_progress_ns: f64,
+    stats: LinkStats,
+}
+
+impl LinkTx {
+    /// Creates a transmitter with the given configuration.
+    pub fn new(config: LinkConfig) -> Self {
+        let codec = match config.variant {
+            ProtocolVariant::Rxl => Codec::Rxl(RxlFlitCodec::new()),
+            _ => Codec::Cxl(CxlFlitCodec::new()),
+        };
+        LinkTx {
+            codec,
+            next_seq: 0,
+            replay: ReplayBuffer::new(config.replay_capacity),
+            pending_msgs: VecDeque::new(),
+            retransmit_queue: VecDeque::new(),
+            pending_ack: None,
+            pending_nack: None,
+            last_progress_ns: 0.0,
+            stats: LinkStats::default(),
+            config,
+        }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Accumulated transmit-side statistics.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// The sequence number the next *new* flit will carry.
+    pub fn next_seq(&self) -> u16 {
+        self.next_seq
+    }
+
+    /// Number of messages waiting to be flitized.
+    pub fn backlog(&self) -> usize {
+        self.pending_msgs.len()
+    }
+
+    /// Number of unacknowledged flits currently held for replay.
+    pub fn in_flight(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// `true` if the transmitter has nothing left to send or await.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending_msgs.is_empty()
+            && self.retransmit_queue.is_empty()
+            && self.replay.is_empty()
+            && self.pending_ack.is_none()
+            && self.pending_nack.is_none()
+    }
+
+    /// Queues transaction messages for transmission.
+    pub fn enqueue_messages<I: IntoIterator<Item = Message>>(&mut self, msgs: I) {
+        self.pending_msgs.extend(msgs);
+    }
+
+    /// Requests that an acknowledgement for `seq` be conveyed to the peer
+    /// (called by the co-located receiver).
+    pub fn queue_ack(&mut self, seq: u16) {
+        self.pending_ack = Some(seq);
+    }
+
+    /// Requests that a NACK for "last good = `last_good`" be conveyed to the
+    /// peer (called by the co-located receiver).
+    pub fn queue_nack(&mut self, last_good: u16) {
+        self.pending_nack = Some(last_good);
+    }
+
+    /// Handles a cumulative acknowledgement received from the peer.
+    pub fn handle_peer_ack(&mut self, ack_seq: u16, now_ns: f64) {
+        let released = self.replay.ack_up_to(ack_seq);
+        if released > 0 {
+            self.last_progress_ns = now_ns;
+        }
+    }
+
+    /// Handles a go-back-N NACK received from the peer: the NACK's
+    /// "last good" value is a cumulative acknowledgement of everything up to
+    /// and including it, and everything after it is scheduled for
+    /// retransmission.
+    pub fn handle_peer_nack(&mut self, last_good: u16, now_ns: f64) {
+        let released = self.replay.ack_up_to(last_good);
+        let from = seq_next(last_good);
+        let replay = self.replay.replay_from(from);
+        if !replay.is_empty() || released > 0 {
+            self.retransmit_queue = replay.into();
+            self.last_progress_ns = now_ns;
+        }
+    }
+
+    fn encode(&self, flit: &Flit256, seq: u16) -> WireFlit {
+        match &self.codec {
+            Codec::Cxl(c) => c.encode(flit),
+            Codec::Rxl(c) => c.encode(flit, seq),
+        }
+    }
+
+    /// Encodes a control flit (NACK or standalone ACK). Control flits live
+    /// outside the transport sequence space, so RXL binds them to sequence 0.
+    fn encode_control(&self, flit: &Flit256) -> WireFlit {
+        match &self.codec {
+            Codec::Cxl(c) => c.encode(flit),
+            Codec::Rxl(c) => c.encode(flit, 0),
+        }
+    }
+
+    /// Produces the emission for the current transmit slot.
+    pub fn emit(&mut self, now_ns: f64) -> TxEmission {
+        // 1. NACKs are the most urgent: the peer is stalled until it rewinds.
+        if let Some(last_good) = self.pending_nack.take() {
+            let flit = Flit256::new(FlitHeader::nack_go_back_n(last_good));
+            let wire = self.encode_control(&flit);
+            self.stats.nacks_sent += 1;
+            return TxEmission::Nack {
+                wire: Box::new(wire),
+                last_good,
+            };
+        }
+
+        // 2. Watchdog: if nothing has progressed for too long while flits are
+        //    outstanding, replay everything unacknowledged.
+        if self.retransmit_queue.is_empty()
+            && !self.replay.is_empty()
+            && now_ns - self.last_progress_ns > self.config.replay_timeout_ns
+        {
+            if let Some(oldest) = self.replay.oldest_seq() {
+                self.retransmit_queue = self.replay.replay_from(oldest).into();
+            }
+            self.last_progress_ns = now_ns;
+        }
+
+        // 3. Pending retransmissions.
+        if let Some((seq, flit)) = self.retransmit_queue.pop_front() {
+            let wire = self.encode(&flit, seq);
+            self.stats.flits_retransmitted += 1;
+            return TxEmission::Protocol {
+                wire: Box::new(wire),
+                seq,
+                retransmission: true,
+            };
+        }
+
+        // 4. New protocol flits (with ACK piggybacking where the variant
+        //    allows it).
+        if !self.pending_msgs.is_empty() && !self.replay.is_full() {
+            let count = self.pending_msgs.len().min(MESSAGES_PER_FLIT);
+            let msgs: Vec<Message> = self.pending_msgs.drain(..count).collect();
+            let seq = self.next_seq;
+
+            let header = if self.config.variant.piggybacks_acks() {
+                if let Some(ack) = self.pending_ack.take() {
+                    self.stats.acks_sent += 1;
+                    FlitHeader::ack(ack)
+                } else {
+                    self.default_protocol_header(seq)
+                }
+            } else {
+                self.default_protocol_header(seq)
+            };
+
+            let mut flit = Flit256::new(header);
+            flit.pack_messages(&msgs)
+                .expect("message count bounded by MESSAGES_PER_FLIT");
+            let wire = self.encode(&flit, seq);
+            self.replay.push(seq, flit);
+            self.next_seq = seq_next(seq);
+            self.stats.flits_sent += 1;
+            self.last_progress_ns = now_ns;
+            return TxEmission::Protocol {
+                wire: Box::new(wire),
+                seq,
+                retransmission: false,
+            };
+        }
+
+        // 5. Acknowledgements with no outgoing payload to ride on (or a
+        //    variant that never piggybacks) go out as standalone ACK flits.
+        if let Some(ack) = self.pending_ack.take() {
+            let flit = Flit256::new(FlitHeader::standalone_ack(ack));
+            let wire = self.encode_control(&flit);
+            self.stats.standalone_acks_sent += 1;
+            self.stats.acks_sent += 1;
+            return TxEmission::StandaloneAck {
+                wire: Box::new(wire),
+                ack,
+            };
+        }
+
+        self.stats.idle_flits_sent += 1;
+        TxEmission::Idle
+    }
+
+    fn default_protocol_header(&self, seq: u16) -> FlitHeader {
+        match self.config.variant {
+            // Baseline CXL carries the explicit sequence number.
+            ProtocolVariant::CxlPiggyback | ProtocolVariant::CxlStandaloneAck => {
+                FlitHeader::with_seq(seq)
+            }
+            // RXL leaves the FSN field zeroed; the sequence rides in the ECRC.
+            ProtocolVariant::Rxl => FlitHeader::with_seq(0),
+        }
+    }
+
+    /// Sequence number of the most recently transmitted new flit, if any.
+    pub fn last_sent_seq(&self) -> Option<u16> {
+        if self.stats.flits_sent == 0 {
+            None
+        } else {
+            Some(seq_add(self.next_seq, -1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxl_flit::MemOp;
+
+    fn msgs(n: usize) -> Vec<Message> {
+        (0..n)
+            .map(|i| Message::request(MemOp::RdCurr, (i * 64) as u64, 0, i as u16))
+            .collect()
+    }
+
+    fn tx(variant: ProtocolVariant) -> LinkTx {
+        LinkTx::new(LinkConfig::cxl3_x16(variant))
+    }
+
+    #[test]
+    fn idle_when_nothing_pending() {
+        let mut t = tx(ProtocolVariant::CxlPiggyback);
+        assert!(t.emit(0.0).is_idle());
+        assert!(t.is_quiescent());
+    }
+
+    #[test]
+    fn new_flits_consume_sequence_numbers_in_order() {
+        let mut t = tx(ProtocolVariant::CxlPiggyback);
+        t.enqueue_messages(msgs(40));
+        let mut seqs = Vec::new();
+        loop {
+            match t.emit(0.0) {
+                TxEmission::Protocol { seq, retransmission, .. } => {
+                    assert!(!retransmission);
+                    seqs.push(seq);
+                }
+                TxEmission::Idle => break,
+                other => panic!("unexpected emission {other:?}"),
+            }
+        }
+        // 40 messages → 3 flits (15 + 15 + 10).
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(t.backlog(), 0);
+        assert_eq!(t.in_flight(), 3);
+        assert_eq!(t.last_sent_seq(), Some(2));
+    }
+
+    #[test]
+    fn ack_releases_replay_buffer() {
+        let mut t = tx(ProtocolVariant::CxlPiggyback);
+        t.enqueue_messages(msgs(30));
+        while !t.emit(0.0).is_idle() {}
+        assert_eq!(t.in_flight(), 2);
+        t.handle_peer_ack(0, 10.0);
+        assert_eq!(t.in_flight(), 1);
+        t.handle_peer_ack(1, 12.0);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn nack_triggers_go_back_n_replay() {
+        let mut t = tx(ProtocolVariant::Rxl);
+        t.enqueue_messages(msgs(45));
+        while !t.emit(0.0).is_idle() {}
+        assert_eq!(t.in_flight(), 3);
+        // Peer says: last good was 0 → resend 1 and 2.
+        t.handle_peer_nack(0, 50.0);
+        let mut replayed = Vec::new();
+        loop {
+            match t.emit(51.0) {
+                TxEmission::Protocol { seq, retransmission, .. } => {
+                    assert!(retransmission);
+                    replayed.push(seq);
+                }
+                TxEmission::Idle => break,
+                other => panic!("unexpected emission {other:?}"),
+            }
+        }
+        assert_eq!(replayed, vec![1, 2]);
+        assert_eq!(t.stats().flits_retransmitted, 2);
+    }
+
+    #[test]
+    fn piggyback_variant_attaches_ack_to_protocol_flit() {
+        let mut t = tx(ProtocolVariant::CxlPiggyback);
+        t.queue_ack(100);
+        t.enqueue_messages(msgs(1));
+        match t.emit(0.0) {
+            TxEmission::Protocol { wire, .. } => {
+                let codec = CxlFlitCodec::new();
+                let out = codec.decode(&wire);
+                let flit = out.flit.unwrap();
+                assert_eq!(flit.header.fsn, 100);
+                assert_eq!(flit.header.replay_cmd, rxl_flit::ReplayCmd::Ack);
+            }
+            other => panic!("unexpected emission {other:?}"),
+        }
+        assert_eq!(t.stats().acks_sent, 1);
+    }
+
+    #[test]
+    fn standalone_variant_never_piggybacks() {
+        let mut t = tx(ProtocolVariant::CxlStandaloneAck);
+        t.queue_ack(7);
+        t.enqueue_messages(msgs(1));
+        // The protocol flit goes out with its own sequence number...
+        match t.emit(0.0) {
+            TxEmission::Protocol { wire, seq, .. } => {
+                let codec = CxlFlitCodec::new();
+                let flit = codec.decode(&wire).flit.unwrap();
+                assert_eq!(flit.header.fsn, seq);
+                assert!(flit.header.carries_own_sequence());
+            }
+            other => panic!("unexpected emission {other:?}"),
+        }
+        // ... and the acknowledgement follows as a standalone flit.
+        match t.emit(2.0) {
+            TxEmission::StandaloneAck { ack, .. } => assert_eq!(ack, 7),
+            other => panic!("unexpected emission {other:?}"),
+        }
+        assert_eq!(t.stats().standalone_acks_sent, 1);
+    }
+
+    #[test]
+    fn nack_control_flit_is_emitted_first() {
+        let mut t = tx(ProtocolVariant::Rxl);
+        t.enqueue_messages(msgs(5));
+        t.queue_nack(42);
+        match t.emit(0.0) {
+            TxEmission::Nack { last_good, wire } => {
+                assert_eq!(last_good, 42);
+                let codec = RxlFlitCodec::new();
+                let out = codec.decode(&wire, 0);
+                assert!(out.accepted());
+                let flit = out.flit.unwrap();
+                assert_eq!(flit.header.replay_cmd, rxl_flit::ReplayCmd::NackGoBackN);
+                assert_eq!(flit.header.fsn, 42);
+            }
+            other => panic!("unexpected emission {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_timeout_replays_unacknowledged_flits() {
+        let mut t = tx(ProtocolVariant::Rxl);
+        t.enqueue_messages(msgs(20));
+        while !t.emit(0.0).is_idle() {}
+        assert_eq!(t.in_flight(), 2);
+        // Nothing happens before the timeout elapses...
+        assert!(t.emit(100.0).is_idle());
+        // ...but after the watchdog fires the whole window is replayed.
+        let timeout = t.config().replay_timeout_ns;
+        match t.emit(timeout + 200.0) {
+            TxEmission::Protocol { retransmission, seq, .. } => {
+                assert!(retransmission);
+                assert_eq!(seq, 0);
+            }
+            other => panic!("unexpected emission {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rxl_protocol_flits_keep_fsn_zero_unless_piggybacking() {
+        let mut t = tx(ProtocolVariant::Rxl);
+        t.enqueue_messages(msgs(1));
+        match t.emit(0.0) {
+            TxEmission::Protocol { wire, seq, .. } => {
+                let codec = RxlFlitCodec::new();
+                let out = codec.decode(&wire, seq);
+                assert!(out.accepted());
+                let flit = out.flit.unwrap();
+                assert_eq!(flit.header.fsn, 0, "RXL must not spend header bits on the sequence");
+            }
+            other => panic!("unexpected emission {other:?}"),
+        }
+    }
+}

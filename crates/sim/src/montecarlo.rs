@@ -1,0 +1,182 @@
+//! Parallel Monte-Carlo execution of independent path-simulation trials.
+//!
+//! Each trial runs the same configuration with a different RNG seed; trials
+//! are embarrassingly parallel and are distributed across cores with rayon.
+//! The aggregate report keeps both summed counters and per-trial rates so
+//! harnesses can print means with confidence intervals.
+
+use rayon::prelude::*;
+
+use rxl_flit::Message;
+use rxl_link::LinkStats;
+use rxl_switch::SwitchStats;
+use rxl_transport::FailureCounts;
+
+use crate::path::{PathSim, SimConfig};
+use crate::report::SimReport;
+
+/// A Monte-Carlo experiment: one configuration, many seeds.
+#[derive(Clone, Debug)]
+pub struct MonteCarlo {
+    config: SimConfig,
+    trials: u64,
+    base_seed: u64,
+}
+
+/// Aggregate results over all trials.
+#[derive(Clone, Debug, Default)]
+pub struct MonteCarloReport {
+    /// Number of trials executed.
+    pub trials: u64,
+    /// Summed failure counts over both directions of every trial.
+    pub failures: FailureCounts,
+    /// Summed link statistics (host + device) over every trial.
+    pub links: LinkStats,
+    /// Summed switch statistics over every trial.
+    pub switches: SwitchStats,
+    /// Number of trials that drained before their slot limit.
+    pub drained_trials: u64,
+    /// Per-trial ordering failure rates (for dispersion estimates).
+    pub ordering_rates: Vec<f64>,
+    /// Per-trial bandwidth overheads.
+    pub bandwidth_overheads: Vec<f64>,
+}
+
+impl MonteCarloReport {
+    /// Mean of the per-trial ordering failure rates.
+    pub fn mean_ordering_rate(&self) -> f64 {
+        mean(&self.ordering_rates)
+    }
+
+    /// Mean of the per-trial bandwidth overheads.
+    pub fn mean_bandwidth_overhead(&self) -> f64 {
+        mean(&self.bandwidth_overheads)
+    }
+
+    /// Standard error of the per-trial ordering failure rates.
+    pub fn ordering_rate_stderr(&self) -> f64 {
+        stderr(&self.ordering_rates)
+    }
+
+    /// Probability (over delivered messages, pooled across trials) that a
+    /// message experienced any failure.
+    pub fn pooled_failure_rate(&self) -> f64 {
+        self.failures.failure_rate()
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn stderr(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    (var / xs.len() as f64).sqrt()
+}
+
+impl MonteCarlo {
+    /// Creates an experiment running `trials` independent trials of `config`.
+    pub fn new(config: SimConfig, trials: u64) -> Self {
+        MonteCarlo {
+            config,
+            trials,
+            base_seed: config.seed,
+        }
+    }
+
+    /// Number of trials configured.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Runs every trial (in parallel) with the given per-direction workloads
+    /// and aggregates the results.
+    pub fn run(&self, downstream: &[Message], upstream: &[Message]) -> MonteCarloReport {
+        let reports: Vec<SimReport> = (0..self.trials)
+            .into_par_iter()
+            .map(|trial| {
+                let config = self.config.with_seed(self.base_seed.wrapping_add(trial * 0x9E37_79B9));
+                PathSim::new(config).run(downstream, upstream)
+            })
+            .collect();
+        self.aggregate(reports)
+    }
+
+    fn aggregate(&self, reports: Vec<SimReport>) -> MonteCarloReport {
+        let mut agg = MonteCarloReport {
+            trials: reports.len() as u64,
+            ..Default::default()
+        };
+        for r in reports {
+            agg.failures.merge(&r.total_failures());
+            agg.links.merge(&r.host_link);
+            agg.links.merge(&r.device_link);
+            agg.switches.merge(&r.switches);
+            if r.drained {
+                agg.drained_trials += 1;
+            }
+            agg.ordering_rates.push(r.ordering_failure_rate());
+            agg.bandwidth_overheads.push(r.bandwidth_overhead());
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use crate::workload::{request_stream, response_stream, TrafficPattern};
+    use rxl_link::{ChannelErrorModel, ProtocolVariant};
+
+    #[test]
+    fn clean_channel_yields_zero_failures_across_trials() {
+        let config = SimConfig::new(ProtocolVariant::Rxl, 1).with_channel(ChannelErrorModel::ideal());
+        let mc = MonteCarlo::new(config, 4);
+        let down = request_stream(60, TrafficPattern::Reads { cqids: 2 }, 5);
+        let up = response_stream(30, 2, 6);
+        let report = mc.run(&down, &up);
+        assert_eq!(report.trials, 4);
+        assert_eq!(report.drained_trials, 4);
+        assert!(report.failures.is_clean());
+        assert_eq!(report.mean_ordering_rate(), 0.0);
+        assert_eq!(report.pooled_failure_rate(), 0.0);
+        assert_eq!(report.ordering_rates.len(), 4);
+    }
+
+    #[test]
+    fn trials_use_distinct_seeds_and_aggregate_counts() {
+        let config = SimConfig::new(ProtocolVariant::Rxl, 1)
+            .with_channel(ChannelErrorModel::random(3e-4));
+        let mc = MonteCarlo::new(config, 3);
+        let down = request_stream(150, TrafficPattern::Reads { cqids: 4 }, 9);
+        let up = response_stream(50, 4, 10);
+        let report = mc.run(&down, &up);
+        assert_eq!(report.trials, 3);
+        // Total clean deliveries should be close to 3 × (150 + 50); RXL never
+        // fails, it only retries.
+        assert_eq!(report.failures.clean_deliveries, 3 * 200);
+        assert!(report.links.flits_sent > 0);
+        assert!(report.switches.flits_in > 0);
+    }
+
+    #[test]
+    fn statistics_helpers_behave() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stderr(&[1.0]), 0.0);
+        assert!(stderr(&[1.0, 3.0]) > 0.0);
+        let mc_cfg = SimConfig {
+            topology: Topology::Direct,
+            ..SimConfig::new(ProtocolVariant::Rxl, 0)
+        };
+        assert_eq!(MonteCarlo::new(mc_cfg, 7).trials(), 7);
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-trial simulation results.
+
+use rxl_link::LinkStats;
+use rxl_switch::SwitchStats;
+use rxl_transport::FailureCounts;
+
+/// The outcome of one path-simulation trial.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Failure audit of the downstream (host → device) message stream.
+    pub downstream: FailureCounts,
+    /// Failure audit of the upstream (device → host) message stream.
+    pub upstream: FailureCounts,
+    /// Link-layer counters at the host endpoint.
+    pub host_link: LinkStats,
+    /// Link-layer counters at the device endpoint.
+    pub device_link: LinkStats,
+    /// Merged counters of every switch on the path.
+    pub switches: SwitchStats,
+    /// Number of transmit slots simulated.
+    pub slots: u64,
+    /// Simulated time, in nanoseconds.
+    pub sim_time_ns: f64,
+    /// `true` if all traffic drained (both endpoints quiescent) before the
+    /// slot limit was reached.
+    pub drained: bool,
+}
+
+impl SimReport {
+    /// Combined failure counts over both directions.
+    pub fn total_failures(&self) -> FailureCounts {
+        let mut f = self.downstream;
+        f.merge(&self.upstream);
+        f
+    }
+
+    /// Total protocol flits put on the wire by both endpoints (first
+    /// transmissions only).
+    pub fn payload_flits(&self) -> u64 {
+        self.host_link.flits_sent + self.device_link.flits_sent
+    }
+
+    /// Total wire flits including retransmissions and control flits.
+    pub fn wire_flits(&self) -> u64 {
+        self.host_link.total_wire_flits() + self.device_link.total_wire_flits()
+            - self.host_link.idle_flits_sent
+            - self.device_link.idle_flits_sent
+    }
+
+    /// Fraction of non-idle wire flits that were not first-time payload
+    /// flits — the simulated counterpart of the paper's bandwidth loss.
+    pub fn bandwidth_overhead(&self) -> f64 {
+        let wire = self.wire_flits();
+        if wire == 0 {
+            return 0.0;
+        }
+        1.0 - self.payload_flits() as f64 / wire as f64
+    }
+
+    /// Ordering failures per delivered message, across both directions.
+    pub fn ordering_failure_rate(&self) -> f64 {
+        let totals = self.total_failures();
+        let delivered = totals.clean_deliveries
+            + totals.ordering_failures
+            + totals.duplicate_deliveries
+            + totals.data_failures;
+        if delivered == 0 {
+            return 0.0;
+        }
+        totals.ordering_failures as f64 / delivered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_helpers() {
+        let report = SimReport {
+            downstream: FailureCounts {
+                clean_deliveries: 90,
+                ordering_failures: 10,
+                ..Default::default()
+            },
+            upstream: FailureCounts {
+                clean_deliveries: 100,
+                ..Default::default()
+            },
+            host_link: LinkStats {
+                flits_sent: 50,
+                flits_retransmitted: 5,
+                idle_flits_sent: 3,
+                ..Default::default()
+            },
+            device_link: LinkStats {
+                flits_sent: 45,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_eq!(report.total_failures().clean_deliveries, 190);
+        assert_eq!(report.payload_flits(), 95);
+        assert_eq!(report.wire_flits(), 100);
+        assert!((report.bandwidth_overhead() - 0.05).abs() < 1e-12);
+        assert!((report.ordering_failure_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SimReport::default();
+        assert_eq!(r.bandwidth_overhead(), 0.0);
+        assert_eq!(r.ordering_failure_rate(), 0.0);
+        assert!(r.total_failures().is_clean());
+    }
+}

@@ -1,0 +1,75 @@
+//! Path topologies: direct connection or a chain of switching levels.
+
+/// The interconnect path between one host and one device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// Host and device share a single link (Section 7.1.1 of the paper).
+    Direct,
+    /// Host and device communicate through `levels` cascaded switches
+    /// (Sections 7.1.2–7.1.4). `SwitchChain { levels: 1 }` is the paper's
+    /// single-level switched configuration.
+    SwitchChain {
+        /// Number of switching devices on the path.
+        levels: u32,
+    },
+}
+
+impl Topology {
+    /// Builds a topology from a switching-level count (0 = direct).
+    pub fn from_levels(levels: u32) -> Self {
+        if levels == 0 {
+            Topology::Direct
+        } else {
+            Topology::SwitchChain { levels }
+        }
+    }
+
+    /// Number of switching devices on the path.
+    pub fn levels(&self) -> u32 {
+        match self {
+            Topology::Direct => 0,
+            Topology::SwitchChain { levels } => *levels,
+        }
+    }
+
+    /// Number of physical links the path traverses.
+    pub fn links(&self) -> u32 {
+        self.levels() + 1
+    }
+
+    /// Human-readable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Topology::Direct => "direct".to_string(),
+            Topology::SwitchChain { levels } => format!("{levels}-level switched"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_and_links() {
+        assert_eq!(Topology::Direct.levels(), 0);
+        assert_eq!(Topology::Direct.links(), 1);
+        assert_eq!(Topology::SwitchChain { levels: 3 }.levels(), 3);
+        assert_eq!(Topology::SwitchChain { levels: 3 }.links(), 4);
+    }
+
+    #[test]
+    fn from_levels_round_trips() {
+        assert_eq!(Topology::from_levels(0), Topology::Direct);
+        assert_eq!(Topology::from_levels(2), Topology::SwitchChain { levels: 2 });
+        for l in 0..5 {
+            assert_eq!(Topology::from_levels(l).levels(), l);
+        }
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(Topology::Direct.label(), "direct");
+        assert_eq!(Topology::SwitchChain { levels: 2 }.label(), "2-level switched");
+    }
+}

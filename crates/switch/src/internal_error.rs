@@ -1,0 +1,119 @@
+//! Switch-internal error injection.
+//!
+//! Section 6.3 of the paper: errors can also arise *inside* switching devices
+//! (buffer corruption, switching-logic faults). Such errors occur after the
+//! ingress FEC decode and before the egress FEC re-encode, so no link-layer
+//! mechanism can observe them — only an end-to-end check at the endpoints
+//! can. This model injects that class of fault.
+
+use rand::Rng;
+
+/// Probability model for switch-internal corruption.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InternalErrorModel {
+    /// Probability that a forwarded flit is corrupted inside the switch.
+    pub per_flit_probability: f64,
+    /// Number of random bit flips applied when corruption occurs.
+    pub bits_per_event: u32,
+}
+
+impl InternalErrorModel {
+    /// A fault-free switch.
+    pub fn none() -> Self {
+        InternalErrorModel {
+            per_flit_probability: 0.0,
+            bits_per_event: 0,
+        }
+    }
+
+    /// A switch that corrupts flits with the given probability, flipping
+    /// `bits_per_event` bits each time.
+    pub fn new(per_flit_probability: f64, bits_per_event: u32) -> Self {
+        assert!((0.0..=1.0).contains(&per_flit_probability));
+        assert!(bits_per_event >= 1 || per_flit_probability == 0.0);
+        InternalErrorModel {
+            per_flit_probability,
+            bits_per_event,
+        }
+    }
+
+    /// Possibly corrupts `data` in place; returns `true` if corruption was
+    /// injected.
+    pub fn apply<R: Rng + ?Sized>(&self, data: &mut [u8], rng: &mut R) -> bool {
+        if self.per_flit_probability <= 0.0 || data.is_empty() {
+            return false;
+        }
+        if !rng.random_bool(self.per_flit_probability) {
+            return false;
+        }
+        let total_bits = data.len() * 8;
+        for _ in 0..self.bits_per_event {
+            let pos = rng.random_range(0..total_bits);
+            data[pos / 8] ^= 1 << (pos % 8);
+        }
+        true
+    }
+}
+
+impl Default for InternalErrorModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_corrupts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = InternalErrorModel::none();
+        let mut data = vec![0x11u8; 64];
+        for _ in 0..100 {
+            assert!(!model.apply(&mut data, &mut rng));
+        }
+        assert!(data.iter().all(|&b| b == 0x11));
+    }
+
+    #[test]
+    fn always_corrupts_at_probability_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = InternalErrorModel::new(1.0, 2);
+        let mut corrupted = 0;
+        for _ in 0..50 {
+            let mut data = vec![0u8; 64];
+            if model.apply(&mut data, &mut rng) {
+                corrupted += 1;
+                let flipped: u32 = data.iter().map(|b| b.count_ones()).sum();
+                // Two flips, possibly landing on the same bit twice.
+                assert!(flipped == 2 || flipped == 0);
+            }
+        }
+        assert_eq!(corrupted, 50);
+    }
+
+    #[test]
+    fn respects_the_configured_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = InternalErrorModel::new(0.2, 1);
+        let mut hits = 0;
+        let trials = 5000;
+        for _ in 0..trials {
+            let mut data = vec![0u8; 32];
+            if model.apply(&mut data, &mut rng) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.2).abs() < 0.03, "measured rate {rate}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_is_rejected() {
+        let _ = InternalErrorModel::new(1.5, 1);
+    }
+}

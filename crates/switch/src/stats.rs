@@ -1,0 +1,83 @@
+//! Per-switch statistics counters.
+
+/// Counters accumulated by one switching device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Flits received on any ingress port.
+    pub flits_in: u64,
+    /// Flits forwarded to an egress queue.
+    pub flits_forwarded: u64,
+    /// Flits in which the ingress FEC corrected at least one symbol.
+    pub flits_corrected: u64,
+    /// Flits silently dropped because the FEC reported an uncorrectable
+    /// pattern — the drops whose downstream consequences the paper analyses.
+    pub flits_dropped_uncorrectable: u64,
+    /// Flits dropped because no route existed for the ingress port.
+    pub flits_dropped_no_route: u64,
+    /// Flits dropped because the egress queue was full.
+    pub flits_dropped_queue_full: u64,
+    /// Flits corrupted by switch-internal faults after the FEC decode.
+    pub flits_internally_corrupted: u64,
+}
+
+impl SwitchStats {
+    /// Total flits dropped for any reason.
+    pub fn total_dropped(&self) -> u64 {
+        self.flits_dropped_uncorrectable + self.flits_dropped_no_route + self.flits_dropped_queue_full
+    }
+
+    /// Fraction of incoming flits that were silently dropped due to
+    /// uncorrectable errors.
+    pub fn drop_rate(&self) -> f64 {
+        if self.flits_in == 0 {
+            return 0.0;
+        }
+        self.flits_dropped_uncorrectable as f64 / self.flits_in as f64
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &SwitchStats) {
+        self.flits_in += other.flits_in;
+        self.flits_forwarded += other.flits_forwarded;
+        self.flits_corrected += other.flits_corrected;
+        self.flits_dropped_uncorrectable += other.flits_dropped_uncorrectable;
+        self.flits_dropped_no_route += other.flits_dropped_no_route;
+        self.flits_dropped_queue_full += other.flits_dropped_queue_full;
+        self.flits_internally_corrupted += other.flits_internally_corrupted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rates() {
+        let s = SwitchStats {
+            flits_in: 100,
+            flits_forwarded: 95,
+            flits_dropped_uncorrectable: 3,
+            flits_dropped_no_route: 1,
+            flits_dropped_queue_full: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.total_dropped(), 5);
+        assert!((s.drop_rate() - 0.03).abs() < 1e-12);
+        assert_eq!(SwitchStats::default().drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SwitchStats {
+            flits_in: 10,
+            ..Default::default()
+        };
+        a.merge(&SwitchStats {
+            flits_in: 5,
+            flits_corrected: 2,
+            ..Default::default()
+        });
+        assert_eq!(a.flits_in, 15);
+        assert_eq!(a.flits_corrected, 2);
+    }
+}

@@ -1,0 +1,425 @@
+//! The switching-device model.
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+use rxl_crc::catalog::Crc64;
+use rxl_fec::InterleavedFec;
+use rxl_flit::{WireFlit, WIRE_FLIT_LEN};
+
+use crate::internal_error::InternalErrorModel;
+use crate::stats::SwitchStats;
+
+/// How the switch treats the 8-byte CRC field of forwarded flits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LinkCrcMode {
+    /// Baseline CXL: the CRC is a *link-layer* check, so the switch verifies
+    /// it on ingress, drops mismatching flits, and regenerates it on egress.
+    /// Corruption introduced inside the switch is therefore masked by the
+    /// freshly computed CRC and reaches the endpoint undetected.
+    Regenerate,
+    /// RXL: the CRC is a *transport-layer* (end-to-end) check. The switch
+    /// never touches it — it is just payload bytes to the FEC — so any
+    /// switch-internal corruption is still visible to the endpoint's ECRC.
+    #[default]
+    Passthrough,
+}
+
+/// Static configuration of one switch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SwitchConfig {
+    /// Number of ports.
+    pub ports: usize,
+    /// Capacity of each egress queue, in flits.
+    pub queue_capacity: usize,
+    /// Internal (post-FEC-decode) corruption model.
+    pub internal_error: InternalErrorModel,
+    /// CRC handling mode (CXL regenerates per hop; RXL passes it through).
+    pub crc_mode: LinkCrcMode,
+}
+
+impl SwitchConfig {
+    /// A small fault-free switch with the given port count (RXL-style
+    /// pass-through CRC handling).
+    pub fn simple(ports: usize) -> Self {
+        SwitchConfig {
+            ports,
+            queue_capacity: 64,
+            internal_error: InternalErrorModel::none(),
+            crc_mode: LinkCrcMode::Passthrough,
+        }
+    }
+
+    /// A fault-free switch that verifies and regenerates the link CRC per hop
+    /// (baseline CXL behaviour).
+    pub fn cxl(ports: usize) -> Self {
+        SwitchConfig {
+            crc_mode: LinkCrcMode::Regenerate,
+            ..Self::simple(ports)
+        }
+    }
+}
+
+/// What happened to one flit presented at an ingress port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngressOutcome {
+    /// The flit was (possibly corrected and) queued towards an egress port.
+    Forwarded {
+        /// The egress port the flit was queued on.
+        egress: usize,
+        /// Number of symbols the ingress FEC corrected.
+        corrected_symbols: usize,
+        /// `true` if switch-internal corruption was injected.
+        internally_corrupted: bool,
+    },
+    /// The FEC reported an uncorrectable pattern; the flit was silently
+    /// dropped (the originator is only notified out-of-band, if at all).
+    DroppedUncorrectable,
+    /// No route is configured for the ingress port.
+    DroppedNoRoute,
+    /// The egress queue was full.
+    DroppedQueueFull,
+}
+
+impl IngressOutcome {
+    /// `true` if the flit survived the switch.
+    pub fn forwarded(&self) -> bool {
+        matches!(self, IngressOutcome::Forwarded { .. })
+    }
+}
+
+/// A stateless, store-and-forward switching device.
+pub struct Switch {
+    config: SwitchConfig,
+    /// `routes[ingress]` names the egress port, if configured.
+    routes: Vec<Option<usize>>,
+    /// Per-egress-port output queues.
+    queues: Vec<VecDeque<WireFlit>>,
+    fec: InterleavedFec,
+    crc: Crc64,
+    stats: SwitchStats,
+}
+
+impl Switch {
+    /// Creates a switch with no routes configured.
+    pub fn new(config: SwitchConfig) -> Self {
+        assert!(config.ports >= 2, "a switch needs at least two ports");
+        assert!(config.queue_capacity >= 1);
+        Switch {
+            routes: vec![None; config.ports],
+            queues: (0..config.ports).map(|_| VecDeque::new()).collect(),
+            fec: InterleavedFec::cxl_flit(),
+            crc: Crc64::flit(),
+            stats: SwitchStats::default(),
+            config,
+        }
+    }
+
+    /// The switch configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SwitchStats {
+        &self.stats
+    }
+
+    /// Configures a unidirectional route from `ingress` to `egress`.
+    pub fn connect(&mut self, ingress: usize, egress: usize) {
+        assert!(ingress < self.config.ports && egress < self.config.ports);
+        assert_ne!(ingress, egress, "a port cannot route to itself");
+        self.routes[ingress] = Some(egress);
+    }
+
+    /// Configures a bidirectional route between two ports (the common
+    /// upstream/downstream pairing of a chain topology).
+    pub fn connect_duplex(&mut self, a: usize, b: usize) {
+        self.connect(a, b);
+        self.connect(b, a);
+    }
+
+    /// Presents one wire flit at `ingress`. The flit is FEC-decoded,
+    /// possibly internally corrupted, FEC-re-encoded and queued at the routed
+    /// egress port — or dropped.
+    pub fn ingress<R: Rng + ?Sized>(
+        &mut self,
+        ingress: usize,
+        wire: &WireFlit,
+        rng: &mut R,
+    ) -> IngressOutcome {
+        assert!(ingress < self.config.ports, "ingress port out of range");
+        self.stats.flits_in += 1;
+
+        let Some(egress) = self.routes[ingress] else {
+            self.stats.flits_dropped_no_route += 1;
+            return IngressOutcome::DroppedNoRoute;
+        };
+        if self.queues[egress].len() >= self.config.queue_capacity {
+            self.stats.flits_dropped_queue_full += 1;
+            return IngressOutcome::DroppedQueueFull;
+        }
+
+        // Link-layer FEC decode.
+        let mut block = wire.to_vec();
+        let fec_result = self.fec.decode(&mut block);
+        if !fec_result.accepted() {
+            // Silent drop: the defining behaviour of switched CXL fabrics.
+            self.stats.flits_dropped_uncorrectable += 1;
+            return IngressOutcome::DroppedUncorrectable;
+        }
+        let corrected_symbols = fec_result.outcome.corrected_symbols();
+        if corrected_symbols > 0 {
+            self.stats.flits_corrected += 1;
+        }
+
+        let data_len = self.fec.data_len();
+        let crc_offset = data_len - 8;
+
+        // Baseline CXL switches also verify the link CRC on ingress and drop
+        // flits that fail it (the CRC covers errors the FEC miscorrected).
+        if self.config.crc_mode == LinkCrcMode::Regenerate {
+            let expected = self.crc.checksum(&block[..crc_offset]);
+            let received = u64::from_le_bytes(block[crc_offset..data_len].try_into().unwrap());
+            if expected != received {
+                self.stats.flits_dropped_uncorrectable += 1;
+                return IngressOutcome::DroppedUncorrectable;
+            }
+        }
+
+        // Switch-internal faults strike the *decoded* block, i.e. after the
+        // ingress FEC can help and before the egress FEC is recomputed.
+        let internally_corrupted = self
+            .config
+            .internal_error
+            .apply(&mut block[..crc_offset], rng);
+        if internally_corrupted {
+            self.stats.flits_internally_corrupted += 1;
+        }
+
+        // Per-hop CRC regeneration (CXL) masks whatever happened inside the
+        // switch; pass-through (RXL) leaves the originator's ECRC intact.
+        if self.config.crc_mode == LinkCrcMode::Regenerate {
+            let fresh = self.crc.checksum(&block[..crc_offset]);
+            block[crc_offset..data_len].copy_from_slice(&fresh.to_le_bytes());
+        }
+
+        // Egress FEC re-encode and enqueue.
+        let reencoded = self.fec.encode(&block[..data_len]);
+        let mut out = [0u8; WIRE_FLIT_LEN];
+        out.copy_from_slice(&reencoded);
+        self.queues[egress].push_back(out);
+        self.stats.flits_forwarded += 1;
+        IngressOutcome::Forwarded {
+            egress,
+            corrected_symbols,
+            internally_corrupted,
+        }
+    }
+
+    /// Pops the next flit waiting to be transmitted on `egress`, if any.
+    pub fn egress(&mut self, egress: usize) -> Option<WireFlit> {
+        assert!(egress < self.config.ports, "egress port out of range");
+        self.queues[egress].pop_front()
+    }
+
+    /// Number of flits currently queued on `egress`.
+    pub fn queue_depth(&self, egress: usize) -> usize {
+        self.queues[egress].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rxl_flit::{CxlFlitCodec, Flit256, FlitHeader, MemOp, Message};
+
+    fn wire_flit(tag: u16) -> WireFlit {
+        let codec = CxlFlitCodec::new();
+        let mut flit = Flit256::new(FlitHeader::with_seq(tag));
+        flit.pack_messages(&[Message::request(MemOp::RdCurr, tag as u64 * 64, 0, tag)])
+            .unwrap();
+        codec.encode(&flit)
+    }
+
+    #[test]
+    fn clean_flits_are_forwarded_unmodified() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sw = Switch::new(SwitchConfig::simple(2));
+        sw.connect_duplex(0, 1);
+        let wire = wire_flit(7);
+        let outcome = sw.ingress(0, &wire, &mut rng);
+        assert_eq!(
+            outcome,
+            IngressOutcome::Forwarded {
+                egress: 1,
+                corrected_symbols: 0,
+                internally_corrupted: false
+            }
+        );
+        let forwarded = sw.egress(1).expect("flit must be queued");
+        assert_eq!(forwarded, wire, "a clean flit must be forwarded bit-exactly");
+        assert!(sw.egress(1).is_none());
+        assert_eq!(sw.stats().flits_forwarded, 1);
+    }
+
+    #[test]
+    fn correctable_errors_are_repaired_before_forwarding() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sw = Switch::new(SwitchConfig::simple(2));
+        sw.connect_duplex(0, 1);
+        let clean = wire_flit(9);
+        let mut corrupted = clean;
+        corrupted[100] ^= 0xFF;
+        corrupted[101] ^= 0x0F;
+        match sw.ingress(0, &corrupted, &mut rng) {
+            IngressOutcome::Forwarded {
+                corrected_symbols, ..
+            } => assert_eq!(corrected_symbols, 2),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let forwarded = sw.egress(1).unwrap();
+        assert_eq!(forwarded, clean, "the switch must forward the repaired flit");
+        assert_eq!(sw.stats().flits_corrected, 1);
+    }
+
+    #[test]
+    fn uncorrectable_flits_are_silently_dropped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sw = Switch::new(SwitchConfig::simple(2));
+        sw.connect_duplex(0, 1);
+        let mut wire = wire_flit(3);
+        // Equal-magnitude double error in one FEC way → uncorrectable.
+        wire[0] ^= 0x5A;
+        wire[3] ^= 0x5A;
+        assert_eq!(sw.ingress(0, &wire, &mut rng), IngressOutcome::DroppedUncorrectable);
+        assert!(sw.egress(1).is_none());
+        assert_eq!(sw.stats().flits_dropped_uncorrectable, 1);
+        assert!((sw.stats().drop_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrouted_ports_drop_with_a_distinct_reason() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sw = Switch::new(SwitchConfig::simple(4));
+        sw.connect(0, 1);
+        let wire = wire_flit(1);
+        assert_eq!(sw.ingress(2, &wire, &mut rng), IngressOutcome::DroppedNoRoute);
+        assert_eq!(sw.stats().flits_dropped_no_route, 1);
+    }
+
+    #[test]
+    fn full_queues_exert_drop_based_backpressure() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sw = Switch::new(SwitchConfig {
+            queue_capacity: 2,
+            ..SwitchConfig::simple(2)
+        });
+        sw.connect_duplex(0, 1);
+        let wire = wire_flit(0);
+        assert!(sw.ingress(0, &wire, &mut rng).forwarded());
+        assert!(sw.ingress(0, &wire, &mut rng).forwarded());
+        assert_eq!(sw.ingress(0, &wire, &mut rng), IngressOutcome::DroppedQueueFull);
+        assert_eq!(sw.queue_depth(1), 2);
+    }
+
+    #[test]
+    fn internal_corruption_is_invisible_to_downstream_fec() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sw = Switch::new(SwitchConfig {
+            internal_error: InternalErrorModel::new(1.0, 1),
+            ..SwitchConfig::simple(2)
+        });
+        sw.connect_duplex(0, 1);
+        let clean = wire_flit(11);
+        match sw.ingress(0, &clean, &mut rng) {
+            IngressOutcome::Forwarded {
+                internally_corrupted,
+                ..
+            } => assert!(internally_corrupted),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let forwarded = sw.egress(1).unwrap();
+        assert_ne!(forwarded, clean, "internal corruption must have altered the flit");
+        // The corrupted flit still passes a *downstream* FEC check, because
+        // the switch re-encoded the FEC over the corrupted data. Only an
+        // end-to-end CRC can catch this (Section 6.3 of the paper).
+        let fec = rxl_fec::InterleavedFec::cxl_flit();
+        let mut block = forwarded.to_vec();
+        assert!(fec.decode(&mut block).accepted());
+        // And the CXL link CRC (computed by the original endpoint) does
+        // catch it, since the payload no longer matches.
+        let codec = CxlFlitCodec::new();
+        let out = codec.decode(&forwarded);
+        assert!(out.fec.accepted());
+        assert!(!out.crc_ok);
+    }
+
+    #[test]
+    fn cxl_crc_regeneration_masks_internal_corruption() {
+        // In Regenerate mode (baseline CXL), the switch recomputes the link
+        // CRC after its internal corruption, so the downstream endpoint's CRC
+        // check passes even though the payload is wrong — exactly the gap the
+        // paper closes by elevating the CRC to the transport layer.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut sw = Switch::new(SwitchConfig {
+            internal_error: InternalErrorModel::new(1.0, 1),
+            ..SwitchConfig::cxl(2)
+        });
+        sw.connect_duplex(0, 1);
+        let clean = wire_flit(12);
+        assert!(sw.ingress(0, &clean, &mut rng).forwarded());
+        let forwarded = sw.egress(1).unwrap();
+        assert_ne!(forwarded, clean);
+        let codec = CxlFlitCodec::new();
+        let out = codec.decode(&forwarded);
+        assert!(out.accepted(), "regenerated CRC hides the corruption from CXL");
+        assert_ne!(
+            out.flit.unwrap().payload,
+            codec.decode(&clean).flit.unwrap().payload
+        );
+    }
+
+    #[test]
+    fn cxl_switch_drops_flits_whose_link_crc_fails() {
+        // A flit whose FEC decodes but whose CRC mismatches (e.g. an FEC
+        // miscorrection upstream) is dropped by a CXL switch on ingress.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sw = Switch::new(SwitchConfig::cxl(2));
+        sw.connect_duplex(0, 1);
+        // Build a wire image whose CRC field is wrong but whose FEC is valid.
+        let clean = wire_flit(13);
+        let fec = rxl_fec::InterleavedFec::cxl_flit();
+        let mut block = clean.to_vec();
+        assert!(fec.decode(&mut block).accepted());
+        block[242] ^= 0xFF; // corrupt the stored CRC itself
+        let reencoded = fec.encode(&block[..250]);
+        let mut tampered = [0u8; WIRE_FLIT_LEN];
+        tampered.copy_from_slice(&reencoded);
+        assert_eq!(
+            sw.ingress(0, &tampered, &mut rng),
+            IngressOutcome::DroppedUncorrectable
+        );
+        // A pass-through (RXL) switch would have forwarded it for the
+        // endpoint to judge.
+        let mut rxl_sw = Switch::new(SwitchConfig::simple(2));
+        rxl_sw.connect_duplex(0, 1);
+        assert!(rxl_sw.ingress(0, &tampered, &mut rng).forwarded());
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_routes_are_rejected() {
+        let mut sw = Switch::new(SwitchConfig::simple(2));
+        sw.connect(1, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_ports_are_rejected() {
+        let mut sw = Switch::new(SwitchConfig::simple(2));
+        sw.connect(0, 5);
+    }
+}

@@ -1,0 +1,311 @@
+//! The delivery auditor: ground-truth classification of what the link layer
+//! handed to the application.
+//!
+//! The auditor is the measurement instrument behind every failure-rate
+//! experiment: the workload registers each message when it is submitted for
+//! transmission, and the receiving endpoint reports each message the link
+//! layer forwarded. The auditor then classifies deliveries into the paper's
+//! failure categories (Section 7.1, Fig. 5):
+//!
+//! * **in order** — the message is the next undelivered one of its CQID,
+//! * **out of order** — an earlier message of the same CQID is still missing
+//!   (`Fail_order`),
+//! * **duplicate** — the message was already delivered (Fig. 5a),
+//! * **corrupted** — the content differs from what was sent (`Fail_data`),
+//! * **unexpected** — the message was never sent at all (also `Fail_data`),
+//! * **lost** — counted at the end for sent messages never delivered.
+
+use std::collections::HashMap;
+
+use rxl_flit::Message;
+
+use crate::failure::FailureCounts;
+
+/// Classification of a single observed delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryVerdict {
+    /// Delivered exactly once, content intact, in CQID order.
+    InOrder,
+    /// Delivered while an earlier message of the same CQID is still missing.
+    OutOfOrder,
+    /// Delivered a second (or later) time.
+    Duplicate,
+    /// Content does not match what was sent.
+    Corrupted,
+    /// No such message was ever sent.
+    Unexpected,
+}
+
+/// Identity of a message for auditing purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct MessageKey {
+    cqid: u16,
+    tag: u16,
+    kind: u8,
+    chunk: u8,
+}
+
+fn key_of(msg: &Message) -> MessageKey {
+    let (kind, chunk) = match msg {
+        Message::Request { .. } => (0u8, 0u8),
+        Message::Response { .. } => (1, 0),
+        Message::DataHeader { .. } => (2, 0),
+        Message::Data { chunk_idx, .. } => (3, *chunk_idx),
+    };
+    MessageKey {
+        cqid: msg.cqid(),
+        tag: msg.tag(),
+        kind,
+        chunk,
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SentRecord {
+    message: Message,
+    /// Position of this message within its CQID's send order.
+    order: usize,
+    delivered: bool,
+}
+
+#[derive(Clone, Debug, Default)]
+struct CqidState {
+    sent_count: usize,
+    /// Lowest send-order index not yet delivered.
+    next_undelivered: usize,
+    /// Delivered flags indexed by send order.
+    delivered: Vec<bool>,
+}
+
+/// Ground-truth auditor for one direction of traffic.
+#[derive(Clone, Debug, Default)]
+pub struct DeliveryAuditor {
+    sent: HashMap<MessageKey, SentRecord>,
+    cqids: HashMap<u16, CqidState>,
+    counts: FailureCounts,
+}
+
+impl DeliveryAuditor {
+    /// Creates an empty auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a message that is about to be transmitted. Must be called in
+    /// transmit order.
+    pub fn record_sent(&mut self, msg: &Message) {
+        let key = key_of(msg);
+        let cq = self.cqids.entry(msg.cqid()).or_default();
+        let order = cq.sent_count;
+        cq.sent_count += 1;
+        cq.delivered.push(false);
+        let previous = self.sent.insert(
+            key,
+            SentRecord {
+                message: *msg,
+                order,
+                delivered: false,
+            },
+        );
+        assert!(
+            previous.is_none(),
+            "duplicate message identity registered: {key:?}"
+        );
+    }
+
+    /// Number of messages registered for transmission.
+    pub fn sent_count(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// Classifies one delivered message and updates the counters.
+    pub fn observe_delivery(&mut self, msg: &Message) -> DeliveryVerdict {
+        let key = key_of(msg);
+        let Some(record) = self.sent.get_mut(&key) else {
+            self.counts.data_failures += 1;
+            return DeliveryVerdict::Unexpected;
+        };
+        if record.delivered {
+            self.counts.duplicate_deliveries += 1;
+            return DeliveryVerdict::Duplicate;
+        }
+        record.delivered = true;
+        let order = record.order;
+        let intact = record.message == *msg;
+        let cq = self
+            .cqids
+            .get_mut(&msg.cqid())
+            .expect("CQID state exists for every sent message");
+        cq.delivered[order] = true;
+        let in_order = order == cq.next_undelivered;
+        // Advance the next-undelivered cursor over everything now delivered.
+        while cq.next_undelivered < cq.delivered.len() && cq.delivered[cq.next_undelivered] {
+            cq.next_undelivered += 1;
+        }
+
+        if !intact {
+            self.counts.data_failures += 1;
+            return DeliveryVerdict::Corrupted;
+        }
+        if !in_order {
+            self.counts.ordering_failures += 1;
+            return DeliveryVerdict::OutOfOrder;
+        }
+        self.counts.clean_deliveries += 1;
+        DeliveryVerdict::InOrder
+    }
+
+    /// Counters accumulated so far (losses not yet included).
+    pub fn counts(&self) -> &FailureCounts {
+        &self.counts
+    }
+
+    /// Closes the audit: every sent-but-undelivered message is counted as
+    /// lost. Returns the final counters.
+    pub fn finalize(mut self) -> FailureCounts {
+        let lost = self.sent.values().filter(|r| !r.delivered).count() as u64;
+        self.counts.lost_messages += lost;
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxl_flit::{MemOp, Message};
+
+    fn req(cqid: u16, tag: u16) -> Message {
+        Message::request(MemOp::RdCurr, tag as u64 * 64, cqid, tag)
+    }
+
+    fn data(cqid: u16, tag: u16, chunk: u8) -> Message {
+        Message::data(cqid, tag, chunk, [chunk; 8])
+    }
+
+    #[test]
+    fn clean_in_order_delivery() {
+        let mut a = DeliveryAuditor::new();
+        let msgs: Vec<Message> = (0..5).map(|i| req(1, i)).collect();
+        for m in &msgs {
+            a.record_sent(m);
+        }
+        for m in &msgs {
+            assert_eq!(a.observe_delivery(m), DeliveryVerdict::InOrder);
+        }
+        let counts = a.finalize();
+        assert!(counts.is_clean());
+        assert_eq!(counts.clean_deliveries, 5);
+    }
+
+    #[test]
+    fn duplicate_detection_matches_fig_5a() {
+        // Requests A, B, C; C is delivered, then the retry replays B and C:
+        // the second C is a duplicate.
+        let mut a = DeliveryAuditor::new();
+        let (ra, rb, rc) = (req(0, 0), req(1, 1), req(2, 2));
+        for m in [&ra, &rb, &rc] {
+            a.record_sent(m);
+        }
+        assert_eq!(a.observe_delivery(&ra), DeliveryVerdict::InOrder);
+        assert_eq!(a.observe_delivery(&rc), DeliveryVerdict::InOrder); // different CQID → in order
+        assert_eq!(a.observe_delivery(&rb), DeliveryVerdict::InOrder);
+        assert_eq!(a.observe_delivery(&rc), DeliveryVerdict::Duplicate);
+        let counts = a.finalize();
+        assert_eq!(counts.duplicate_deliveries, 1);
+        assert_eq!(counts.clean_deliveries, 3);
+        assert_eq!(counts.lost_messages, 0);
+    }
+
+    #[test]
+    fn same_cqid_reordering_matches_fig_5b() {
+        // Data B and C share a CQID and must arrive in order; delivering C
+        // before B is an ordering failure.
+        let mut a = DeliveryAuditor::new();
+        let b = data(7, 1, 0);
+        let c = data(7, 2, 0);
+        a.record_sent(&b);
+        a.record_sent(&c);
+        assert_eq!(a.observe_delivery(&c), DeliveryVerdict::OutOfOrder);
+        assert_eq!(a.observe_delivery(&b), DeliveryVerdict::InOrder);
+        let counts = a.finalize();
+        assert_eq!(counts.ordering_failures, 1);
+        assert_eq!(counts.clean_deliveries, 1);
+    }
+
+    #[test]
+    fn different_cqids_may_interleave_freely() {
+        let mut a = DeliveryAuditor::new();
+        let m1 = data(1, 1, 0);
+        let m2 = data(2, 2, 0);
+        let m3 = data(1, 3, 0);
+        for m in [&m1, &m2, &m3] {
+            a.record_sent(m);
+        }
+        // Delivery order m2, m1, m3 violates nothing: CQID 1 still sees m1
+        // before m3 and CQID 2 only has one message.
+        assert_eq!(a.observe_delivery(&m2), DeliveryVerdict::InOrder);
+        assert_eq!(a.observe_delivery(&m1), DeliveryVerdict::InOrder);
+        assert_eq!(a.observe_delivery(&m3), DeliveryVerdict::InOrder);
+        assert!(a.finalize().is_clean());
+    }
+
+    #[test]
+    fn corruption_and_unexpected_messages_are_data_failures() {
+        let mut a = DeliveryAuditor::new();
+        let sent = req(3, 9);
+        a.record_sent(&sent);
+        // Same identity, different address → corrupted.
+        let corrupted = Message::request(MemOp::RdCurr, 0xBAD, 3, 9);
+        assert_eq!(a.observe_delivery(&corrupted), DeliveryVerdict::Corrupted);
+        // Never-sent identity → unexpected.
+        assert_eq!(a.observe_delivery(&req(9, 9)), DeliveryVerdict::Unexpected);
+        let counts = a.finalize();
+        assert_eq!(counts.data_failures, 2);
+    }
+
+    #[test]
+    fn losses_are_counted_at_finalize() {
+        let mut a = DeliveryAuditor::new();
+        for i in 0..4 {
+            a.record_sent(&req(0, i));
+        }
+        a.observe_delivery(&req(0, 0));
+        a.observe_delivery(&req(0, 1));
+        let counts = a.finalize();
+        assert_eq!(counts.lost_messages, 2);
+        assert_eq!(counts.clean_deliveries, 2);
+    }
+
+    #[test]
+    fn data_chunks_with_distinct_indices_are_distinct_messages() {
+        let mut a = DeliveryAuditor::new();
+        a.record_sent(&data(1, 1, 0));
+        a.record_sent(&data(1, 1, 1));
+        assert_eq!(a.observe_delivery(&data(1, 1, 0)), DeliveryVerdict::InOrder);
+        assert_eq!(a.observe_delivery(&data(1, 1, 1)), DeliveryVerdict::InOrder);
+        assert!(a.finalize().is_clean());
+    }
+
+    #[test]
+    fn out_of_order_then_gap_filled_recovers() {
+        let mut a = DeliveryAuditor::new();
+        for i in 0..3 {
+            a.record_sent(&data(5, i, 0));
+        }
+        assert_eq!(a.observe_delivery(&data(5, 1, 0)), DeliveryVerdict::OutOfOrder);
+        assert_eq!(a.observe_delivery(&data(5, 0, 0)), DeliveryVerdict::InOrder);
+        // After the gap is filled, the cursor has advanced past both.
+        assert_eq!(a.observe_delivery(&data(5, 2, 0)), DeliveryVerdict::InOrder);
+        let counts = a.finalize();
+        assert_eq!(counts.ordering_failures, 1);
+        assert_eq!(counts.clean_deliveries, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_registration_panics() {
+        let mut a = DeliveryAuditor::new();
+        a.record_sent(&req(1, 1));
+        a.record_sent(&req(1, 1));
+    }
+}

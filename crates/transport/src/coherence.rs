@@ -1,0 +1,252 @@
+//! A MESI-lite coherence directory demonstrating the application-level impact
+//! of link-layer failures (Section 4.2 of the paper).
+//!
+//! Cache-coherent protocols rely on the strict ordering of requests,
+//! responses, and data. The directory here tracks, per cache line, which
+//! agents hold the line and in what state, and flags the protocol violations
+//! that duplicated or reordered requests provoke — e.g. granting exclusive
+//! ownership twice, or receiving a writeback from an agent that does not own
+//! the line.
+
+use std::collections::HashMap;
+
+use rxl_flit::{MemOp, Message};
+
+/// Directory-visible state of one cache line.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum LineState {
+    /// No cache holds the line.
+    #[default]
+    Invalid,
+    /// One or more caches hold the line in Shared state.
+    Shared {
+        /// The agents holding the line.
+        sharers: Vec<u16>,
+    },
+    /// Exactly one cache holds the line in Modified/Exclusive state.
+    Exclusive {
+        /// The owning agent.
+        owner: u16,
+    },
+}
+
+/// A coherence-protocol violation caused by duplicated or misordered traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoherenceViolation {
+    /// Exclusive ownership was requested by an agent that already owns the
+    /// line (a duplicated RdOwn).
+    DuplicateOwnership {
+        /// The affected cache-line address.
+        addr: u64,
+        /// The agent involved.
+        agent: u16,
+    },
+    /// A writeback arrived from an agent that does not own the line.
+    WritebackWithoutOwnership {
+        /// The affected cache-line address.
+        addr: u64,
+        /// The agent involved.
+        agent: u16,
+    },
+    /// An invalidation acknowledgement arrived for a line the agent did not
+    /// hold.
+    InvalidateNonHolder {
+        /// The affected cache-line address.
+        addr: u64,
+        /// The agent involved.
+        agent: u16,
+    },
+}
+
+/// The host-side directory.
+#[derive(Clone, Debug, Default)]
+pub struct CoherenceDirectory {
+    lines: HashMap<u64, LineState>,
+    violations: Vec<CoherenceViolation>,
+    transactions: u64,
+}
+
+impl CoherenceDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state of a line.
+    pub fn line_state(&self, addr: u64) -> LineState {
+        self.lines.get(&addr).cloned().unwrap_or_default()
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[CoherenceViolation] {
+        &self.violations
+    }
+
+    /// Number of coherence transactions processed.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Processes one request from `agent` (the CQID doubles as the agent id
+    /// in this model). Returns the violation recorded, if any.
+    pub fn process(&mut self, agent: u16, msg: &Message) -> Option<CoherenceViolation> {
+        let Message::Request { op, addr, .. } = *msg else {
+            return None;
+        };
+        self.transactions += 1;
+        let state = self.lines.entry(addr).or_default();
+        let violation = match op {
+            MemOp::RdCurr => None,
+            MemOp::RdShared => {
+                match state {
+                    LineState::Invalid => *state = LineState::Shared { sharers: vec![agent] },
+                    LineState::Shared { sharers } => {
+                        if !sharers.contains(&agent) {
+                            sharers.push(agent);
+                        }
+                    }
+                    LineState::Exclusive { owner } => {
+                        // Downgrade the owner to shared alongside the reader.
+                        let owner = *owner;
+                        *state = LineState::Shared {
+                            sharers: vec![owner, agent],
+                        };
+                    }
+                }
+                None
+            }
+            MemOp::RdOwn => match state {
+                LineState::Exclusive { owner } if *owner == agent => {
+                    Some(CoherenceViolation::DuplicateOwnership { addr, agent })
+                }
+                _ => {
+                    *state = LineState::Exclusive { owner: agent };
+                    None
+                }
+            },
+            MemOp::WrLine | MemOp::WrPtl => match state {
+                LineState::Exclusive { owner } if *owner == agent => {
+                    *state = LineState::Invalid;
+                    None
+                }
+                _ => Some(CoherenceViolation::WritebackWithoutOwnership { addr, agent }),
+            },
+            MemOp::Invalidate => match state {
+                LineState::Shared { sharers } if sharers.contains(&agent) => {
+                    let remaining: Vec<u16> =
+                        sharers.iter().copied().filter(|&a| a != agent).collect();
+                    *state = if remaining.is_empty() {
+                        LineState::Invalid
+                    } else {
+                        LineState::Shared { sharers: remaining }
+                    };
+                    None
+                }
+                LineState::Exclusive { owner } if *owner == agent => {
+                    *state = LineState::Invalid;
+                    None
+                }
+                _ => Some(CoherenceViolation::InvalidateNonHolder { addr, agent }),
+            },
+        };
+        if let Some(v) = violation {
+            self.violations.push(v);
+        }
+        violation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(op: MemOp, addr: u64) -> Message {
+        Message::request(op, addr, 0, 0)
+    }
+
+    #[test]
+    fn ordinary_read_share_own_writeback_cycle_is_clean() {
+        let mut dir = CoherenceDirectory::new();
+        assert_eq!(dir.process(1, &req(MemOp::RdShared, 0x40)), None);
+        assert_eq!(
+            dir.line_state(0x40),
+            LineState::Shared { sharers: vec![1] }
+        );
+        assert_eq!(dir.process(2, &req(MemOp::RdShared, 0x40)), None);
+        assert_eq!(dir.process(1, &req(MemOp::RdOwn, 0x40)), None);
+        assert_eq!(dir.line_state(0x40), LineState::Exclusive { owner: 1 });
+        assert_eq!(dir.process(1, &req(MemOp::WrLine, 0x40)), None);
+        assert_eq!(dir.line_state(0x40), LineState::Invalid);
+        assert!(dir.violations().is_empty());
+        assert_eq!(dir.transactions(), 4);
+    }
+
+    #[test]
+    fn duplicated_rdown_is_a_violation() {
+        // The Fig. 5a failure: a replayed (duplicate) ownership request.
+        let mut dir = CoherenceDirectory::new();
+        assert_eq!(dir.process(3, &req(MemOp::RdOwn, 0x80)), None);
+        let v = dir.process(3, &req(MemOp::RdOwn, 0x80));
+        assert_eq!(
+            v,
+            Some(CoherenceViolation::DuplicateOwnership { addr: 0x80, agent: 3 })
+        );
+        assert_eq!(dir.violations().len(), 1);
+    }
+
+    #[test]
+    fn misordered_writeback_is_a_violation() {
+        // If the RdOwn is lost but the subsequent WrLine arrives, the
+        // writeback has no ownership to back it.
+        let mut dir = CoherenceDirectory::new();
+        let v = dir.process(2, &req(MemOp::WrLine, 0x100));
+        assert_eq!(
+            v,
+            Some(CoherenceViolation::WritebackWithoutOwnership { addr: 0x100, agent: 2 })
+        );
+    }
+
+    #[test]
+    fn exclusive_is_downgraded_by_another_reader() {
+        let mut dir = CoherenceDirectory::new();
+        dir.process(1, &req(MemOp::RdOwn, 0x40));
+        dir.process(2, &req(MemOp::RdShared, 0x40));
+        assert_eq!(
+            dir.line_state(0x40),
+            LineState::Shared { sharers: vec![1, 2] }
+        );
+    }
+
+    #[test]
+    fn invalidate_tracks_holders() {
+        let mut dir = CoherenceDirectory::new();
+        dir.process(1, &req(MemOp::RdShared, 0x40));
+        dir.process(2, &req(MemOp::RdShared, 0x40));
+        assert_eq!(dir.process(1, &req(MemOp::Invalidate, 0x40)), None);
+        assert_eq!(
+            dir.line_state(0x40),
+            LineState::Shared { sharers: vec![2] }
+        );
+        // A non-holder invalidating is a violation (e.g. stale duplicate).
+        let v = dir.process(7, &req(MemOp::Invalidate, 0x40));
+        assert_eq!(
+            v,
+            Some(CoherenceViolation::InvalidateNonHolder { addr: 0x40, agent: 7 })
+        );
+    }
+
+    #[test]
+    fn rdcurr_never_changes_state() {
+        let mut dir = CoherenceDirectory::new();
+        dir.process(1, &req(MemOp::RdOwn, 0x200));
+        assert_eq!(dir.process(2, &req(MemOp::RdCurr, 0x200)), None);
+        assert_eq!(dir.line_state(0x200), LineState::Exclusive { owner: 1 });
+    }
+
+    #[test]
+    fn non_request_messages_are_ignored() {
+        let mut dir = CoherenceDirectory::new();
+        assert_eq!(dir.process(0, &Message::response_ok(0, 0)), None);
+        assert_eq!(dir.transactions(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Protocol-failure counters.
+//!
+//! Section 7.1 of the paper defines two protocol failure classes:
+//! `Fail_data` (corrupted data forwarded to the application layer) and
+//! `Fail_order` (data forwarded in the wrong order). This reproduction also
+//! tracks duplicates and losses separately because the transaction-layer
+//! scenarios of Fig. 5 distinguish them.
+
+/// Counts of application-visible protocol failures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FailureCounts {
+    /// Messages delivered with corrupted content (`Fail_data`).
+    pub data_failures: u64,
+    /// Messages delivered out of order within their command queue
+    /// (`Fail_order`).
+    pub ordering_failures: u64,
+    /// Messages delivered more than once (the duplicate-request failure of
+    /// Fig. 5a).
+    pub duplicate_deliveries: u64,
+    /// Messages that were sent but never delivered.
+    pub lost_messages: u64,
+    /// Messages delivered exactly once, in order, with intact content.
+    pub clean_deliveries: u64,
+}
+
+impl FailureCounts {
+    /// Total application-visible failures (corruption + ordering + duplicates
+    /// + losses).
+    pub fn total_failures(&self) -> u64 {
+        self.data_failures + self.ordering_failures + self.duplicate_deliveries + self.lost_messages
+    }
+
+    /// `true` if no failure of any kind was observed.
+    pub fn is_clean(&self) -> bool {
+        self.total_failures() == 0
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &FailureCounts) {
+        self.data_failures += other.data_failures;
+        self.ordering_failures += other.ordering_failures;
+        self.duplicate_deliveries += other.duplicate_deliveries;
+        self.lost_messages += other.lost_messages;
+        self.clean_deliveries += other.clean_deliveries;
+    }
+
+    /// Failure rate per delivered-or-lost message.
+    pub fn failure_rate(&self) -> f64 {
+        let denom = self.clean_deliveries + self.total_failures();
+        if denom == 0 {
+            return 0.0;
+        }
+        self.total_failures() as f64 / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rates() {
+        let f = FailureCounts {
+            data_failures: 1,
+            ordering_failures: 2,
+            duplicate_deliveries: 3,
+            lost_messages: 4,
+            clean_deliveries: 90,
+        };
+        assert_eq!(f.total_failures(), 10);
+        assert!(!f.is_clean());
+        assert!((f.failure_rate() - 0.1).abs() < 1e-12);
+        assert!(FailureCounts::default().is_clean());
+        assert_eq!(FailureCounts::default().failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = FailureCounts {
+            clean_deliveries: 10,
+            ..Default::default()
+        };
+        a.merge(&FailureCounts {
+            ordering_failures: 2,
+            clean_deliveries: 5,
+            ..Default::default()
+        });
+        assert_eq!(a.clean_deliveries, 15);
+        assert_eq!(a.ordering_failures, 2);
+    }
+}

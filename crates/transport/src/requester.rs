@@ -1,0 +1,262 @@
+//! The requesting side of a transaction (a device or host issuing coherent
+//! memory operations).
+
+use std::collections::HashMap;
+
+use rxl_flit::{MemOp, Message, RspStatus};
+
+/// A request that has been issued but not yet completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutstandingRequest {
+    /// The operation issued.
+    pub op: MemOp,
+    /// The target address.
+    pub addr: u64,
+    /// The command queue it was issued on.
+    pub cqid: u16,
+    /// The assigned tag.
+    pub tag: u16,
+    /// Whether the response has arrived.
+    pub response_seen: bool,
+    /// Number of data chunks received so far.
+    pub data_chunks_seen: u8,
+    /// Number of data chunks expected (from the data header), if known.
+    pub data_chunks_expected: Option<u8>,
+}
+
+impl OutstandingRequest {
+    /// `true` once the response (and, for reads, all data) has arrived.
+    pub fn complete(&self) -> bool {
+        if !self.response_seen {
+            return false;
+        }
+        if !self.op.expects_data() {
+            return true;
+        }
+        match self.data_chunks_expected {
+            Some(expected) => self.data_chunks_seen >= expected,
+            None => false,
+        }
+    }
+}
+
+/// Anomalies the requester can observe in the completion stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompletionAnomaly {
+    /// A completion arrived for a tag that has no outstanding request.
+    UnknownTag {
+        /// The command queue of the completion.
+        cqid: u16,
+        /// The unknown tag.
+        tag: u16,
+    },
+    /// A response arrived twice for the same request.
+    DuplicateResponse {
+        /// The command queue of the completion.
+        cqid: u16,
+        /// The duplicated tag.
+        tag: u16,
+    },
+    /// More data chunks arrived than the transfer announced.
+    ExcessData {
+        /// The command queue of the completion.
+        cqid: u16,
+        /// The affected tag.
+        tag: u16,
+    },
+}
+
+/// Issues requests with unique tags and matches completions against them.
+#[derive(Clone, Debug, Default)]
+pub struct Requester {
+    next_tag: u16,
+    outstanding: HashMap<(u16, u16), OutstandingRequest>,
+    completed: u64,
+    anomalies: Vec<CompletionAnomaly>,
+}
+
+impl Requester {
+    /// Creates an idle requester.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Issues a request on `cqid`, returning the message to transmit.
+    pub fn issue(&mut self, op: MemOp, addr: u64, cqid: u16) -> Message {
+        let tag = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1);
+        self.outstanding.insert(
+            (cqid, tag),
+            OutstandingRequest {
+                op,
+                addr,
+                cqid,
+                tag,
+                response_seen: false,
+                data_chunks_seen: 0,
+                data_chunks_expected: None,
+            },
+        );
+        Message::request(op, addr, cqid, tag)
+    }
+
+    /// Number of requests still awaiting completion.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Number of fully completed requests.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Anomalies observed so far.
+    pub fn anomalies(&self) -> &[CompletionAnomaly] {
+        &self.anomalies
+    }
+
+    /// Consumes one completion-side message (response, data header or data
+    /// chunk) arriving from the peer.
+    pub fn consume(&mut self, msg: &Message) {
+        match msg {
+            Message::Response { cqid, tag, status } => {
+                let Some(req) = self.outstanding.get_mut(&(*cqid, *tag)) else {
+                    self.anomalies.push(CompletionAnomaly::UnknownTag {
+                        cqid: *cqid,
+                        tag: *tag,
+                    });
+                    return;
+                };
+                if req.response_seen {
+                    self.anomalies.push(CompletionAnomaly::DuplicateResponse {
+                        cqid: *cqid,
+                        tag: *tag,
+                    });
+                    return;
+                }
+                req.response_seen = true;
+                if *status != RspStatus::Success || !req.op.expects_data() {
+                    // Failed requests and writes complete on the response.
+                    req.data_chunks_expected = Some(0);
+                }
+                self.retire_if_complete(*cqid, *tag);
+            }
+            Message::DataHeader { cqid, tag, chunks } => {
+                let Some(req) = self.outstanding.get_mut(&(*cqid, *tag)) else {
+                    self.anomalies.push(CompletionAnomaly::UnknownTag {
+                        cqid: *cqid,
+                        tag: *tag,
+                    });
+                    return;
+                };
+                req.data_chunks_expected = Some(*chunks);
+                self.retire_if_complete(*cqid, *tag);
+            }
+            Message::Data { cqid, tag, .. } => {
+                let Some(req) = self.outstanding.get_mut(&(*cqid, *tag)) else {
+                    self.anomalies.push(CompletionAnomaly::UnknownTag {
+                        cqid: *cqid,
+                        tag: *tag,
+                    });
+                    return;
+                };
+                req.data_chunks_seen += 1;
+                if let Some(expected) = req.data_chunks_expected {
+                    if req.data_chunks_seen > expected {
+                        self.anomalies.push(CompletionAnomaly::ExcessData {
+                            cqid: *cqid,
+                            tag: *tag,
+                        });
+                        return;
+                    }
+                }
+                self.retire_if_complete(*cqid, *tag);
+            }
+            Message::Request { .. } => {
+                // Requests never flow towards the requester in this model.
+            }
+        }
+    }
+
+    fn retire_if_complete(&mut self, cqid: u16, tag: u16) {
+        if let Some(req) = self.outstanding.get(&(cqid, tag)) {
+            if req.complete() {
+                self.outstanding.remove(&(cqid, tag));
+                self.completed += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_completes_on_the_response_alone() {
+        let mut r = Requester::new();
+        let req = r.issue(MemOp::WrLine, 0x1000, 2);
+        assert_eq!(r.outstanding(), 1);
+        r.consume(&Message::response_ok(2, req.tag()));
+        assert_eq!(r.outstanding(), 0);
+        assert_eq!(r.completed(), 1);
+        assert!(r.anomalies().is_empty());
+    }
+
+    #[test]
+    fn read_requires_response_header_and_data() {
+        let mut r = Requester::new();
+        let req = r.issue(MemOp::RdCurr, 0x2000, 1);
+        let tag = req.tag();
+        r.consume(&Message::response_ok(1, tag));
+        assert_eq!(r.outstanding(), 1, "data still missing");
+        r.consume(&Message::DataHeader { cqid: 1, tag, chunks: 2 });
+        r.consume(&Message::data(1, tag, 0, [0; 8]));
+        assert_eq!(r.outstanding(), 1);
+        r.consume(&Message::data(1, tag, 1, [1; 8]));
+        assert_eq!(r.outstanding(), 0);
+        assert_eq!(r.completed(), 1);
+    }
+
+    #[test]
+    fn duplicate_responses_are_flagged() {
+        let mut r = Requester::new();
+        let req = r.issue(MemOp::RdOwn, 0x3000, 0);
+        let tag = req.tag();
+        r.consume(&Message::response_ok(0, tag));
+        r.consume(&Message::response_ok(0, tag));
+        assert_eq!(
+            r.anomalies(),
+            &[CompletionAnomaly::DuplicateResponse { cqid: 0, tag }]
+        );
+    }
+
+    #[test]
+    fn unknown_tags_are_flagged() {
+        let mut r = Requester::new();
+        r.consume(&Message::response_ok(5, 77));
+        assert_eq!(r.anomalies(), &[CompletionAnomaly::UnknownTag { cqid: 5, tag: 77 }]);
+    }
+
+    #[test]
+    fn excess_data_is_flagged() {
+        let mut r = Requester::new();
+        let req = r.issue(MemOp::RdShared, 0x4000, 3);
+        let tag = req.tag();
+        r.consume(&Message::DataHeader { cqid: 3, tag, chunks: 1 });
+        r.consume(&Message::data(3, tag, 0, [0; 8]));
+        r.consume(&Message::data(3, tag, 1, [1; 8]));
+        assert!(r
+            .anomalies()
+            .contains(&CompletionAnomaly::ExcessData { cqid: 3, tag }));
+    }
+
+    #[test]
+    fn tags_are_unique_across_requests() {
+        let mut r = Requester::new();
+        let a = r.issue(MemOp::RdCurr, 0, 0);
+        let b = r.issue(MemOp::RdCurr, 64, 0);
+        assert_ne!(a.tag(), b.tag());
+        assert_eq!(r.outstanding(), 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Scale-out fabric comparison: drive bidirectional coherent traffic through
+//! a switched path at an accelerated error rate and compare what reaches the
+//! application layer under baseline CXL versus RXL.
+//!
+//! This is the workload the paper's introduction motivates: many accelerators
+//! exchanging cache-line-sized messages through switching devices that
+//! silently drop uncorrectable flits.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example scaleout_fabric [levels] [ber] [trials]
+//! ```
+
+use rxl::link::{ChannelErrorModel, ProtocolVariant};
+use rxl::sim::{request_stream, response_stream, MonteCarlo, SimConfig, TrafficPattern};
+
+fn main() {
+    let levels: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let ber: f64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(2e-4);
+    let trials: u64 = std::env::args().nth(3).and_then(|a| a.parse().ok()).unwrap_or(6);
+
+    println!("scale-out fabric: {levels} switch level(s), accelerated BER {ber:.0e}, {trials} Monte-Carlo trials\n");
+
+    // Each trial: a host issuing ordered data transfers over 16 command
+    // queues (the Fig. 5b-style workload where ordering matters) and a device
+    // streaming responses back.
+    let downstream = request_stream(4_000, TrafficPattern::DataStream { cqids: 16 }, 2024);
+    let upstream = response_stream(2_000, 16, 2025);
+
+    for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+        let config = SimConfig::new(variant, levels).with_channel(ChannelErrorModel::random(ber));
+        let mc = MonteCarlo::new(config, trials);
+        let report = mc.run(&downstream, &upstream);
+
+        let f = &report.failures;
+        println!("--- {} ---", variant.name());
+        println!("  clean deliveries        : {}", f.clean_deliveries);
+        println!("  ordering failures       : {}", f.ordering_failures);
+        println!("  duplicate deliveries    : {}", f.duplicate_deliveries);
+        println!("  data failures           : {}", f.data_failures);
+        println!("  lost messages           : {}", f.lost_messages);
+        println!("  switch drops (silent)   : {}", report.switches.flits_dropped_uncorrectable);
+        println!("  flits corrected by FEC  : {}", report.switches.flits_corrected);
+        println!("  retransmissions         : {}", report.links.flits_retransmitted);
+        println!(
+            "  per-message failure rate: {:.3e}",
+            report.pooled_failure_rate()
+        );
+        println!(
+            "  mean bandwidth overhead : {:.3}%",
+            report.mean_bandwidth_overhead() * 100.0
+        );
+        println!();
+    }
+
+    println!(
+        "Expected shape (paper Section 7.1): both protocols see the same silent switch drops,\n\
+         but only baseline CXL lets them surface as ordering/duplicate failures at the\n\
+         application layer; RXL converts every drop into an ordinary retry."
+    );
+}

@@ -1,0 +1,38 @@
+//! # rxl — umbrella crate
+//!
+//! Re-exports every crate of the RXL / Implicit Sequence Number (ISN)
+//! reproduction so examples and downstream users can depend on a single
+//! crate. See the individual crates for detailed documentation:
+//!
+//! * [`gf256`] — GF(2^8) arithmetic substrate.
+//! * [`crc`] — CRC engines and the ISN (implicit sequence number) CRC.
+//! * [`fec`] — shortened Reed–Solomon FEC with the CXL 3-way interleaved layout.
+//! * [`flit`] — CXL/RXL flit formats and transaction-message packing.
+//! * [`link`] — link layer: channel error models, retry, ACK handling.
+//! * [`switch`] — stateless switching devices that drop uncorrectable flits.
+//! * [`transport`] — endpoint transaction layer for CXL and RXL.
+//! * [`sim`] — discrete-event simulator and Monte-Carlo harness.
+//! * [`analysis`] — closed-form reliability / bandwidth / hardware models.
+//! * [`core`] — the high-level protocol-stack API (CXL vs RXL).
+
+pub use rxl_analysis as analysis;
+pub use rxl_core as core;
+pub use rxl_crc as crc;
+pub use rxl_fec as fec;
+pub use rxl_flit as flit;
+pub use rxl_gf256 as gf256;
+pub use rxl_link as link;
+pub use rxl_sim as sim;
+pub use rxl_switch as switch;
+pub use rxl_transport as transport;
+
+/// Convenience prelude bringing the most commonly used types into scope.
+pub mod prelude {
+    pub use rxl_analysis::reliability::ReliabilityModel;
+    pub use rxl_core::{CxlStack, ProtocolKind, RxlStack, StackConfig};
+    pub use rxl_crc::{Crc64, IsnCrc64};
+    pub use rxl_fec::InterleavedFec;
+    pub use rxl_flit::{Flit256, FlitHeader, Message};
+    pub use rxl_link::{ChannelErrorModel, LinkConfig};
+    pub use rxl_sim::{MonteCarlo, SimConfig, Topology};
+}

@@ -1,0 +1,77 @@
+//! Integration tests tying the analytic models (rxl-analysis) to measurements
+//! taken on the real codecs and the simulator.
+
+use rxl::analysis::fec_model::FecDetectionModel;
+use rxl::analysis::{BandwidthModel, ReliabilityModel};
+use rxl::fec::stats::burst_experiment;
+use rxl::fec::InterleavedFec;
+use rxl::link::ChannelErrorModel;
+
+#[test]
+fn paper_headline_numbers_from_the_analytic_models() {
+    let rel = ReliabilityModel::cxl3_x16();
+    let close = |a: f64, b: f64| ((a - b) / b).abs() < 0.05;
+    assert!(close(rel.fer(), 2.0e-3));
+    assert!(close(rel.fit_cxl_direct(), 2.9e-3));
+    assert!(close(rel.fit_cxl_single_switch(), 5.4e15));
+    assert!(close(rel.fit_rxl_single_switch(), 2.9e-3));
+
+    let bw = BandwidthModel::cxl3_x16();
+    assert!(close(bw.loss_cxl_direct(), 0.0015));
+    assert!(close(bw.loss_cxl_switched_piggyback(), 0.0030));
+    assert!(close(bw.loss_rxl_switched(), 0.0030));
+}
+
+#[test]
+fn fec_detection_model_matches_the_real_decoder() {
+    let model = FecDetectionModel::cxl_flit();
+    let fec = InterleavedFec::cxl_flit();
+    for burst in [4u32, 5, 6] {
+        let measured = burst_experiment(&fec, burst as usize, 1500, 9_000 + burst as u64);
+        let predicted = model.detection_fraction(burst);
+        let observed = measured.detection_given_uncorrectable();
+        assert!(
+            (observed - predicted).abs() < 0.06,
+            "burst {burst}: predicted {predicted:.3}, observed {observed:.3}"
+        );
+    }
+}
+
+#[test]
+fn channel_model_reproduces_eqn_1_at_the_paper_operating_point() {
+    // FER = 1 − (1 − BER)^2048: check the channel model's closed form and a
+    // direct Monte-Carlo estimate at an accelerated BER where it is cheap.
+    let paper = ChannelErrorModel::random(1e-6).unit_error_probability(2048);
+    assert!((paper - 2.046e-3).abs() < 5e-5);
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let accelerated = ChannelErrorModel::random(1e-4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut erroneous = 0u32;
+    let trials = 4000;
+    for _ in 0..trials {
+        let mut flit = vec![0u8; 256];
+        if accelerated.apply(&mut flit, &mut rng) > 0 {
+            erroneous += 1;
+        }
+    }
+    let measured = erroneous as f64 / trials as f64;
+    let predicted = accelerated.unit_error_probability(2048);
+    assert!(
+        (measured - predicted).abs() < 0.03,
+        "measured {measured:.4}, predicted {predicted:.4}"
+    );
+}
+
+#[test]
+fn fig8_shape_cxl_degrades_with_depth_rxl_does_not() {
+    let rel = ReliabilityModel::cxl3_x16();
+    let cxl: Vec<f64> = (0..=4).map(|l| rel.fit_cxl_levels(l)).collect();
+    let rxl: Vec<f64> = (0..=4).map(|l| rel.fit_rxl_levels(l)).collect();
+    // CXL: monotone increase, with a catastrophic jump from level 0 to 1.
+    assert!(cxl[1] / cxl[0] > 1e17);
+    assert!(cxl.windows(2).all(|w| w[1] > w[0]));
+    // RXL: flat to within a factor of 1.001 across the whole sweep.
+    assert!(rxl[4] / rxl[0] < 1.001);
+}

@@ -1,0 +1,122 @@
+//! Full-stack integration tests: transaction messages → flits → links →
+//! switches → endpoint, across protocol variants and error regimes.
+
+use rxl::link::{ChannelErrorModel, ProtocolVariant};
+use rxl::sim::{request_stream, response_stream, PathSim, SimConfig, TrafficPattern};
+
+fn run(variant: ProtocolVariant, levels: u32, ber: f64, seed: u64) -> rxl::sim::SimReport {
+    let config = SimConfig::new(variant, levels)
+        .with_channel(if ber > 0.0 {
+            ChannelErrorModel::random(ber)
+        } else {
+            ChannelErrorModel::ideal()
+        })
+        .with_seed(seed);
+    let down = request_stream(600, TrafficPattern::DataStream { cqids: 8 }, seed + 1);
+    let up = response_stream(300, 8, seed + 2);
+    PathSim::new(config).run(&down, &up)
+}
+
+#[test]
+fn clean_channels_are_failure_free_for_every_variant_and_depth() {
+    for variant in [
+        ProtocolVariant::CxlPiggyback,
+        ProtocolVariant::CxlStandaloneAck,
+        ProtocolVariant::Rxl,
+    ] {
+        for levels in [0u32, 1, 2] {
+            let report = run(variant, levels, 0.0, 1);
+            assert!(report.drained, "{variant:?}/{levels} did not drain");
+            assert!(
+                report.total_failures().is_clean(),
+                "{variant:?}/{levels}: {:?}",
+                report.total_failures()
+            );
+        }
+    }
+}
+
+#[test]
+fn rxl_delivers_every_message_exactly_once_in_order_despite_drops() {
+    // The paper's end-to-end guarantee, exercised across several seeds and
+    // depths at an accelerated BER where switch drops definitely occur.
+    let mut total_drops = 0;
+    for seed in 0..5u64 {
+        for levels in [1u32, 2] {
+            let report = run(ProtocolVariant::Rxl, levels, 3e-4, 100 + seed);
+            assert!(report.drained, "seed {seed} levels {levels} did not drain");
+            let failures = report.total_failures();
+            assert!(
+                failures.is_clean(),
+                "seed {seed} levels {levels}: {failures:?}"
+            );
+            total_drops += report.switches.flits_dropped_uncorrectable;
+        }
+    }
+    assert!(
+        total_drops > 0,
+        "the accelerated channel must actually provoke silent switch drops"
+    );
+}
+
+#[test]
+fn cxl_piggyback_accumulates_failures_with_switching_depth() {
+    // Aggregate over seeds: deeper switching means more silent drops and
+    // therefore more application-visible failures for baseline CXL.
+    let mut failures_by_depth = Vec::new();
+    for levels in [1u32, 3] {
+        let mut total = 0u64;
+        for seed in 0..6u64 {
+            let report = run(ProtocolVariant::CxlPiggyback, levels, 3e-4, 200 + seed);
+            let f = report.total_failures();
+            total += f.ordering_failures + f.duplicate_deliveries + f.lost_messages + f.data_failures;
+        }
+        failures_by_depth.push(total);
+    }
+    assert!(
+        failures_by_depth[0] > 0,
+        "one switch level must already produce failures at this BER"
+    );
+    assert!(
+        failures_by_depth[1] >= failures_by_depth[0],
+        "three levels should not produce fewer failures than one: {failures_by_depth:?}"
+    );
+}
+
+#[test]
+fn cxl_standalone_ack_is_reliable_but_spends_reverse_bandwidth() {
+    let noisy = run(ProtocolVariant::CxlStandaloneAck, 1, 3e-4, 42);
+    assert!(noisy.drained);
+    assert!(noisy.total_failures().is_clean(), "{:?}", noisy.total_failures());
+    // The price: standalone ACK flits appear on the wire.
+    let acks = noisy.host_link.standalone_acks_sent + noisy.device_link.standalone_acks_sent;
+    let rxl = run(ProtocolVariant::Rxl, 1, 3e-4, 42);
+    let rxl_acks = rxl.host_link.standalone_acks_sent + rxl.device_link.standalone_acks_sent;
+    assert!(
+        acks > rxl_acks,
+        "standalone-ACK CXL must emit more dedicated ACK flits than RXL ({acks} vs {rxl_acks})"
+    );
+}
+
+#[test]
+fn switch_drop_rate_tracks_the_analytic_uncorrectable_rate() {
+    // At an accelerated BER the drop rate measured at the switch should be in
+    // the same ballpark as the probability that a flit has an uncorrectable
+    // error pattern. This ties the simulator to the analytic FER_UC concept
+    // without requiring the (unobservable) paper operating point.
+    let mut drops = 0u64;
+    let mut forwarded = 0u64;
+    for seed in 0..4u64 {
+        let report = run(ProtocolVariant::Rxl, 1, 1e-3, 300 + seed);
+        drops += report.switches.flits_dropped_uncorrectable;
+        forwarded += report.switches.flits_forwarded;
+    }
+    let rate = drops as f64 / (drops + forwarded) as f64;
+    // At BER 1e-3 a 2048-bit flit averages ~2 bit errors; spread over the
+    // three interleaved FEC ways, roughly a third of flits overload some way
+    // and about two thirds of those are detected and dropped (Section 2.5).
+    // The expected silent-drop rate is therefore in the vicinity of 25%; the
+    // assertion checks order-of-magnitude agreement, not precision.
+    assert!(rate > 0.05, "drop rate suspiciously low: {rate}");
+    assert!(rate < 0.45, "drop rate suspiciously high: {rate}");
+}
