@@ -85,7 +85,11 @@ mod tests {
     #[test]
     fn eqn11_direct_loss_is_about_0_15_percent() {
         let m = BandwidthModel::cxl3_x16();
-        assert!(close(m.loss_cxl_direct(), 0.0015, 0.05), "loss = {}", m.loss_cxl_direct());
+        assert!(
+            close(m.loss_cxl_direct(), 0.0015, 0.05),
+            "loss = {}",
+            m.loss_cxl_direct()
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ mod tests {
         let bits = m.buffer_bits(1e-3);
         let bytes = m.multipath_reassembly_bytes(1e-3);
         assert!((bits - 1e9).abs() < 1.0, "expected 1 Gb, got {bits}");
-        assert!((bytes - 1.25e8).abs() < 1.0, "expected 125 MB-class buffer, got {bytes}");
+        assert!(
+            (bytes - 1.25e8).abs() < 1.0,
+            "expected 125 MB-class buffer, got {bytes}"
+        );
         // The paper rounds 1 Gb to "128 MB"; both are within 3% of each other.
         assert!((bytes / (128.0 * 1024.0 * 1024.0) - 0.93).abs() < 0.05);
     }

@@ -133,6 +133,9 @@ mod tests {
             ..HardwareCostModel::cxl_flit()
         };
         assert_eq!(small.isn_delta().encoder_extra_xors, 8);
-        assert!(small.seqnum_comparator_gates() < HardwareCostModel::cxl_flit().seqnum_comparator_gates());
+        assert!(
+            small.seqnum_comparator_gates()
+                < HardwareCostModel::cxl_flit().seqnum_comparator_gates()
+        );
     }
 }

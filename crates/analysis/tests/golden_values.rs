@@ -1,0 +1,141 @@
+//! Golden-value pins for the closed-form models.
+//!
+//! These are the FIT and bandwidth-efficiency numbers the rxl-bench tables
+//! print next to the paper's reported values (Section 7 of the paper,
+//! Eqns (1)–(14)). They were captured from this implementation at the
+//! paper's operating point (BER 1e-6, 256-byte flits, ×16 @ 500M flits/s)
+//! and agree with the paper to its quoted precision. Future refactors of
+//! the model code must reproduce them to 1 part in 1e9 — any drift beyond
+//! float-expression reshuffling is a behaviour change and needs a deliberate
+//! update of this file.
+
+use rxl_analysis::{fit_curve, BandwidthModel, ReliabilityModel};
+
+fn assert_close(label: &str, actual: f64, golden: f64) {
+    // 1e-9 relative: far tighter than any genuine model change would land,
+    // but immune to the last-ulp variation `f64::powi` is documented to have
+    // across platforms and Rust versions (the models use powi internally).
+    let tol = golden.abs() * 1e-9;
+    assert!(
+        (actual - golden).abs() <= tol,
+        "{label}: got {actual:.17e}, golden {golden:.17e}"
+    );
+}
+
+#[test]
+fn reliability_model_matches_golden_values() {
+    let m = ReliabilityModel::cxl3_x16();
+    // Eqn (1): raw flit error rate.
+    assert_close("FER", m.fer(), 2.045_905_300_889_106e-3);
+    // Eqn (2): post-FEC uncorrectable rate.
+    assert_close("FER_UC", m.fer_uncorrectable(), 3e-5);
+    // Eqn (3): fraction of erroneous flits the FEC corrects (> 98.5%).
+    assert_close(
+        "FEC correction fraction",
+        m.fec_correction_fraction(),
+        9.853_365_647_046_505e-1,
+    );
+    // CRC escape probability (2^-64).
+    assert_close(
+        "CRC escape fraction",
+        m.crc_escape_fraction(),
+        5.421_010_862_427_522e-20,
+    );
+    // Eqn (4): undetected flit error rate on a direct link.
+    assert_close(
+        "FER_UD direct",
+        m.fer_undetected_direct(),
+        1.626_303_258_728_256_7e-24,
+    );
+    // Eqn (6): silent-drop rate behind one switch.
+    assert_close("FER_drop 1 switch", m.fer_drop_single_switch(), 3e-5);
+    // Eqn (7): ordering-failure rate for piggyback CXL behind one switch.
+    assert_close("FER_order 1 switch", m.fer_order_single_switch(), 3e-6);
+    // Eqn (9): RXL's undetected rate barely moves when a switch is added.
+    assert_close(
+        "FER_UD RXL 1 switch",
+        m.fer_undetected_rxl_single_switch(),
+        1.626_352_047_826_018_5e-24,
+    );
+}
+
+#[test]
+fn fit_numbers_match_golden_values() {
+    let m = ReliabilityModel::cxl3_x16();
+    // Eqn (5): FIT of a direct CXL link — paper: 2.9e-3.
+    assert_close(
+        "FIT CXL direct",
+        m.fit_cxl_direct(),
+        2.927_345_865_710_862e-3,
+    );
+    // Eqn (8): FIT of CXL behind one switch — paper: 5.4e15.
+    assert_close("FIT CXL 1 switch", m.fit_cxl_single_switch(), 5.4e15);
+    // Eqn (10): FIT of RXL behind one switch — paper: 2.9e-3.
+    assert_close(
+        "FIT RXL 1 switch",
+        m.fit_rxl_single_switch(),
+        2.927_433_686_086_833e-3,
+    );
+    // Fig. 8 end points at 4 switching levels.
+    assert_close("FIT CXL 4 levels", m.fit_cxl_levels(4), 2.16e16);
+    assert_close(
+        "FIT RXL 4 levels",
+        m.fit_rxl_levels(4),
+        2.927_697_147_214_747_3e-3,
+    );
+    // The headline claim: ≥ 18 orders of magnitude improvement.
+    let ratio = m.fit_cxl_single_switch() / m.fit_rxl_single_switch();
+    assert_close("RXL improvement ratio", ratio, 1.844_619_068_798_891_5e18);
+    assert!(ratio > 1e18);
+}
+
+#[test]
+fn fit_curve_matches_golden_values() {
+    let m = ReliabilityModel::cxl3_x16();
+    let curve = fit_curve(&m, 4);
+    assert_eq!(curve.len(), 5);
+    let golden_cxl = [2.927_345_865_710_862e-3, 5.4e15, 1.08e16, 1.62e16, 2.16e16];
+    let golden_rxl = [
+        2.927_345_865_710_862e-3,
+        2.927_433_686_086_833e-3,
+        2.927_521_506_462_804_6e-3,
+        2.927_609_326_838_776e-3,
+        2.927_697_147_214_747_3e-3,
+    ];
+    for (i, p) in curve.iter().enumerate() {
+        assert_eq!(p.levels, i as u32);
+        assert_close(&format!("curve CXL l={i}"), p.fit_cxl, golden_cxl[i]);
+        assert_close(&format!("curve RXL l={i}"), p.fit_rxl, golden_rxl[i]);
+    }
+    // FIT_cxl grows linearly with levels; FIT_rxl stays within 0.1% of the
+    // direct-link value across the whole curve.
+    assert_close("linearity", curve[3].fit_cxl, 3.0 * curve[1].fit_cxl);
+    assert!((curve[4].fit_rxl - curve[0].fit_rxl) / curve[0].fit_rxl < 1e-3);
+}
+
+#[test]
+fn bandwidth_model_matches_golden_values() {
+    let b = BandwidthModel::cxl3_x16();
+    // Eqn (11): direct-link go-back-N loss — paper: 0.15%.
+    assert_close(
+        "loss direct",
+        b.loss_cxl_direct(),
+        1.497_753_369_945_176_2e-3,
+    );
+    // Eqn (12): switched piggyback loss — paper: 0.30%.
+    assert_close(
+        "loss switched piggyback",
+        b.loss_cxl_switched_piggyback(),
+        2.991_026_919_242_356_6e-3,
+    );
+    // Eqn (14): RXL pays exactly the piggyback cost, nothing more.
+    assert_close(
+        "loss RXL",
+        b.loss_rxl_switched(),
+        2.991_026_919_242_356_6e-3,
+    );
+    assert_eq!(b.loss_rxl_switched(), b.loss_cxl_switched_piggyback());
+    // Eqn (13): standalone ACK costs the coalescing fraction outright.
+    assert_close("loss standalone p=0.1", b.loss_standalone_ack(0.1), 0.1);
+    assert_close("loss standalone p=1.0", b.loss_standalone_ack(1.0), 1.0);
+}

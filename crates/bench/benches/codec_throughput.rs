@@ -48,11 +48,15 @@ fn bench_flit_codecs(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("flit_codec");
     group.throughput(Throughput::Bytes(256));
-    group.bench_function("cxl_encode", |b| b.iter(|| black_box(cxl.encode(black_box(&flit)))));
+    group.bench_function("cxl_encode", |b| {
+        b.iter(|| black_box(cxl.encode(black_box(&flit))))
+    });
     group.bench_function("rxl_encode", |b| {
         b.iter(|| black_box(rxl.encode(black_box(&flit), black_box(5))))
     });
-    group.bench_function("cxl_decode_clean", |b| b.iter(|| black_box(cxl.decode(black_box(&cxl_wire)))));
+    group.bench_function("cxl_decode_clean", |b| {
+        b.iter(|| black_box(cxl.decode(black_box(&cxl_wire))))
+    });
     group.bench_function("rxl_decode_clean", |b| {
         b.iter(|| black_box(rxl.decode(black_box(&rxl_wire), black_box(5))))
     });

@@ -16,7 +16,9 @@ fn bench_rs_codec(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("rs_255_239");
     group.throughput(Throughput::Bytes(255));
-    group.bench_function("encode", |b| b.iter(|| black_box(code.encode(black_box(&data)))));
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(code.encode(black_box(&data))))
+    });
     group.bench_function("decode_clean", |b| {
         b.iter(|| {
             let mut w = clean.clone();
@@ -43,7 +45,9 @@ fn bench_flit_fec(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("cxl_flit_fec");
     group.throughput(Throughput::Bytes(256));
-    group.bench_function("encode_256B", |b| b.iter(|| black_box(fec.encode(black_box(&data)))));
+    group.bench_function("encode_256B", |b| {
+        b.iter(|| black_box(fec.encode(black_box(&data))))
+    });
     group.bench_function("decode_clean_256B", |b| {
         b.iter(|| {
             let mut w = clean.clone();
@@ -65,7 +69,9 @@ fn bench_subblock(c: &mut Criterion) {
     let clean = sb.encode(&data);
     let mut group = c.benchmark_group("shortened_subblock");
     group.throughput(Throughput::Bytes(85));
-    group.bench_function("encode_85B", |b| b.iter(|| black_box(sb.encode(black_box(&data)))));
+    group.bench_function("encode_85B", |b| {
+        b.iter(|| black_box(sb.encode(black_box(&data))))
+    });
     group.bench_function("decode_single_error_85B", |b| {
         b.iter(|| {
             let mut w = clean.clone();

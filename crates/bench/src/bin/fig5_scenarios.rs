@@ -4,5 +4,8 @@ fn main() {
     let a = rxl_bench::fig5a_scenario();
     println!("--- Fig. 5a: duplicated request ---\n{}", a.trace);
     let b = rxl_bench::fig5b_scenario();
-    println!("--- Fig. 5b: out-of-order data within one CQID ---\n{}", b.trace);
+    println!(
+        "--- Fig. 5b: out-of-order data within one CQID ---\n{}",
+        b.trace
+    );
 }

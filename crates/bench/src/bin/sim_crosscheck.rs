@@ -1,8 +1,17 @@
 //! Accelerated-BER Monte-Carlo cross-check of the analytic failure model:
 //! CXL (piggybacked ACKs) versus RXL through one switch level.
 fn main() {
-    let ber: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2e-4);
-    let trials: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(8);
-    let messages: usize = std::env::args().nth(3).and_then(|a| a.parse().ok()).unwrap_or(2_000);
+    let ber: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2e-4);
+    let trials: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let messages: usize = std::env::args()
+        .nth(3)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2_000);
     println!("{}", rxl_bench::sim_crosscheck_table(ber, trials, messages));
 }

@@ -30,7 +30,7 @@ pub use scenarios::{fig4_scenario, fig5a_scenario, fig5b_scenario, fig6_isn_scen
 pub use simcheck::sim_crosscheck_table;
 pub use tables::{
     bandwidth_table, buffering_table, crc_detection_table, fec_detection_table, fig8_table,
-    hw_overhead_table, header_overhead_table, reliability_table,
+    header_overhead_table, hw_overhead_table, reliability_table,
 };
 
 /// Formats a floating-point value in compact scientific notation.

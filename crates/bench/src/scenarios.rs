@@ -34,7 +34,11 @@ fn protocol_flit(tx: &mut LinkTx, msg: Message, now: f64) -> (Box<rxl_flit::Wire
     }
 }
 
-fn drive_scenario(variant: ProtocolVariant, messages: [Message; 4], same_cqid: bool) -> ScenarioOutcome {
+fn drive_scenario(
+    variant: ProtocolVariant,
+    messages: [Message; 4],
+    same_cqid: bool,
+) -> ScenarioOutcome {
     let cfg = LinkConfig::cxl3_x16(variant);
     let mut tx = LinkTx::new(cfg);
     let mut rx = LinkRx::new(cfg);
@@ -56,7 +60,11 @@ fn drive_scenario(variant: ProtocolVariant, messages: [Message; 4], same_cqid: b
         delivered_tags.push(m.tag());
         verdicts.push(audit.observe_delivery(m));
     }
-    trace.push_str(&format!("flit #0 [{:?}] delivered -> tag {}\n", variant, messages[0].tag()));
+    trace.push_str(&format!(
+        "flit #0 [{:?}] delivered -> tag {}\n",
+        variant,
+        messages[0].tag()
+    ));
 
     // Flit #1 carries messages[1] and is DROPPED by an intermediate switch.
     now += 2.0;
@@ -80,7 +88,8 @@ fn drive_scenario(variant: ProtocolVariant, messages: [Message; 4], same_cqid: b
         ));
     } else {
         drop_detected_immediately = true;
-        trace.push_str("flit #2 (ACK piggyback) REJECTED: sequence mismatch detected by the ECRC\n");
+        trace
+            .push_str("flit #2 (ACK piggyback) REJECTED: sequence mismatch detected by the ECRC\n");
     }
 
     // Flit #3 carries messages[3] with its own sequence number; baseline CXL
@@ -120,7 +129,11 @@ fn drive_scenario(variant: ProtocolVariant, messages: [Message; 4], same_cqid: b
     }
 
     let counts = audit.finalize();
-    let ordering_failures = if same_cqid { counts.ordering_failures } else { 0 };
+    let ordering_failures = if same_cqid {
+        counts.ordering_failures
+    } else {
+        0
+    };
     trace.push_str(&format!(
         "final delivery order: {delivered_tags:?} (duplicates = {}, same-CQID ordering failures = {})\n",
         counts.duplicate_deliveries, counts.ordering_failures

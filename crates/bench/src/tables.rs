@@ -69,7 +69,10 @@ pub fn reliability_table() -> String {
         vec![
             "RXL improvement at 1 switch level".to_string(),
             "> 1e18 x".to_string(),
-            format!("{:.2e} x", m.fit_cxl_single_switch() / m.fit_rxl_single_switch()),
+            format!(
+                "{:.2e} x",
+                m.fit_cxl_single_switch() / m.fit_rxl_single_switch()
+            ),
         ],
     ];
     render_table(
@@ -149,7 +152,10 @@ pub fn fec_detection_table(trials_per_burst: u64) -> String {
         let measured = if model.always_corrected(burst) {
             format!("corrected {:.1}%", report.corrected_fraction() * 100.0)
         } else {
-            format!("detected {:.1}%", report.detection_given_uncorrectable() * 100.0)
+            format!(
+                "detected {:.1}%",
+                report.detection_given_uncorrectable() * 100.0
+            )
         };
         let paper = match burst {
             1..=3 => "corrected 100%".to_string(),
@@ -347,7 +353,12 @@ mod tests {
     #[test]
     fn fig8_table_has_one_row_per_level() {
         let t = fig8_table(4);
-        assert_eq!(t.lines().filter(|l| l.starts_with(char::is_numeric)).count(), 5);
+        assert_eq!(
+            t.lines()
+                .filter(|l| l.starts_with(char::is_numeric))
+                .count(),
+            5
+        );
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Golden pins for the *printed* experiment tables: the exact formatted FIT
+//! and efficiency figures `run_all` reproduces from the paper. These catch
+//! silent drift in either the models or the table formatting.
+
+#[test]
+fn reliability_table_prints_the_paper_figures() {
+    let t = rxl_bench::reliability_table();
+    for needle in [
+        "3.00e-5",  // Eqn (2) FER_UC
+        "98.53%",   // Eqn (3) FEC correction fraction
+        "1.63e-24", // Eqn (4) FER_UD direct
+        "5.40e15",  // Eqn (8) FIT CXL behind one switch
+        "1.84e18",  // RXL improvement ratio
+    ] {
+        assert!(t.contains(needle), "missing {needle:?} in:\n{t}");
+    }
+}
+
+#[test]
+fn bandwidth_table_prints_the_paper_figures() {
+    let t = rxl_bench::bandwidth_table();
+    for needle in [
+        "0.150%", // Eqn (11) direct go-back-N loss
+        "0.299%", // Eqns (12)/(14) switched piggyback / RXL loss
+        "10.0%",  // Eqn (13) standalone ACK at p_coal = 0.1
+        "100.0%", // Eqn (13) standalone ACK at p_coal = 1.0
+    ] {
+        assert!(t.contains(needle), "missing {needle:?} in:\n{t}");
+    }
+}
+
+#[test]
+fn fig8_table_covers_the_requested_levels() {
+    let t = rxl_bench::fig8_table(4);
+    for needle in ["5.40e15", "1.08e16", "1.62e16", "2.16e16"] {
+        assert!(t.contains(needle), "missing {needle:?} in:\n{t}");
+    }
+}

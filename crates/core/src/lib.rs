@@ -50,5 +50,5 @@ pub mod fabric;
 pub mod stack;
 
 pub use config::{ProtocolKind, StackConfig};
-pub use fabric::{FabricSpec, FabricReliability};
+pub use fabric::{FabricReliability, FabricSpec};
 pub use stack::{CxlStack, ReceiveError, RxlStack};

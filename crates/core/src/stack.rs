@@ -44,10 +44,15 @@ impl std::fmt::Display for ReceiveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReceiveError::FecUncorrectable => write!(f, "FEC uncorrectable"),
-            ReceiveError::SequenceOrDataMismatch => write!(f, "ISN ECRC mismatch (corruption or sequence violation)"),
+            ReceiveError::SequenceOrDataMismatch => {
+                write!(f, "ISN ECRC mismatch (corruption or sequence violation)")
+            }
             ReceiveError::CrcMismatch => write!(f, "link CRC mismatch"),
             ReceiveError::ExplicitSequenceMismatch { got, expected } => {
-                write!(f, "explicit sequence mismatch (got {got}, expected {expected})")
+                write!(
+                    f,
+                    "explicit sequence mismatch (got {got}, expected {expected})"
+                )
             }
         }
     }
@@ -338,7 +343,9 @@ mod tests {
         assert!(rx.receive(&w0).is_ok());
         // Flit 1 is dropped; flit 2 hides its sequence behind the ACK and is
         // accepted anyway — the failure RXL eliminates.
-        let accepted = rx.receive(&w2).expect("baseline CXL accepts the ACK-carrying flit");
+        let accepted = rx
+            .receive(&w2)
+            .expect("baseline CXL accepts the ACK-carrying flit");
         assert_eq!(accepted.unpack_messages().unwrap()[0].tag(), 2);
         assert_eq!(rx.unchecked_accepts(), 1);
 
@@ -366,9 +373,14 @@ mod tests {
 
     #[test]
     fn error_display_strings_are_informative() {
-        let e = ReceiveError::ExplicitSequenceMismatch { got: 3, expected: 2 };
+        let e = ReceiveError::ExplicitSequenceMismatch {
+            got: 3,
+            expected: 2,
+        };
         assert!(e.to_string().contains("got 3"));
-        assert!(ReceiveError::SequenceOrDataMismatch.to_string().contains("ISN"));
+        assert!(ReceiveError::SequenceOrDataMismatch
+            .to_string()
+            .contains("ISN"));
         assert!(ReceiveError::FecUncorrectable.to_string().contains("FEC"));
         assert!(ReceiveError::CrcMismatch.to_string().contains("CRC"));
     }

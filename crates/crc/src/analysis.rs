@@ -205,14 +205,17 @@ mod tests {
         };
         assert!((r.detected_fraction() - 0.995).abs() < 1e-12);
         assert!((r.undetected_fraction() - 0.005).abs() < 1e-12);
-        let empty = CoverageReport { trials: 0, undetected: 0 };
+        let empty = CoverageReport {
+            trials: 0,
+            undetected: 0,
+        };
         assert_eq!(empty.detected_fraction(), 1.0);
     }
 
     #[test]
     fn null_pattern_is_not_an_error() {
         let a = CrcAnalyzer::new(FLIT_CRC64, 32);
-        assert!(!a.pattern_undetected(&vec![0u8; 32]));
+        assert!(!a.pattern_undetected(&[0u8; 32]));
     }
 
     #[test]

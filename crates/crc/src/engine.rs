@@ -128,7 +128,15 @@ mod tests {
     fn empty_input_yields_init_xor_out() {
         // For a non-reflected spec with init == 0, the checksum of the empty
         // message is just xor_out.
-        let spec = crate::spec::CrcSpec::new("plain64", 64, catalog::CRC64_ECMA_182.poly, 0, false, false, 0);
+        let spec = crate::spec::CrcSpec::new(
+            "plain64",
+            64,
+            catalog::CRC64_ECMA_182.poly,
+            0,
+            false,
+            false,
+            0,
+        );
         let e = BitwiseCrc::new(spec);
         assert_eq!(e.checksum(&[]), 0);
     }
@@ -142,7 +150,11 @@ mod tests {
             for bit in 0..8 {
                 let mut m = base.clone();
                 m[byte] ^= 1 << bit;
-                assert_ne!(e.checksum(&m), c0, "undetected single-bit error at {byte}.{bit}");
+                assert_ne!(
+                    e.checksum(&m),
+                    c0,
+                    "undetected single-bit error at {byte}.{bit}"
+                );
             }
         }
     }

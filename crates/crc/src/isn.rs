@@ -139,7 +139,13 @@ impl IsnCrc64 {
     /// Returns `true` only if the payload is intact **and** the sequence
     /// numbers agree, which is exactly the pass/fail semantics of Section 5.
     #[inline]
-    pub fn verify(&self, header: &[u8], payload: &[u8], expected_seq: u16, received_crc: u64) -> bool {
+    pub fn verify(
+        &self,
+        header: &[u8],
+        payload: &[u8],
+        expected_seq: u16,
+        received_crc: u64,
+    ) -> bool {
         self.encode(header, payload, expected_seq) == received_crc
     }
 
@@ -157,7 +163,9 @@ mod tests {
     use crate::catalog::FLIT_CRC64;
 
     fn payload(seed: u8) -> Vec<u8> {
-        (0..240u32).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..240u32)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     #[test]

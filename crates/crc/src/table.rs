@@ -17,7 +17,9 @@ pub struct TableCrc {
 
 impl std::fmt::Debug for TableCrc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TableCrc").field("spec", &self.spec).finish()
+        f.debug_struct("TableCrc")
+            .field("spec", &self.spec)
+            .finish()
     }
 }
 
@@ -105,15 +107,30 @@ mod tests {
 
     #[test]
     fn check_values_match_catalogue() {
-        assert_eq!(TableCrc::new(catalog::CRC32_ISO_HDLC).checksum(CHECK_INPUT), 0xCBF43926);
-        assert_eq!(TableCrc::new(catalog::CRC16_CCITT_FALSE).checksum(CHECK_INPUT), 0x29B1);
-        assert_eq!(TableCrc::new(catalog::CRC16_ARC).checksum(CHECK_INPUT), 0xBB3D);
-        assert_eq!(TableCrc::new(catalog::CRC64_XZ).checksum(CHECK_INPUT), 0x995DC9BBDF1939FA);
+        assert_eq!(
+            TableCrc::new(catalog::CRC32_ISO_HDLC).checksum(CHECK_INPUT),
+            0xCBF43926
+        );
+        assert_eq!(
+            TableCrc::new(catalog::CRC16_CCITT_FALSE).checksum(CHECK_INPUT),
+            0x29B1
+        );
+        assert_eq!(
+            TableCrc::new(catalog::CRC16_ARC).checksum(CHECK_INPUT),
+            0xBB3D
+        );
+        assert_eq!(
+            TableCrc::new(catalog::CRC64_XZ).checksum(CHECK_INPUT),
+            0x995DC9BBDF1939FA
+        );
         assert_eq!(
             TableCrc::new(catalog::CRC64_ECMA_182).checksum(CHECK_INPUT),
             0x6C40DF5F0B497347
         );
-        assert_eq!(TableCrc::new(catalog::CRC8_SMBUS).checksum(CHECK_INPUT), 0xF4);
+        assert_eq!(
+            TableCrc::new(catalog::CRC8_SMBUS).checksum(CHECK_INPUT),
+            0xF4
+        );
     }
 
     #[test]
@@ -130,7 +147,12 @@ mod tests {
             let b = BitwiseCrc::new(spec);
             for len in [0usize, 1, 2, 7, 63, 64, 240, 256] {
                 let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
-                assert_eq!(t.checksum(&data), b.checksum(&data), "spec {} len {len}", spec.name);
+                assert_eq!(
+                    t.checksum(&data),
+                    b.checksum(&data),
+                    "spec {} len {len}",
+                    spec.name
+                );
             }
         }
     }

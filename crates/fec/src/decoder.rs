@@ -67,9 +67,8 @@ impl RsDecoder {
     /// On success the corrected codeword (data ‖ parity) is left in
     /// `received`; on `DetectedUncorrectable` the buffer is unmodified.
     pub fn decode_in_place(&self, received: &mut [u8]) -> RsDecodeOutcome {
-        match self.decode_with_locations(received) {
-            (outcome, _) => outcome,
-        }
+        let (outcome, _) = self.decode_with_locations(received);
+        outcome
     }
 
     /// Decodes in place and additionally reports the corrected symbol
@@ -128,7 +127,7 @@ impl RsDecoder {
             let mut magnitude = omega.eval(x_inv) / denom;
             // fcr = 0 ⇒ multiply by X_p^{1 - 0} = X_p ... derived below.
             // Standard Forney for roots at α^{fcr..}: e = X^{1-fcr}·Ω(X^{-1})/σ'(X^{-1}).
-            magnitude = magnitude * x_p.pow(1 - FIRST_CONSECUTIVE_ROOT);
+            magnitude *= x_p.pow(1 - FIRST_CONSECUTIVE_ROOT);
             if magnitude.is_zero() {
                 return (RsDecodeOutcome::DetectedUncorrectable, Vec::new());
             }
@@ -234,7 +233,7 @@ mod tests {
             let mut word = clean.clone();
             let mut positions: Vec<usize> = Vec::new();
             while positions.len() < errors {
-                let p = rng.random_range(0..255);
+                let p = rng.random_range(0usize..255);
                 if !positions.contains(&p) {
                     positions.push(p);
                 }
@@ -279,10 +278,10 @@ mod tests {
         let trials = 200;
         for _ in 0..trials {
             let mut word = clean.clone();
-            let p1 = rng.random_range(0..255);
-            let mut p2 = rng.random_range(0..255);
+            let p1 = rng.random_range(0usize..255);
+            let mut p2 = rng.random_range(0usize..255);
             while p2 == p1 {
-                p2 = rng.random_range(0..255);
+                p2 = rng.random_range(0usize..255);
             }
             corrupt(&mut word, &[p1, p2], &mut rng);
             let outcome = dec.decode_in_place(&mut word);
@@ -320,7 +319,10 @@ mod tests {
         assert!(RsDecodeOutcome::Corrected { symbols: 2 }.is_corrected());
         assert!(RsDecodeOutcome::NoError.accepted());
         assert!(!RsDecodeOutcome::DetectedUncorrectable.accepted());
-        assert_eq!(RsDecodeOutcome::Corrected { symbols: 3 }.corrected_symbols(), 3);
+        assert_eq!(
+            RsDecodeOutcome::Corrected { symbols: 3 }.corrected_symbols(),
+            3
+        );
         assert_eq!(RsDecodeOutcome::NoError.corrected_symbols(), 0);
     }
 

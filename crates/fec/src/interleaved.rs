@@ -164,7 +164,11 @@ impl InterleavedFec {
     /// endpoint would discard it) and the aggregate outcome is
     /// [`RsDecodeOutcome::DetectedUncorrectable`].
     pub fn decode(&self, block: &mut [u8]) -> FlitFecResult {
-        assert_eq!(block.len(), self.encoded_len(), "wrong block length for this FEC");
+        assert_eq!(
+            block.len(),
+            self.encoded_len(),
+            "wrong block length for this FEC"
+        );
         // Each way's word is its data symbols followed by its parity symbols,
         // which is exactly the order its wire positions appear in.
         let mut words = self.deinterleave(block);
@@ -255,7 +259,11 @@ mod tests {
             let res = fec.decode(&mut block);
             assert!(res.outcome.is_corrected(), "burst at {start} not corrected");
             assert_eq!(res.outcome.corrected_symbols(), 3);
-            assert_eq!(&block[..250], &data[..], "burst at {start} produced wrong data");
+            assert_eq!(
+                &block[..250],
+                &data[..],
+                "burst at {start} produced wrong data"
+            );
             assert_eq!(block, clean, "burst at {start} left parity corrupted");
         }
     }
@@ -269,7 +277,10 @@ mod tests {
             let mut block = clean.clone();
             block[pos] ^= 0x42;
             let res = fec.decode(&mut block);
-            assert!(res.outcome.is_corrected(), "parity error at {pos} not corrected");
+            assert!(
+                res.outcome.is_corrected(),
+                "parity error at {pos} not corrected"
+            );
             assert_eq!(&block[..250], &data[..]);
         }
     }
@@ -318,7 +329,7 @@ mod tests {
         let mut rejected = 0;
         for _ in 0..200 {
             let mut block = clean.clone();
-            let start = rng.random_range(0..250);
+            let start = rng.random_range(0usize..250);
             for i in 0..6 {
                 block[start + i] ^= rng.random_range(1..=255u8);
             }
@@ -329,7 +340,10 @@ mod tests {
                 rejected += 1;
             }
         }
-        assert!(rejected > accepted, "6-byte bursts should mostly be detected");
+        assert!(
+            rejected > accepted,
+            "6-byte bursts should mostly be detected"
+        );
         assert_eq!(rejected + accepted, 200);
     }
 

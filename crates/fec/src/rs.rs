@@ -28,7 +28,10 @@ impl RsCode {
         assert!(n <= 255, "RS over GF(2^8) requires n ≤ 255");
         assert!(k < n, "k must be smaller than n");
         let parity = n - k;
-        assert!(parity >= 2 && parity % 2 == 0, "n − k must be an even number ≥ 2");
+        assert!(
+            parity >= 2 && parity.is_multiple_of(2),
+            "n − k must be an even number ≥ 2"
+        );
         let generator = Self::build_generator(parity);
         RsCode { n, k, generator }
     }
@@ -103,7 +106,11 @@ impl RsCode {
         for &d in data {
             let feedback = Gf256::new(d) + lfsr[0];
             for i in 0..parity_len {
-                let next = if i + 1 < parity_len { lfsr[i + 1] } else { Gf256::ZERO };
+                let next = if i + 1 < parity_len {
+                    lfsr[i + 1]
+                } else {
+                    Gf256::ZERO
+                };
                 lfsr[i] = next + feedback * gen[parity_len - 1 - i];
             }
         }
@@ -154,7 +161,10 @@ mod tests {
         let g = code.generator();
         assert_eq!(g.degree(), 16);
         for i in 0..16 {
-            assert!(g.eval(Gf256::alpha_pow(i)).is_zero(), "α^{i} must be a root");
+            assert!(
+                g.eval(Gf256::alpha_pow(i)).is_zero(),
+                "α^{i} must be a root"
+            );
         }
         // A non-root should not evaluate to zero.
         assert!(!g.eval(Gf256::alpha_pow(20)).is_zero());
@@ -167,14 +177,17 @@ mod tests {
             let data: Vec<u8> = (0..k).map(|i| (i * 13 + 7) as u8).collect();
             let cw = code.encode(&data);
             assert_eq!(cw.len(), n);
-            assert!(code.is_codeword(&cw), "RS({n},{k}) produced invalid codeword");
+            assert!(
+                code.is_codeword(&cw),
+                "RS({n},{k}) produced invalid codeword"
+            );
         }
     }
 
     #[test]
     fn corrupting_a_codeword_breaks_the_syndromes() {
         let code = RsCode::rs_255_253();
-        let data: Vec<u8> = (0..253).map(|i| i as u8) .collect();
+        let data: Vec<u8> = (0..253).map(|i| i as u8).collect();
         let mut cw = code.encode(&data);
         assert!(code.is_codeword(&cw));
         cw[100] ^= 0x40;

@@ -28,7 +28,10 @@ pub struct ShortenedRs {
 impl ShortenedRs {
     /// Creates a shortened code carrying `data_len` data symbols.
     pub fn new(code: RsCode, data_len: usize) -> Self {
-        assert!(data_len >= 1, "shortened code needs at least one data symbol");
+        assert!(
+            data_len >= 1,
+            "shortened code needs at least one data symbol"
+        );
         assert!(
             data_len <= code.k(),
             "shortened data length exceeds the mother code's k"
@@ -38,7 +41,11 @@ impl ShortenedRs {
         } else {
             None
         };
-        ShortenedRs { code, data_len, ssc }
+        ShortenedRs {
+            code,
+            data_len,
+            ssc,
+        }
     }
 
     /// A CXL flit sub-block: `data_len` bytes protected by RS(255, 253).
@@ -229,8 +236,7 @@ mod tests {
 
     #[test]
     #[should_panic]
-    fn encode_rejects_wrong_length()
-    {
+    fn encode_rejects_wrong_length() {
         let sb = ShortenedRs::cxl_subblock(83);
         let _ = sb.encode(&[0u8; 10]);
     }

@@ -30,7 +30,11 @@ impl SingleSymbolCorrector {
     /// Creates an SSC decoder. Panics unless the code has exactly two parity
     /// symbols.
     pub fn new(code: RsCode) -> Self {
-        assert_eq!(code.parity_len(), 2, "SSC requires exactly 2 parity symbols");
+        assert_eq!(
+            code.parity_len(),
+            2,
+            "SSC requires exactly 2 parity symbols"
+        );
         SingleSymbolCorrector { code }
     }
 
@@ -118,7 +122,11 @@ mod tests {
             let mut word = clean.clone();
             word[pos] ^= 0xA5;
             let (outcome, loc) = ssc.decode_in_place(&mut word);
-            assert_eq!(outcome, RsDecodeOutcome::Corrected { symbols: 1 }, "pos {pos}");
+            assert_eq!(
+                outcome,
+                RsDecodeOutcome::Corrected { symbols: 1 },
+                "pos {pos}"
+            );
             assert_eq!(loc, Some(pos));
             assert_eq!(word, clean);
         }
@@ -133,7 +141,7 @@ mod tests {
         let data: Vec<u8> = (0..253).map(|_| rng.random()).collect();
         let clean = code.encode(&data);
         for _ in 0..50 {
-            let pos = rng.random_range(0..255);
+            let pos = rng.random_range(0usize..255);
             let flip: u8 = rng.random_range(1..=255);
             let mut w1 = clean.clone();
             let mut w2 = clean.clone();
@@ -157,7 +165,14 @@ mod tests {
         word[50] ^= 0x77;
         let (outcome, _) = ssc.decode_in_place(&mut word);
         assert_eq!(outcome, RsDecodeOutcome::DetectedUncorrectable);
-        assert_eq!(word, clean.iter().enumerate().map(|(i, &b)| if i == 5 || i == 50 { b ^ 0x77 } else { b }).collect::<Vec<_>>());
+        assert_eq!(
+            word,
+            clean
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| if i == 5 || i == 50 { b ^ 0x77 } else { b })
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -100,7 +100,12 @@ pub fn burst_experiment(
 /// probability `ber` and classifies the decoder's behaviour. Used to measure
 /// the flit error rate decomposition (correctable vs. detected vs. silent)
 /// under the random-error channel of Section 7.1.
-pub fn random_ber_experiment(fec: &InterleavedFec, ber: f64, trials: u64, seed: u64) -> BurstReport {
+pub fn random_ber_experiment(
+    fec: &InterleavedFec,
+    ber: f64,
+    trials: u64,
+    seed: u64,
+) -> BurstReport {
     assert!((0.0..1.0).contains(&ber));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut report = BurstReport::default();
@@ -151,7 +156,10 @@ mod tests {
         let fec = InterleavedFec::cxl_flit();
         for burst in 1..=3usize {
             let r = burst_experiment(&fec, burst, 150, 10 + burst as u64);
-            assert_eq!(r.detected, 0, "burst {burst} was detected instead of corrected");
+            assert_eq!(
+                r.detected, 0,
+                "burst {burst} was detected instead of corrected"
+            );
             assert_eq!(r.miscorrected, 0, "burst {burst} was miscorrected");
             assert_eq!(r.corrected, 150);
         }

@@ -1,0 +1,124 @@
+//! Property tests for the Reed–Solomon contract the link layer depends on:
+//! encode → corrupt at most `t` symbols → decode recovers the codeword
+//! exactly, across the full-length, shortened and interleaved code layouts.
+
+use proptest::prelude::*;
+use rxl_fec::{InterleavedFec, RsCode, RsDecodeOutcome, RsDecoder, ShortenedRs};
+
+/// Derives `count` distinct positions in `0..len` from a seed, plus nonzero
+/// XOR masks — a compact way to get "corrupt ≤ t distinct symbols" without a
+/// set-valued strategy.
+fn corruption(seed: u64, len: usize, count: usize) -> Vec<(usize, u8)> {
+    let mut out: Vec<(usize, u8)> = Vec::with_capacity(count);
+    let mut state = seed;
+    while out.len() < count {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let pos = (state >> 33) as usize % len;
+        if out.iter().any(|&(p, _)| p == pos) {
+            continue;
+        }
+        let flip = ((state >> 13) as u8).max(1);
+        out.push((pos, flip));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- RS(15, 11), t = 2: the textbook round-trip ----------------------
+
+    fn rs_15_11_corrects_up_to_t_symbols(
+        data in proptest::collection::vec(any::<u8>(), 11),
+        n_errors in 0usize..=2,
+        seed in any::<u64>(),
+    ) {
+        let code = RsCode::new(15, 11);
+        prop_assert_eq!(code.t(), 2);
+        let decoder = RsDecoder::new(code.clone());
+        let clean = code.encode(&data);
+        prop_assert_eq!(&clean[..11], &data[..]);
+
+        let mut word = clean.clone();
+        for (pos, flip) in corruption(seed, 15, n_errors) {
+            word[pos] ^= flip;
+        }
+        let outcome = decoder.decode_in_place(&mut word);
+        if n_errors == 0 {
+            prop_assert_eq!(outcome, RsDecodeOutcome::NoError);
+        } else {
+            prop_assert_eq!(outcome, RsDecodeOutcome::Corrected { symbols: n_errors });
+        }
+        prop_assert_eq!(word, clean);
+    }
+
+    // --- shortened CXL sub-block, t = 1 ----------------------------------
+
+    fn shortened_subblock_corrects_single_symbol(
+        data in proptest::collection::vec(any::<u8>(), 84),
+        seed in any::<u64>(),
+    ) {
+        let sb = ShortenedRs::cxl_subblock(84);
+        let clean = sb.encode(&data);
+        prop_assert_eq!(clean.len(), sb.word_len());
+
+        let mut word = clean.clone();
+        let (pos, flip) = corruption(seed, clean.len(), 1)[0];
+        word[pos] ^= flip;
+        prop_assert_eq!(
+            sb.decode_in_place(&mut word),
+            RsDecodeOutcome::Corrected { symbols: 1 }
+        );
+        prop_assert_eq!(word, clean);
+    }
+
+    // --- interleaved 256-byte flit, one symbol per way -------------------
+
+    fn interleaved_flit_corrects_one_symbol_per_way(
+        data in proptest::collection::vec(any::<u8>(), 250),
+        burst_start in 0usize..254,
+        seed in any::<u64>(),
+    ) {
+        // Three consecutive bytes land in three distinct interleaved ways,
+        // so a 3-byte burst is always within per-way correction capability.
+        let fec = InterleavedFec::cxl_flit();
+        let clean = fec.encode(&data);
+        let mut block = clean.clone();
+        let masks = corruption(seed, 3, 3);
+        for (i, &(_, flip)) in masks.iter().enumerate() {
+            block[burst_start + i] ^= flip;
+        }
+        let res = fec.decode(&mut block);
+        prop_assert!(res.outcome.is_corrected(), "burst at {} not corrected", burst_start);
+        prop_assert_eq!(&block[..250], &data[..]);
+    }
+
+    // --- beyond-capability patterns never silently pass as clean ---------
+
+    fn rs_15_11_never_accepts_unchanged_corrupted_word_as_clean(
+        data in proptest::collection::vec(any::<u8>(), 11),
+        n_errors in 3usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let code = RsCode::new(15, 11);
+        let decoder = RsDecoder::new(code.clone());
+        let clean = code.encode(&data);
+        let mut word = clean.clone();
+        for (pos, flip) in corruption(seed, 15, n_errors) {
+            word[pos] ^= flip;
+        }
+        let corrupted = word.clone();
+        let outcome = decoder.decode_in_place(&mut word);
+        // With more than t errors the decoder may detect or miscorrect, but
+        // it must never report NoError for a word that is not a codeword.
+        prop_assert_ne!(outcome, RsDecodeOutcome::NoError);
+        if outcome == RsDecodeOutcome::DetectedUncorrectable {
+            prop_assert_eq!(word, corrupted);
+        } else {
+            // A miscorrection still lands on *some* codeword.
+            prop_assert!(code.is_codeword(&word));
+        }
+    }
+}

@@ -75,7 +75,9 @@ mod tests {
             assert!(b.push(Message::response_ok(0, i as u16)).is_none());
         }
         assert_eq!(b.remaining_capacity(), 1);
-        let full = b.push(Message::response_ok(0, 99)).expect("flit should complete");
+        let full = b
+            .push(Message::response_ok(0, 99))
+            .expect("flit should complete");
         assert_eq!(full.len(), MESSAGES_PER_FLIT);
         assert!(b.is_empty());
     }

@@ -296,7 +296,7 @@ mod tests {
         let cxl_wire = cxl.encode(&flit);
         let rxl_wire = rxl.encode(&flit, 900);
         for _ in 0..20 {
-            let start = rng.random_range(0..253);
+            let start = rng.random_range(0usize..253);
             let mut w1 = cxl_wire;
             let mut w2 = rxl_wire;
             for i in 0..3 {
@@ -347,7 +347,10 @@ mod tests {
         tampered.copy_from_slice(&reencoded);
 
         let out = rxl.decode(&tampered, 33);
-        assert!(out.fec.accepted(), "FEC cannot see switch-internal corruption");
+        assert!(
+            out.fec.accepted(),
+            "FEC cannot see switch-internal corruption"
+        );
         assert!(!out.ecrc_ok, "the end-to-end CRC must catch it");
         assert!(!out.accepted());
     }

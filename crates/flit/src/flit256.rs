@@ -17,8 +17,7 @@ pub const FLIT_CRC_LEN: usize = 8;
 /// FEC bytes per flit.
 pub const FLIT_FEC_LEN: usize = 6;
 /// Total wire size of a 256-byte flit.
-pub const FLIT_TOTAL_LEN: usize =
-    FLIT_HEADER_LEN + FLIT_PAYLOAD_LEN + FLIT_CRC_LEN + FLIT_FEC_LEN;
+pub const FLIT_TOTAL_LEN: usize = FLIT_HEADER_LEN + FLIT_PAYLOAD_LEN + FLIT_CRC_LEN + FLIT_FEC_LEN;
 
 /// An unencoded 256-byte-class flit: header plus 240-byte payload.
 #[derive(Clone, PartialEq, Eq)]

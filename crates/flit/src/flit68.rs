@@ -107,7 +107,10 @@ mod tests {
         for pos in 0..68 {
             let mut wire = clean;
             wire[pos] ^= 0x08;
-            assert!(Flit68::decode(&wire).is_none(), "corruption at {pos} escaped");
+            assert!(
+                Flit68::decode(&wire).is_none(),
+                "corruption at {pos} escaped"
+            );
         }
     }
 

@@ -207,7 +207,9 @@ mod tests {
     fn replay_cmd_semantics() {
         assert!(!FlitHeader::with_seq(5).replay_cmd.hides_own_sequence());
         assert!(FlitHeader::ack(100).replay_cmd.hides_own_sequence());
-        assert!(FlitHeader::nack_go_back_n(7).replay_cmd.hides_own_sequence());
+        assert!(FlitHeader::nack_go_back_n(7)
+            .replay_cmd
+            .hides_own_sequence());
         assert!(FlitHeader::with_seq(5).carries_own_sequence());
         assert!(!FlitHeader::ack(100).carries_own_sequence());
     }
@@ -216,8 +218,14 @@ mod tests {
     fn constructors_set_expected_types() {
         assert_eq!(FlitHeader::with_seq(1).flit_type, FlitType::Protocol);
         assert_eq!(FlitHeader::ack(1).flit_type, FlitType::Protocol);
-        assert_eq!(FlitHeader::nack_go_back_n(1).flit_type, FlitType::LinkControl);
-        assert_eq!(FlitHeader::standalone_ack(1).flit_type, FlitType::StandaloneAck);
+        assert_eq!(
+            FlitHeader::nack_go_back_n(1).flit_type,
+            FlitType::LinkControl
+        );
+        assert_eq!(
+            FlitHeader::standalone_ack(1).flit_type,
+            FlitType::StandaloneAck
+        );
     }
 
     #[test]

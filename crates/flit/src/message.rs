@@ -119,7 +119,12 @@ pub enum Message {
 impl Message {
     /// Convenience constructor for a request.
     pub fn request(op: MemOp, addr: u64, cqid: u16, tag: u16) -> Self {
-        Message::Request { op, addr, cqid, tag }
+        Message::Request {
+            op,
+            addr,
+            cqid,
+            tag,
+        }
     }
 
     /// Convenience constructor for a successful response.
@@ -195,7 +200,11 @@ mod tests {
         assert_eq!(rsp.cqid(), 1);
         assert!(!rsp.is_request());
 
-        let dh = Message::DataHeader { cqid: 4, tag: 5, chunks: 8 };
+        let dh = Message::DataHeader {
+            cqid: 4,
+            tag: 5,
+            chunks: 8,
+        };
         assert_eq!(dh.tag(), 5);
     }
 

@@ -40,7 +40,10 @@ impl std::fmt::Display for SlotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SlotError::TooManyMessages { given, capacity } => {
-                write!(f, "{given} messages exceed the {capacity}-slot payload capacity")
+                write!(
+                    f,
+                    "{given} messages exceed the {capacity}-slot payload capacity"
+                )
             }
             SlotError::BadPayloadLength(len) => write!(f, "payload length {len} is not valid"),
             SlotError::UnknownKind(k) => write!(f, "unknown slot kind {k}"),
@@ -53,7 +56,12 @@ impl std::error::Error for SlotError {}
 fn encode_slot(msg: &Message) -> [u8; SLOT_LEN] {
     let mut slot = [0u8; SLOT_LEN];
     match *msg {
-        Message::Request { op, addr, cqid, tag } => {
+        Message::Request {
+            op,
+            addr,
+            cqid,
+            tag,
+        } => {
             slot[0] = KIND_REQUEST;
             slot[1] = op as u8;
             slot[2..4].copy_from_slice(&cqid.to_le_bytes());
@@ -131,7 +139,7 @@ fn decode_slot(slot: &[u8]) -> Result<Option<Message>, SlotError> {
 /// bytes (`payload_len` must be a multiple of [`SLOT_LEN`]). Unused slots are
 /// marked empty.
 pub fn pack_messages(messages: &[Message], payload_len: usize) -> Result<Vec<u8>, SlotError> {
-    if payload_len == 0 || payload_len % SLOT_LEN != 0 {
+    if payload_len == 0 || !payload_len.is_multiple_of(SLOT_LEN) {
         return Err(SlotError::BadPayloadLength(payload_len));
     }
     let capacity = payload_len / SLOT_LEN;
@@ -150,7 +158,7 @@ pub fn pack_messages(messages: &[Message], payload_len: usize) -> Result<Vec<u8>
 
 /// Unpacks all non-empty messages from a payload.
 pub fn unpack_messages(payload: &[u8]) -> Result<Vec<Message>, SlotError> {
-    if payload.is_empty() || payload.len() % SLOT_LEN != 0 {
+    if payload.is_empty() || !payload.len().is_multiple_of(SLOT_LEN) {
         return Err(SlotError::BadPayloadLength(payload.len()));
     }
     let mut out = Vec::new();
@@ -223,8 +231,14 @@ mod tests {
     #[test]
     fn bad_payload_lengths_are_rejected() {
         assert_eq!(pack_messages(&[], 0), Err(SlotError::BadPayloadLength(0)));
-        assert_eq!(pack_messages(&[], 100), Err(SlotError::BadPayloadLength(100)));
-        assert_eq!(unpack_messages(&[0u8; 7]), Err(SlotError::BadPayloadLength(7)));
+        assert_eq!(
+            pack_messages(&[], 100),
+            Err(SlotError::BadPayloadLength(100))
+        );
+        assert_eq!(
+            unpack_messages(&[0u8; 7]),
+            Err(SlotError::BadPayloadLength(7))
+        );
     }
 
     #[test]
@@ -246,7 +260,10 @@ mod tests {
 
     #[test]
     fn error_display_strings() {
-        let e = SlotError::TooManyMessages { given: 20, capacity: 15 };
+        let e = SlotError::TooManyMessages {
+            given: 20,
+            capacity: 15,
+        };
         assert!(e.to_string().contains("20"));
         assert!(SlotError::BadPayloadLength(3).to_string().contains('3'));
         assert!(SlotError::UnknownKind(9).to_string().contains('9'));
@@ -258,32 +275,37 @@ mod tests {
 
         fn arb_message() -> impl Strategy<Value = Message> {
             prop_oneof![
-                (any::<u8>(), any::<u64>(), any::<u16>(), any::<u16>()).prop_map(|(op, addr, cqid, tag)| {
-                    Message::Request {
-                        op: MemOp::from_bits(op % 6),
-                        addr,
+                (any::<u8>(), any::<u64>(), any::<u16>(), any::<u16>()).prop_map(
+                    |(op, addr, cqid, tag)| {
+                        Message::Request {
+                            op: MemOp::from_bits(op % 6),
+                            addr,
+                            cqid,
+                            tag,
+                        }
+                    }
+                ),
+                (any::<u16>(), any::<u16>(), any::<u8>()).prop_map(|(cqid, tag, st)| {
+                    Message::Response {
                         cqid,
                         tag,
+                        status: RspStatus::from_bits(st % 3),
                     }
                 }),
-                (any::<u16>(), any::<u16>(), any::<u8>()).prop_map(|(cqid, tag, st)| Message::Response {
-                    cqid,
-                    tag,
-                    status: RspStatus::from_bits(st % 3),
-                }),
-                (any::<u16>(), any::<u16>(), any::<u8>()).prop_map(|(cqid, tag, chunks)| Message::DataHeader {
-                    cqid,
-                    tag,
-                    chunks,
-                }),
-                (any::<u16>(), any::<u16>(), any::<u8>(), any::<[u8; DATA_CHUNK_LEN]>()).prop_map(
-                    |(cqid, tag, idx, bytes)| Message::Data {
+                (any::<u16>(), any::<u16>(), any::<u8>())
+                    .prop_map(|(cqid, tag, chunks)| Message::DataHeader { cqid, tag, chunks }),
+                (
+                    any::<u16>(),
+                    any::<u16>(),
+                    any::<u8>(),
+                    any::<[u8; DATA_CHUNK_LEN]>()
+                )
+                    .prop_map(|(cqid, tag, idx, bytes)| Message::Data {
                         cqid,
                         tag,
                         chunk_idx: idx,
                         bytes,
-                    }
-                ),
+                    }),
             ]
         }
 

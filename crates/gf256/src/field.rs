@@ -122,6 +122,8 @@ impl From<Gf256> for u8 {
 
 impl Add for Gf256 {
     type Output = Gf256;
+    // In GF(2^8) addition *is* XOR; clippy cannot know this is not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn add(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
@@ -129,6 +131,7 @@ impl Add for Gf256 {
 }
 
 impl AddAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
     #[inline]
     fn add_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
@@ -137,6 +140,7 @@ impl AddAssign for Gf256 {
 
 impl Sub for Gf256 {
     type Output = Gf256;
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn sub(self, rhs: Gf256) -> Gf256 {
         // Characteristic 2: subtraction is identical to addition.
@@ -145,6 +149,7 @@ impl Sub for Gf256 {
 }
 
 impl SubAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
     #[inline]
     fn sub_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;

@@ -1,0 +1,88 @@
+//! Property tests for the GF(2^8) field axioms, exercised through the
+//! crate's public API (the in-crate unit tests cover internals; these pin
+//! the algebraic contract downstream Reed–Solomon code depends on).
+
+use proptest::prelude::*;
+use rxl_gf256::Gf256;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // --- additive group -------------------------------------------------
+
+    fn addition_is_associative(a: u8, b: u8, c: u8) {
+        let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    fn addition_is_commutative_with_zero_identity(a: u8, b: u8) {
+        let (a, b) = (Gf256::new(a), Gf256::new(b));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a + Gf256::ZERO, a);
+    }
+
+    fn every_element_is_its_own_additive_inverse(a: u8) {
+        let a = Gf256::new(a);
+        prop_assert_eq!(a + a, Gf256::ZERO);
+        prop_assert_eq!(a - a, Gf256::ZERO);
+        // In characteristic 2, addition and subtraction coincide.
+        let b = Gf256::new(a.0.wrapping_mul(3));
+        prop_assert_eq!(a + b, a - b);
+    }
+
+    // --- multiplicative group -------------------------------------------
+
+    fn multiplication_is_associative(a: u8, b: u8, c: u8) {
+        let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    fn multiplication_is_commutative_with_one_identity(a: u8, b: u8) {
+        let (a, b) = (Gf256::new(a), Gf256::new(b));
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a * Gf256::ONE, a);
+        prop_assert_eq!(a * Gf256::ZERO, Gf256::ZERO);
+    }
+
+    // --- distributivity --------------------------------------------------
+
+    fn multiplication_distributes_over_addition(a: u8, b: u8, c: u8) {
+        let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!((a + b) * c, a * c + b * c);
+    }
+
+    // --- inverse round-trips ---------------------------------------------
+
+    fn multiplicative_inverse_round_trips(a in 1u8..=255) {
+        let a = Gf256::new(a);
+        prop_assert_eq!(a * a.inverse(), Gf256::ONE);
+        prop_assert_eq!(a.inverse().inverse(), a);
+    }
+
+    fn division_round_trips_through_multiplication(a: u8, b in 1u8..=255) {
+        let (a, b) = (Gf256::new(a), Gf256::new(b));
+        prop_assert_eq!((a * b) / b, a);
+        prop_assert_eq!((a / b) * b, a);
+    }
+
+    fn checked_inverse_agrees_with_inverse(a: u8) {
+        let a = Gf256::new(a);
+        match a.checked_inverse() {
+            None => prop_assert_eq!(a, Gf256::ZERO),
+            Some(inv) => {
+                prop_assert_eq!(inv, a.inverse());
+                prop_assert_eq!(a * inv, Gf256::ONE);
+            }
+        }
+    }
+
+    fn pow_is_repeated_multiplication(a: u8, n in 0u32..64) {
+        let a = Gf256::new(a);
+        let mut expect = Gf256::ONE;
+        for _ in 0..n {
+            expect *= a;
+        }
+        prop_assert_eq!(a.pow(n), expect);
+    }
+}

@@ -61,7 +61,10 @@ impl ChannelErrorModel {
     /// accelerate Monte-Carlo experiments while keeping the burst shape.
     pub fn scaled(&self, factor: f64) -> Self {
         let ber = (self.ber * factor).min(0.999_999);
-        ChannelErrorModel { ber, burst: self.burst }
+        ChannelErrorModel {
+            ber,
+            burst: self.burst,
+        }
     }
 
     /// Corrupts `data` in place; returns the number of bits flipped.

@@ -31,7 +31,10 @@ impl CreditCounter {
 
     /// Credits currently available to the transmitter.
     pub fn available(&self) -> u32 {
-        debug_assert!(self.consumed >= self.returned || self.returned - self.consumed <= self.advertised as u64);
+        debug_assert!(
+            self.consumed >= self.returned
+                || self.returned - self.consumed <= self.advertised as u64
+        );
         let outstanding = self.consumed.saturating_sub(self.returned);
         self.advertised.saturating_sub(outstanding as u32)
     }

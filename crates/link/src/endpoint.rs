@@ -154,9 +154,8 @@ mod tests {
             let downstream: Vec<Message> = (0..50)
                 .map(|i| Message::request(MemOp::RdCurr, i as u64 * 64, 1, i as u16))
                 .collect();
-            let upstream: Vec<Message> = (0..30)
-                .map(|i| Message::response_ok(1, i as u16))
-                .collect();
+            let upstream: Vec<Message> =
+                (0..30).map(|i| Message::response_ok(1, i as u16)).collect();
             a.enqueue_messages(downstream.clone());
             b.enqueue_messages(upstream.clone());
 

@@ -243,7 +243,10 @@ impl LinkRx {
             return result;
         }
 
-        let flit = decode.flit.as_ref().expect("FEC-accepted flit has contents");
+        let flit = decode
+            .flit
+            .as_ref()
+            .expect("FEC-accepted flit has contents");
 
         // Control flits live outside the transport sequence space and are
         // bound to sequence 0 by the transmitter.
@@ -372,7 +375,10 @@ mod tests {
         tx.queue_ack(100);
         let (w2, _) = protocol_wire(&mut tx, 2);
         let out = rx.receive(&w2);
-        assert!(out.accepted, "CXL cannot detect the gap on an ACK-carrying flit");
+        assert!(
+            out.accepted,
+            "CXL cannot detect the gap on an ACK-carrying flit"
+        );
         assert!(!out.sequence_checked);
         assert_eq!(out.peer_ack, Some(100));
         assert_eq!(out.delivered[0].tag(), 2);
@@ -382,7 +388,11 @@ mod tests {
         let (w3, _) = protocol_wire(&mut tx, 3);
         let out = rx.receive(&w3);
         assert!(out.rejected);
-        assert_eq!(out.send_nack, Some(0), "NACK references the last verified FSN");
+        assert_eq!(
+            out.send_nack,
+            Some(0),
+            "NACK references the last verified FSN"
+        );
         assert!(rx.awaiting_replay());
         assert_eq!(rx.stats().explicit_sequence_mismatches, 1);
     }

@@ -50,7 +50,10 @@ impl LinkStats {
 
     /// Total flits put on the wire (payload, retransmissions, ACKs, idles).
     pub fn total_wire_flits(&self) -> u64 {
-        self.flits_sent + self.flits_retransmitted + self.standalone_acks_sent + self.idle_flits_sent
+        self.flits_sent
+            + self.flits_retransmitted
+            + self.standalone_acks_sent
+            + self.idle_flits_sent
     }
 
     /// Fraction of wire flits that were not first-time payload flits —

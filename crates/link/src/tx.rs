@@ -329,7 +329,11 @@ mod tests {
         let mut seqs = Vec::new();
         loop {
             match t.emit(0.0) {
-                TxEmission::Protocol { seq, retransmission, .. } => {
+                TxEmission::Protocol {
+                    seq,
+                    retransmission,
+                    ..
+                } => {
                     assert!(!retransmission);
                     seqs.push(seq);
                 }
@@ -367,7 +371,11 @@ mod tests {
         let mut replayed = Vec::new();
         loop {
             match t.emit(51.0) {
-                TxEmission::Protocol { seq, retransmission, .. } => {
+                TxEmission::Protocol {
+                    seq,
+                    retransmission,
+                    ..
+                } => {
                     assert!(retransmission);
                     replayed.push(seq);
                 }
@@ -450,7 +458,11 @@ mod tests {
         // ...but after the watchdog fires the whole window is replayed.
         let timeout = t.config().replay_timeout_ns;
         match t.emit(timeout + 200.0) {
-            TxEmission::Protocol { retransmission, seq, .. } => {
+            TxEmission::Protocol {
+                retransmission,
+                seq,
+                ..
+            } => {
                 assert!(retransmission);
                 assert_eq!(seq, 0);
             }
@@ -468,7 +480,10 @@ mod tests {
                 let out = codec.decode(&wire, seq);
                 assert!(out.accepted());
                 let flit = out.flit.unwrap();
-                assert_eq!(flit.header.fsn, 0, "RXL must not spend header bits on the sequence");
+                assert_eq!(
+                    flit.header.fsn, 0,
+                    "RXL must not spend header bits on the sequence"
+                );
             }
             other => panic!("unexpected emission {other:?}"),
         }

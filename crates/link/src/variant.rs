@@ -20,7 +20,10 @@ pub enum ProtocolVariant {
 impl ProtocolVariant {
     /// `true` if this variant validates sequence continuity on every flit.
     pub fn always_checks_sequence(self) -> bool {
-        matches!(self, ProtocolVariant::CxlStandaloneAck | ProtocolVariant::Rxl)
+        matches!(
+            self,
+            ProtocolVariant::CxlStandaloneAck | ProtocolVariant::Rxl
+        )
     }
 
     /// `true` if acknowledgements ride inside protocol flits.
@@ -107,7 +110,10 @@ mod tests {
             ProtocolVariant::CxlStandaloneAck.name(),
             ProtocolVariant::Rxl.name(),
         ];
-        assert_eq!(names.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
     }
 
     #[test]

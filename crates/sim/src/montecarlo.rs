@@ -65,6 +65,19 @@ impl MonteCarloReport {
     }
 }
 
+/// Derives the RNG seed of one trial from the experiment's base seed.
+///
+/// A SplitMix64-style finalizer rather than `base + trial * stride`: the
+/// multiply–xor–shift cascade decorrelates trials even when base seeds are
+/// small consecutive integers (the common case in tests and sweeps), and it
+/// cannot overflow-panic in debug builds for any trial count.
+fn trial_seed(base: u64, trial: u64) -> u64 {
+    let mut z = base ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
@@ -98,11 +111,18 @@ impl MonteCarlo {
 
     /// Runs every trial (in parallel) with the given per-direction workloads
     /// and aggregates the results.
+    ///
+    /// Results are bit-for-bit reproducible for a fixed `base_seed`
+    /// regardless of how many rayon worker threads execute the trials: each
+    /// trial's RNG seed depends only on `(base_seed, trial)`, and the
+    /// parallel collect preserves trial order, so the per-trial vectors in
+    /// the report are always in trial order too.
     pub fn run(&self, downstream: &[Message], upstream: &[Message]) -> MonteCarloReport {
+        let base = self.base_seed;
         let reports: Vec<SimReport> = (0..self.trials)
             .into_par_iter()
             .map(|trial| {
-                let config = self.config.with_seed(self.base_seed.wrapping_add(trial * 0x9E37_79B9));
+                let config = self.config.with_seed(trial_seed(base, trial));
                 PathSim::new(config).run(downstream, upstream)
             })
             .collect();
@@ -138,7 +158,8 @@ mod tests {
 
     #[test]
     fn clean_channel_yields_zero_failures_across_trials() {
-        let config = SimConfig::new(ProtocolVariant::Rxl, 1).with_channel(ChannelErrorModel::ideal());
+        let config =
+            SimConfig::new(ProtocolVariant::Rxl, 1).with_channel(ChannelErrorModel::ideal());
         let mc = MonteCarlo::new(config, 4);
         let down = request_stream(60, TrafficPattern::Reads { cqids: 2 }, 5);
         let up = response_stream(30, 2, 6);
@@ -153,8 +174,8 @@ mod tests {
 
     #[test]
     fn trials_use_distinct_seeds_and_aggregate_counts() {
-        let config = SimConfig::new(ProtocolVariant::Rxl, 1)
-            .with_channel(ChannelErrorModel::random(3e-4));
+        let config =
+            SimConfig::new(ProtocolVariant::Rxl, 1).with_channel(ChannelErrorModel::random(3e-4));
         let mc = MonteCarlo::new(config, 3);
         let down = request_stream(150, TrafficPattern::Reads { cqids: 4 }, 9);
         let up = response_stream(50, 4, 10);
@@ -165,6 +186,66 @@ mod tests {
         assert_eq!(report.failures.clean_deliveries, 3 * 200);
         assert!(report.links.flits_sent > 0);
         assert!(report.switches.flits_in > 0);
+    }
+
+    /// The reproducibility contract: for a fixed `base_seed` the aggregate
+    /// report is identical no matter how many rayon worker threads run the
+    /// trials. Trial seeds depend only on `(base_seed, trial)` and the
+    /// parallel collect preserves trial order, so nothing may vary.
+    #[test]
+    fn reports_are_reproducible_across_thread_counts() {
+        let config = SimConfig::new(ProtocolVariant::Rxl, 2)
+            .with_channel(ChannelErrorModel::random(2e-4))
+            .with_seed(0xC0FFEE);
+        let down = request_stream(120, TrafficPattern::Reads { cqids: 4 }, 11);
+        let up = response_stream(60, 4, 12);
+
+        // An explicit thread pool per count — no process-global state, so
+        // this test cannot race with siblings in the same test binary.
+        let run_with_threads = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("shim pool build is infallible");
+            pool.install(|| MonteCarlo::new(config, 8).run(&down, &up))
+        };
+
+        let reference = run_with_threads(1);
+        for threads in [2, 3, 8] {
+            let report = run_with_threads(threads);
+            assert_eq!(report.trials, reference.trials, "{threads} threads");
+            assert_eq!(report.failures, reference.failures, "{threads} threads");
+            assert_eq!(report.links, reference.links, "{threads} threads");
+            assert_eq!(report.switches, reference.switches, "{threads} threads");
+            assert_eq!(
+                report.drained_trials, reference.drained_trials,
+                "{threads} threads"
+            );
+            // Bit-exact per-trial vectors, in trial order.
+            assert_eq!(
+                report.ordering_rates, reference.ordering_rates,
+                "{threads} threads"
+            );
+            assert_eq!(
+                report.bandwidth_overheads, reference.bandwidth_overheads,
+                "{threads} threads"
+            );
+        }
+    }
+
+    /// Distinct trials must not share RNG streams even for adjacent base
+    /// seeds — the failure mode of naive `base + trial * stride` derivations.
+    #[test]
+    fn trial_seeds_do_not_collide_for_adjacent_bases() {
+        let mut seen = std::collections::HashSet::new();
+        for base in 0..64u64 {
+            for trial in 0..64u64 {
+                assert!(
+                    seen.insert(trial_seed(base, trial)),
+                    "seed collision at base={base} trial={trial}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -148,7 +148,10 @@ impl PathSim {
     fn traverse_upstream(&mut self, mut wire: WireFlit) -> Option<WireFlit> {
         self.config.channel.apply(&mut wire, &mut self.rng);
         for sw in self.switches.iter_mut().rev() {
-            if !sw.ingress(DOWNSTREAM_PORT, &wire, &mut self.rng).forwarded() {
+            if !sw
+                .ingress(DOWNSTREAM_PORT, &wire, &mut self.rng)
+                .forwarded()
+            {
                 return None;
             }
             wire = sw
@@ -253,8 +256,16 @@ mod tests {
             let (down, up) = workloads(120, 60);
             let report = PathSim::new(config).run(&down, &up);
             assert!(report.drained, "{variant:?} did not drain");
-            assert!(report.downstream.is_clean(), "{variant:?}: {:?}", report.downstream);
-            assert!(report.upstream.is_clean(), "{variant:?}: {:?}", report.upstream);
+            assert!(
+                report.downstream.is_clean(),
+                "{variant:?}: {:?}",
+                report.downstream
+            );
+            assert!(
+                report.upstream.is_clean(),
+                "{variant:?}: {:?}",
+                report.upstream
+            );
             assert_eq!(report.downstream.clean_deliveries, 120);
             assert_eq!(report.upstream.clean_deliveries, 60);
         }
@@ -263,8 +274,8 @@ mod tests {
     #[test]
     fn error_free_switched_path_delivers_everything_cleanly() {
         for levels in [1u32, 3] {
-            let config =
-                SimConfig::new(ProtocolVariant::Rxl, levels).with_channel(ChannelErrorModel::ideal());
+            let config = SimConfig::new(ProtocolVariant::Rxl, levels)
+                .with_channel(ChannelErrorModel::ideal());
             let (down, up) = workloads(90, 45);
             let report = PathSim::new(config).run(&down, &up);
             assert!(report.drained);

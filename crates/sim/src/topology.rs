@@ -61,7 +61,10 @@ mod tests {
     #[test]
     fn from_levels_round_trips() {
         assert_eq!(Topology::from_levels(0), Topology::Direct);
-        assert_eq!(Topology::from_levels(2), Topology::SwitchChain { levels: 2 });
+        assert_eq!(
+            Topology::from_levels(2),
+            Topology::SwitchChain { levels: 2 }
+        );
         for l in 0..5 {
             assert_eq!(Topology::from_levels(l).levels(), l);
         }
@@ -70,6 +73,9 @@ mod tests {
     #[test]
     fn labels_are_descriptive() {
         assert_eq!(Topology::Direct.label(), "direct");
-        assert_eq!(Topology::SwitchChain { levels: 2 }.label(), "2-level switched");
+        assert_eq!(
+            Topology::SwitchChain { levels: 2 }.label(),
+            "2-level switched"
+        );
     }
 }

@@ -90,7 +90,14 @@ mod tests {
 
     #[test]
     fn identities_are_unique() {
-        let msgs = request_stream(200, TrafficPattern::ReadWrite { cqids: 8, write_fraction: 0.3 }, 1);
+        let msgs = request_stream(
+            200,
+            TrafficPattern::ReadWrite {
+                cqids: 8,
+                write_fraction: 0.3,
+            },
+            1,
+        );
         let mut keys: Vec<(u16, u16)> = msgs.iter().map(|m| (m.cqid(), m.tag())).collect();
         keys.sort_unstable();
         keys.dedup();

@@ -23,7 +23,9 @@ pub struct SwitchStats {
 impl SwitchStats {
     /// Total flits dropped for any reason.
     pub fn total_dropped(&self) -> u64 {
-        self.flits_dropped_uncorrectable + self.flits_dropped_no_route + self.flits_dropped_queue_full
+        self.flits_dropped_uncorrectable
+            + self.flits_dropped_no_route
+            + self.flits_dropped_queue_full
     }
 
     /// Fraction of incoming flits that were silently dropped due to

@@ -260,7 +260,10 @@ mod tests {
             }
         );
         let forwarded = sw.egress(1).expect("flit must be queued");
-        assert_eq!(forwarded, wire, "a clean flit must be forwarded bit-exactly");
+        assert_eq!(
+            forwarded, wire,
+            "a clean flit must be forwarded bit-exactly"
+        );
         assert!(sw.egress(1).is_none());
         assert_eq!(sw.stats().flits_forwarded, 1);
     }
@@ -281,7 +284,10 @@ mod tests {
             other => panic!("unexpected outcome {other:?}"),
         }
         let forwarded = sw.egress(1).unwrap();
-        assert_eq!(forwarded, clean, "the switch must forward the repaired flit");
+        assert_eq!(
+            forwarded, clean,
+            "the switch must forward the repaired flit"
+        );
         assert_eq!(sw.stats().flits_corrected, 1);
     }
 
@@ -294,7 +300,10 @@ mod tests {
         // Equal-magnitude double error in one FEC way → uncorrectable.
         wire[0] ^= 0x5A;
         wire[3] ^= 0x5A;
-        assert_eq!(sw.ingress(0, &wire, &mut rng), IngressOutcome::DroppedUncorrectable);
+        assert_eq!(
+            sw.ingress(0, &wire, &mut rng),
+            IngressOutcome::DroppedUncorrectable
+        );
         assert!(sw.egress(1).is_none());
         assert_eq!(sw.stats().flits_dropped_uncorrectable, 1);
         assert!((sw.stats().drop_rate() - 1.0).abs() < 1e-12);
@@ -306,7 +315,10 @@ mod tests {
         let mut sw = Switch::new(SwitchConfig::simple(4));
         sw.connect(0, 1);
         let wire = wire_flit(1);
-        assert_eq!(sw.ingress(2, &wire, &mut rng), IngressOutcome::DroppedNoRoute);
+        assert_eq!(
+            sw.ingress(2, &wire, &mut rng),
+            IngressOutcome::DroppedNoRoute
+        );
         assert_eq!(sw.stats().flits_dropped_no_route, 1);
     }
 
@@ -321,7 +333,10 @@ mod tests {
         let wire = wire_flit(0);
         assert!(sw.ingress(0, &wire, &mut rng).forwarded());
         assert!(sw.ingress(0, &wire, &mut rng).forwarded());
-        assert_eq!(sw.ingress(0, &wire, &mut rng), IngressOutcome::DroppedQueueFull);
+        assert_eq!(
+            sw.ingress(0, &wire, &mut rng),
+            IngressOutcome::DroppedQueueFull
+        );
         assert_eq!(sw.queue_depth(1), 2);
     }
 
@@ -342,7 +357,10 @@ mod tests {
             other => panic!("unexpected outcome {other:?}"),
         }
         let forwarded = sw.egress(1).unwrap();
-        assert_ne!(forwarded, clean, "internal corruption must have altered the flit");
+        assert_ne!(
+            forwarded, clean,
+            "internal corruption must have altered the flit"
+        );
         // The corrupted flit still passes a *downstream* FEC check, because
         // the switch re-encoded the FEC over the corrupted data. Only an
         // end-to-end CRC can catch this (Section 6.3 of the paper).
@@ -375,7 +393,10 @@ mod tests {
         assert_ne!(forwarded, clean);
         let codec = CxlFlitCodec::new();
         let out = codec.decode(&forwarded);
-        assert!(out.accepted(), "regenerated CRC hides the corruption from CXL");
+        assert!(
+            out.accepted(),
+            "regenerated CRC hides the corruption from CXL"
+        );
         assert_ne!(
             out.flit.unwrap().payload,
             codec.decode(&clean).flit.unwrap().payload

@@ -292,7 +292,10 @@ mod tests {
         for i in 0..3 {
             a.record_sent(&data(5, i, 0));
         }
-        assert_eq!(a.observe_delivery(&data(5, 1, 0)), DeliveryVerdict::OutOfOrder);
+        assert_eq!(
+            a.observe_delivery(&data(5, 1, 0)),
+            DeliveryVerdict::OutOfOrder
+        );
         assert_eq!(a.observe_delivery(&data(5, 0, 0)), DeliveryVerdict::InOrder);
         // After the gap is filled, the cursor has advanced past both.
         assert_eq!(a.observe_delivery(&data(5, 2, 0)), DeliveryVerdict::InOrder);

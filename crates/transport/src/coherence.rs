@@ -99,7 +99,11 @@ impl CoherenceDirectory {
             MemOp::RdCurr => None,
             MemOp::RdShared => {
                 match state {
-                    LineState::Invalid => *state = LineState::Shared { sharers: vec![agent] },
+                    LineState::Invalid => {
+                        *state = LineState::Shared {
+                            sharers: vec![agent],
+                        }
+                    }
                     LineState::Shared { sharers } => {
                         if !sharers.contains(&agent) {
                             sharers.push(agent);
@@ -168,10 +172,7 @@ mod tests {
     fn ordinary_read_share_own_writeback_cycle_is_clean() {
         let mut dir = CoherenceDirectory::new();
         assert_eq!(dir.process(1, &req(MemOp::RdShared, 0x40)), None);
-        assert_eq!(
-            dir.line_state(0x40),
-            LineState::Shared { sharers: vec![1] }
-        );
+        assert_eq!(dir.line_state(0x40), LineState::Shared { sharers: vec![1] });
         assert_eq!(dir.process(2, &req(MemOp::RdShared, 0x40)), None);
         assert_eq!(dir.process(1, &req(MemOp::RdOwn, 0x40)), None);
         assert_eq!(dir.line_state(0x40), LineState::Exclusive { owner: 1 });
@@ -189,7 +190,10 @@ mod tests {
         let v = dir.process(3, &req(MemOp::RdOwn, 0x80));
         assert_eq!(
             v,
-            Some(CoherenceViolation::DuplicateOwnership { addr: 0x80, agent: 3 })
+            Some(CoherenceViolation::DuplicateOwnership {
+                addr: 0x80,
+                agent: 3
+            })
         );
         assert_eq!(dir.violations().len(), 1);
     }
@@ -202,7 +206,10 @@ mod tests {
         let v = dir.process(2, &req(MemOp::WrLine, 0x100));
         assert_eq!(
             v,
-            Some(CoherenceViolation::WritebackWithoutOwnership { addr: 0x100, agent: 2 })
+            Some(CoherenceViolation::WritebackWithoutOwnership {
+                addr: 0x100,
+                agent: 2
+            })
         );
     }
 
@@ -213,7 +220,9 @@ mod tests {
         dir.process(2, &req(MemOp::RdShared, 0x40));
         assert_eq!(
             dir.line_state(0x40),
-            LineState::Shared { sharers: vec![1, 2] }
+            LineState::Shared {
+                sharers: vec![1, 2]
+            }
         );
     }
 
@@ -223,15 +232,15 @@ mod tests {
         dir.process(1, &req(MemOp::RdShared, 0x40));
         dir.process(2, &req(MemOp::RdShared, 0x40));
         assert_eq!(dir.process(1, &req(MemOp::Invalidate, 0x40)), None);
-        assert_eq!(
-            dir.line_state(0x40),
-            LineState::Shared { sharers: vec![2] }
-        );
+        assert_eq!(dir.line_state(0x40), LineState::Shared { sharers: vec![2] });
         // A non-holder invalidating is a violation (e.g. stale duplicate).
         let v = dir.process(7, &req(MemOp::Invalidate, 0x40));
         assert_eq!(
             v,
-            Some(CoherenceViolation::InvalidateNonHolder { addr: 0x40, agent: 7 })
+            Some(CoherenceViolation::InvalidateNonHolder {
+                addr: 0x40,
+                agent: 7
+            })
         );
     }
 

@@ -50,7 +50,13 @@ impl Completer {
     /// Services one incoming message. Requests produce reply messages; all
     /// other message kinds are ignored (they flow the other way).
     pub fn service(&mut self, msg: &Message) -> Vec<Message> {
-        let Message::Request { op, addr, cqid, tag } = *msg else {
+        let Message::Request {
+            op,
+            addr,
+            cqid,
+            tag,
+        } = *msg
+        else {
             return Vec::new();
         };
         let count = self.seen.entry((cqid, tag)).or_insert(0);
@@ -65,7 +71,11 @@ impl Completer {
                 let data = self.read_line(addr);
                 vec![
                     Message::response_ok(cqid, tag),
-                    Message::DataHeader { cqid, tag, chunks: 1 },
+                    Message::DataHeader {
+                        cqid,
+                        tag,
+                        chunks: 1,
+                    },
                     Message::data(cqid, tag, 0, data),
                 ]
             }

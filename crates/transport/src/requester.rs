@@ -210,7 +210,11 @@ mod tests {
         let tag = req.tag();
         r.consume(&Message::response_ok(1, tag));
         assert_eq!(r.outstanding(), 1, "data still missing");
-        r.consume(&Message::DataHeader { cqid: 1, tag, chunks: 2 });
+        r.consume(&Message::DataHeader {
+            cqid: 1,
+            tag,
+            chunks: 2,
+        });
         r.consume(&Message::data(1, tag, 0, [0; 8]));
         assert_eq!(r.outstanding(), 1);
         r.consume(&Message::data(1, tag, 1, [1; 8]));
@@ -235,7 +239,10 @@ mod tests {
     fn unknown_tags_are_flagged() {
         let mut r = Requester::new();
         r.consume(&Message::response_ok(5, 77));
-        assert_eq!(r.anomalies(), &[CompletionAnomaly::UnknownTag { cqid: 5, tag: 77 }]);
+        assert_eq!(
+            r.anomalies(),
+            &[CompletionAnomaly::UnknownTag { cqid: 5, tag: 77 }]
+        );
     }
 
     #[test]
@@ -243,7 +250,11 @@ mod tests {
         let mut r = Requester::new();
         let req = r.issue(MemOp::RdShared, 0x4000, 3);
         let tag = req.tag();
-        r.consume(&Message::DataHeader { cqid: 3, tag, chunks: 1 });
+        r.consume(&Message::DataHeader {
+            cqid: 3,
+            tag,
+            chunks: 1,
+        });
         r.consume(&Message::data(3, tag, 0, [0; 8]));
         r.consume(&Message::data(3, tag, 1, [1; 8]));
         assert!(r

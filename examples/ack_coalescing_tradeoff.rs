@@ -42,12 +42,21 @@ fn main() {
         );
     }
 
-    println!("\nsimulated cross-check at an accelerated BER (2e-4), one switch level, 2000 messages:\n");
-    println!("  coalescing | protocol | ordering+duplicates | standalone ACK flits | retransmissions");
+    println!(
+        "\nsimulated cross-check at an accelerated BER (2e-4), one switch level, 2000 messages:\n"
+    );
+    println!(
+        "  coalescing | protocol | ordering+duplicates | standalone ACK flits | retransmissions"
+    );
     for coalescing in [1u32, 5, 20] {
-        for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::CxlStandaloneAck, ProtocolVariant::Rxl] {
-            let mut config =
-                SimConfig::new(variant, 1).with_channel(ChannelErrorModel::random(2e-4)).with_seed(7);
+        for variant in [
+            ProtocolVariant::CxlPiggyback,
+            ProtocolVariant::CxlStandaloneAck,
+            ProtocolVariant::Rxl,
+        ] {
+            let mut config = SimConfig::new(variant, 1)
+                .with_channel(ChannelErrorModel::random(2e-4))
+                .with_seed(7);
             config.ack_coalescing = coalescing;
             let down = request_stream(2_000, TrafficPattern::DataStream { cqids: 8 }, 31);
             let up = response_stream(1_000, 8, 32);

@@ -22,7 +22,10 @@ fn main() {
     ];
     let mut flit = Flit256::new(FlitHeader::ack(0));
     flit.pack_messages(&messages).unwrap();
-    println!("packed {} transaction messages into the 240B payload", messages.len());
+    println!(
+        "packed {} transaction messages into the 240B payload",
+        messages.len()
+    );
 
     // ------------------------------------------------------------------
     // 2. Transport layer: the ISN CRC binds payload AND sequence number.
@@ -46,7 +49,11 @@ fn main() {
     // ------------------------------------------------------------------
     let codec = RxlFlitCodec::new();
     let wire = codec.encode(&flit, seq);
-    println!("wire flit is {} bytes ({}B data + 6B FEC)", wire.len(), wire.len() - 6);
+    println!(
+        "wire flit is {} bytes ({}B data + 6B FEC)",
+        wire.len(),
+        wire.len() - 6
+    );
 
     // A 3-byte burst anywhere on the wire is repaired by the FEC alone — the
     // switch never needs the CRC.

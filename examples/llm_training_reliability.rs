@@ -15,25 +15,46 @@ use rxl::analysis::ReliabilityModel;
 use rxl::core::{FabricSpec, ProtocolKind};
 
 fn main() {
-    let devices: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16_384);
-    let days: f64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(54.0);
-    let levels: u32 = std::env::args().nth(3).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let devices: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16_384);
+    let days: f64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(54.0);
+    let levels: u32 = std::env::args()
+        .nth(3)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
     let job_hours = days * 24.0;
 
     println!(
         "training fleet: {devices} accelerators, {days} day job ({job_hours:.0} h), {levels} switch level(s)\n"
     );
     let model = ReliabilityModel::cxl3_x16();
-    println!("per-link operating point: BER {:.0e}, FER_UC {:.0e}, 500M flits/s per device\n", model.ber, model.fer_uc);
+    println!(
+        "per-link operating point: BER {:.0e}, FER_UC {:.0e}, 500M flits/s per device\n",
+        model.ber, model.fer_uc
+    );
 
     for kind in [ProtocolKind::Cxl, ProtocolKind::Rxl] {
         let spec = FabricSpec::new(kind, devices, levels);
         let projection = spec.project(job_hours);
         println!("--- {} ---", kind.name());
-        println!("  per-device FIT                 : {:.3e}", projection.per_device_fit);
-        println!("  fleet FIT                      : {:.3e}", projection.fabric_fit);
+        println!(
+            "  per-device FIT                 : {:.3e}",
+            projection.per_device_fit
+        );
+        println!(
+            "  fleet FIT                      : {:.3e}",
+            projection.fabric_fit
+        );
         if projection.fabric_mtbf_hours.is_finite() {
-            println!("  fleet MTBF                     : {:.3e} hours", projection.fabric_mtbf_hours);
+            println!(
+                "  fleet MTBF                     : {:.3e} hours",
+                projection.fabric_mtbf_hours
+            );
         }
         println!(
             "  expected failures during the job: {:.3e}",

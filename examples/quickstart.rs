@@ -22,8 +22,13 @@ fn main() {
     let flits: Vec<Flit256> = (0..3u16)
         .map(|i| {
             let mut flit = Flit256::new(FlitHeader::ack(100 + i));
-            flit.pack_messages(&[Message::request(MemOp::RdCurr, 0x4000 + 64 * i as u64, 0, i)])
-                .expect("one message always fits");
+            flit.pack_messages(&[Message::request(
+                MemOp::RdCurr,
+                0x4000 + 64 * i as u64,
+                0,
+                i,
+            )])
+            .expect("one message always fits");
             flit
         })
         .collect();
@@ -31,7 +36,11 @@ fn main() {
     // Encode all three. Each call binds the flit to the sender's current
     // sequence number by folding it into the 64-bit CRC (ISN).
     let wires: Vec<_> = flits.iter().map(|f| sender.send(f)).collect();
-    println!("sender encoded {} flits (next sequence = {})", wires.len(), sender.next_seq());
+    println!(
+        "sender encoded {} flits (next sequence = {})",
+        wires.len(),
+        sender.next_seq()
+    );
 
     // Deliver flit 0 normally.
     let f0 = receiver.receive(&wires[0]).expect("flit 0 arrives intact");

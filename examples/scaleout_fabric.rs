@@ -15,9 +15,18 @@ use rxl::link::{ChannelErrorModel, ProtocolVariant};
 use rxl::sim::{request_stream, response_stream, MonteCarlo, SimConfig, TrafficPattern};
 
 fn main() {
-    let levels: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2);
-    let ber: f64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(2e-4);
-    let trials: u64 = std::env::args().nth(3).and_then(|a| a.parse().ok()).unwrap_or(6);
+    let levels: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
+    let ber: f64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2e-4);
+    let trials: u64 = std::env::args()
+        .nth(3)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
 
     println!("scale-out fabric: {levels} switch level(s), accelerated BER {ber:.0e}, {trials} Monte-Carlo trials\n");
 
@@ -39,9 +48,18 @@ fn main() {
         println!("  duplicate deliveries    : {}", f.duplicate_deliveries);
         println!("  data failures           : {}", f.data_failures);
         println!("  lost messages           : {}", f.lost_messages);
-        println!("  switch drops (silent)   : {}", report.switches.flits_dropped_uncorrectable);
-        println!("  flits corrected by FEC  : {}", report.switches.flits_corrected);
-        println!("  retransmissions         : {}", report.links.flits_retransmitted);
+        println!(
+            "  switch drops (silent)   : {}",
+            report.switches.flits_dropped_uncorrectable
+        );
+        println!(
+            "  flits corrected by FEC  : {}",
+            report.switches.flits_corrected
+        );
+        println!(
+            "  retransmissions         : {}",
+            report.links.flits_retransmitted
+        );
         println!(
             "  per-message failure rate: {:.3e}",
             report.pooled_failure_rate()

@@ -63,15 +63,29 @@ fn rxl_delivers_every_message_exactly_once_in_order_despite_drops() {
 fn cxl_piggyback_accumulates_failures_with_switching_depth() {
     // Aggregate over seeds: deeper switching means more silent drops and
     // therefore more application-visible failures for baseline CXL.
+    //
+    // The comparison must run in the *linear* error regime (BER low enough
+    // that most trials survive). At an accelerated BER like 3e-4 nearly every
+    // trial desyncs at every depth, each desync costs roughly half the
+    // workload regardless of where it happened, and the depth effect drowns
+    // in saturation — measured over 200 seeds, 1 level and 3 levels become
+    // statistically indistinguishable there. At BER 1e-4 the per-trial
+    // failure probability is small and scales with the number of switch
+    // traversals, which is the paper's actual claim.
     let mut failures_by_depth = Vec::new();
+    let mut drops_by_depth = Vec::new();
     for levels in [1u32, 3] {
         let mut total = 0u64;
-        for seed in 0..6u64 {
-            let report = run(ProtocolVariant::CxlPiggyback, levels, 3e-4, 200 + seed);
+        let mut drops = 0u64;
+        for seed in 0..40u64 {
+            let report = run(ProtocolVariant::CxlPiggyback, levels, 1e-4, 200 + seed);
             let f = report.total_failures();
-            total += f.ordering_failures + f.duplicate_deliveries + f.lost_messages + f.data_failures;
+            total +=
+                f.ordering_failures + f.duplicate_deliveries + f.lost_messages + f.data_failures;
+            drops += report.switches.flits_dropped_uncorrectable;
         }
         failures_by_depth.push(total);
+        drops_by_depth.push(drops);
     }
     assert!(
         failures_by_depth[0] > 0,
@@ -81,13 +95,23 @@ fn cxl_piggyback_accumulates_failures_with_switching_depth() {
         failures_by_depth[1] >= failures_by_depth[0],
         "three levels should not produce fewer failures than one: {failures_by_depth:?}"
     );
+    // The mechanism behind the failures must also scale: deeper paths see
+    // strictly more silent switch drops.
+    assert!(
+        drops_by_depth[1] > drops_by_depth[0],
+        "three levels must drop more flits than one: {drops_by_depth:?}"
+    );
 }
 
 #[test]
 fn cxl_standalone_ack_is_reliable_but_spends_reverse_bandwidth() {
     let noisy = run(ProtocolVariant::CxlStandaloneAck, 1, 3e-4, 42);
     assert!(noisy.drained);
-    assert!(noisy.total_failures().is_clean(), "{:?}", noisy.total_failures());
+    assert!(
+        noisy.total_failures().is_clean(),
+        "{:?}",
+        noisy.total_failures()
+    );
     // The price: standalone ACK flits appear on the wire.
     let acks = noisy.host_link.standalone_acks_sent + noisy.device_link.standalone_acks_sent;
     let rxl = run(ProtocolVariant::Rxl, 1, 3e-4, 42);

@@ -3,9 +3,7 @@
 
 use rxl::crc::{catalog::FLIT_CRC64, Crc64, IsnCrc64};
 use rxl::fec::InterleavedFec;
-use rxl::flit::{
-    CxlFlitCodec, Flit256, FlitHeader, MemOp, Message, RxlFlitCodec, WIRE_FLIT_LEN,
-};
+use rxl::flit::{CxlFlitCodec, Flit256, FlitHeader, MemOp, Message, RxlFlitCodec, WIRE_FLIT_LEN};
 
 fn sample_flit() -> Flit256 {
     let mut flit = Flit256::new(FlitHeader::with_seq(9));

@@ -20,7 +20,11 @@ fn fig4_baseline_cxl_misses_the_drop_until_the_next_explicit_fsn() {
 #[test]
 fn fig5a_duplicate_request_reaches_the_application_layer() {
     let out = fig5a_scenario();
-    assert_eq!(out.duplicates, 1, "request C must be executed twice:\n{}", out.trace);
+    assert_eq!(
+        out.duplicates, 1,
+        "request C must be executed twice:\n{}",
+        out.trace
+    );
 }
 
 #[test]

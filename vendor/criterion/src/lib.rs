@@ -1,0 +1,227 @@
+//! Offline shim for the subset of the `criterion` API used in this workspace.
+//!
+//! The container this repo builds in has no network access to crates.io, so
+//! the `[[bench]]` targets link against this minimal harness instead. It
+//! keeps the `criterion_group!` / `criterion_main!` / `Criterion` /
+//! `BenchmarkGroup` / `Bencher` call shapes, times each benchmark with a
+//! short calibrated loop, and prints mean ns/iter (plus throughput when
+//! configured). No warm-up analysis, outlier rejection, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark. Kept short: these benches gate CI
+/// compilation, not statistical rigor.
+const MEASURE_TIME: Duration = Duration::from_millis(60);
+const MAX_ITERS: u64 = 1 << 20;
+
+/// Throughput annotation, echoed alongside the timing line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the timing loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, recorded by `iter`.
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calibrates and times `f`, recording mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find an iteration count filling MEASURE_TIME.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_TIME || iters >= MAX_ITERS {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                self.iters = iters;
+                return;
+            }
+            iters = match elapsed.as_nanos() {
+                0 => iters * 8,
+                ns => {
+                    let scale = MEASURE_TIME.as_nanos() as f64 / ns as f64;
+                    ((iters as f64 * scale.min(8.0)).ceil() as u64).clamp(iters + 1, MAX_ITERS)
+                }
+            };
+        }
+    }
+}
+
+fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let ns = bencher.ns_per_iter;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) => {
+            let gib = b as f64 / ns * 1e9 / (1u64 << 30) as f64;
+            format!("  {gib:.3} GiB/s")
+        }
+        Throughput::Elements(e) => {
+            let meps = e as f64 / ns * 1e9 / 1e6;
+            format!("  {meps:.3} Melem/s")
+        }
+    });
+    println!(
+        "bench {id:<50} {ns:>14.1} ns/iter  ({} iters){}",
+        bencher.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim uses a fixed measure time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

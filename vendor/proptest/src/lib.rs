@@ -1,0 +1,226 @@
+//! Offline shim for the subset of the `proptest` API used in this workspace.
+//!
+//! The container this repo builds in has no network access to crates.io, so
+//! this crate reimplements the property-testing surface the rxl test suite
+//! relies on: the [`proptest!`] macro (including `#![proptest_config(..)]`,
+//! `name in strategy` bindings and `name: type` shorthand), strategies for
+//! ranges / tuples / `any::<T>()` / [`collection::vec`] / [`Strategy::prop_map`]
+//! / [`prop_oneof!`], plus `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assert_ne!` / `prop_assume!`.
+//!
+//! Differences from upstream proptest, deliberately accepted:
+//! * **No shrinking** — a failing case reports its seed instead of a minimal
+//!   counterexample. Re-run with `PROPTEST_SEED=<seed>` to reproduce it.
+//! * Case generation is purely random (deterministic per test name), not
+//!   coverage-guided.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Each `fn` becomes a `#[test]` that runs
+/// `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases: u32 = config.cases;
+            let base_seed: u64 = $crate::test_runner::base_seed(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let max_attempts: u32 = cases.saturating_mul(16).max(1024);
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < cases {
+                if attempts >= max_attempts {
+                    panic!(
+                        "proptest shim: too many rejected cases ({} accepted of {} wanted after {} attempts)",
+                        accepted, cases, attempts
+                    );
+                }
+                let case_seed = $crate::test_runner::case_seed(base_seed, attempts);
+                attempts += 1;
+                // catch_unwind so a panic inside the body (index out of
+                // bounds, unwrap, debug_assert in the code under test) still
+                // reports the reproduction seed, not just the panic message.
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        let mut __proptest_rng =
+                            $crate::test_runner::TestRng::from_seed_u64(case_seed);
+                        $crate::__proptest_bind!(__proptest_rng; $($params)*);
+                        let _ = &mut __proptest_rng;
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                match outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => accepted += 1,
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject,
+                    )) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    )) => {
+                        panic!(
+                            "proptest case failed (reproduce with PROPTEST_SEED={:#x}): {}",
+                            case_seed, msg
+                        );
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        panic!(
+                            "proptest case panicked (reproduce with PROPTEST_SEED={:#x}): {}",
+                            case_seed,
+                            $crate::test_runner::panic_message(&payload)
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks uniformly (or by weight) among several strategies with a common
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::union_arm($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($strat)),+
+        ])
+    };
+}

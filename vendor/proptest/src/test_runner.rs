@@ -1,0 +1,116 @@
+//! Runner plumbing: per-test deterministic seeding, the case RNG, config.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream proptest defaults to 256; the shim generates cases quickly
+        // but 64 keeps the full workspace suite snappy while still giving
+        // good coverage for the byte-level properties tested here.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is skipped without counting.
+    Reject,
+    /// `prop_assert*!` failed; the whole property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs a rejection.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// The RNG handed to strategies for one test case.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the case RNG from a `u64`.
+    pub fn from_seed_u64(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.0.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw from an integer range, delegating to the rand shim's
+    /// `SampleRange` impls (which handle signed and full-domain ranges).
+    pub fn random_range<T, U: rand::SampleRange<T>>(&mut self, range: U) -> T {
+        rand::Rng::random_range(&mut self.0, range)
+    }
+}
+
+/// Deterministic base seed for a property, derived from its full path, with
+/// an optional `PROPTEST_SEED` env override (as printed by a failing case).
+pub fn base_seed(test_path: &str) -> u64 {
+    if let Ok(v) = std::env::var("PROPTEST_SEED") {
+        let v = v.trim();
+        let parsed = if let Some(hex) = v.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            v.parse::<u64>().ok()
+        };
+        if let Some(seed) = parsed {
+            return seed;
+        }
+    }
+    // FNV-1a over the test path.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Seed for attempt `attempt` of a property with base seed `base`.
+pub fn case_seed(base: u64, attempt: u32) -> u64 {
+    base ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Best-effort extraction of a panic payload's message (the two types
+/// `panic!` actually produces), for re-raising with the case seed attached.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}

@@ -1,0 +1,324 @@
+//! Offline shim for the subset of the `rayon` API used in this workspace.
+//!
+//! The container this repo builds in has no network access to crates.io, so
+//! this crate provides real (scoped-thread) data parallelism behind the
+//! `into_par_iter().map(..).collect()` shape that `rxl_sim` uses. Results are
+//! always collected **in input order**, so any computation that is
+//! deterministic per item is deterministic overall, regardless of how many
+//! worker threads run — the property `rxl_sim`'s reproducibility tests pin.
+//!
+//! Thread count comes from a [`ThreadPool::install`] scope if one is active,
+//! else `RAYON_NUM_THREADS` (like upstream rayon), falling back to
+//! `std::thread::available_parallelism()`.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Mirrors `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+std::thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static THREAD_COUNT_OVERRIDE: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Number of worker threads the shim fans out across: an active
+/// [`ThreadPool::install`] override, else `RAYON_NUM_THREADS`, else the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = THREAD_COUNT_OVERRIDE.with(|c| c.get()) {
+        return n;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Error mirroring `rayon::ThreadPoolBuildError` (the shim cannot fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rayon-shim thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirrors `rayon::ThreadPoolBuilder` for explicit thread-count control.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads the pool fans out across.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n.max(1));
+        self
+    }
+
+    /// Builds the pool. Infallible in the shim; `Result` kept for API parity.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Mirrors `rayon::ThreadPool`: [`ThreadPool::install`] scopes a thread
+/// count without touching process-global state, so tests can compare
+/// thread counts race-free.
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing any parallel
+    /// iterators it executes (on this thread).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = THREAD_COUNT_OVERRIDE.with(|c| c.replace(self.num_threads));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_COUNT_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        f()
+    }
+
+    /// The thread count this pool installs (resolved against the defaults).
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+/// Conversion into a (shim) parallel iterator. Items are materialised
+/// up front; fine for the bounded trial/work lists this workspace uses.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// `par_iter()` over a collection, yielding references.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(u16, u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// A materialised parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The one combinator chain the workspace needs: `map` then `collect`/`sum`.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Applies `f` to every item across worker threads.
+    fn map<F, R>(self, f: F) -> ParMap<Self::Item, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send;
+
+    /// Collects items (identity map).
+    fn collect<C: FromIterator<Self::Item>>(self) -> C;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn map<F, R>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Result of [`ParallelIterator::map`]; terminal ops execute the fan-out.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F, R> ParMap<T, F>
+where
+    T: Send,
+    F: Fn(T) -> R + Sync,
+    R: Send,
+{
+    fn run(self) -> Vec<R> {
+        let n_threads = current_num_threads().max(1);
+        let n_items = self.items.len();
+        if n_threads == 1 || n_items <= 1 {
+            let f = self.f;
+            return self.items.into_iter().map(f).collect();
+        }
+        let chunk = n_items.div_ceil(n_threads);
+        let f = &self.f;
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                // Propagate worker panics with their original payload, as
+                // upstream rayon does.
+                match h.join() {
+                    Ok(mapped) => out.push(mapped),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+
+    /// Executes the map across threads and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Executes the map and sums the results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u64> = (0u64..0).into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u64> = (5u64..6).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1u64, 2, 3, 4];
+        let out: Vec<u64> = data.par_iter().map(|&x| x * x).collect();
+        assert_eq!(out, vec![1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: u64 = (0u64..100).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn install_scopes_the_thread_count_to_the_closure() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let outside = crate::current_num_threads();
+        let (inside, result) = pool.install(|| {
+            let inside = crate::current_num_threads();
+            let out: Vec<u64> = (0u64..100).into_par_iter().map(|x| x + 1).collect();
+            (inside, out)
+        });
+        assert_eq!(inside, 3);
+        assert_eq!(result, (1u64..101).collect::<Vec<_>>());
+        // The override does not leak past install().
+        assert_eq!(crate::current_num_threads(), outside);
+    }
+
+    #[test]
+    fn nested_installs_restore_the_outer_override() {
+        let outer = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let inner = crate::ThreadPoolBuilder::new()
+            .num_threads(5)
+            .build()
+            .unwrap();
+        outer.install(|| {
+            assert_eq!(crate::current_num_threads(), 2);
+            inner.install(|| assert_eq!(crate::current_num_threads(), 5));
+            assert_eq!(crate::current_num_threads(), 2);
+        });
+    }
+}
