@@ -1,0 +1,44 @@
+//! Fabric-scale Monte-Carlo cross-check of the analytic FIT projection.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p rxl-bench --bin fabric_fit_crosscheck --release -- \
+//!     [--json] [devices] [levels] [ber] [trials] [messages]
+//! ```
+//!
+//! `--json` additionally writes machine-readable results to
+//! `BENCH_fabric.json` in the current directory.
+
+use rxl_core::FabricSimOptions;
+
+fn main() {
+    let mut json = false;
+    let mut positional = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let number = |idx: usize, default: f64| -> f64 {
+        positional
+            .get(idx)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(default)
+    };
+    let devices = number(0, 16_384.0) as u64;
+    let levels = number(1, 2.0) as u32;
+    let opts = FabricSimOptions {
+        ber: number(2, 1e-4),
+        trials: number(3, 8.0) as u64,
+        messages_per_session: number(4, 600.0) as usize,
+        ..FabricSimOptions::default()
+    };
+
+    let rows = rxl_bench::run_fabric_crosscheck(devices, levels, &opts);
+    println!("{}", rxl_bench::fabric_crosscheck_table(&rows, &opts));
+    if json {
+        println!("wrote {}", rxl_bench::write_fabric_json(&rows, &opts));
+    }
+}

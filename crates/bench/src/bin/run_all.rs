@@ -1,6 +1,15 @@
 //! Regenerates every table and figure of the paper's evaluation in one run.
 //! The output of this binary is the basis of EXPERIMENTS.md.
+//!
+//! Pass `--json` to additionally write the fabric cross-check results to
+//! `BENCH_fabric.json` in the current directory (the machine-readable perf
+//! trajectory seed).
+
+use rxl_core::FabricSimOptions;
+
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+
     println!("{}", rxl_bench::reliability_table());
     println!("{}", rxl_bench::fig8_table(4));
     println!("{}", rxl_bench::bandwidth_table());
@@ -16,4 +25,11 @@ fn main() {
     println!("--- Fig. 6c scenario (RXL / ISN) ---");
     println!("{}", rxl_bench::fig6_isn_scenario().trace);
     println!("{}", rxl_bench::sim_crosscheck_table(2e-4, 8, 2_000));
+
+    let opts = FabricSimOptions::default();
+    let rows = rxl_bench::run_fabric_crosscheck(16_384, 2, &opts);
+    println!("{}", rxl_bench::fabric_crosscheck_table(&rows, &opts));
+    if json {
+        println!("wrote {}", rxl_bench::write_fabric_json(&rows, &opts));
+    }
 }

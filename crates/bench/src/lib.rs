@@ -21,11 +21,19 @@
 //! | `fig5_scenarios` | Fig. 5a/5b transaction-layer failure traces |
 //! | `fig6_isn_scenario` | Fig. 6c ISN drop-detection trace |
 //! | `sim_crosscheck` | accelerated-BER simulation vs. analytic model |
+//! | `fabric_fit_crosscheck` | fabric-scale Monte-Carlo vs. `FabricSpec` projection |
+//!
+//! `run_all` and `fabric_fit_crosscheck` accept `--json` to additionally
+//! write machine-readable results to `BENCH_fabric.json`.
 
+pub mod fabriccheck;
 pub mod scenarios;
 pub mod simcheck;
 pub mod tables;
 
+pub use fabriccheck::{
+    fabric_crosscheck_json, fabric_crosscheck_table, run_fabric_crosscheck, write_fabric_json,
+};
 pub use scenarios::{fig4_scenario, fig5a_scenario, fig5b_scenario, fig6_isn_scenario};
 pub use simcheck::sim_crosscheck_table;
 pub use tables::{

@@ -13,7 +13,9 @@
 //!   ISN folding mode, how many sequence bits.
 //! * [`fabric`] — [`FabricSpec`]: projecting the paper's per-device FIT
 //!   analysis onto whole multi-node fabrics (how often does a 16K-GPU
-//!   training job see an interconnect-induced failure?).
+//!   training job see an interconnect-induced failure?), and
+//!   [`FabricSpec::simulate`]: backing that projection with `rxl-fabric`
+//!   discrete-event simulation evidence at an accelerated BER.
 //!
 //! The lower layers remain available as independent crates (`rxl-crc`,
 //! `rxl-fec`, `rxl-flit`, `rxl-link`, `rxl-switch`, `rxl-sim`) for users who
@@ -50,5 +52,5 @@ pub mod fabric;
 pub mod stack;
 
 pub use config::{ProtocolKind, StackConfig};
-pub use fabric::{FabricReliability, FabricSpec};
+pub use fabric::{FabricReliability, FabricSimEvidence, FabricSimOptions, FabricSpec};
 pub use stack::{CxlStack, ReceiveError, RxlStack};

@@ -1,0 +1,211 @@
+//! Cross-check of the fabric simulation against the analytic FIT model.
+//!
+//! The paper's Section 7.1 failure rates are derived analytically from two
+//! measured inputs: the per-hop uncorrectable flit rate (`FER_UC`, taken
+//! from the PCIe 6.0 spec bound) and the ACK-coalescing fraction
+//! (`p_coalescing`). The cross-check runs the full fabric simulator at an
+//! *accelerated* BER, measures those same two inputs from the simulation
+//! itself, feeds them into [`ReliabilityModel`], and compares the model's
+//! predicted `Fail_order` rate against the rate of undetected-drop events
+//! the simulator actually observed. Agreement (within the Monte-Carlo
+//! confidence interval) validates the protocol failure logic — the
+//! piggybacked-ACK blind spot and its linear scaling with switching depth —
+//! independently of the analytic derivation.
+
+use rxl_analysis::ReliabilityModel;
+use rxl_link::ProtocolVariant;
+
+use crate::montecarlo::FabricMonteCarloReport;
+
+/// Outcome of one empirical-vs-analytic comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct FitCrosscheck {
+    /// Protocol variant simulated.
+    pub variant: ProtocolVariant,
+    /// Switches on every session's path (uniform across sessions).
+    pub path_switches: u32,
+    /// Accelerated BER the fabric ran at.
+    pub ber: f64,
+    /// Trials aggregated.
+    pub trials: u64,
+    /// First-transmission payload flits (the exposure denominator).
+    pub payload_flits: u64,
+    /// Silent switch drops observed (all flit kinds).
+    pub silent_drops: u64,
+    /// Undetected-drop (`Fail_order`) events observed.
+    pub undetected_drop_events: u64,
+    /// Measured silent-drop probability per switch traversal (the
+    /// accelerated-point counterpart of the paper's `FER_UC`).
+    pub measured_drop_rate: f64,
+    /// Measured fraction of protocol flits carrying a piggybacked ACK (the
+    /// counterpart of the paper's `p_coalescing`).
+    pub measured_p_coalescing: f64,
+    /// Observed undetected-drop events per payload flit.
+    pub empirical_failure_rate: f64,
+    /// The analytic model's `Fail_order` probability per flit, evaluated at
+    /// the measured accelerated operating point.
+    pub analytic_failure_rate: f64,
+    /// Standard error of the per-trial empirical rates.
+    pub failure_rate_stderr: f64,
+    /// Observed failures converted to FIT at the paper's flit rate.
+    pub empirical_fit: f64,
+    /// Analytic FIT at the measured accelerated operating point.
+    pub analytic_fit: f64,
+}
+
+impl FitCrosscheck {
+    /// Compares a fabric Monte-Carlo report against the analytic model.
+    ///
+    /// `path_switches` is the (uniform) number of switches on every
+    /// session's path — the `levels` parameter of the analytic FIT
+    /// generalisation.
+    pub fn new(
+        report: &FabricMonteCarloReport,
+        variant: ProtocolVariant,
+        path_switches: u32,
+        ber: f64,
+    ) -> Self {
+        Self::with_model(
+            report,
+            variant,
+            path_switches,
+            ber,
+            &ReliabilityModel::cxl3_x16(),
+        )
+    }
+
+    /// Like [`Self::new`], but taking a custom base model for everything the
+    /// measurement does not override (flit rate, flit size, CRC width).
+    pub fn with_model(
+        report: &FabricMonteCarloReport,
+        variant: ProtocolVariant,
+        path_switches: u32,
+        ber: f64,
+        base: &ReliabilityModel,
+    ) -> Self {
+        let measured_drop_rate = report.drop_rate_per_hop();
+        let measured_p_coalescing = report.links.measured_p_coalescing();
+
+        // The paper's model with both measured inputs substituted for their
+        // spec-sheet values; everything else stays at the base operating
+        // point.
+        let model = ReliabilityModel {
+            ber,
+            fer_uc: measured_drop_rate,
+            p_coalescing: measured_p_coalescing,
+            ..*base
+        };
+        let analytic_fit = match variant {
+            ProtocolVariant::Rxl => model.fit_rxl_levels(path_switches),
+            // Both CXL flavours share the Fail_order formula; the standalone
+            // variant simply measures p_coalescing = 0 and predicts zero.
+            _ => model.fit_cxl_levels(path_switches.max(1)),
+        };
+        let analytic_failure_rate = match variant {
+            ProtocolVariant::Rxl => {
+                model.fer_uc
+                    * (1.0 + path_switches as f64 * model.fer_uc)
+                    * model.crc_escape_fraction()
+            }
+            _ => model.fer_order_multi_switch(path_switches.max(1)),
+        };
+
+        let empirical_failure_rate = report.pooled_event_rate();
+        FitCrosscheck {
+            variant,
+            path_switches,
+            ber,
+            trials: report.trials,
+            payload_flits: report.links.flits_sent,
+            silent_drops: report.switches.flits_dropped_uncorrectable,
+            undetected_drop_events: report.undetected_drop_events,
+            measured_drop_rate,
+            measured_p_coalescing,
+            empirical_failure_rate,
+            analytic_failure_rate,
+            failure_rate_stderr: report.event_rate_stderr(),
+            empirical_fit: model.fit_from_failure_rate(empirical_failure_rate),
+            analytic_fit,
+        }
+    }
+
+    /// Ratio of empirical to analytic failure rate (1.0 = perfect
+    /// agreement); `NaN` when the analytic rate is zero.
+    pub fn ratio(&self) -> f64 {
+        self.empirical_failure_rate / self.analytic_failure_rate
+    }
+
+    /// `true` if the empirical rate agrees with the analytic prediction
+    /// within `k_sigma` standard errors of the Monte-Carlo estimate. An
+    /// absolute floor of 10⁻¹² per flit keeps the comparison meaningful when
+    /// both sides are (essentially) zero, as for RXL, whose analytic rate is
+    /// ~2⁻⁶⁴ of the drop rate.
+    pub fn agrees_within(&self, k_sigma: f64) -> bool {
+        let tolerance = k_sigma * self.failure_rate_stderr + 1e-12;
+        (self.empirical_failure_rate - self.analytic_failure_rate).abs() <= tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxl_link::LinkStats;
+    use rxl_switch::SwitchStats;
+
+    fn synthetic_report(
+        events: u64,
+        flits: u64,
+        drops: u64,
+        flits_in: u64,
+    ) -> FabricMonteCarloReport {
+        FabricMonteCarloReport {
+            trials: 4,
+            links: LinkStats {
+                flits_sent: flits,
+                acks_sent: flits / 10,
+                ..Default::default()
+            },
+            switches: SwitchStats {
+                flits_in,
+                flits_dropped_uncorrectable: drops,
+                ..Default::default()
+            },
+            undetected_drop_events: events,
+            event_rates: vec![events as f64 / flits as f64; 4],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn perfect_agreement_is_detected() {
+        // 3 hops, drop rate 1e-3, p_c 0.1 → analytic 3e-4 per flit; give the
+        // empirical side exactly that.
+        let report = synthetic_report(30, 100_000, 300, 300_000);
+        let cc = FitCrosscheck::new(&report, ProtocolVariant::CxlPiggyback, 3, 1e-4);
+        assert!((cc.measured_drop_rate - 1e-3).abs() < 1e-12);
+        assert!((cc.measured_p_coalescing - 0.1).abs() < 1e-12);
+        assert!((cc.ratio() - 1.0).abs() < 1e-9);
+        assert!(cc.agrees_within(1.0));
+        assert!(cc.empirical_fit > 0.0);
+        assert!((cc.empirical_fit - cc.analytic_fit).abs() < 1e-3 * cc.analytic_fit);
+    }
+
+    #[test]
+    fn gross_disagreement_is_detected() {
+        // Ten times the analytic rate with a tight stderr must fail.
+        let mut report = synthetic_report(300, 100_000, 300, 300_000);
+        report.event_rates = vec![3e-3; 4];
+        let cc = FitCrosscheck::new(&report, ProtocolVariant::CxlPiggyback, 3, 1e-4);
+        assert!(cc.ratio() > 5.0);
+        assert!(!cc.agrees_within(4.0));
+    }
+
+    #[test]
+    fn rxl_zero_failures_agree_via_the_absolute_floor() {
+        let report = synthetic_report(0, 100_000, 300, 300_000);
+        let cc = FitCrosscheck::new(&report, ProtocolVariant::Rxl, 3, 1e-4);
+        assert_eq!(cc.empirical_failure_rate, 0.0);
+        assert!(cc.analytic_failure_rate < 1e-15);
+        assert!(cc.agrees_within(1.0));
+    }
+}

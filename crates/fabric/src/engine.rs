@@ -1,0 +1,777 @@
+//! The fabric-scale discrete-event engine.
+//!
+//! One [`FabricSim`] instantiates every endpoint of a [`FabricTopology`] as a
+//! real `rxl-link` [`LinkEndpoint`] (go-back-N retry, ACK coalescing, the
+//! full FEC/CRC codec stack) and every switch as a real `rxl-switch`
+//! [`Switch`] running its silent-drop forwarding pipeline. Time advances in
+//! flit slots (2 ns at the ×16 CXL 3.0 rate): per slot every endpoint gets
+//! one transmit opportunity and every switch port forwards at most one flit,
+//! so trunk links shared by many sessions are genuinely serialised and
+//! congestion propagates upstream through credit backpressure.
+//!
+//! # Flow control
+//!
+//! Every switch port owns an output queue of bounded depth. A sender — an
+//! endpoint injecting its emission, or an upstream switch port forwarding its
+//! queue head — transmits only while the downstream queue advertises a free
+//! credit; otherwise the flit is held in place (endpoints hold it in a
+//! one-flit stall register, switches leave it at the head of their queue).
+//! Nothing is ever dropped for lack of buffering, exactly like the
+//! credit-based flow control of real CXL links; the only in-fabric losses
+//! are the FEC-uncorrectable silent drops the paper analyses.
+//!
+//! # Routing metadata
+//!
+//! CXL 3.0 fabrics route flits by a destination port identifier carried in
+//! the flit (PBR DPID). The engine models that identifier out of band: each
+//! queued flit carries its destination endpoint index, which the
+//! deterministic shortest-path tables of [`RoutingTable`] translate into an
+//! egress port at every switch. The wire bytes the switches decode, corrupt
+//! and re-encode are exactly the 256-byte flits of the single-path simulator.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rxl_flit::{Message, WireFlit};
+use rxl_link::{ChannelErrorModel, LinkConfig, LinkEndpoint, LinkStats, ProtocolVariant};
+use rxl_switch::{
+    InternalErrorModel, LinkCrcMode, ProcessOutcome, Switch, SwitchConfig, SwitchStats,
+};
+use rxl_transport::{DeliveryAuditor, DeliveryVerdict, FailureCounts};
+
+use crate::routing::RoutingTable;
+use crate::topology::{FabricTopology, NodeRole};
+
+/// Configuration of one fabric simulation trial.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FabricConfig {
+    /// Protocol variant every endpoint speaks.
+    pub variant: ProtocolVariant,
+    /// Per-link channel error model (applied on every link traversal).
+    pub channel: ChannelErrorModel,
+    /// Switch-internal corruption model.
+    pub switch_internal: InternalErrorModel,
+    /// ACK coalescing level (one ACK per this many accepted flits).
+    pub ack_coalescing: u32,
+    /// Depth of every switch-port output queue, in flits (the credit count
+    /// advertised to the upstream sender).
+    pub queue_capacity: usize,
+    /// Hard limit on simulated slots.
+    pub max_slots: u64,
+    /// Stall guard: if no endpoint accepts a single flit for this many
+    /// consecutive slots, the trial is declared stalled and aborted early
+    /// (`drained = false`). Baseline CXL with piggybacked ACKs can wedge
+    /// unrecoverably when a NACK references a sequence number that already
+    /// left the replay buffer (the count-based receiver expectation diverged
+    /// after undetected drops); real links would escape via retrain/viral,
+    /// which this model does not simulate. The guard is several multiples of
+    /// the replay watchdog timeout, so a genuinely recoverable exchange is
+    /// never cut off.
+    pub stall_slots: u64,
+    /// RNG seed for channel errors and switch faults.
+    pub seed: u64,
+}
+
+impl FabricConfig {
+    /// The paper's operating point for a given variant, with a slot budget
+    /// suited to the bounded workloads of tests and benches.
+    pub fn new(variant: ProtocolVariant) -> Self {
+        FabricConfig {
+            variant,
+            channel: ChannelErrorModel::cxl3(),
+            switch_internal: InternalErrorModel::none(),
+            ack_coalescing: 10,
+            queue_capacity: 64,
+            max_slots: 400_000,
+            stall_slots: 8_000,
+            seed: 0,
+        }
+    }
+
+    /// Replaces the channel error model.
+    pub fn with_channel(mut self, channel: ChannelErrorModel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Replaces the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The link configuration every endpoint runs.
+    pub fn link_config(&self) -> LinkConfig {
+        LinkConfig {
+            ack_coalescing: self.ack_coalescing,
+            ..LinkConfig::cxl3_x16(self.variant)
+        }
+    }
+
+    fn switch_config(&self, ports: usize) -> SwitchConfig {
+        SwitchConfig {
+            ports,
+            queue_capacity: self.queue_capacity,
+            internal_error: self.switch_internal,
+            crc_mode: match self.variant {
+                ProtocolVariant::Rxl => LinkCrcMode::Passthrough,
+                _ => LinkCrcMode::Regenerate,
+            },
+        }
+    }
+}
+
+/// Per-session message streams driving one fabric run.
+#[derive(Clone, Debug)]
+pub struct FabricWorkload {
+    /// `downstream[s]` is what session `s`'s host transmits to its device.
+    pub downstream: Vec<Vec<Message>>,
+    /// `upstream[s]` is what session `s`'s device transmits to its host.
+    pub upstream: Vec<Vec<Message>>,
+}
+
+impl FabricWorkload {
+    /// A symmetric workload: every session's host streams `messages` ordered
+    /// data messages over `cqids` command queues and its device streams the
+    /// same volume back. Equal volume in both directions keeps the measured
+    /// ACK-piggybacking fraction at the configured coalescing level in both
+    /// directions, which is what the analytic cross-check assumes.
+    pub fn symmetric(sessions: usize, messages: usize, cqids: u16, seed: u64) -> Self {
+        use rxl_sim::{request_stream, response_stream, TrafficPattern};
+        let downstream = (0..sessions)
+            .map(|s| {
+                request_stream(
+                    messages,
+                    TrafficPattern::DataStream { cqids },
+                    seed ^ (0x5E55_0000 + s as u64),
+                )
+            })
+            .collect();
+        let upstream = (0..sessions)
+            .map(|s| response_stream(messages, cqids, seed ^ (0x5E55_8000 + s as u64)))
+            .collect();
+        FabricWorkload {
+            downstream,
+            upstream,
+        }
+    }
+
+    /// Number of sessions this workload drives.
+    pub fn sessions(&self) -> usize {
+        self.downstream.len()
+    }
+}
+
+/// Aggregate outcome of one fabric trial.
+#[derive(Clone, Debug, Default)]
+pub struct FabricReport {
+    /// Failure audit of all host → device streams.
+    pub downstream: FailureCounts,
+    /// Failure audit of all device → host streams.
+    pub upstream: FailureCounts,
+    /// Combined per-session failure counts (both directions), in session
+    /// order.
+    pub per_session: Vec<FailureCounts>,
+    /// Link-layer counters merged over every endpoint.
+    pub links: LinkStats,
+    /// Switch counters merged over every switching device.
+    pub switches: SwitchStats,
+    /// Silent drops whose first post-gap arrival was forwarded without a
+    /// sequence check — the paper's `Fail_order` events, counted one per
+    /// drop episode.
+    pub undetected_drop_events: u64,
+    /// Silent switch drops that hit protocol (payload-bearing) flits,
+    /// retransmissions included.
+    pub protocol_flit_drops: u64,
+    /// Silent drops of first-transmission payload flits.
+    pub payload_drops: u64,
+    /// Of [`Self::payload_drops`], those that struck while the destination
+    /// receiver was in normal flow (not already replaying or gapped) — the
+    /// drops the first-order analytic model exposes to the piggybacked-ACK
+    /// blind spot.
+    pub eligible_payload_drops: u64,
+    /// Mis-ordered data an ACK-carrying flit leaked through *during* a
+    /// detected drop's go-back-N replay window — a latency-dependent failure
+    /// channel of baseline CXL that the paper's first-order model does not
+    /// count (and [`Self::undetected_drop_events`] therefore excludes).
+    pub replay_leak_events: u64,
+    /// Slots in which a sender held a flit back for lack of downstream
+    /// credit (backpressure observability).
+    pub credit_stalls: u64,
+    /// Number of simulated slots.
+    pub slots: u64,
+    /// Simulated time in nanoseconds.
+    pub sim_time_ns: f64,
+    /// `true` if every session drained before the slot limit.
+    pub drained: bool,
+}
+
+impl FabricReport {
+    /// Combined failure counts over both directions.
+    pub fn total_failures(&self) -> FailureCounts {
+        let mut f = self.downstream;
+        f.merge(&self.upstream);
+        f
+    }
+
+    /// First-transmission payload flits across every endpoint — the exposure
+    /// denominator of the per-flit failure rates the cross-check compares
+    /// (the analytic model's flit rate likewise counts payload flits; at the
+    /// paper's real operating point retransmissions are a ~10⁻⁵ fraction).
+    pub fn payload_flits(&self) -> u64 {
+        self.links.flits_sent
+    }
+
+    /// Undetected-drop (`Fail_order`) events per payload flit.
+    pub fn event_rate(&self) -> f64 {
+        let flits = self.payload_flits();
+        if flits == 0 {
+            return 0.0;
+        }
+        self.undetected_drop_events as f64 / flits as f64
+    }
+}
+
+/// A flit in flight through the fabric, with its out-of-band routing
+/// metadata (the modelled PBR destination identifier).
+#[derive(Clone)]
+struct RoutedFlit {
+    wire: WireFlit,
+    /// Destination endpoint index.
+    dst: usize,
+    /// `true` for payload-bearing protocol flits (as opposed to standalone
+    /// ACK / NACK control flits) — the population the failure analysis
+    /// counts.
+    protocol: bool,
+    /// `true` if this is a retransmission from a replay buffer.
+    retransmission: bool,
+}
+
+/// What sits on the far side of a switch port.
+#[derive(Clone, Copy, Debug)]
+enum PortPeer {
+    Endpoint(usize),
+    Trunk { switch: usize },
+    Unconnected,
+}
+
+/// One fabric trial: every endpoint, switch, queue and auditor.
+pub struct FabricSim<'a> {
+    topology: &'a FabricTopology,
+    routing: &'a RoutingTable,
+    config: FabricConfig,
+    endpoints: Vec<LinkEndpoint>,
+    switches: Vec<Switch>,
+    /// `out_q[switch][port]`: flits awaiting transmission on that port.
+    out_q: Vec<Vec<VecDeque<RoutedFlit>>>,
+    /// Flits that arrived this slot, appended to `out_q` at slot end so a
+    /// flit crosses at most one switch per slot.
+    staged: Vec<Vec<Vec<RoutedFlit>>>,
+    /// One-flit stall register per endpoint (credit backpressure).
+    stalled: Vec<Option<RoutedFlit>>,
+    /// `port_peer[switch][port]`.
+    port_peer: Vec<Vec<PortPeer>>,
+    /// Session index of every endpoint.
+    session_of: Vec<usize>,
+    /// Peer endpoint of every endpoint.
+    peer_of: Vec<usize>,
+    /// Per-endpoint mirror of the receiving auditor's open-gap state at the
+    /// end of the previous delivery, so each drop episode is counted as one
+    /// undetected-drop event exactly once.
+    gap_open: Vec<bool>,
+    downstream_audits: Vec<DeliveryAuditor>,
+    upstream_audits: Vec<DeliveryAuditor>,
+    undetected_drop_events: u64,
+    protocol_flit_drops: u64,
+    payload_drops: u64,
+    eligible_payload_drops: u64,
+    replay_leak_events: u64,
+    credit_stalls: u64,
+    /// `true` once any endpoint accepted a flit in the current slot (stall
+    /// guard bookkeeping).
+    accepted_this_slot: bool,
+    rng: StdRng,
+}
+
+impl<'a> FabricSim<'a> {
+    /// Builds one trial over a validated topology and its routing tables.
+    pub fn new(
+        topology: &'a FabricTopology,
+        routing: &'a RoutingTable,
+        config: FabricConfig,
+    ) -> Self {
+        topology.validate();
+        let link_cfg = config.link_config();
+        let endpoints: Vec<LinkEndpoint> = topology
+            .endpoints
+            .iter()
+            .map(|_| LinkEndpoint::new(link_cfg))
+            .collect();
+        let switches: Vec<Switch> = topology
+            .switches
+            .iter()
+            .map(|sw| Switch::new(config.switch_config(sw.ports)))
+            .collect();
+
+        let mut port_peer: Vec<Vec<PortPeer>> = topology
+            .switches
+            .iter()
+            .map(|sw| vec![PortPeer::Unconnected; sw.ports])
+            .collect();
+        for (id, ep) in topology.endpoints.iter().enumerate() {
+            port_peer[ep.switch][ep.port] = PortPeer::Endpoint(id);
+        }
+        for t in &topology.trunks {
+            port_peer[t.a.0][t.a.1] = PortPeer::Trunk { switch: t.b.0 };
+            port_peer[t.b.0][t.b.1] = PortPeer::Trunk { switch: t.a.0 };
+        }
+
+        let mut session_of = vec![usize::MAX; topology.endpoints.len()];
+        let mut peer_of = vec![usize::MAX; topology.endpoints.len()];
+        for (s, session) in topology.sessions.iter().enumerate() {
+            session_of[session.host] = s;
+            session_of[session.device] = s;
+            peer_of[session.host] = session.device;
+            peer_of[session.device] = session.host;
+        }
+
+        let out_q = topology
+            .switches
+            .iter()
+            .map(|sw| (0..sw.ports).map(|_| VecDeque::new()).collect())
+            .collect();
+        let staged = topology
+            .switches
+            .iter()
+            .map(|sw| (0..sw.ports).map(|_| Vec::new()).collect())
+            .collect();
+
+        FabricSim {
+            endpoints,
+            switches,
+            out_q,
+            staged,
+            stalled: vec![None; topology.endpoints.len()],
+            port_peer,
+            session_of,
+            peer_of,
+            gap_open: vec![false; topology.endpoints.len()],
+            downstream_audits: vec![DeliveryAuditor::new(); topology.sessions.len()],
+            upstream_audits: vec![DeliveryAuditor::new(); topology.sessions.len()],
+            undetected_drop_events: 0,
+            protocol_flit_drops: 0,
+            payload_drops: 0,
+            eligible_payload_drops: 0,
+            replay_leak_events: 0,
+            credit_stalls: 0,
+            accepted_this_slot: false,
+            rng: StdRng::seed_from_u64(config.seed),
+            topology,
+            routing,
+            config,
+        }
+    }
+
+    /// Free credits on a switch-port output queue, counting flits that
+    /// already arrived this slot.
+    fn has_credit(&self, sw: usize, port: usize) -> bool {
+        self.out_q[sw][port].len() + self.staged[sw][port].len() < self.config.queue_capacity
+    }
+
+    /// Transmits `rf` into switch `sw` (applying the link channel error and
+    /// the switch's forwarding pipeline) towards the egress chosen by the
+    /// routing table. Returns the flit untouched if the egress has no free
+    /// credit; `None` once it has been queued or silently dropped.
+    fn transmit_into(&mut self, sw: usize, mut rf: RoutedFlit) -> Option<RoutedFlit> {
+        let egress = self.routing.egress(sw, rf.dst);
+        if !self.has_credit(sw, egress) {
+            self.credit_stalls += 1;
+            return Some(rf);
+        }
+        self.config.channel.apply(&mut rf.wire, &mut self.rng);
+        match self.switches[sw].process(&rf.wire, &mut self.rng) {
+            ProcessOutcome::Forwarded { wire, .. } => {
+                rf.wire = *wire;
+                self.staged[sw][egress].push(rf);
+            }
+            ProcessOutcome::DroppedUncorrectable => {
+                // Silent drop; the endpoints' retry machinery (or lack of
+                // it, for baseline CXL's blind spot) is on its own.
+                if rf.protocol {
+                    self.protocol_flit_drops += 1;
+                    if !rf.retransmission {
+                        self.payload_drops += 1;
+                        if !self.gap_open[rf.dst] && !self.endpoints[rf.dst].rx().awaiting_replay()
+                        {
+                            self.eligible_payload_drops += 1;
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Delivers one flit to its destination endpoint, audits the delivered
+    /// messages and classifies undetected-drop events.
+    fn deliver_to_endpoint(&mut self, dst: usize, mut rf: RoutedFlit, now: f64) {
+        self.config.channel.apply(&mut rf.wire, &mut self.rng);
+        let result = self.endpoints[dst].receive(&rf.wire, now);
+        self.accepted_this_slot |= result.accepted;
+
+        let session = self.session_of[dst];
+        let audit = if self.topology.endpoints[dst].role == NodeRole::Device {
+            &mut self.downstream_audits[session]
+        } else {
+            &mut self.upstream_audits[session]
+        };
+        let mut out_of_order = false;
+        for msg in &result.delivered {
+            out_of_order |= audit.observe_delivery(msg) == DeliveryVerdict::OutOfOrder;
+        }
+
+        // One undetected-drop (`Fail_order`) event per drop episode — the
+        // channel of the paper's Eqn (7): a dropped flit whose successor
+        // carried a piggybacked AckNum, so the receiver forwarded mis-ordered
+        // data *without noticing the gap*. The counter requires all of:
+        //
+        // * the flit was forwarded without a sequence check (AckNum in the
+        //   FSN field),
+        // * its messages jumped over a still-missing predecessor (the
+        //   auditor saw an out-of-order delivery),
+        // * the receiver was *not* already in a go-back-N replay — data an
+        //   ACK-carrying flit leaks through during a detected drop's replay
+        //   window is mis-ordered too, but it is a latency-dependent
+        //   second-order channel outside the analytic model,
+        // * no gap episode is already open (each episode counts once, until
+        //   the auditor sees the gap filled by a replay).
+        //
+        // RXL never forwards unchecked, so it can never produce such events.
+        if result.delivered_header.is_some() {
+            if result.accepted && !result.sequence_checked && out_of_order {
+                if self.endpoints[dst].rx().awaiting_replay() {
+                    self.replay_leak_events += 1;
+                } else if !self.gap_open[dst] {
+                    self.undetected_drop_events += 1;
+                }
+            }
+            self.gap_open[dst] = audit.has_open_gaps();
+        }
+    }
+
+    /// Runs the trial to quiescence (or the slot limit) and reports.
+    pub fn run(mut self, workload: &FabricWorkload) -> FabricReport {
+        assert_eq!(
+            workload.sessions(),
+            self.topology.sessions.len(),
+            "workload must cover every session"
+        );
+        let flit_time = self.config.link_config().flit_time_ns;
+
+        for (s, session) in self.topology.sessions.iter().enumerate() {
+            for m in &workload.downstream[s] {
+                self.downstream_audits[s].record_sent(m);
+            }
+            for m in &workload.upstream[s] {
+                self.upstream_audits[s].record_sent(m);
+            }
+            self.endpoints[session.host].enqueue_messages(workload.downstream[s].iter().copied());
+            self.endpoints[session.device].enqueue_messages(workload.upstream[s].iter().copied());
+        }
+
+        let mut now = 0.0f64;
+        let mut slots = 0u64;
+        let mut drained = false;
+        let mut last_accept_slot = 0u64;
+        while slots < self.config.max_slots {
+            slots += 1;
+            now += flit_time;
+            self.accepted_this_slot = false;
+            let mut all_endpoints_idle = true;
+
+            // Phase 1 — endpoint transmit opportunities, in endpoint order.
+            for e in 0..self.endpoints.len() {
+                let sw = self.topology.endpoints[e].switch;
+                if let Some(rf) = self.stalled[e].take() {
+                    // A stalled flit consumes this slot's opportunity.
+                    all_endpoints_idle = false;
+                    self.stalled[e] = self.transmit_into(sw, rf);
+                    continue;
+                }
+                let emission = self.endpoints[e].emit(now);
+                let (protocol, retransmission) = match &emission {
+                    rxl_link::TxEmission::Protocol { retransmission, .. } => {
+                        (true, *retransmission)
+                    }
+                    _ => (false, false),
+                };
+                if let Some(wire) = emission.wire() {
+                    all_endpoints_idle = false;
+                    let rf = RoutedFlit {
+                        wire: *wire,
+                        dst: self.peer_of[e],
+                        protocol,
+                        retransmission,
+                    };
+                    self.stalled[e] = self.transmit_into(sw, rf);
+                }
+            }
+
+            // Phase 2 — every switch port forwards at most one flit, in
+            // (switch, port) order.
+            for sw in 0..self.switches.len() {
+                for port in 0..self.topology.switches[sw].ports {
+                    let Some(head) = self.out_q[sw][port].front() else {
+                        continue;
+                    };
+                    match self.port_peer[sw][port] {
+                        PortPeer::Endpoint(dst) => {
+                            debug_assert_eq!(head.dst, dst);
+                            let rf = self.out_q[sw][port].pop_front().expect("head exists");
+                            self.deliver_to_endpoint(dst, rf, now);
+                        }
+                        PortPeer::Trunk { switch: next } => {
+                            // Credit check against the next switch's egress
+                            // before popping: without a credit the flit holds
+                            // its place at the queue head.
+                            let egress = self.routing.egress(next, head.dst);
+                            if !self.has_credit(next, egress) {
+                                self.credit_stalls += 1;
+                                continue;
+                            }
+                            let rf = self.out_q[sw][port].pop_front().expect("head exists");
+                            let held = self.transmit_into(next, rf);
+                            debug_assert!(held.is_none(), "credit was checked above");
+                        }
+                        PortPeer::Unconnected => {
+                            unreachable!("routing never targets unconnected ports")
+                        }
+                    }
+                }
+            }
+
+            // Phase 3 — flits that arrived this slot become visible next
+            // slot (one switch traversal per slot).
+            let mut queues_empty = true;
+            for sw in 0..self.switches.len() {
+                for port in 0..self.topology.switches[sw].ports {
+                    self.out_q[sw][port].extend(self.staged[sw][port].drain(..));
+                    queues_empty &= self.out_q[sw][port].is_empty();
+                }
+            }
+
+            if all_endpoints_idle
+                && queues_empty
+                && self.stalled.iter().all(Option::is_none)
+                && self.endpoints.iter().all(LinkEndpoint::is_quiescent)
+            {
+                drained = true;
+                break;
+            }
+
+            // Livelock guard: abort once nothing has been accepted anywhere
+            // for the configured window (see `FabricConfig::stall_slots`).
+            if self.accepted_this_slot {
+                last_accept_slot = slots;
+            } else if self.config.stall_slots > 0
+                && slots - last_accept_slot >= self.config.stall_slots
+            {
+                break;
+            }
+        }
+
+        let mut links = LinkStats::default();
+        for ep in &self.endpoints {
+            links.merge(&ep.stats());
+        }
+        let mut switches = SwitchStats::default();
+        for sw in &self.switches {
+            switches.merge(sw.stats());
+        }
+        let mut downstream = FailureCounts::default();
+        let mut upstream = FailureCounts::default();
+        let mut per_session = Vec::with_capacity(self.downstream_audits.len());
+        for (down, up) in self.downstream_audits.into_iter().zip(self.upstream_audits) {
+            let d = down.finalize();
+            let u = up.finalize();
+            downstream.merge(&d);
+            upstream.merge(&u);
+            let mut both = d;
+            both.merge(&u);
+            per_session.push(both);
+        }
+
+        FabricReport {
+            downstream,
+            upstream,
+            per_session,
+            links,
+            switches,
+            undetected_drop_events: self.undetected_drop_events,
+            protocol_flit_drops: self.protocol_flit_drops,
+            payload_drops: self.payload_drops,
+            eligible_payload_drops: self.eligible_payload_drops,
+            replay_leak_events: self.replay_leak_events,
+            credit_stalls: self.credit_stalls,
+            slots,
+            sim_time_ns: now,
+            drained,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(
+        topology: &FabricTopology,
+        variant: ProtocolVariant,
+        channel: ChannelErrorModel,
+        seed: u64,
+        messages: usize,
+    ) -> FabricReport {
+        let routing = RoutingTable::new(topology);
+        let config = FabricConfig::new(variant)
+            .with_channel(channel)
+            .with_seed(seed);
+        let workload = FabricWorkload::symmetric(topology.session_count(), messages, 8, 7);
+        FabricSim::new(topology, &routing, config).run(&workload)
+    }
+
+    #[test]
+    fn error_free_leaf_spine_delivers_everything_cleanly() {
+        let t = FabricTopology::leaf_spine(2, 2, 1);
+        for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+            let report = run_one(&t, variant, ChannelErrorModel::ideal(), 1, 45);
+            assert!(report.drained, "{variant:?} did not drain");
+            assert!(report.downstream.is_clean(), "{:?}", report.downstream);
+            assert!(report.upstream.is_clean(), "{:?}", report.upstream);
+            assert_eq!(report.downstream.clean_deliveries, 2 * 45);
+            assert_eq!(report.upstream.clean_deliveries, 2 * 45);
+            assert_eq!(report.undetected_drop_events, 0);
+            assert!(report.switches.flits_forwarded > 0);
+            assert_eq!(report.switches.flits_dropped_uncorrectable, 0);
+            assert_eq!(report.per_session.len(), 2);
+        }
+    }
+
+    #[test]
+    fn error_free_ring_and_fat_tree_deliver_cleanly() {
+        for t in [
+            FabricTopology::ring(4, 1, 2),
+            FabricTopology::fat_tree2(2, 1, 1),
+        ] {
+            let report = run_one(&t, ProtocolVariant::Rxl, ChannelErrorModel::ideal(), 2, 30);
+            assert!(report.drained, "{} did not drain", t.name);
+            assert!(report.total_failures().is_clean());
+        }
+    }
+
+    #[test]
+    fn rxl_fabric_survives_noise_without_protocol_failures() {
+        let t = FabricTopology::ring(4, 1, 1);
+        let report = run_one(
+            &t,
+            ProtocolVariant::Rxl,
+            ChannelErrorModel::random(2e-4),
+            42,
+            120,
+        );
+        assert!(report.drained, "RXL must drain despite drops");
+        assert!(
+            report.total_failures().is_clean(),
+            "{:?}",
+            report.total_failures()
+        );
+        assert_eq!(report.undetected_drop_events, 0);
+        assert!(report.switches.flits_dropped_uncorrectable > 0);
+        assert!(report.links.flits_retransmitted > 0);
+    }
+
+    #[test]
+    fn cxl_piggyback_fabric_exhibits_undetected_drop_events() {
+        // Aggregate over seeds: any single short trial may get lucky.
+        let t = FabricTopology::ring(4, 1, 1);
+        let mut events = 0;
+        let mut failures = 0;
+        for seed in 0..6 {
+            let report = run_one(
+                &t,
+                ProtocolVariant::CxlPiggyback,
+                ChannelErrorModel::random(2e-4),
+                seed,
+                400,
+            );
+            events += report.undetected_drop_events;
+            let f = report.total_failures();
+            failures += f.ordering_failures + f.duplicate_deliveries;
+        }
+        assert!(events > 0, "expected undetected-drop events");
+        assert!(failures > 0, "events must surface as application failures");
+    }
+
+    #[test]
+    fn tiny_queues_backpressure_without_losing_flits() {
+        // Eight sessions funnel through one spine with single-flit queues:
+        // heavy credit stalling, but nothing is dropped and (with an ideal
+        // channel) everything still arrives cleanly.
+        let t = FabricTopology::leaf_spine(2, 1, 4);
+        let routing = RoutingTable::new(&t);
+        let config = FabricConfig {
+            queue_capacity: 1,
+            ..FabricConfig::new(ProtocolVariant::Rxl)
+        }
+        .with_channel(ChannelErrorModel::ideal());
+        let workload = FabricWorkload::symmetric(t.session_count(), 40, 8, 3);
+        let report = FabricSim::new(&t, &routing, config).run(&workload);
+        assert!(report.drained);
+        assert!(report.credit_stalls > 0, "single-flit queues must stall");
+        assert_eq!(report.switches.flits_dropped_queue_full, 0);
+        assert!(
+            report.total_failures().is_clean(),
+            "{:?}",
+            report.total_failures()
+        );
+    }
+
+    #[test]
+    fn trials_are_deterministic_per_seed() {
+        let t = FabricTopology::leaf_spine(2, 2, 1);
+        let a = run_one(
+            &t,
+            ProtocolVariant::Rxl,
+            ChannelErrorModel::random(2e-4),
+            9,
+            60,
+        );
+        let b = run_one(
+            &t,
+            ProtocolVariant::Rxl,
+            ChannelErrorModel::random(2e-4),
+            9,
+            60,
+        );
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.switches, b.switches);
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.total_failures(), b.total_failures());
+    }
+
+    #[test]
+    fn slot_limit_is_respected() {
+        let t = FabricTopology::ring(3, 1, 1);
+        let routing = RoutingTable::new(&t);
+        let config = FabricConfig {
+            max_slots: 40,
+            ..FabricConfig::new(ProtocolVariant::Rxl)
+        }
+        .with_channel(ChannelErrorModel::ideal());
+        let workload = FabricWorkload::symmetric(t.session_count(), 2_000, 8, 1);
+        let report = FabricSim::new(&t, &routing, config).run(&workload);
+        assert!(!report.drained);
+        assert_eq!(report.slots, 40);
+    }
+}

@@ -1,0 +1,42 @@
+//! # rxl-fabric — Fabric-scale discrete-event simulation
+//!
+//! The single-path simulator (`rxl-sim`) answers "what happens on one
+//! host–device path"; this crate answers the paper's fleet-scale question:
+//! what happens when *thousands of endpoints* share the switches of a real
+//! fabric. It instantiates whole topologies — every endpoint a real
+//! `rxl-link` state machine, every switch a real `rxl-switch` silent-drop
+//! device — and drives N concurrent transaction sessions through them at
+//! flit-slot granularity with credit backpressure on every queue.
+//!
+//! * [`topology`] — leaf–spine, two-tier fat-tree and ring generators,
+//! * [`routing`] — deterministic shortest-path (ECMP-spread) tables,
+//! * [`engine`] — the slot-synchronous fabric engine,
+//! * [`montecarlo`] — sharded, thread-count-independent trial aggregation,
+//! * [`crosscheck`] — empirical-vs-analytic FIT comparison at an
+//!   accelerated BER.
+//!
+//! # Example
+//!
+//! ```
+//! use rxl_fabric::{FabricConfig, FabricMonteCarlo, FabricTopology, FabricWorkload};
+//! use rxl_link::{ChannelErrorModel, ProtocolVariant};
+//!
+//! let topology = FabricTopology::leaf_spine(2, 2, 1);
+//! let config = FabricConfig::new(ProtocolVariant::Rxl)
+//!     .with_channel(ChannelErrorModel::ideal());
+//! let workload = FabricWorkload::symmetric(topology.session_count(), 30, 8, 1);
+//! let report = FabricMonteCarlo::new(topology, config, 2).run(&workload);
+//! assert!(report.failures.is_clean());
+//! ```
+
+pub mod crosscheck;
+pub mod engine;
+pub mod montecarlo;
+pub mod routing;
+pub mod topology;
+
+pub use crosscheck::FitCrosscheck;
+pub use engine::{FabricConfig, FabricReport, FabricSim, FabricWorkload};
+pub use montecarlo::{FabricMonteCarlo, FabricMonteCarloReport};
+pub use routing::RoutingTable;
+pub use topology::{EndpointNode, FabricTopology, NodeRole, Session, SwitchNode, TrunkLink};

@@ -1,0 +1,243 @@
+//! Sharded Monte-Carlo execution of independent fabric trials.
+//!
+//! Trials are partitioned across rayon workers; each trial derives its RNG
+//! seed with the workspace-wide SplitMix64 finalizer
+//! ([`rxl_sim::trial_seed`]), and the parallel collect preserves trial
+//! order, so for a fixed base seed the aggregate report is bit-identical
+//! regardless of worker-thread count — the same reproducibility contract the
+//! single-path Monte-Carlo pins.
+
+use rayon::prelude::*;
+
+use rxl_link::LinkStats;
+use rxl_sim::trial_seed;
+use rxl_switch::SwitchStats;
+use rxl_transport::FailureCounts;
+
+use crate::engine::{FabricConfig, FabricReport, FabricSim, FabricWorkload};
+use crate::routing::RoutingTable;
+use crate::topology::FabricTopology;
+
+/// A fabric Monte-Carlo experiment: one topology and configuration, many
+/// seeds.
+#[derive(Clone, Debug)]
+pub struct FabricMonteCarlo {
+    topology: FabricTopology,
+    config: FabricConfig,
+    trials: u64,
+}
+
+/// Aggregate results over every fabric trial.
+#[derive(Clone, Debug, Default)]
+pub struct FabricMonteCarloReport {
+    /// Number of trials executed.
+    pub trials: u64,
+    /// Summed failure counts over both directions of every trial.
+    pub failures: FailureCounts,
+    /// Summed link statistics over every endpoint of every trial.
+    pub links: LinkStats,
+    /// Summed switch statistics over every trial.
+    pub switches: SwitchStats,
+    /// Summed undetected-drop (`Fail_order`) events.
+    pub undetected_drop_events: u64,
+    /// Summed silent drops of protocol flits (retransmissions included).
+    pub protocol_flit_drops: u64,
+    /// Summed silent drops of first-transmission payload flits.
+    pub payload_drops: u64,
+    /// Summed drops eligible for the piggybacked-ACK blind spot (receiver in
+    /// normal flow at drop time).
+    pub eligible_payload_drops: u64,
+    /// Summed replay-window leak events (the second-order channel outside
+    /// the analytic model).
+    pub replay_leak_events: u64,
+    /// Summed credit-stall slots.
+    pub credit_stalls: u64,
+    /// Trials that drained before their slot limit.
+    pub drained_trials: u64,
+    /// Per-trial undetected-drop event rates (events per protocol flit), in
+    /// trial order, for dispersion estimates.
+    pub event_rates: Vec<f64>,
+}
+
+impl FabricMonteCarloReport {
+    /// Pooled undetected-drop events per first-transmission payload flit.
+    pub fn pooled_event_rate(&self) -> f64 {
+        if self.links.flits_sent == 0 {
+            return 0.0;
+        }
+        self.undetected_drop_events as f64 / self.links.flits_sent as f64
+    }
+
+    /// Mean of the per-trial event rates.
+    pub fn mean_event_rate(&self) -> f64 {
+        if self.event_rates.is_empty() {
+            return 0.0;
+        }
+        self.event_rates.iter().sum::<f64>() / self.event_rates.len() as f64
+    }
+
+    /// Standard error of the per-trial event rates — the Monte-Carlo
+    /// confidence scale the analytic cross-check tests against.
+    pub fn event_rate_stderr(&self) -> f64 {
+        let n = self.event_rates.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean_event_rate();
+        let var = self
+            .event_rates
+            .iter()
+            .map(|x| (x - m) * (x - m))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        (var / n as f64).sqrt()
+    }
+
+    /// Measured silent-drop probability per switch traversal.
+    pub fn drop_rate_per_hop(&self) -> f64 {
+        self.switches.drop_rate()
+    }
+
+    /// Pooled failure rate over delivered-or-lost messages.
+    pub fn pooled_failure_rate(&self) -> f64 {
+        self.failures.failure_rate()
+    }
+}
+
+impl FabricMonteCarlo {
+    /// Creates an experiment running `trials` independent trials.
+    pub fn new(topology: FabricTopology, config: FabricConfig, trials: u64) -> Self {
+        topology.validate();
+        FabricMonteCarlo {
+            topology,
+            config,
+            trials,
+        }
+    }
+
+    /// The topology under test.
+    pub fn topology(&self) -> &FabricTopology {
+        &self.topology
+    }
+
+    /// The per-trial configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Number of trials configured.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Runs every trial (sharded across rayon workers) and aggregates.
+    ///
+    /// Reproducibility: each trial's seed depends only on
+    /// `(config.seed, trial)` via [`rxl_sim::trial_seed`], the routing table
+    /// is computed once and shared read-only, and aggregation folds the
+    /// order-preserving collect in trial order — so the report is identical
+    /// for any worker-thread count.
+    pub fn run(&self, workload: &FabricWorkload) -> FabricMonteCarloReport {
+        let routing = RoutingTable::new(&self.topology);
+        let base = self.config.seed;
+        let reports: Vec<FabricReport> = (0..self.trials)
+            .into_par_iter()
+            .map(|trial| {
+                let config = self.config.with_seed(trial_seed(base, trial));
+                FabricSim::new(&self.topology, &routing, config).run(workload)
+            })
+            .collect();
+
+        let mut agg = FabricMonteCarloReport {
+            trials: reports.len() as u64,
+            ..Default::default()
+        };
+        for r in reports {
+            agg.failures.merge(&r.total_failures());
+            agg.links.merge(&r.links);
+            agg.switches.merge(&r.switches);
+            agg.undetected_drop_events += r.undetected_drop_events;
+            agg.protocol_flit_drops += r.protocol_flit_drops;
+            agg.payload_drops += r.payload_drops;
+            agg.eligible_payload_drops += r.eligible_payload_drops;
+            agg.replay_leak_events += r.replay_leak_events;
+            agg.credit_stalls += r.credit_stalls;
+            if r.drained {
+                agg.drained_trials += 1;
+            }
+            agg.event_rates.push(r.event_rate());
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxl_link::{ChannelErrorModel, ProtocolVariant};
+
+    #[test]
+    fn clean_fabric_runs_all_trials_without_failures() {
+        let mc = FabricMonteCarlo::new(
+            FabricTopology::leaf_spine(2, 1, 1),
+            FabricConfig::new(ProtocolVariant::Rxl).with_channel(ChannelErrorModel::ideal()),
+            3,
+        );
+        let workload = FabricWorkload::symmetric(2, 30, 8, 5);
+        let report = mc.run(&workload);
+        assert_eq!(report.trials, 3);
+        assert_eq!(report.drained_trials, 3);
+        assert!(report.failures.is_clean());
+        assert_eq!(report.pooled_event_rate(), 0.0);
+        assert_eq!(report.event_rates, vec![0.0; 3]);
+    }
+
+    /// The reproducibility contract of the acceptance criteria: identical
+    /// aggregate counts for 1-thread and N-thread runs at a fixed base seed.
+    #[test]
+    fn reports_are_reproducible_across_thread_counts() {
+        let mc = FabricMonteCarlo::new(
+            FabricTopology::ring(3, 1, 1),
+            FabricConfig::new(ProtocolVariant::CxlPiggyback)
+                .with_channel(ChannelErrorModel::random(2e-4))
+                .with_seed(0xFAB),
+            4,
+        );
+        let workload = FabricWorkload::symmetric(3, 60, 8, 11);
+
+        let run_with_threads = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("shim pool build is infallible");
+            pool.install(|| mc.run(&workload))
+        };
+
+        let reference = run_with_threads(1);
+        for threads in [2, 4] {
+            let report = run_with_threads(threads);
+            assert_eq!(report.failures, reference.failures, "{threads} threads");
+            assert_eq!(report.links, reference.links, "{threads} threads");
+            assert_eq!(report.switches, reference.switches, "{threads} threads");
+            assert_eq!(
+                report.undetected_drop_events, reference.undetected_drop_events,
+                "{threads} threads"
+            );
+            assert_eq!(
+                report.event_rates, reference.event_rates,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn statistics_helpers_behave() {
+        let mut r = FabricMonteCarloReport::default();
+        assert_eq!(r.pooled_event_rate(), 0.0);
+        assert_eq!(r.mean_event_rate(), 0.0);
+        assert_eq!(r.event_rate_stderr(), 0.0);
+        r.event_rates = vec![1e-3, 3e-3];
+        assert!((r.mean_event_rate() - 2e-3).abs() < 1e-12);
+        assert!(r.event_rate_stderr() > 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic shortest-path routing over a fabric topology.
+//!
+//! Routing is destination-based: every switch holds a next-hop egress port
+//! for every endpoint of the fabric, precomputed with a breadth-first search
+//! over the trunk graph. Where several neighbours tie on distance (the
+//! normal case between leaf and spine tiers), the tie is broken by the
+//! destination endpoint's index — a deterministic equal-cost multi-path
+//! spread, so parallel sessions share the spine tier instead of piling onto
+//! one switch while remaining bit-reproducible run to run.
+
+use crate::topology::FabricTopology;
+
+/// Precomputed next-hop tables: `next_hop[switch][endpoint]` is the egress
+/// port of `switch` on the shortest path towards `endpoint`.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    next_hop: Vec<Vec<usize>>,
+}
+
+impl RoutingTable {
+    /// Builds the table for a topology. Panics if the trunk graph leaves any
+    /// switch unable to reach any endpoint's attachment switch.
+    pub fn new(topology: &FabricTopology) -> Self {
+        let n = topology.switch_count();
+        // Adjacency: for each switch, (egress port, neighbour switch), in
+        // deterministic trunk order.
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for t in &topology.trunks {
+            adj[t.a.0].push((t.a.1, t.b.0));
+            adj[t.b.0].push((t.b.1, t.a.0));
+        }
+        for neighbours in &mut adj {
+            neighbours.sort_unstable();
+        }
+
+        // BFS from every switch: hop distance to every other switch.
+        let dist = |from: usize| -> Vec<u32> {
+            let mut d = vec![u32::MAX; n];
+            let mut queue = std::collections::VecDeque::from([from]);
+            d[from] = 0;
+            while let Some(s) = queue.pop_front() {
+                for &(_, next) in &adj[s] {
+                    if d[next] == u32::MAX {
+                        d[next] = d[s] + 1;
+                        queue.push_back(next);
+                    }
+                }
+            }
+            d
+        };
+        let dists: Vec<Vec<u32>> = (0..n).map(dist).collect();
+
+        let mut next_hop = vec![vec![usize::MAX; topology.endpoint_count()]; n];
+        for (ep_id, ep) in topology.endpoints.iter().enumerate() {
+            for (sw, row) in next_hop.iter_mut().enumerate() {
+                if sw == ep.switch {
+                    // Final hop: the endpoint's own port.
+                    row[ep_id] = ep.port;
+                    continue;
+                }
+                let here = dists[sw][ep.switch];
+                assert!(
+                    here != u32::MAX,
+                    "switch {sw} cannot reach endpoint {ep_id}'s switch {}",
+                    ep.switch
+                );
+                // All neighbours one hop closer to the destination switch.
+                let candidates: Vec<usize> = adj[sw]
+                    .iter()
+                    .filter(|&&(_, next)| dists[next][ep.switch] == here - 1)
+                    .map(|&(port, _)| port)
+                    .collect();
+                assert!(!candidates.is_empty(), "BFS invariant violated");
+                // Deterministic ECMP: spread destinations over the ties.
+                row[ep_id] = candidates[ep_id % candidates.len()];
+            }
+        }
+        RoutingTable { next_hop }
+    }
+
+    /// The egress port `switch` forwards traffic for `endpoint` to.
+    pub fn egress(&self, switch: usize, endpoint: usize) -> usize {
+        self.next_hop[switch][endpoint]
+    }
+
+    /// The number of switches on every session's host→device path, if that
+    /// depth is the same for all sessions (the analytic cross-check requires
+    /// a uniform depth, since the model scales linearly with it).
+    pub fn uniform_session_depth(&self, topology: &FabricTopology) -> Option<u32> {
+        let mut depth = None;
+        for s in &topology.sessions {
+            let d = self.path_switches(topology, s.host, s.device);
+            match depth {
+                None => depth = Some(d),
+                Some(existing) if existing != d => return None,
+                Some(_) => {}
+            }
+        }
+        depth
+    }
+
+    /// Number of switches a flit from `src`'s attachment switch crosses to
+    /// reach `dst` (both attachment switches included). Used by the analytic
+    /// cross-check, which scales per-hop drop rates by path depth.
+    pub fn path_switches(&self, topology: &FabricTopology, src: usize, dst: usize) -> u32 {
+        let mut sw = topology.endpoints[src].switch;
+        let target = topology.endpoints[dst].switch;
+        let mut hops = 1u32;
+        while sw != target {
+            let port = self.egress(sw, dst);
+            let trunk = topology
+                .trunks
+                .iter()
+                .find(|t| t.a == (sw, port) || t.b == (sw, port))
+                .expect("next hop port must be a trunk port");
+            sw = if trunk.a == (sw, port) {
+                trunk.b.0
+            } else {
+                trunk.a.0
+            };
+            hops += 1;
+        }
+        hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_spine_routes_cross_one_spine() {
+        let t = FabricTopology::leaf_spine(3, 2, 1);
+        let r = RoutingTable::new(&t);
+        for s in &t.sessions {
+            assert_eq!(r.path_switches(&t, s.host, s.device), 3);
+        }
+    }
+
+    #[test]
+    fn ring_routes_follow_the_span() {
+        let t = FabricTopology::ring(6, 1, 2);
+        let r = RoutingTable::new(&t);
+        for s in &t.sessions {
+            assert_eq!(r.path_switches(&t, s.host, s.device), 3);
+            assert_eq!(r.path_switches(&t, s.device, s.host), 3);
+        }
+    }
+
+    #[test]
+    fn local_delivery_uses_the_endpoint_port() {
+        let t = FabricTopology::ring(3, 1, 0);
+        let r = RoutingTable::new(&t);
+        for s in &t.sessions {
+            let sw = t.endpoints[s.device].switch;
+            assert_eq!(r.egress(sw, s.device), t.endpoints[s.device].port);
+            assert_eq!(r.path_switches(&t, s.host, s.device), 1);
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_destinations_across_spines() {
+        let t = FabricTopology::leaf_spine(2, 4, 4);
+        let r = RoutingTable::new(&t);
+        // From leaf 0, different destination endpoints on leaf 1 should not
+        // all use the same spine-facing port.
+        let ports: std::collections::HashSet<usize> = t
+            .endpoints
+            .iter()
+            .enumerate()
+            .filter(|(_, ep)| ep.switch == 1)
+            .map(|(id, _)| r.egress(0, id))
+            .collect();
+        assert!(ports.len() > 1, "ECMP must spread over spines: {ports:?}");
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let t = FabricTopology::fat_tree2(2, 3, 2);
+        let a = RoutingTable::new(&t);
+        let b = RoutingTable::new(&t);
+        for sw in 0..t.switch_count() {
+            for ep in 0..t.endpoint_count() {
+                assert_eq!(a.egress(sw, ep), b.egress(sw, ep));
+            }
+        }
+    }
+}

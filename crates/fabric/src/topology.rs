@@ -1,0 +1,396 @@
+//! Multi-switch fabric topologies.
+//!
+//! Where `rxl_sim::Topology` describes the *path* between one host and one
+//! device (a chain of switches), the types here describe a whole *fabric*:
+//! many hosts, many devices, shared switches, and the trunk links between
+//! them. Three generator families cover the scale-out scenarios of the
+//! paper's Sections 6.4 and 7.1:
+//!
+//! * [`FabricTopology::leaf_spine`] — endpoints on leaf switches, every leaf
+//!   connected to every spine; cross-leaf sessions traverse
+//!   leaf → spine → leaf (three switching levels).
+//! * [`FabricTopology::fat_tree2`] — a two-tier fat-tree with a dedicated
+//!   host tier and a dedicated device tier of edge switches joined by core
+//!   switches (the disaggregated-memory shape of the paper's introduction).
+//! * [`FabricTopology::ring`] — switches in a cycle, sessions spanning a
+//!   configurable number of hops; the generator of choice for sweeping
+//!   switching depth, since a session's path crosses exactly `span + 1`
+//!   switches.
+
+/// Whether an endpoint initiates requests (host) or serves them (device).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeRole {
+    /// A request-initiating endpoint (CPU / host bridge).
+    Host,
+    /// A request-serving endpoint (accelerator / memory device).
+    Device,
+}
+
+/// One endpoint of the fabric and its attachment point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EndpointNode {
+    /// Host or device.
+    pub role: NodeRole,
+    /// Index of the switch the endpoint is attached to.
+    pub switch: usize,
+    /// Port on that switch the endpoint occupies.
+    pub port: usize,
+}
+
+/// One switching device of the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchNode {
+    /// Number of ports (endpoint ports + trunk ports).
+    pub ports: usize,
+}
+
+/// A bidirectional trunk link between two switch ports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrunkLink {
+    /// One side: `(switch index, port)`.
+    pub a: (usize, usize),
+    /// The other side: `(switch index, port)`.
+    pub b: (usize, usize),
+}
+
+/// One transaction session: a host–device pair exchanging bidirectional
+/// traffic across the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Session {
+    /// Endpoint index of the host side.
+    pub host: usize,
+    /// Endpoint index of the device side.
+    pub device: usize,
+}
+
+/// A complete fabric description: endpoints, switches, trunks, and the
+/// host–device sessions that will exercise them.
+#[derive(Clone, Debug)]
+pub struct FabricTopology {
+    /// Human-readable topology label for reports.
+    pub name: String,
+    /// All endpoints, hosts and devices interleaved.
+    pub endpoints: Vec<EndpointNode>,
+    /// All switching devices.
+    pub switches: Vec<SwitchNode>,
+    /// All switch-to-switch trunk links.
+    pub trunks: Vec<TrunkLink>,
+    /// All host–device sessions.
+    pub sessions: Vec<Session>,
+}
+
+impl FabricTopology {
+    /// A leaf–spine fabric: `leaves` leaf switches each carrying
+    /// `pairs_per_leaf` host/device pairs, fully meshed to `spines` spine
+    /// switches. Session `k` of leaf `l` pairs that leaf's host `k` with the
+    /// device `k` of leaf `(l + 1) % leaves`, so with more than one leaf
+    /// every session crosses leaf → spine → leaf (three switching levels).
+    pub fn leaf_spine(leaves: usize, spines: usize, pairs_per_leaf: usize) -> Self {
+        assert!(leaves >= 1 && spines >= 1 && pairs_per_leaf >= 1);
+        let leaf_ports = 2 * pairs_per_leaf + spines;
+        let mut switches: Vec<SwitchNode> = (0..leaves)
+            .map(|_| SwitchNode { ports: leaf_ports })
+            .collect();
+        switches.extend((0..spines).map(|_| SwitchNode { ports: leaves }));
+
+        let mut endpoints = Vec::new();
+        for leaf in 0..leaves {
+            for k in 0..pairs_per_leaf {
+                endpoints.push(EndpointNode {
+                    role: NodeRole::Host,
+                    switch: leaf,
+                    port: 2 * k,
+                });
+                endpoints.push(EndpointNode {
+                    role: NodeRole::Device,
+                    switch: leaf,
+                    port: 2 * k + 1,
+                });
+            }
+        }
+
+        let mut trunks = Vec::new();
+        for leaf in 0..leaves {
+            for spine in 0..spines {
+                trunks.push(TrunkLink {
+                    a: (leaf, 2 * pairs_per_leaf + spine),
+                    b: (leaves + spine, leaf),
+                });
+            }
+        }
+
+        let endpoint_id = |leaf: usize, k: usize, device: bool| {
+            2 * (leaf * pairs_per_leaf + k) + usize::from(device)
+        };
+        let sessions = (0..leaves)
+            .flat_map(|leaf| {
+                (0..pairs_per_leaf).map(move |k| Session {
+                    host: endpoint_id(leaf, k, false),
+                    device: endpoint_id((leaf + 1) % leaves, k, true),
+                })
+            })
+            .collect();
+
+        FabricTopology {
+            name: format!("leaf-spine {leaves}x{spines} ({pairs_per_leaf} pairs/leaf)"),
+            endpoints,
+            switches,
+            trunks,
+            sessions,
+        }
+    }
+
+    /// A two-tier fat-tree with a dedicated host tier and device tier:
+    /// `edges` host-side edge switches (each with `pairs_per_edge` hosts),
+    /// `edges` device-side edge switches (each with `pairs_per_edge`
+    /// devices), and `cores` core switches meshing the two tiers. Every
+    /// session crosses host-edge → core → device-edge (three switching
+    /// levels), the disaggregated-pool shape of the paper's introduction.
+    pub fn fat_tree2(edges: usize, cores: usize, pairs_per_edge: usize) -> Self {
+        assert!(edges >= 1 && cores >= 1 && pairs_per_edge >= 1);
+        let edge_ports = pairs_per_edge + cores;
+        // Switch order: host edges, device edges, cores.
+        let mut switches: Vec<SwitchNode> = (0..2 * edges)
+            .map(|_| SwitchNode { ports: edge_ports })
+            .collect();
+        switches.extend((0..cores).map(|_| SwitchNode { ports: 2 * edges }));
+
+        let mut endpoints = Vec::new();
+        for edge in 0..edges {
+            for k in 0..pairs_per_edge {
+                endpoints.push(EndpointNode {
+                    role: NodeRole::Host,
+                    switch: edge,
+                    port: k,
+                });
+            }
+        }
+        for edge in 0..edges {
+            for k in 0..pairs_per_edge {
+                endpoints.push(EndpointNode {
+                    role: NodeRole::Device,
+                    switch: edges + edge,
+                    port: k,
+                });
+            }
+        }
+
+        let mut trunks = Vec::new();
+        for edge in 0..2 * edges {
+            for core in 0..cores {
+                trunks.push(TrunkLink {
+                    a: (edge, pairs_per_edge + core),
+                    b: (2 * edges + core, edge),
+                });
+            }
+        }
+
+        let hosts = edges * pairs_per_edge;
+        let sessions = (0..hosts)
+            .map(|h| Session {
+                host: h,
+                device: hosts + h,
+            })
+            .collect();
+
+        FabricTopology {
+            name: format!("fat-tree-2 {edges}+{edges}x{cores} ({pairs_per_edge} pairs/edge)"),
+            endpoints,
+            switches,
+            trunks,
+            sessions,
+        }
+    }
+
+    /// A ring of `switches` switches, each carrying `pairs_per_switch`
+    /// host/device pairs. Session `k` of switch `i` pairs that switch's host
+    /// `k` with the device `k` of switch `(i + span) % switches`, so every
+    /// session's shortest path crosses exactly `span + 1` switches —
+    /// the generator to use when sweeping switching depth.
+    pub fn ring(switches: usize, pairs_per_switch: usize, span: usize) -> Self {
+        assert!(switches >= 3, "a ring needs at least three switches");
+        assert!(pairs_per_switch >= 1);
+        assert!(
+            span <= switches / 2,
+            "span beyond half the ring would not be the shortest path"
+        );
+        // Ports: 0 = clockwise trunk (to i+1), 1 = counter-clockwise trunk
+        // (to i-1), then endpoint ports.
+        let ports = 2 + 2 * pairs_per_switch;
+        let switch_nodes: Vec<SwitchNode> = (0..switches).map(|_| SwitchNode { ports }).collect();
+
+        let mut endpoints = Vec::new();
+        for sw in 0..switches {
+            for k in 0..pairs_per_switch {
+                endpoints.push(EndpointNode {
+                    role: NodeRole::Host,
+                    switch: sw,
+                    port: 2 + 2 * k,
+                });
+                endpoints.push(EndpointNode {
+                    role: NodeRole::Device,
+                    switch: sw,
+                    port: 2 + 2 * k + 1,
+                });
+            }
+        }
+
+        let trunks = (0..switches)
+            .map(|sw| TrunkLink {
+                a: (sw, 0),
+                b: ((sw + 1) % switches, 1),
+            })
+            .collect();
+
+        let endpoint_id = |sw: usize, k: usize, device: bool| {
+            2 * (sw * pairs_per_switch + k) + usize::from(device)
+        };
+        let sessions = (0..switches)
+            .flat_map(|sw| {
+                (0..pairs_per_switch).map(move |k| Session {
+                    host: endpoint_id(sw, k, false),
+                    device: endpoint_id((sw + span) % switches, k, true),
+                })
+            })
+            .collect();
+
+        FabricTopology {
+            name: format!("ring of {switches} (span {span}, {pairs_per_switch} pairs/switch)"),
+            endpoints,
+            switches: switch_nodes,
+            trunks,
+            sessions,
+        }
+    }
+
+    /// Total number of endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Total number of switching devices.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of host–device sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Checks structural invariants: ports in range, no port used twice, all
+    /// session endpoints valid with host/device roles. Panics with a
+    /// description on violation; generator unit tests and `FabricSim::new`
+    /// call this so malformed topologies fail fast.
+    pub fn validate(&self) {
+        let mut used = std::collections::HashSet::new();
+        for (i, ep) in self.endpoints.iter().enumerate() {
+            assert!(ep.switch < self.switches.len(), "endpoint {i}: bad switch");
+            assert!(
+                ep.port < self.switches[ep.switch].ports,
+                "endpoint {i}: port out of range"
+            );
+            assert!(
+                used.insert((ep.switch, ep.port)),
+                "endpoint {i}: port {:?} already used",
+                (ep.switch, ep.port)
+            );
+        }
+        for (i, t) in self.trunks.iter().enumerate() {
+            for (sw, port) in [t.a, t.b] {
+                assert!(sw < self.switches.len(), "trunk {i}: bad switch");
+                assert!(
+                    port < self.switches[sw].ports,
+                    "trunk {i}: port out of range"
+                );
+                assert!(
+                    used.insert((sw, port)),
+                    "trunk {i}: port {:?} already used",
+                    (sw, port)
+                );
+            }
+        }
+        for (i, s) in self.sessions.iter().enumerate() {
+            assert!(
+                s.host < self.endpoints.len() && s.device < self.endpoints.len(),
+                "session {i}: endpoint out of range"
+            );
+            assert_eq!(
+                self.endpoints[s.host].role,
+                NodeRole::Host,
+                "session {i}: host side is not a host"
+            );
+            assert_eq!(
+                self.endpoints[s.device].role,
+                NodeRole::Device,
+                "session {i}: device side is not a device"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_spine_shape() {
+        let t = FabricTopology::leaf_spine(3, 2, 2);
+        t.validate();
+        assert_eq!(t.switch_count(), 5);
+        assert_eq!(t.endpoint_count(), 12);
+        assert_eq!(t.session_count(), 6);
+        assert_eq!(t.trunks.len(), 6);
+        // Sessions cross leaves.
+        for s in &t.sessions {
+            assert_ne!(
+                t.endpoints[s.host].switch, t.endpoints[s.device].switch,
+                "leaf-spine sessions must cross leaves"
+            );
+        }
+    }
+
+    #[test]
+    fn fat_tree2_shape() {
+        let t = FabricTopology::fat_tree2(2, 2, 3);
+        t.validate();
+        assert_eq!(t.switch_count(), 6);
+        assert_eq!(t.endpoint_count(), 12);
+        assert_eq!(t.session_count(), 6);
+        assert_eq!(t.trunks.len(), 8);
+        // Hosts live on the host tier, devices on the device tier.
+        for s in &t.sessions {
+            assert!(t.endpoints[s.host].switch < 2);
+            assert!((2..4).contains(&t.endpoints[s.device].switch));
+        }
+    }
+
+    #[test]
+    fn ring_shape_and_span() {
+        let t = FabricTopology::ring(6, 1, 2);
+        t.validate();
+        assert_eq!(t.switch_count(), 6);
+        assert_eq!(t.endpoint_count(), 12);
+        assert_eq!(t.trunks.len(), 6);
+        for s in &t.sessions {
+            let a = t.endpoints[s.host].switch;
+            let b = t.endpoints[s.device].switch;
+            assert_eq!((a + 2) % 6, b);
+        }
+    }
+
+    #[test]
+    fn ring_span_zero_keeps_sessions_local() {
+        let t = FabricTopology::ring(3, 2, 0);
+        t.validate();
+        for s in &t.sessions {
+            assert_eq!(t.endpoints[s.host].switch, t.endpoints[s.device].switch);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ring_rejects_over_half_spans() {
+        let _ = FabricTopology::ring(4, 1, 3);
+    }
+}

@@ -65,6 +65,66 @@ impl LinkStats {
         }
         1.0 - self.flits_sent as f64 / total as f64
     }
+
+    /// Protocol flits transmitted in total (first transmissions plus
+    /// retransmissions) — the exposure denominator of per-flit failure rates.
+    pub fn protocol_flits_transmitted(&self) -> u64 {
+        self.flits_sent + self.flits_retransmitted
+    }
+
+    /// Acknowledgements that rode inside protocol flits rather than in
+    /// standalone ACK flits.
+    pub fn piggybacked_acks(&self) -> u64 {
+        self.acks_sent - self.standalone_acks_sent
+    }
+
+    /// Measured fraction of first-transmission protocol flits whose FSN
+    /// field carried a piggybacked acknowledgement instead of a sequence
+    /// number — the empirical counterpart of the paper's `p_coalescing`.
+    /// (Both counters are accumulated at first emission, which is why the
+    /// denominator excludes retransmissions.)
+    pub fn measured_p_coalescing(&self) -> f64 {
+        if self.flits_sent == 0 {
+            return 0.0;
+        }
+        self.piggybacked_acks() as f64 / self.flits_sent as f64
+    }
+}
+
+impl std::fmt::Display for LinkStats {
+    /// Renders the counters as an aligned multi-line block, one counter per
+    /// line, so reports and examples need not hand-format them.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "flits sent             : {}", self.flits_sent)?;
+        writeln!(f, "retransmissions        : {}", self.flits_retransmitted)?;
+        writeln!(f, "standalone ACKs        : {}", self.standalone_acks_sent)?;
+        writeln!(f, "idle flits             : {}", self.idle_flits_sent)?;
+        writeln!(f, "flits accepted         : {}", self.flits_accepted)?;
+        writeln!(f, "flits rejected         : {}", self.flits_rejected)?;
+        writeln!(
+            f,
+            "discarded in replay    : {}",
+            self.flits_discarded_in_replay
+        )?;
+        writeln!(f, "NACKs sent             : {}", self.nacks_sent)?;
+        writeln!(f, "ACKs sent              : {}", self.acks_sent)?;
+        writeln!(
+            f,
+            "unchecked seq accepts  : {}",
+            self.unchecked_sequence_accepts
+        )?;
+        writeln!(
+            f,
+            "explicit seq mismatches: {}",
+            self.explicit_sequence_mismatches
+        )?;
+        writeln!(f, "ECRC rejections        : {}", self.ecrc_rejections)?;
+        write!(
+            f,
+            "bandwidth overhead     : {:.3}%",
+            self.bandwidth_overhead() * 100.0
+        )
+    }
 }
 
 #[cfg(test)]
@@ -87,6 +147,36 @@ mod tests {
         assert_eq!(a.flits_sent, 15);
         assert_eq!(a.flits_retransmitted, 2);
         assert_eq!(a.nacks_sent, 1);
+    }
+
+    #[test]
+    fn coalescing_and_exposure_helpers() {
+        let s = LinkStats {
+            flits_sent: 90,
+            flits_retransmitted: 10,
+            acks_sent: 12,
+            standalone_acks_sent: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.protocol_flits_transmitted(), 100);
+        assert_eq!(s.piggybacked_acks(), 10);
+        assert!((s.measured_p_coalescing() - 10.0 / 90.0).abs() < 1e-12);
+        assert_eq!(LinkStats::default().measured_p_coalescing(), 0.0);
+    }
+
+    #[test]
+    fn display_renders_key_counters() {
+        let s = LinkStats {
+            flits_sent: 7,
+            nacks_sent: 3,
+            unchecked_sequence_accepts: 5,
+            ..Default::default()
+        };
+        let out = s.to_string();
+        assert!(out.contains("flits sent             : 7"));
+        assert!(out.contains("NACKs sent             : 3"));
+        assert!(out.contains("unchecked seq accepts  : 5"));
+        assert!(out.contains("bandwidth overhead"));
     }
 
     #[test]

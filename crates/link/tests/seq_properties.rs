@@ -1,0 +1,90 @@
+//! Property tests for the wrap-aware 10-bit sequence arithmetic, mirroring
+//! the gf256 field-axiom suite: every helper must respect the modular
+//! structure of the sequence space across the 1024 wrap boundary, because a
+//! single wrong comparison there silently corrupts go-back-N recovery.
+
+use proptest::prelude::*;
+
+use rxl_link::seq::{seq_add, seq_distance, seq_ge, seq_next, SEQ_MASK, SEQ_SPACE};
+
+proptest! {
+    /// Results always stay inside the sequence space.
+    #[test]
+    fn add_stays_in_the_sequence_space(seq in 0u16..SEQ_SPACE, offset in -65_536i32..65_536) {
+        let r = seq_add(seq, offset);
+        prop_assert!(r < SEQ_SPACE);
+        prop_assert_eq!(r, r & SEQ_MASK);
+    }
+
+    /// Addition is associative over composed offsets.
+    #[test]
+    fn add_composes(seq in 0u16..SEQ_SPACE, a in -4_096i32..4_096, b in -4_096i32..4_096) {
+        prop_assert_eq!(seq_add(seq_add(seq, a), b), seq_add(seq, a + b));
+    }
+
+    /// A negative offset undoes the positive one (additive inverse).
+    #[test]
+    fn add_inverts(seq in 0u16..SEQ_SPACE, k in 0i32..(SEQ_SPACE as i32)) {
+        prop_assert_eq!(seq_add(seq_add(seq, k), -k), seq);
+    }
+
+    /// `seq_distance` inverts `seq_add` across the wrap boundary.
+    #[test]
+    fn distance_inverts_add(seq in 0u16..SEQ_SPACE, k in 0u16..SEQ_SPACE) {
+        let later = seq_add(seq, k as i32);
+        prop_assert_eq!(seq_distance(seq, later), k);
+    }
+
+    /// Distances split around any intermediate point (modular triangle
+    /// equality).
+    #[test]
+    fn distance_is_additive_through_midpoints(
+        a in 0u16..SEQ_SPACE,
+        d1 in 0u16..SEQ_SPACE,
+        d2 in 0u16..SEQ_SPACE,
+    ) {
+        prop_assume!(d1 as u32 + d2 as u32 <= SEQ_MASK as u32);
+        let b = seq_add(a, d1 as i32);
+        let c = seq_add(b, d2 as i32);
+        prop_assert_eq!(seq_distance(a, c), d1 + d2);
+    }
+
+    /// Forward and backward distances are complementary unless equal.
+    #[test]
+    fn distances_are_complementary(a in 0u16..SEQ_SPACE, b in 0u16..SEQ_SPACE) {
+        let fwd = seq_distance(a, b);
+        let back = seq_distance(b, a);
+        if a == b {
+            prop_assert_eq!(fwd, 0);
+            prop_assert_eq!(back, 0);
+        } else {
+            prop_assert_eq!(fwd as u32 + back as u32, SEQ_SPACE as u32);
+        }
+    }
+
+    /// `seq_next` is `+1`, wraps at the top, and never repeats within one
+    /// period.
+    #[test]
+    fn next_is_add_one_and_injective(seq in 0u16..SEQ_SPACE) {
+        prop_assert_eq!(seq_next(seq), seq_add(seq, 1));
+        prop_assert_eq!(seq_distance(seq, seq_next(seq)), 1);
+        prop_assert!(seq_next(seq) != seq);
+    }
+
+    /// The go-back-N window comparison: `a ≥ b` exactly when `a` is within
+    /// the forward half-window of `b`, on both sides of the wrap.
+    #[test]
+    fn ge_matches_the_half_window(b in 0u16..SEQ_SPACE, d in 0u16..SEQ_SPACE) {
+        let a = seq_add(b, d as i32);
+        prop_assert_eq!(seq_ge(a, b), d < SEQ_SPACE / 2);
+    }
+
+    /// Antisymmetry within the window: strictly ahead one way means not
+    /// ahead the other way.
+    #[test]
+    fn ge_is_antisymmetric_for_distinct_points(b in 0u16..SEQ_SPACE, d in 1u16..512) {
+        let a = seq_add(b, d as i32);
+        prop_assert!(seq_ge(a, b));
+        prop_assert!(!seq_ge(b, a));
+    }
+}

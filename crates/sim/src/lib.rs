@@ -27,7 +27,7 @@ pub mod report;
 pub mod topology;
 pub mod workload;
 
-pub use montecarlo::{MonteCarlo, MonteCarloReport};
+pub use montecarlo::{trial_seed, MonteCarlo, MonteCarloReport};
 pub use path::{PathSim, SimConfig};
 pub use report::SimReport;
 pub use topology::Topology;

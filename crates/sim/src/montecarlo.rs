@@ -71,7 +71,11 @@ impl MonteCarloReport {
 /// multiply–xor–shift cascade decorrelates trials even when base seeds are
 /// small consecutive integers (the common case in tests and sweeps), and it
 /// cannot overflow-panic in debug builds for any trial count.
-fn trial_seed(base: u64, trial: u64) -> u64 {
+///
+/// Public because every sharded Monte-Carlo driver in the workspace
+/// (including `rxl-fabric`'s) must derive per-trial seeds the same way for
+/// results to be bit-identical regardless of worker-thread count.
+pub fn trial_seed(base: u64, trial: u64) -> u64 {
     let mut z = base ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

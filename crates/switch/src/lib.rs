@@ -22,4 +22,4 @@ pub mod switch;
 
 pub use internal_error::InternalErrorModel;
 pub use stats::SwitchStats;
-pub use switch::{IngressOutcome, LinkCrcMode, Switch, SwitchConfig};
+pub use switch::{IngressOutcome, LinkCrcMode, ProcessOutcome, Switch, SwitchConfig};

@@ -49,6 +49,33 @@ impl SwitchStats {
     }
 }
 
+impl std::fmt::Display for SwitchStats {
+    /// Renders the counters as an aligned multi-line block, one counter per
+    /// line, so reports and examples need not hand-format them.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "flits in             : {}", self.flits_in)?;
+        writeln!(f, "flits forwarded      : {}", self.flits_forwarded)?;
+        writeln!(f, "corrected by FEC     : {}", self.flits_corrected)?;
+        writeln!(
+            f,
+            "silent drops         : {}",
+            self.flits_dropped_uncorrectable
+        )?;
+        writeln!(f, "no-route drops       : {}", self.flits_dropped_no_route)?;
+        writeln!(
+            f,
+            "queue-full drops     : {}",
+            self.flits_dropped_queue_full
+        )?;
+        writeln!(
+            f,
+            "internal corruptions : {}",
+            self.flits_internally_corrupted
+        )?;
+        write!(f, "silent drop rate     : {:.3e}", self.drop_rate())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +93,21 @@ mod tests {
         assert_eq!(s.total_dropped(), 5);
         assert!((s.drop_rate() - 0.03).abs() < 1e-12);
         assert_eq!(SwitchStats::default().drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_renders_every_counter() {
+        let s = SwitchStats {
+            flits_in: 100,
+            flits_forwarded: 95,
+            flits_dropped_uncorrectable: 3,
+            ..Default::default()
+        };
+        let out = s.to_string();
+        assert!(out.contains("flits in             : 100"));
+        assert!(out.contains("flits forwarded      : 95"));
+        assert!(out.contains("silent drops         : 3"));
+        assert!(out.contains("silent drop rate"));
     }
 
     #[test]

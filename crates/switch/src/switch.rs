@@ -88,6 +88,32 @@ impl IngressOutcome {
     }
 }
 
+/// What the switch's forwarding pipeline did to one flit, independent of any
+/// routing or queueing decision (see [`Switch::process`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProcessOutcome {
+    /// The flit survived the pipeline; the re-encoded wire image is ready to
+    /// be queued on an egress port chosen by the caller.
+    Forwarded {
+        /// The FEC-re-encoded wire flit to transmit on egress.
+        wire: Box<WireFlit>,
+        /// Number of symbols the ingress FEC corrected.
+        corrected_symbols: usize,
+        /// `true` if switch-internal corruption was injected.
+        internally_corrupted: bool,
+    },
+    /// The FEC (or, in Regenerate mode, the link CRC) rejected the flit; it
+    /// was silently dropped.
+    DroppedUncorrectable,
+}
+
+impl ProcessOutcome {
+    /// `true` if the flit survived the pipeline.
+    pub fn forwarded(&self) -> bool {
+        matches!(self, ProcessOutcome::Forwarded { .. })
+    }
+}
+
 /// A stateless, store-and-forward switching device.
 pub struct Switch {
     config: SwitchConfig,
@@ -139,26 +165,21 @@ impl Switch {
         self.connect(b, a);
     }
 
-    /// Presents one wire flit at `ingress`. The flit is FEC-decoded,
-    /// possibly internally corrupted, FEC-re-encoded and queued at the routed
-    /// egress port — or dropped.
-    pub fn ingress<R: Rng + ?Sized>(
-        &mut self,
-        ingress: usize,
-        wire: &WireFlit,
-        rng: &mut R,
-    ) -> IngressOutcome {
-        assert!(ingress < self.config.ports, "ingress port out of range");
+    /// Runs the forwarding pipeline on one flit without consulting the static
+    /// route table or touching the egress queues: link-layer FEC decode,
+    /// silent drop of uncorrectable patterns, the configured CRC policy
+    /// (verify + regenerate for CXL, pass-through for RXL), switch-internal
+    /// fault injection, and egress FEC re-encode.
+    ///
+    /// Fabric-level simulators (`rxl-fabric`) use this entry point directly,
+    /// because their routing is destination-based (shortest path over a whole
+    /// topology) rather than the per-ingress-port mapping of [`Self::ingress`],
+    /// and their queues carry routing metadata the switch does not know about.
+    /// All per-flit statistics (`flits_in`, corrections, drops, internal
+    /// corruption, `flits_forwarded`) are accumulated exactly as in
+    /// [`Self::ingress`].
+    pub fn process<R: Rng + ?Sized>(&mut self, wire: &WireFlit, rng: &mut R) -> ProcessOutcome {
         self.stats.flits_in += 1;
-
-        let Some(egress) = self.routes[ingress] else {
-            self.stats.flits_dropped_no_route += 1;
-            return IngressOutcome::DroppedNoRoute;
-        };
-        if self.queues[egress].len() >= self.config.queue_capacity {
-            self.stats.flits_dropped_queue_full += 1;
-            return IngressOutcome::DroppedQueueFull;
-        }
 
         // Link-layer FEC decode.
         let mut block = wire.to_vec();
@@ -166,7 +187,7 @@ impl Switch {
         if !fec_result.accepted() {
             // Silent drop: the defining behaviour of switched CXL fabrics.
             self.stats.flits_dropped_uncorrectable += 1;
-            return IngressOutcome::DroppedUncorrectable;
+            return ProcessOutcome::DroppedUncorrectable;
         }
         let corrected_symbols = fec_result.outcome.corrected_symbols();
         if corrected_symbols > 0 {
@@ -183,7 +204,7 @@ impl Switch {
             let received = u64::from_le_bytes(block[crc_offset..data_len].try_into().unwrap());
             if expected != received {
                 self.stats.flits_dropped_uncorrectable += 1;
-                return IngressOutcome::DroppedUncorrectable;
+                return ProcessOutcome::DroppedUncorrectable;
             }
         }
 
@@ -204,16 +225,54 @@ impl Switch {
             block[crc_offset..data_len].copy_from_slice(&fresh.to_le_bytes());
         }
 
-        // Egress FEC re-encode and enqueue.
+        // Egress FEC re-encode.
         let reencoded = self.fec.encode(&block[..data_len]);
         let mut out = [0u8; WIRE_FLIT_LEN];
         out.copy_from_slice(&reencoded);
-        self.queues[egress].push_back(out);
         self.stats.flits_forwarded += 1;
-        IngressOutcome::Forwarded {
-            egress,
+        ProcessOutcome::Forwarded {
+            wire: Box::new(out),
             corrected_symbols,
             internally_corrupted,
+        }
+    }
+
+    /// Presents one wire flit at `ingress`. The flit is FEC-decoded,
+    /// possibly internally corrupted, FEC-re-encoded and queued at the routed
+    /// egress port — or dropped.
+    pub fn ingress<R: Rng + ?Sized>(
+        &mut self,
+        ingress: usize,
+        wire: &WireFlit,
+        rng: &mut R,
+    ) -> IngressOutcome {
+        assert!(ingress < self.config.ports, "ingress port out of range");
+
+        let Some(egress) = self.routes[ingress] else {
+            self.stats.flits_in += 1;
+            self.stats.flits_dropped_no_route += 1;
+            return IngressOutcome::DroppedNoRoute;
+        };
+        if self.queues[egress].len() >= self.config.queue_capacity {
+            self.stats.flits_in += 1;
+            self.stats.flits_dropped_queue_full += 1;
+            return IngressOutcome::DroppedQueueFull;
+        }
+
+        match self.process(wire, rng) {
+            ProcessOutcome::Forwarded {
+                wire,
+                corrected_symbols,
+                internally_corrupted,
+            } => {
+                self.queues[egress].push_back(*wire);
+                IngressOutcome::Forwarded {
+                    egress,
+                    corrected_symbols,
+                    internally_corrupted,
+                }
+            }
+            ProcessOutcome::DroppedUncorrectable => IngressOutcome::DroppedUncorrectable,
         }
     }
 
@@ -428,6 +487,41 @@ mod tests {
         let mut rxl_sw = Switch::new(SwitchConfig::simple(2));
         rxl_sw.connect_duplex(0, 1);
         assert!(rxl_sw.ingress(0, &tampered, &mut rng).forwarded());
+    }
+
+    #[test]
+    fn process_pipeline_matches_ingress_behaviour() {
+        // `process` (used by fabric-level routing) must transform flits and
+        // account statistics exactly like the route-table `ingress` path.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut sw = Switch::new(SwitchConfig::simple(2));
+        let clean = wire_flit(21);
+        match sw.process(&clean, &mut rng) {
+            ProcessOutcome::Forwarded {
+                wire,
+                corrected_symbols,
+                internally_corrupted,
+            } => {
+                assert_eq!(*wire, clean, "clean flits are re-encoded bit-exactly");
+                assert_eq!(corrected_symbols, 0);
+                assert!(!internally_corrupted);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(sw.stats().flits_in, 1);
+        assert_eq!(sw.stats().flits_forwarded, 1);
+
+        // An uncorrectable pattern is silently dropped with the same stats
+        // the ingress path would record.
+        let mut bad = clean;
+        bad[0] ^= 0x5A;
+        bad[3] ^= 0x5A;
+        assert_eq!(
+            sw.process(&bad, &mut rng),
+            ProcessOutcome::DroppedUncorrectable
+        );
+        assert_eq!(sw.stats().flits_dropped_uncorrectable, 1);
+        assert_eq!(sw.stats().flits_in, 2);
     }
 
     #[test]

@@ -75,6 +75,18 @@ struct CqidState {
     next_undelivered: usize,
     /// Delivered flags indexed by send order.
     delivered: Vec<bool>,
+    /// Total messages delivered (at least once) in this CQID.
+    delivered_count: usize,
+}
+
+impl CqidState {
+    /// `true` while some message has been delivered ahead of a still-missing
+    /// earlier message of the same CQID: `delivered[0..next_undelivered]` is
+    /// the contiguous delivered prefix, so any delivery beyond it means a
+    /// gap is open.
+    fn gapped(&self) -> bool {
+        self.delivered_count > self.next_undelivered
+    }
 }
 
 /// Ground-truth auditor for one direction of traffic.
@@ -83,6 +95,9 @@ pub struct DeliveryAuditor {
     sent: HashMap<MessageKey, SentRecord>,
     cqids: HashMap<u16, CqidState>,
     counts: FailureCounts,
+    /// Number of CQIDs currently holding an ordering gap (a delivered
+    /// message ahead of a missing earlier one).
+    gapped_cqids: usize,
 }
 
 impl DeliveryAuditor {
@@ -136,11 +151,18 @@ impl DeliveryAuditor {
             .cqids
             .get_mut(&msg.cqid())
             .expect("CQID state exists for every sent message");
+        let was_gapped = cq.gapped();
         cq.delivered[order] = true;
+        cq.delivered_count += 1;
         let in_order = order == cq.next_undelivered;
         // Advance the next-undelivered cursor over everything now delivered.
         while cq.next_undelivered < cq.delivered.len() && cq.delivered[cq.next_undelivered] {
             cq.next_undelivered += 1;
+        }
+        match (was_gapped, cq.gapped()) {
+            (false, true) => self.gapped_cqids += 1,
+            (true, false) => self.gapped_cqids -= 1,
+            _ => {}
         }
 
         if !intact {
@@ -158,6 +180,15 @@ impl DeliveryAuditor {
     /// Counters accumulated so far (losses not yet included).
     pub fn counts(&self) -> &FailureCounts {
         &self.counts
+    }
+
+    /// `true` while at least one CQID has an ordering gap open: a message
+    /// was delivered while an earlier message of the same CQID is still
+    /// missing. Gap-episode trackers (the fabric simulator's undetected-drop
+    /// event counter) use this to count each drop episode exactly once, from
+    /// the first out-of-order delivery until a replay fills the gap.
+    pub fn has_open_gaps(&self) -> bool {
+        self.gapped_cqids > 0
     }
 
     /// Closes the audit: every sent-but-undelivered message is counted as
@@ -292,16 +323,48 @@ mod tests {
         for i in 0..3 {
             a.record_sent(&data(5, i, 0));
         }
+        assert!(!a.has_open_gaps());
         assert_eq!(
             a.observe_delivery(&data(5, 1, 0)),
             DeliveryVerdict::OutOfOrder
         );
+        assert!(a.has_open_gaps(), "gap opens on the out-of-order delivery");
         assert_eq!(a.observe_delivery(&data(5, 0, 0)), DeliveryVerdict::InOrder);
+        assert!(!a.has_open_gaps(), "gap closes once the hole is filled");
         // After the gap is filled, the cursor has advanced past both.
         assert_eq!(a.observe_delivery(&data(5, 2, 0)), DeliveryVerdict::InOrder);
+        assert!(!a.has_open_gaps());
         let counts = a.finalize();
         assert_eq!(counts.ordering_failures, 1);
         assert_eq!(counts.clean_deliveries, 2);
+    }
+
+    #[test]
+    fn gaps_are_tracked_per_cqid_and_duplicates_do_not_reopen_them() {
+        let mut a = DeliveryAuditor::new();
+        for cq in [1u16, 2] {
+            for i in 0..3 {
+                a.record_sent(&data(cq, 10 * cq + i, 0));
+            }
+        }
+        // Open gaps in both CQIDs.
+        a.observe_delivery(&data(1, 12, 0));
+        a.observe_delivery(&data(2, 22, 0));
+        assert!(a.has_open_gaps());
+        // Fill CQID 1 only — CQID 2 still gapped.
+        a.observe_delivery(&data(1, 10, 0));
+        a.observe_delivery(&data(1, 11, 0));
+        assert!(a.has_open_gaps());
+        // A duplicate delivery must not disturb gap accounting.
+        assert_eq!(
+            a.observe_delivery(&data(1, 12, 0)),
+            DeliveryVerdict::Duplicate
+        );
+        assert!(a.has_open_gaps());
+        // Fill CQID 2 — all gaps closed.
+        a.observe_delivery(&data(2, 20, 0));
+        a.observe_delivery(&data(2, 21, 0));
+        assert!(!a.has_open_gaps());
     }
 
     #[test]

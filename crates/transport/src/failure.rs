@@ -54,6 +54,19 @@ impl FailureCounts {
     }
 }
 
+impl std::fmt::Display for FailureCounts {
+    /// Renders the counters as an aligned multi-line block, one counter per
+    /// line, so reports and examples need not hand-format them.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "clean deliveries     : {}", self.clean_deliveries)?;
+        writeln!(f, "ordering failures    : {}", self.ordering_failures)?;
+        writeln!(f, "duplicate deliveries : {}", self.duplicate_deliveries)?;
+        writeln!(f, "data failures        : {}", self.data_failures)?;
+        writeln!(f, "lost messages        : {}", self.lost_messages)?;
+        write!(f, "failure rate         : {:.3e}", self.failure_rate())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +85,24 @@ mod tests {
         assert!((f.failure_rate() - 0.1).abs() < 1e-12);
         assert!(FailureCounts::default().is_clean());
         assert_eq!(FailureCounts::default().failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_renders_every_counter() {
+        let f = FailureCounts {
+            data_failures: 1,
+            ordering_failures: 2,
+            duplicate_deliveries: 3,
+            lost_messages: 4,
+            clean_deliveries: 90,
+        };
+        let s = f.to_string();
+        assert!(s.contains("clean deliveries     : 90"));
+        assert!(s.contains("ordering failures    : 2"));
+        assert!(s.contains("duplicate deliveries : 3"));
+        assert!(s.contains("data failures        : 1"));
+        assert!(s.contains("lost messages        : 4"));
+        assert!(s.contains("failure rate"));
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Fabric-scale scale-out: many concurrent host–device sessions sharing the
+//! switches of a real topology, driven end to end through the link/FEC/CRC
+//! stack by the `rxl-fabric` discrete-event simulator.
+//!
+//! Where `scaleout_fabric` simulates one host–device *path*, this example
+//! simulates the *fabric*: a leaf–spine pod and a ring, each carrying every
+//! session concurrently with credit backpressure on the shared trunks, under
+//! baseline CXL and under RXL. It closes with the analytic cross-check: the
+//! measured `Fail_order` rate versus `FabricSpec`'s projection at the same
+//! accelerated operating point.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example fabric_scaleout [ber] [trials] [messages]
+//! ```
+
+use rxl::fabric::{FabricConfig, FabricMonteCarlo, FabricTopology, FabricWorkload};
+use rxl::link::{ChannelErrorModel, ProtocolVariant};
+use rxl::prelude::{FabricSimOptions, FabricSpec, ProtocolKind};
+
+fn main() {
+    let arg = |idx: usize, default: f64| -> f64 {
+        std::env::args()
+            .nth(idx)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(default)
+    };
+    let ber = arg(1, 1e-4);
+    let trials = arg(2, 4.0) as u64;
+    let messages = arg(3, 600.0) as usize;
+
+    println!("fabric scale-out: accelerated BER {ber:.0e}, {trials} trials, {messages} messages/session\n");
+
+    for topology in [
+        FabricTopology::leaf_spine(2, 2, 2),
+        FabricTopology::ring(4, 1, 2),
+    ] {
+        println!(
+            "=== {} — {} sessions, {} switches ===",
+            topology.name,
+            topology.session_count(),
+            topology.switch_count()
+        );
+        for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+            let config = FabricConfig::new(variant).with_channel(ChannelErrorModel::random(ber));
+            let workload = FabricWorkload::symmetric(topology.session_count(), messages, 16, 2024);
+            let report = FabricMonteCarlo::new(topology.clone(), config, trials).run(&workload);
+
+            println!("--- {} ---", variant.name());
+            // The Display impls render every counter; no hand-formatting.
+            println!("{}", indent(&report.failures.to_string()));
+            println!("{}", indent(&report.switches.to_string()));
+            println!(
+                "  undetected-drop events   : {}",
+                report.undetected_drop_events
+            );
+            println!("  replay-window leaks      : {}", report.replay_leak_events);
+            println!("  credit stalls            : {}", report.credit_stalls);
+            println!(
+                "  drained trials           : {}/{}",
+                report.drained_trials, report.trials
+            );
+            println!();
+        }
+    }
+
+    // The analytic cross-check through the rxl-core bridge: a 16K-device
+    // fabric behind two switching levels, projected analytically and
+    // simulated at the accelerated BER.
+    println!("=== FabricSpec::simulate cross-check (16K devices, 2 levels) ===");
+    let opts = FabricSimOptions {
+        ber,
+        trials,
+        messages_per_session: messages,
+        ..FabricSimOptions::default()
+    };
+    for kind in [ProtocolKind::Cxl, ProtocolKind::Rxl] {
+        let spec = FabricSpec::new(kind, 16_384, 2);
+        let ev = spec.simulate(&opts);
+        let cc = &ev.crosscheck;
+        println!(
+            "{:>3}: empirical {:.3e} FIT vs analytic {:.3e} FIT per device ({} Fail_order events in {} payload flits; agree within 3 sigma: {})",
+            kind.name(),
+            cc.empirical_fit,
+            cc.analytic_fit,
+            cc.undetected_drop_events,
+            cc.payload_flits,
+            cc.agrees_within(3.0),
+        );
+    }
+    println!(
+        "\nExpected shape (paper Sections 6.4, 7.1): both protocols suffer the same silent switch\n\
+         drops, but only baseline CXL turns them into application-visible ordering failures; RXL's\n\
+         ISN converts every drop into an ordinary retry, and the simulator's empirical FIT backs\n\
+         the analytic projection at the accelerated operating point."
+    );
+}
+
+/// Indents a multi-line block by two spaces for nested report sections.
+fn indent(block: &str) -> String {
+    block
+        .lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

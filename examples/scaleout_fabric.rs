@@ -41,28 +41,16 @@ fn main() {
         let mc = MonteCarlo::new(config, trials);
         let report = mc.run(&downstream, &upstream);
 
-        let f = &report.failures;
         println!("--- {} ---", variant.name());
-        println!("  clean deliveries        : {}", f.clean_deliveries);
-        println!("  ordering failures       : {}", f.ordering_failures);
-        println!("  duplicate deliveries    : {}", f.duplicate_deliveries);
-        println!("  data failures           : {}", f.data_failures);
-        println!("  lost messages           : {}", f.lost_messages);
+        // `FailureCounts` / `SwitchStats` render their own counters.
+        for block in [report.failures.to_string(), report.switches.to_string()] {
+            for line in block.lines() {
+                println!("  {line}");
+            }
+        }
         println!(
-            "  switch drops (silent)   : {}",
-            report.switches.flits_dropped_uncorrectable
-        );
-        println!(
-            "  flits corrected by FEC  : {}",
-            report.switches.flits_corrected
-        );
-        println!(
-            "  retransmissions         : {}",
+            "  retransmissions      : {}",
             report.links.flits_retransmitted
-        );
-        println!(
-            "  per-message failure rate: {:.3e}",
-            report.pooled_failure_rate()
         );
         println!(
             "  mean bandwidth overhead : {:.3}%",

@@ -11,13 +11,18 @@
 //! * [`link`] — link layer: channel error models, retry, ACK handling.
 //! * [`switch`] — stateless switching devices that drop uncorrectable flits.
 //! * [`transport`] — endpoint transaction layer for CXL and RXL.
-//! * [`sim`] — discrete-event simulator and Monte-Carlo harness.
+//! * [`sim`] — discrete-event simulator and Monte-Carlo harness for one
+//!   host–device path.
+//! * [`fabric`] — fabric-scale simulator: whole topologies (leaf–spine,
+//!   fat-tree, ring) of concurrent sessions over shared switches, with a
+//!   sharded Monte-Carlo driver and an analytic FIT cross-check.
 //! * [`analysis`] — closed-form reliability / bandwidth / hardware models.
 //! * [`core`] — the high-level protocol-stack API (CXL vs RXL).
 
 pub use rxl_analysis as analysis;
 pub use rxl_core as core;
 pub use rxl_crc as crc;
+pub use rxl_fabric as fabric;
 pub use rxl_fec as fec;
 pub use rxl_flit as flit;
 pub use rxl_gf256 as gf256;
@@ -29,8 +34,13 @@ pub use rxl_transport as transport;
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {
     pub use rxl_analysis::reliability::ReliabilityModel;
-    pub use rxl_core::{CxlStack, ProtocolKind, RxlStack, StackConfig};
+    pub use rxl_core::{
+        CxlStack, FabricSimOptions, FabricSpec, ProtocolKind, RxlStack, StackConfig,
+    };
     pub use rxl_crc::{Crc64, IsnCrc64};
+    pub use rxl_fabric::{
+        FabricConfig, FabricMonteCarlo, FabricTopology, FabricWorkload, FitCrosscheck,
+    };
     pub use rxl_fec::InterleavedFec;
     pub use rxl_flit::{Flit256, FlitHeader, Message};
     pub use rxl_link::{ChannelErrorModel, LinkConfig};

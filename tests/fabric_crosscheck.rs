@@ -1,0 +1,189 @@
+//! Integration tests pinning the fabric simulator to the analytic model —
+//! the acceptance contract of the `rxl-fabric` subsystem:
+//!
+//! 1. at an accelerated BER in the linear error regime, the empirical
+//!    per-device `Fail_order` rate of a baseline-CXL fabric agrees with
+//!    `FabricSpec`'s analytic projection within the Monte-Carlo confidence
+//!    interval;
+//! 2. the conditional blind-spot probability (undetected fraction of
+//!    eligible drops) matches the measured ACK-coalescing fraction on a
+//!    deeper topology, where episode overlap makes the headline rate
+//!    nonlinear;
+//! 3. an RXL fabric observes zero protocol failures, matching its ~2⁻⁶⁴
+//!    projection;
+//! 4. a fixed base seed reproduces bit-identical aggregate counts no matter
+//!    how many worker threads run the trials.
+
+use rxl::analysis::ReliabilityModel;
+use rxl::fabric::{
+    FabricConfig, FabricMonteCarlo, FabricTopology, FabricWorkload, FitCrosscheck, RoutingTable,
+};
+use rxl::link::{ChannelErrorModel, ProtocolVariant};
+use rxl::prelude::{FabricSpec, ProtocolKind};
+
+fn run_ring_crosscheck(
+    variant: ProtocolVariant,
+    ber: f64,
+    trials: u64,
+    messages: usize,
+) -> (rxl::fabric::FabricMonteCarloReport, FitCrosscheck, u32) {
+    let topology = FabricTopology::ring(4, 1, 1);
+    let routing = RoutingTable::new(&topology);
+    let hops = routing
+        .uniform_session_depth(&topology)
+        .expect("ring sessions share one depth");
+    let config = FabricConfig::new(variant)
+        .with_channel(ChannelErrorModel::random(ber))
+        .with_seed(0xFAB);
+    let workload = FabricWorkload::symmetric(topology.session_count(), messages, 8, 7);
+    let report = FabricMonteCarlo::new(topology, config, trials).run(&workload);
+    let crosscheck = FitCrosscheck::new(&report, variant, hops, ber);
+    (report, crosscheck, hops)
+}
+
+/// Acceptance criterion: the empirical per-device failure rate agrees with
+/// the analytic projection within the Monte-Carlo confidence interval.
+///
+/// BER 7×10⁻⁵ keeps the fabric in the linear error regime (drop episodes
+/// rarely overlap), where the paper's first-order `levels × FER_UC ×
+/// p_coalescing` model is valid; 50 trials of 4 concurrent sessions give
+/// ~20 expected `Fail_order` events, enough statistical power for a
+/// meaningful 3σ comparison.
+#[test]
+fn cxl_fabric_fail_order_rate_matches_fabricspec_projection() {
+    let ber = 7e-5;
+    let (report, cc, hops) = run_ring_crosscheck(ProtocolVariant::CxlPiggyback, ber, 50, 1_500);
+
+    assert!(
+        report.undetected_drop_events >= 10,
+        "statistical power requires events, got {}",
+        report.undetected_drop_events
+    );
+    assert!(cc.empirical_fit > 0.0);
+
+    // The analytic side of the crosscheck is FabricSpec's own projection at
+    // the measured accelerated operating point.
+    let spec = FabricSpec {
+        kind: ProtocolKind::Cxl,
+        devices: 16_384,
+        switch_levels: hops,
+        model: ReliabilityModel {
+            ber,
+            fer_uc: cc.measured_drop_rate,
+            p_coalescing: cc.measured_p_coalescing,
+            ..ReliabilityModel::cxl3_x16()
+        },
+    };
+    let per_device = spec.per_device_fit();
+    assert!(
+        (per_device - cc.analytic_fit).abs() <= 1e-9 * per_device,
+        "crosscheck must evaluate FabricSpec's projection: {per_device} vs {}",
+        cc.analytic_fit
+    );
+
+    // The agreement itself: within 3 standard errors of the Monte-Carlo
+    // estimate, and within ±50% in ratio terms as an absolute sanity band.
+    assert!(
+        cc.agrees_within(3.0),
+        "empirical {:.3e} vs analytic {:.3e} (stderr {:.3e})",
+        cc.empirical_failure_rate,
+        cc.analytic_failure_rate,
+        cc.failure_rate_stderr
+    );
+    let ratio = cc.ratio();
+    assert!(
+        (0.5..1.5).contains(&ratio),
+        "empirical/analytic ratio {ratio:.3} outside the sanity band"
+    );
+}
+
+/// On a deeper (three-level) leaf–spine fabric the headline rate leaves the
+/// linear regime (drop episodes overlap), but the conditional invariant
+/// behind Eqn (7) still holds exactly: of the drops that strike while the
+/// receiver is in normal flow, the fraction that goes undetected is the
+/// probability that the successor flit carries a piggybacked ACK.
+#[test]
+fn blind_spot_fraction_of_eligible_drops_matches_p_coalescing() {
+    let topology = FabricTopology::leaf_spine(2, 2, 1);
+    let routing = RoutingTable::new(&topology);
+    assert_eq!(routing.uniform_session_depth(&topology), Some(3));
+    let config = FabricConfig::new(ProtocolVariant::CxlPiggyback)
+        .with_channel(ChannelErrorModel::random(1e-4))
+        .with_seed(0xFAB);
+    let workload = FabricWorkload::symmetric(topology.session_count(), 1_200, 8, 7);
+    let report = FabricMonteCarlo::new(topology, config, 40).run(&workload);
+
+    let eligible = report.eligible_payload_drops;
+    assert!(eligible >= 50, "need eligible drops, got {eligible}");
+    let observed = report.undetected_drop_events as f64 / eligible as f64;
+    let p = report.links.measured_p_coalescing();
+    // Binomial 3σ around the measured coalescing fraction.
+    let sigma = (p * (1.0 - p) / eligible as f64).sqrt();
+    assert!(
+        (observed - p).abs() <= 3.0 * sigma + 0.01,
+        "undetected fraction {observed:.4} vs p_coalescing {p:.4} (sigma {sigma:.4})"
+    );
+    // The second-order replay-leak channel exists and is tracked separately.
+    assert!(report.replay_leak_events > 0);
+}
+
+/// RXL on the same noisy fabric: every silent drop is retried, nothing
+/// reaches the application mis-ordered, and the projection it must agree
+/// with is ~2⁻⁶⁴ of the drop rate — i.e. zero at any observable scale.
+#[test]
+fn rxl_fabric_observes_zero_failures_matching_its_projection() {
+    let (report, cc, _) = run_ring_crosscheck(ProtocolVariant::Rxl, 1e-4, 10, 600);
+    assert_eq!(report.drained_trials, report.trials);
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    assert_eq!(report.undetected_drop_events, 0);
+    assert!(
+        report.switches.flits_dropped_uncorrectable > 0,
+        "the channel must actually drop flits for the comparison to mean anything"
+    );
+    assert!(cc.analytic_failure_rate < 1e-15);
+    assert!(cc.agrees_within(1.0));
+}
+
+/// Acceptance criterion: a fixed base seed reproduces identical aggregate
+/// counts for 1-thread and N-thread runs.
+#[test]
+fn fixed_seed_reproduces_identical_counts_across_thread_counts() {
+    let topology = FabricTopology::leaf_spine(2, 2, 1);
+    let config = FabricConfig::new(ProtocolVariant::CxlPiggyback)
+        .with_channel(ChannelErrorModel::random(2e-4))
+        .with_seed(0xC0FFEE);
+    let mc = FabricMonteCarlo::new(topology, config, 6);
+    let workload = FabricWorkload::symmetric(2, 150, 8, 11);
+
+    let run_with_threads = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("shim pool build is infallible");
+        pool.install(|| mc.run(&workload))
+    };
+
+    let reference = run_with_threads(1);
+    for threads in [2, 8] {
+        let report = run_with_threads(threads);
+        assert_eq!(report.failures, reference.failures, "{threads} threads");
+        assert_eq!(report.links, reference.links, "{threads} threads");
+        assert_eq!(report.switches, reference.switches, "{threads} threads");
+        assert_eq!(
+            report.undetected_drop_events, reference.undetected_drop_events,
+            "{threads} threads"
+        );
+        assert_eq!(
+            report.protocol_flit_drops, reference.protocol_flit_drops,
+            "{threads} threads"
+        );
+        assert_eq!(
+            report.event_rates, reference.event_rates,
+            "{threads} threads"
+        );
+        assert_eq!(
+            report.drained_trials, reference.drained_trials,
+            "{threads} threads"
+        );
+    }
+}
