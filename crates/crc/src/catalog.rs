@@ -63,6 +63,49 @@ pub const CRC16_ARC: CrcSpec = CrcSpec::new("CRC-16/ARC", 16, 0x8005, 0, true, t
 /// CRC-8/SMBUS. Check value: `0xF4`.
 pub const CRC8_SMBUS: CrcSpec = CrcSpec::new("CRC-8/SMBus", 8, 0x07, 0, false, false, 0);
 
+// Precomputed table-driven engines for every catalogue algorithm. The lookup
+// tables are evaluated at compile time (`TableCrc::new` is `const`), so
+// borrowing one of these — or copying it into a wrapper — never rebuilds the
+// 256-entry table at runtime. The hot paths (flit codecs, switches, the
+// Monte-Carlo simulators) construct engines per endpoint per trial, which
+// made the old run-time table build a measurable cost.
+
+/// Compile-time CRC-64/XZ (= [`FLIT_CRC64`]) engine.
+pub static CRC64_XZ_ENGINE: TableCrc = TableCrc::new(CRC64_XZ);
+/// Compile-time CRC-64/ECMA-182 engine.
+pub static CRC64_ECMA_182_ENGINE: TableCrc = TableCrc::new(CRC64_ECMA_182);
+/// Compile-time CRC-32/ISO-HDLC engine.
+pub static CRC32_ISO_HDLC_ENGINE: TableCrc = TableCrc::new(CRC32_ISO_HDLC);
+/// Compile-time CRC-16/CCITT-FALSE engine (the 68-byte flit CRC).
+pub static CRC16_CCITT_FALSE_ENGINE: TableCrc = TableCrc::new(CRC16_CCITT_FALSE);
+/// Compile-time CRC-16/ARC engine.
+pub static CRC16_ARC_ENGINE: TableCrc = TableCrc::new(CRC16_ARC);
+/// Compile-time CRC-8/SMBus engine.
+pub static CRC8_SMBUS_ENGINE: TableCrc = TableCrc::new(CRC8_SMBUS);
+
+/// The precomputed engine for `spec`, if it is a catalogue algorithm.
+pub fn cached_engine(spec: &CrcSpec) -> Option<&'static TableCrc> {
+    // FLIT_CRC64 is an alias of CRC64_XZ, so it hits the first arm.
+    match *spec {
+        s if s == CRC64_XZ => Some(&CRC64_XZ_ENGINE),
+        s if s == CRC64_ECMA_182 => Some(&CRC64_ECMA_182_ENGINE),
+        s if s == CRC32_ISO_HDLC => Some(&CRC32_ISO_HDLC_ENGINE),
+        s if s == CRC16_CCITT_FALSE => Some(&CRC16_CCITT_FALSE_ENGINE),
+        s if s == CRC16_ARC => Some(&CRC16_ARC_ENGINE),
+        s if s == CRC8_SMBUS => Some(&CRC8_SMBUS_ENGINE),
+        _ => None,
+    }
+}
+
+/// A table-driven engine for `spec`: a copy of the precomputed table for
+/// catalogue algorithms, a fresh table build otherwise.
+pub fn engine_for(spec: CrcSpec) -> TableCrc {
+    match cached_engine(&spec) {
+        Some(engine) => engine.clone(),
+        None => TableCrc::new(spec),
+    }
+}
+
 /// Convenience wrapper: a table-driven CRC-64 flit CRC.
 #[derive(Clone, Debug)]
 pub struct Crc64 {
@@ -73,7 +116,7 @@ impl Crc64 {
     /// Creates the default flit CRC-64 engine.
     pub fn flit() -> Self {
         Crc64 {
-            engine: TableCrc::new(FLIT_CRC64),
+            engine: CRC64_XZ_ENGINE.clone(),
         }
     }
 
@@ -81,7 +124,7 @@ impl Crc64 {
     pub fn with_spec(spec: CrcSpec) -> Self {
         assert_eq!(spec.width, 64, "Crc64 requires a 64-bit spec");
         Crc64 {
-            engine: TableCrc::new(spec),
+            engine: engine_for(spec),
         }
     }
 
@@ -89,11 +132,6 @@ impl Crc64 {
     #[inline]
     pub fn checksum(&self, data: &[u8]) -> u64 {
         self.engine.checksum(data)
-    }
-
-    /// Access to the underlying engine for incremental use.
-    pub fn engine(&self) -> &TableCrc {
-        &self.engine
     }
 }
 
@@ -113,7 +151,7 @@ impl Crc32 {
     /// Creates the standard CRC-32/ISO-HDLC engine.
     pub fn new() -> Self {
         Crc32 {
-            engine: TableCrc::new(CRC32_ISO_HDLC),
+            engine: CRC32_ISO_HDLC_ENGINE.clone(),
         }
     }
 
@@ -141,7 +179,7 @@ impl Crc16 {
     /// Creates the CRC-16/CCITT-FALSE engine.
     pub fn new() -> Self {
         Crc16 {
-            engine: TableCrc::new(CRC16_CCITT_FALSE),
+            engine: CRC16_CCITT_FALSE_ENGINE.clone(),
         }
     }
 

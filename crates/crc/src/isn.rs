@@ -65,7 +65,7 @@ impl IsnCrc64 {
         );
         assert_eq!(spec.width, 64, "ISN flit CRC must be 64 bits wide");
         IsnCrc64 {
-            crc: TableCrc::new(spec),
+            crc: crate::catalog::engine_for(spec),
             mode,
             seq_bits,
         }

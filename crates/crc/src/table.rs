@@ -25,22 +25,32 @@ impl std::fmt::Debug for TableCrc {
 
 impl TableCrc {
     /// Builds the lookup table for the given algorithm.
-    pub fn new(spec: CrcSpec) -> Self {
+    ///
+    /// This is a `const fn`: the catalogue ([`crate::catalog`]) evaluates it
+    /// at compile time into `static` engines, so constructing an engine for
+    /// any standard algorithm costs nothing at runtime. Prefer
+    /// [`crate::catalog::engine_for`] (or the named statics) over calling
+    /// this directly with a catalogue spec.
+    pub const fn new(spec: CrcSpec) -> Self {
         let mut table = [0u64; 256];
         let top = spec.top_bit();
         let mask = spec.mask();
-        for (i, entry) in table.iter_mut().enumerate() {
+        let mut i = 0;
+        while i < 256 {
             // Table is indexed by the (possibly reflected) input byte already
             // XORed into the top of the register.
             let mut reg = (i as u64) << (spec.width - 8);
-            for _ in 0..8 {
-                if reg & top != 0 {
-                    reg = ((reg << 1) ^ spec.poly) & mask;
+            let mut bit = 0;
+            while bit < 8 {
+                reg = if reg & top != 0 {
+                    ((reg << 1) ^ spec.poly) & mask
                 } else {
-                    reg = (reg << 1) & mask;
-                }
+                    (reg << 1) & mask
+                };
+                bit += 1;
             }
-            *entry = reg;
+            table[i] = reg;
+            i += 1;
         }
         TableCrc { spec, table }
     }

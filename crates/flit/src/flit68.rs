@@ -6,11 +6,11 @@
 //! paper targets, but it is part of the protocol surface and is used by the
 //! header-overhead comparison (experiment E19).
 
-use rxl_crc::catalog::Crc16;
+use rxl_crc::catalog::CRC16_CCITT_FALSE_ENGINE;
 
 use crate::header::FlitHeader;
 use crate::message::Message;
-use crate::slots::{pack_messages, unpack_messages, SlotError};
+use crate::slots::{pack_messages_into, unpack_messages, SlotError};
 
 /// Payload bytes per 68-byte flit.
 pub const FLIT68_PAYLOAD_LEN: usize = 64;
@@ -46,9 +46,7 @@ impl Flit68 {
 
     /// Packs transaction messages into the payload (up to 4 slots).
     pub fn pack_messages(&mut self, messages: &[Message]) -> Result<(), SlotError> {
-        let packed = pack_messages(messages, FLIT68_PAYLOAD_LEN)?;
-        self.payload.copy_from_slice(&packed);
-        Ok(())
+        pack_messages_into(messages, &mut self.payload)
     }
 
     /// Unpacks the transaction messages currently in the payload.
@@ -61,14 +59,14 @@ impl Flit68 {
         let mut wire = [0u8; FLIT68_TOTAL_LEN];
         wire[..2].copy_from_slice(&self.header.to_bytes());
         wire[2..66].copy_from_slice(&self.payload);
-        let crc = Crc16::new().checksum(&wire[..66]);
+        let crc = CRC16_CCITT_FALSE_ENGINE.checksum(&wire[..66]) as u16;
         wire[66..68].copy_from_slice(&crc.to_le_bytes());
         wire
     }
 
     /// Decodes a 68-byte wire flit, returning `None` if the CRC check fails.
     pub fn decode(wire: &[u8; FLIT68_TOTAL_LEN]) -> Option<Flit68> {
-        let expected = Crc16::new().checksum(&wire[..66]);
+        let expected = CRC16_CCITT_FALSE_ENGINE.checksum(&wire[..66]) as u16;
         let received = u16::from_le_bytes([wire[66], wire[67]]);
         if expected != received {
             return None;

@@ -142,18 +142,30 @@ pub fn pack_messages(messages: &[Message], payload_len: usize) -> Result<Vec<u8>
     if payload_len == 0 || !payload_len.is_multiple_of(SLOT_LEN) {
         return Err(SlotError::BadPayloadLength(payload_len));
     }
-    let capacity = payload_len / SLOT_LEN;
+    let mut payload = vec![0u8; payload_len];
+    pack_messages_into(messages, &mut payload)?;
+    Ok(payload)
+}
+
+/// Packs messages directly into an existing payload buffer (zeroing unused
+/// slots) — the allocation-free form of [`pack_messages`] used by the flit
+/// builders on the transmit hot path.
+pub fn pack_messages_into(messages: &[Message], payload: &mut [u8]) -> Result<(), SlotError> {
+    if payload.is_empty() || !payload.len().is_multiple_of(SLOT_LEN) {
+        return Err(SlotError::BadPayloadLength(payload.len()));
+    }
+    let capacity = payload.len() / SLOT_LEN;
     if messages.len() > capacity {
         return Err(SlotError::TooManyMessages {
             given: messages.len(),
             capacity,
         });
     }
-    let mut payload = vec![0u8; payload_len];
     for (i, msg) in messages.iter().enumerate() {
         payload[i * SLOT_LEN..(i + 1) * SLOT_LEN].copy_from_slice(&encode_slot(msg));
     }
-    Ok(payload)
+    payload[messages.len() * SLOT_LEN..].fill(0);
+    Ok(())
 }
 
 /// Unpacks all non-empty messages from a payload.
