@@ -1,0 +1,143 @@
+//! Microbenchmarks for the flit-slot hot path, one layer at a time.
+//!
+//! These make the hot-path claims of the performance overhaul reproducible
+//! outside the fabric engine: the three CRC engine strategies side by side
+//! (bitwise reference, byte-at-a-time table, slice-by-8), both flit formats'
+//! encode/decode, and the Reed–Solomon layers (the RS(68,64)-shaped
+//! shortened code and the interleaved CXL flit FEC) in their streaming
+//! allocation-free forms.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use rxl_crc::{catalog::CRC64_XZ, BitwiseCrc, TableCrc, FLIT_CRC64_SLICE};
+use rxl_fec::{InterleavedFec, RsCode, ShortenedRs};
+use rxl_flit::{CxlFlitCodec, Flit256, Flit68, FlitHeader, RxlFlitCodec};
+
+fn payload240() -> Vec<u8> {
+    (0..240u32).map(|i| (i * 31 + 7) as u8).collect()
+}
+
+fn bench_crc_engines(c: &mut Criterion) {
+    let data = payload240();
+    let bitwise = BitwiseCrc::new(CRC64_XZ);
+    let table = TableCrc::new(CRC64_XZ);
+
+    let mut group = c.benchmark_group("crc64_engines");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("bitwise_240B", |b| {
+        b.iter(|| black_box(bitwise.checksum(black_box(&data))))
+    });
+    group.bench_function("table_240B", |b| {
+        b.iter(|| black_box(table.checksum(black_box(&data))))
+    });
+    group.bench_function("slice_by_8_240B", |b| {
+        b.iter(|| black_box(FLIT_CRC64_SLICE.checksum(black_box(&data))))
+    });
+    group.finish();
+}
+
+fn bench_flit68(c: &mut Criterion) {
+    let flit = Flit68::new(FlitHeader::with_seq(17));
+    let wire = flit.encode();
+
+    let mut group = c.benchmark_group("flit68");
+    group.throughput(Throughput::Bytes(68));
+    group.bench_function("encode", |b| b.iter(|| black_box(flit.encode())));
+    group.bench_function("decode_clean", |b| {
+        b.iter(|| black_box(Flit68::decode(black_box(&wire))))
+    });
+    group.finish();
+}
+
+fn bench_flit256(c: &mut Criterion) {
+    let mut flit = Flit256::new(FlitHeader::with_seq(5));
+    flit.payload.copy_from_slice(&payload240());
+    let cxl = CxlFlitCodec::new();
+    let rxl = RxlFlitCodec::new();
+    let cxl_wire = cxl.encode(&flit);
+    let rxl_wire = rxl.encode(&flit, 5);
+
+    let mut group = c.benchmark_group("flit256");
+    group.throughput(Throughput::Bytes(256));
+    group.bench_function("cxl_encode", |b| {
+        b.iter(|| black_box(cxl.encode(black_box(&flit))))
+    });
+    group.bench_function("cxl_decode_clean", |b| {
+        b.iter(|| black_box(cxl.decode(black_box(&cxl_wire))))
+    });
+    group.bench_function("rxl_encode", |b| {
+        b.iter(|| black_box(rxl.encode(black_box(&flit), black_box(5))))
+    });
+    group.bench_function("rxl_decode_clean", |b| {
+        b.iter(|| black_box(rxl.decode(black_box(&rxl_wire), black_box(5))))
+    });
+    group.finish();
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    // An RS(68,64)-shaped word: 64 data symbols + 4 parity symbols of the
+    // RS(255,251) mother code (t = 2, the general Berlekamp–Massey path).
+    let rs68 = ShortenedRs::new(RsCode::new(255, 251), 64);
+    let data64: Vec<u8> = (0..64u32).map(|i| (i * 13 + 3) as u8).collect();
+    let clean68 = rs68.encode(&data64);
+    let mut corrupted68 = clean68.clone();
+    corrupted68[20] ^= 0x5A;
+
+    let mut group = c.benchmark_group("rs_68_64");
+    group.throughput(Throughput::Bytes(68));
+    group.bench_function("encode", |b| b.iter(|| black_box(rs68.encode(&data64))));
+    group.bench_function("decode_clean", |b| {
+        b.iter(|| {
+            let mut word = clean68.clone();
+            black_box(rs68.decode_in_place(&mut word))
+        })
+    });
+    group.bench_function("decode_one_error", |b| {
+        b.iter(|| {
+            let mut word = corrupted68.clone();
+            black_box(rs68.decode_in_place(&mut word))
+        })
+    });
+    group.finish();
+
+    // The interleaved CXL flit FEC (3 × shortened RS(255,253)) in its
+    // streaming in-place form — the per-hop cost of every switch traversal.
+    let fec = InterleavedFec::cxl_flit();
+    let data250: Vec<u8> = (0..250u32).map(|i| (i * 11 + 1) as u8).collect();
+    let clean256 = fec.encode(&data250);
+    let mut burst256 = clean256.clone();
+    burst256[100] ^= 0xFF;
+    burst256[101] ^= 0x3C;
+    burst256[102] ^= 0x81;
+
+    let mut group = c.benchmark_group("interleaved_fec_256B");
+    group.throughput(Throughput::Bytes(256));
+    group.bench_function("encode_into", |b| {
+        let mut block = clean256.clone();
+        b.iter(|| {
+            block[..250].copy_from_slice(&data250);
+            fec.encode_into(black_box(&mut block));
+        })
+    });
+    group.bench_function("decode_clean", |b| {
+        let mut block = clean256.clone();
+        b.iter(|| black_box(fec.decode(black_box(&mut block))))
+    });
+    group.bench_function("decode_3B_burst", |b| {
+        b.iter(|| {
+            let mut block = burst256.clone();
+            black_box(fec.decode(&mut block))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crc_engines,
+    bench_flit68,
+    bench_flit256,
+    bench_reed_solomon
+);
+criterion_main!(benches);

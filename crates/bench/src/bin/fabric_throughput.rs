@@ -1,0 +1,47 @@
+//! Wall-clock throughput of the fabric flit-slot engine.
+//!
+//! Drives the `rxl-fabric` discrete-event simulator over a large leaf–spine
+//! pod and a ring at the paper's real (low-BER) operating point and reports
+//! how many flits the engine pushes per second of *wall clock* — the number
+//! every hot-path optimisation in this repository is accountable to.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p rxl-bench --bin fabric_throughput --release -- \
+//!     [--json] [--small] [--label NAME]
+//! ```
+//!
+//! * `--small` shrinks the workload to a CI-sized smoke run.
+//! * `--json` writes the rows to `BENCH_throughput.json` in the current
+//!   directory (schema: see [`rxl_bench::throughput_json`]).
+//! * `--label NAME` tags the rows (used to distinguish `before`/`after`
+//!   snapshots in the committed trajectory file).
+
+fn main() {
+    let mut json = false;
+    let mut small = false;
+    let mut label = String::from("current");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--small" => small = true,
+            "--label" => {
+                label = args.next().unwrap_or_else(|| {
+                    eprintln!("--label requires a value");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows = rxl_bench::run_throughput(small, &label);
+    println!("{}", rxl_bench::throughput_table(&rows));
+    if json {
+        println!("wrote {}", rxl_bench::write_throughput_json(&rows));
+    }
+}

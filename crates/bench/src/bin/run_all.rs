@@ -32,4 +32,12 @@ fn main() {
     if json {
         println!("wrote {}", rxl_bench::write_fabric_json(&rows, &opts));
     }
+
+    // Engine wall-clock throughput, CI-sized. The committed performance
+    // trajectory (`BENCH_throughput.json`) is produced by the dedicated
+    // `fabric_throughput` binary on the large workloads.
+    println!(
+        "{}",
+        rxl_bench::throughput_table(&rxl_bench::run_throughput(true, "run_all"))
+    );
 }

@@ -22,14 +22,17 @@
 //! | `fig6_isn_scenario` | Fig. 6c ISN drop-detection trace |
 //! | `sim_crosscheck` | accelerated-BER simulation vs. analytic model |
 //! | `fabric_fit_crosscheck` | fabric-scale Monte-Carlo vs. `FabricSpec` projection |
+//! | `fabric_throughput` | engine wall-clock flits/sec (perf trajectory) |
 //!
 //! `run_all` and `fabric_fit_crosscheck` accept `--json` to additionally
-//! write machine-readable results to `BENCH_fabric.json`.
+//! write machine-readable results to `BENCH_fabric.json`;
+//! `fabric_throughput --json` writes `BENCH_throughput.json`.
 
 pub mod fabriccheck;
 pub mod scenarios;
 pub mod simcheck;
 pub mod tables;
+pub mod throughput;
 
 pub use fabriccheck::{
     fabric_crosscheck_json, fabric_crosscheck_table, run_fabric_crosscheck, write_fabric_json,
@@ -39,6 +42,9 @@ pub use simcheck::sim_crosscheck_table;
 pub use tables::{
     bandwidth_table, buffering_table, crc_detection_table, fec_detection_table, fig8_table,
     header_overhead_table, hw_overhead_table, reliability_table,
+};
+pub use throughput::{
+    run_throughput, throughput_json, throughput_table, write_throughput_json, ThroughputRow,
 };
 
 /// Formats a floating-point value in compact scientific notation.

@@ -1,0 +1,255 @@
+//! Wall-clock throughput measurement of the fabric flit-slot engine.
+//!
+//! `fabric_throughput` times [`FabricMonteCarlo`] runs over a large
+//! leaf–spine pod and a ring at the paper's real (low-BER) operating point
+//! and reports flits per second of wall clock, in two flavours:
+//!
+//! * **payload flits/s** — first-transmission protocol flits injected by the
+//!   endpoints (`LinkStats::flits_sent`), the application-visible rate;
+//! * **hop flits/s** — flits presented at switch ingress pipelines
+//!   (`SwitchStats::flits_in`), the per-hop work rate that the FEC/CRC
+//!   hot-path optimisations act on directly.
+//!
+//! The machine-readable JSON form (`BENCH_throughput.json`) is the
+//! repository's performance trajectory for the engine: committed snapshots
+//! carry `before`/`after` labelled rows so speedups (and regressions) across
+//! PRs stay visible.
+
+use std::time::Instant;
+
+use rxl_fabric::{FabricConfig, FabricMonteCarlo, FabricTopology, FabricWorkload};
+use rxl_link::{ChannelErrorModel, ProtocolVariant};
+
+use crate::{render_table, sci};
+
+/// One timed throughput measurement.
+#[derive(Clone, Debug)]
+pub struct ThroughputRow {
+    /// Snapshot label (`before` / `after` / `current`).
+    pub label: String,
+    /// Topology name.
+    pub topology: String,
+    /// Protocol variant simulated.
+    pub variant: &'static str,
+    /// Concurrent sessions in the fabric.
+    pub sessions: usize,
+    /// Messages per session per direction.
+    pub messages_per_session: usize,
+    /// Monte-Carlo trials timed.
+    pub trials: u64,
+    /// First-transmission payload flits across all trials.
+    pub payload_flits: u64,
+    /// Flits presented at switch ingress pipelines across all trials.
+    pub hop_flits: u64,
+    /// Wall-clock seconds for the whole measurement.
+    pub wall_s: f64,
+    /// `payload_flits / wall_s`.
+    pub payload_flits_per_sec: f64,
+    /// `hop_flits / wall_s`.
+    pub hop_flits_per_sec: f64,
+}
+
+struct Workload {
+    name: &'static str,
+    topology: FabricTopology,
+    messages: usize,
+    trials: u64,
+}
+
+fn workloads(small: bool) -> Vec<Workload> {
+    if small {
+        vec![
+            Workload {
+                name: "leaf_spine_small",
+                topology: FabricTopology::leaf_spine(2, 1, 2),
+                messages: 120,
+                trials: 1,
+            },
+            Workload {
+                name: "ring_small",
+                topology: FabricTopology::ring(3, 1, 1),
+                messages: 120,
+                trials: 1,
+            },
+        ]
+    } else {
+        vec![
+            Workload {
+                name: "leaf_spine_large",
+                topology: FabricTopology::leaf_spine(4, 2, 4),
+                messages: 15_000,
+                trials: 2,
+            },
+            // Ring span 1: every route crosses exactly one trunk hop. Longer
+            // spans form a cyclic trunk-credit dependency that can deadlock
+            // under saturation (the model has no virtual channels), which
+            // would time the stall guard instead of the hot path.
+            Workload {
+                name: "ring_large",
+                topology: FabricTopology::ring(8, 2, 1),
+                messages: 15_000,
+                trials: 2,
+            },
+        ]
+    }
+}
+
+/// Runs the throughput suite (both topologies × CXL and RXL) and returns the
+/// timed rows. `small` selects the CI-sized smoke configuration.
+pub fn run_throughput(small: bool, label: &str) -> Vec<ThroughputRow> {
+    let mut rows = Vec::new();
+    for w in workloads(small) {
+        let sessions = w.topology.session_count();
+        let workload = FabricWorkload::symmetric(sessions, w.messages, 8, 0x7E57);
+        for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+            // Error-free channel: throughput measures raw engine speed, and
+            // every flit still takes the full FEC-decode/CRC/FEC-re-encode
+            // path. (At a noisy operating point baseline CXL can wedge in its
+            // documented stale-NACK livelock, which would time the stall
+            // guard, not the hot path.)
+            let config = FabricConfig::new(variant)
+                .with_channel(ChannelErrorModel::ideal())
+                .with_seed(0xBEEF);
+            let mc = FabricMonteCarlo::new(w.topology.clone(), config, w.trials);
+            let start = Instant::now();
+            let report = mc.run(&workload);
+            let wall_s = start.elapsed().as_secs_f64();
+            assert_eq!(
+                report.drained_trials, report.trials,
+                "{} {variant:?}: throughput workload must drain",
+                w.name
+            );
+            let payload = report.links.flits_sent;
+            let hops = report.switches.flits_in;
+            rows.push(ThroughputRow {
+                label: label.to_string(),
+                topology: w.name.to_string(),
+                variant: match variant {
+                    ProtocolVariant::Rxl => "RXL",
+                    _ => "CXL",
+                },
+                sessions,
+                messages_per_session: w.messages,
+                trials: w.trials,
+                payload_flits: payload,
+                hop_flits: hops,
+                wall_s,
+                payload_flits_per_sec: payload as f64 / wall_s,
+                hop_flits_per_sec: hops as f64 / wall_s,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the rows as an aligned text table.
+pub fn throughput_table(rows: &[ThroughputRow]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.topology.clone(),
+                r.variant.to_string(),
+                r.sessions.to_string(),
+                r.payload_flits.to_string(),
+                r.hop_flits.to_string(),
+                format!("{:.3}", r.wall_s),
+                sci(r.payload_flits_per_sec),
+                sci(r.hop_flits_per_sec),
+            ]
+        })
+        .collect();
+    render_table(
+        "Fabric engine wall-clock throughput",
+        &[
+            "label",
+            "workload",
+            "protocol",
+            "sessions",
+            "payload flits",
+            "hop flits",
+            "wall s",
+            "payload flits/s",
+            "hop flits/s",
+        ],
+        &table_rows,
+    )
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises the rows as a JSON document (hand-rolled — the build container
+/// has no serde) for `BENCH_throughput.json`.
+pub fn throughput_json(rows: &[ThroughputRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"fabric_throughput\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"label\": \"{}\", \"workload\": \"{}\", \"protocol\": \"{}\", ",
+                "\"sessions\": {}, \"messages_per_session\": {}, \"trials\": {}, ",
+                "\"payload_flits\": {}, \"hop_flits\": {}, \"wall_s\": {:.6}, ",
+                "\"payload_flits_per_sec\": {:.1}, \"hop_flits_per_sec\": {:.1}}}{}\n",
+            ),
+            json_escape(&r.label),
+            json_escape(&r.topology),
+            r.variant,
+            r.sessions,
+            r.messages_per_session,
+            r.trials,
+            r.payload_flits,
+            r.hop_flits,
+            r.wall_s,
+            r.payload_flits_per_sec,
+            r.hop_flits_per_sec,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the JSON form to `BENCH_throughput.json` in the current directory
+/// and returns the path written.
+pub fn write_throughput_json(rows: &[ThroughputRow]) -> &'static str {
+    let path = "BENCH_throughput.json";
+    std::fs::write(path, throughput_json(rows)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_runs_and_serialises() {
+        let rows = run_throughput(true, "test");
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.payload_flits > 0);
+            assert!(r.hop_flits > 0);
+            assert!(r.wall_s > 0.0);
+        }
+        let table = throughput_table(&rows);
+        assert!(table.contains("Fabric engine wall-clock throughput"));
+        let json = throughput_json(&rows);
+        assert!(json.contains("\"bench\": \"fabric_throughput\""));
+        assert!(json.contains("\"label\": \"test\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -106,32 +106,50 @@ pub fn engine_for(spec: CrcSpec) -> TableCrc {
     }
 }
 
-/// Convenience wrapper: a table-driven CRC-64 flit CRC.
+/// Convenience wrapper: a CRC-64 flit CRC.
+///
+/// Checksums route through the compile-time slice-by-8 engine
+/// ([`crate::slice::SliceBy8Crc64`]) when one is cached for the spec (the
+/// flit CRC always is — construction is then just a reference copy), and
+/// fall back to a boxed byte-at-a-time [`TableCrc`] otherwise. Both produce
+/// identical checksums. For incremental (multi-`update`) use, reach for
+/// [`TableCrc`] or the catalogue statics directly.
 #[derive(Clone, Debug)]
 pub struct Crc64 {
-    engine: TableCrc,
+    engine: Crc64Engine,
+}
+
+#[derive(Clone, Debug)]
+enum Crc64Engine {
+    Fast(&'static crate::slice::SliceBy8Crc64),
+    Table(Box<TableCrc>),
 }
 
 impl Crc64 {
     /// Creates the default flit CRC-64 engine.
     pub fn flit() -> Self {
         Crc64 {
-            engine: CRC64_XZ_ENGINE.clone(),
+            engine: Crc64Engine::Fast(&crate::slice::FLIT_CRC64_SLICE),
         }
     }
 
     /// Creates a CRC-64 engine for an arbitrary 64-bit spec.
     pub fn with_spec(spec: CrcSpec) -> Self {
         assert_eq!(spec.width, 64, "Crc64 requires a 64-bit spec");
-        Crc64 {
-            engine: engine_for(spec),
-        }
+        let engine = match crate::slice::cached_slice64(&spec) {
+            Some(fast) => Crc64Engine::Fast(fast),
+            None => Crc64Engine::Table(Box::new(engine_for(spec))),
+        };
+        Crc64 { engine }
     }
 
     /// Computes the checksum of `data`.
     #[inline]
     pub fn checksum(&self, data: &[u8]) -> u64 {
-        self.engine.checksum(data)
+        match &self.engine {
+            Crc64Engine::Fast(fast) => fast.checksum(data),
+            Crc64Engine::Table(table) => table.checksum(data),
+        }
     }
 }
 

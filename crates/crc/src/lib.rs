@@ -41,6 +41,7 @@ pub mod catalog;
 pub mod engine;
 pub mod internet;
 pub mod isn;
+pub mod slice;
 pub mod spec;
 pub mod table;
 
@@ -48,5 +49,6 @@ pub use catalog::{Crc16, Crc32, Crc64, FLIT_CRC64};
 pub use engine::BitwiseCrc;
 pub use internet::internet_checksum;
 pub use isn::{IsnCrc64, IsnMode};
+pub use slice::{SliceBy8Crc64, FLIT_CRC64_SLICE};
 pub use spec::CrcSpec;
 pub use table::TableCrc;

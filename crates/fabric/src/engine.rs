@@ -37,7 +37,7 @@ use rand::SeedableRng;
 use rxl_flit::{Message, WireFlit};
 use rxl_link::{ChannelErrorModel, LinkConfig, LinkEndpoint, LinkStats, ProtocolVariant};
 use rxl_switch::{
-    InternalErrorModel, LinkCrcMode, ProcessOutcome, Switch, SwitchConfig, SwitchStats,
+    InternalErrorModel, LinkCrcMode, ProcessVerdict, Switch, SwitchConfig, SwitchStats,
 };
 use rxl_transport::{DeliveryAuditor, DeliveryVerdict, FailureCounts};
 
@@ -258,6 +258,21 @@ enum PortPeer {
 }
 
 /// One fabric trial: every endpoint, switch, queue and auditor.
+///
+/// # Determinism and RNG draw order
+///
+/// The trial owns a single `StdRng` seeded from [`FabricConfig::seed`], and
+/// every random decision (channel corruption on each link traversal,
+/// switch-internal faults) draws from it in a fixed order: phase 1 visits
+/// endpoints in ascending index order, phase 2 visits switch output ports in
+/// ascending `(switch, port)` order, and a draw happens only when a flit is
+/// actually present. The active-port tracking below exploits that last fact:
+/// skipping a port whose queue is empty skips no draws, so iterating only
+/// the non-empty ports (in the same ascending order) is *bit-identical* to
+/// the dense sweep it replaced. Any future scheduling change must preserve
+/// this visit order — the Monte-Carlo reproducibility contract
+/// (`tests/fabric_golden_digest.rs`, and the 1-vs-N-thread test in
+/// [`crate::montecarlo`]) pins it.
 pub struct FabricSim<'a> {
     topology: &'a FabricTopology,
     routing: &'a RoutingTable,
@@ -267,8 +282,24 @@ pub struct FabricSim<'a> {
     /// `out_q[switch][port]`: flits awaiting transmission on that port.
     out_q: Vec<Vec<VecDeque<RoutedFlit>>>,
     /// Flits that arrived this slot, appended to `out_q` at slot end so a
-    /// flit crosses at most one switch per slot.
+    /// flit crosses at most one switch per slot. The inner vectors are
+    /// drained, never dropped, so their capacity is reused across slots.
     staged: Vec<Vec<Vec<RoutedFlit>>>,
+    /// Active-work tracking: `out_nonempty[switch]` is a bitmap (one bit per
+    /// port) of ports with a non-empty `out_q`, `sw_out_any` a bitmap (one
+    /// bit per switch) of switches with any such port, so the per-slot
+    /// forwarding phase visits exactly the ports holding flits — a quiet
+    /// fabric costs a few zero-word scans per slot instead of a dense
+    /// switch×port sweep. `staged_*` mirrors the same structure for the
+    /// flits staged during the current slot.
+    out_nonempty: Vec<Vec<u64>>,
+    sw_out_any: Vec<u64>,
+    sw_out_count: Vec<usize>,
+    staged_nonempty: Vec<Vec<u64>>,
+    sw_staged_any: Vec<u64>,
+    sw_staged_count: Vec<usize>,
+    /// Total non-empty output queues (the phase-3 quiescence check).
+    nonempty_out_ports: usize,
     /// One-flit stall register per endpoint (credit backpressure).
     stalled: Vec<Option<RoutedFlit>>,
     /// `port_peer[switch][port]`.
@@ -347,12 +378,25 @@ impl<'a> FabricSim<'a> {
             .iter()
             .map(|sw| (0..sw.ports).map(|_| Vec::new()).collect())
             .collect();
+        let port_bitmaps: Vec<Vec<u64>> = topology
+            .switches
+            .iter()
+            .map(|sw| vec![0u64; sw.ports.div_ceil(64)])
+            .collect();
+        let sw_bitmap = vec![0u64; topology.switches.len().div_ceil(64)];
 
         FabricSim {
             endpoints,
             switches,
             out_q,
             staged,
+            out_nonempty: port_bitmaps.clone(),
+            sw_out_any: sw_bitmap.clone(),
+            sw_out_count: vec![0; topology.switches.len()],
+            staged_nonempty: port_bitmaps,
+            sw_staged_any: sw_bitmap,
+            sw_staged_count: vec![0; topology.switches.len()],
+            nonempty_out_ports: 0,
             stalled: vec![None; topology.endpoints.len()],
             port_peer,
             session_of,
@@ -380,6 +424,49 @@ impl<'a> FabricSim<'a> {
         self.out_q[sw][port].len() + self.staged[sw][port].len() < self.config.queue_capacity
     }
 
+    /// Records that `staged[sw][port]` became non-empty this slot.
+    #[inline]
+    fn mark_staged(&mut self, sw: usize, port: usize) {
+        let (wi, mask) = (port / 64, 1u64 << (port % 64));
+        if self.staged_nonempty[sw][wi] & mask == 0 {
+            self.staged_nonempty[sw][wi] |= mask;
+            if self.sw_staged_count[sw] == 0 {
+                self.sw_staged_any[sw / 64] |= 1u64 << (sw % 64);
+            }
+            self.sw_staged_count[sw] += 1;
+        }
+    }
+
+    /// Records that `out_q[sw][port]` became non-empty (phase 3 merge).
+    #[inline]
+    fn mark_out_nonempty(&mut self, sw: usize, port: usize) {
+        let (wi, mask) = (port / 64, 1u64 << (port % 64));
+        if self.out_nonempty[sw][wi] & mask == 0 {
+            self.out_nonempty[sw][wi] |= mask;
+            self.nonempty_out_ports += 1;
+            if self.sw_out_count[sw] == 0 {
+                self.sw_out_any[sw / 64] |= 1u64 << (sw % 64);
+            }
+            self.sw_out_count[sw] += 1;
+        }
+    }
+
+    /// Clears the tracking bit for `out_q[sw][port]` if the pop that just
+    /// happened emptied the queue.
+    #[inline]
+    fn note_out_pop(&mut self, sw: usize, port: usize) {
+        if self.out_q[sw][port].is_empty() {
+            let (wi, mask) = (port / 64, 1u64 << (port % 64));
+            debug_assert_ne!(self.out_nonempty[sw][wi] & mask, 0);
+            self.out_nonempty[sw][wi] &= !mask;
+            self.nonempty_out_ports -= 1;
+            self.sw_out_count[sw] -= 1;
+            if self.sw_out_count[sw] == 0 {
+                self.sw_out_any[sw / 64] &= !(1u64 << (sw % 64));
+            }
+        }
+    }
+
     /// Transmits `rf` into switch `sw` (applying the link channel error and
     /// the switch's forwarding pipeline) towards the egress chosen by the
     /// routing table. Returns the flit untouched if the egress has no free
@@ -391,12 +478,12 @@ impl<'a> FabricSim<'a> {
             return Some(rf);
         }
         self.config.channel.apply(&mut rf.wire, &mut self.rng);
-        match self.switches[sw].process(&rf.wire, &mut self.rng) {
-            ProcessOutcome::Forwarded { wire, .. } => {
-                rf.wire = *wire;
+        match self.switches[sw].process_in_place(&mut rf.wire, &mut self.rng) {
+            ProcessVerdict::Forwarded { .. } => {
                 self.staged[sw][egress].push(rf);
+                self.mark_staged(sw, egress);
             }
-            ProcessOutcome::DroppedUncorrectable => {
+            ProcessVerdict::DroppedUncorrectable => {
                 // Silent drop; the endpoints' retry machinery (or lack of
                 // it, for baseline CXL's blind spot) is on its own.
                 if rf.protocol {
@@ -519,48 +606,78 @@ impl<'a> FabricSim<'a> {
                 }
             }
 
-            // Phase 2 — every switch port forwards at most one flit, in
-            // (switch, port) order.
-            for sw in 0..self.switches.len() {
-                for port in 0..self.topology.switches[sw].ports {
-                    let Some(head) = self.out_q[sw][port].front() else {
-                        continue;
-                    };
-                    match self.port_peer[sw][port] {
-                        PortPeer::Endpoint(dst) => {
-                            debug_assert_eq!(head.dst, dst);
-                            let rf = self.out_q[sw][port].pop_front().expect("head exists");
-                            self.deliver_to_endpoint(dst, rf, now);
-                        }
-                        PortPeer::Trunk { switch: next } => {
-                            // Credit check against the next switch's egress
-                            // before popping: without a credit the flit holds
-                            // its place at the queue head.
-                            let egress = self.routing.egress(next, head.dst);
-                            if !self.has_credit(next, egress) {
-                                self.credit_stalls += 1;
-                                continue;
+            // Phase 2 — every non-empty switch output port forwards at most
+            // one flit, in ascending (switch, port) order — exactly the
+            // visit order of the dense sweep this replaces, restricted to
+            // ports that actually hold flits (empty ports made no RNG draws,
+            // so skipping them is bit-identical; see the type-level docs).
+            // The word snapshots are safe because processing a port can only
+            // clear its *own* bit (the single pop below) and set *staged*
+            // bits, never other out-queue bits.
+            for swi in 0..self.sw_out_any.len() {
+                let mut sw_word = self.sw_out_any[swi];
+                while sw_word != 0 {
+                    let sw = swi * 64 + sw_word.trailing_zeros() as usize;
+                    sw_word &= sw_word - 1;
+                    for pwi in 0..self.out_nonempty[sw].len() {
+                        let mut port_word = self.out_nonempty[sw][pwi];
+                        while port_word != 0 {
+                            let port = pwi * 64 + port_word.trailing_zeros() as usize;
+                            port_word &= port_word - 1;
+                            let head = self.out_q[sw][port].front().expect("tracked non-empty");
+                            match self.port_peer[sw][port] {
+                                PortPeer::Endpoint(dst) => {
+                                    debug_assert_eq!(head.dst, dst);
+                                    let rf = self.out_q[sw][port].pop_front().expect("head exists");
+                                    self.note_out_pop(sw, port);
+                                    self.deliver_to_endpoint(dst, rf, now);
+                                }
+                                PortPeer::Trunk { switch: next } => {
+                                    // Credit check against the next switch's
+                                    // egress before popping: without a credit
+                                    // the flit holds its place at the head.
+                                    let egress = self.routing.egress(next, head.dst);
+                                    if !self.has_credit(next, egress) {
+                                        self.credit_stalls += 1;
+                                        continue;
+                                    }
+                                    let rf = self.out_q[sw][port].pop_front().expect("head exists");
+                                    self.note_out_pop(sw, port);
+                                    let held = self.transmit_into(next, rf);
+                                    debug_assert!(held.is_none(), "credit was checked above");
+                                }
+                                PortPeer::Unconnected => {
+                                    unreachable!("routing never targets unconnected ports")
+                                }
                             }
-                            let rf = self.out_q[sw][port].pop_front().expect("head exists");
-                            let held = self.transmit_into(next, rf);
-                            debug_assert!(held.is_none(), "credit was checked above");
-                        }
-                        PortPeer::Unconnected => {
-                            unreachable!("routing never targets unconnected ports")
                         }
                     }
                 }
             }
 
             // Phase 3 — flits that arrived this slot become visible next
-            // slot (one switch traversal per slot).
-            let mut queues_empty = true;
-            for sw in 0..self.switches.len() {
-                for port in 0..self.topology.switches[sw].ports {
-                    self.out_q[sw][port].extend(self.staged[sw][port].drain(..));
-                    queues_empty &= self.out_q[sw][port].is_empty();
+            // slot (one switch traversal per slot). Only ports that staged
+            // something are touched; the staged buffers keep their capacity.
+            for swi in 0..self.sw_staged_any.len() {
+                let sw_word = std::mem::take(&mut self.sw_staged_any[swi]);
+                let mut bits = sw_word;
+                while bits != 0 {
+                    let sw = swi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    for pwi in 0..self.staged_nonempty[sw].len() {
+                        let mut port_word = std::mem::take(&mut self.staged_nonempty[sw][pwi]);
+                        while port_word != 0 {
+                            let port = pwi * 64 + port_word.trailing_zeros() as usize;
+                            port_word &= port_word - 1;
+                            let (queues, staged) = (&mut self.out_q[sw], &mut self.staged[sw]);
+                            queues[port].extend(staged[port].drain(..));
+                            self.mark_out_nonempty(sw, port);
+                        }
+                    }
+                    self.sw_staged_count[sw] = 0;
                 }
             }
+            let queues_empty = self.nonempty_out_ports == 0;
 
             if all_endpoints_idle
                 && queues_empty

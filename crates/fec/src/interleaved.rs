@@ -15,6 +15,8 @@
 //! sub-block and are detected with the probabilities analysed in
 //! [`crate::stats`].
 
+use rxl_gf256::Gf256;
+
 use crate::decoder::RsDecodeOutcome;
 use crate::shortened::ShortenedRs;
 
@@ -27,13 +29,45 @@ pub const CXL_FLIT_TOTAL_LEN: usize = CXL_FLIT_DATA_LEN + CXL_FLIT_FEC_LEN;
 /// Interleaving factor.
 pub const CXL_FEC_WAYS: usize = 3;
 
+/// Maximum interleave factor supported by the allocation-free codec paths.
+pub const MAX_FEC_WAYS: usize = 8;
+
+/// Per-way decode outcomes, stored inline (no heap allocation on the decode
+/// path). Dereferences to a slice, so indexing, `len()` and iteration behave
+/// like the `Vec` this replaced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PerWayOutcomes {
+    outcomes: [RsDecodeOutcome; MAX_FEC_WAYS],
+    len: u8,
+}
+
+impl PerWayOutcomes {
+    fn new(outcomes: &[RsDecodeOutcome]) -> Self {
+        debug_assert!(outcomes.len() <= MAX_FEC_WAYS);
+        let mut inline = [RsDecodeOutcome::NoError; MAX_FEC_WAYS];
+        inline[..outcomes.len()].copy_from_slice(outcomes);
+        PerWayOutcomes {
+            outcomes: inline,
+            len: outcomes.len() as u8,
+        }
+    }
+}
+
+impl std::ops::Deref for PerWayOutcomes {
+    type Target = [RsDecodeOutcome];
+
+    fn deref(&self) -> &[RsDecodeOutcome] {
+        &self.outcomes[..self.len as usize]
+    }
+}
+
 /// Result of decoding one interleaved FEC block.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FlitFecResult {
     /// Aggregate outcome across all interleaved ways.
     pub outcome: RsDecodeOutcome,
     /// Per-way outcomes, in interleave order.
-    pub per_way: Vec<RsDecodeOutcome>,
+    pub per_way: PerWayOutcomes,
 }
 
 impl FlitFecResult {
@@ -44,17 +78,45 @@ impl FlitFecResult {
 }
 
 /// An N-way interleaved single-symbol-correct FEC block codec.
+///
+/// Every way is protected by the two-parity shortened RS(255, 253) mother
+/// code, so both directions run allocation-free: encoding streams each way's
+/// symbols through a two-stage LFSR, and decoding computes the two syndromes
+/// per way directly over the interleaved block (no de-interleave buffers),
+/// applying at most one in-place correction per way.
 #[derive(Clone, Debug)]
 pub struct InterleavedFec {
     ways: Vec<ShortenedRs>,
     data_len: usize,
+    /// Single-operand multiplication tables for the constants the per-byte
+    /// loops multiply by: `α` (the S1 Horner step) and the generator
+    /// coefficients `g0`, `g1` of `g(x) = x² + g1·x + g0` (the parity LFSR).
+    /// One direct lookup replaces the general log/exp multiply on the
+    /// per-hop hot path.
+    mul_alpha: [u8; 256],
+    mul_g0: [u8; 256],
+    mul_g1: [u8; 256],
+}
+
+/// Builds the table `t[v] = v · c` for a fixed field constant `c`.
+fn mul_table(c: Gf256) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    for (v, slot) in t.iter_mut().enumerate() {
+        *slot = (Gf256::new(v as u8) * c).value();
+    }
+    t
 }
 
 impl InterleavedFec {
     /// Builds an interleaved FEC over `data_len` bytes with `ways`
     /// round-robin sub-blocks, each protected by a shortened RS(255, 253).
+    /// Supports up to [`MAX_FEC_WAYS`] ways.
     pub fn new(data_len: usize, ways: usize) -> Self {
         assert!(ways >= 1, "at least one interleave way required");
+        assert!(
+            ways <= MAX_FEC_WAYS,
+            "at most {MAX_FEC_WAYS} ways supported"
+        );
         assert!(data_len >= ways, "data must cover every way");
         let mut way_codes = Vec::with_capacity(ways);
         for w in 0..ways {
@@ -62,9 +124,14 @@ impl InterleavedFec {
             let sub_len = (data_len - w).div_ceil(ways);
             way_codes.push(ShortenedRs::cxl_subblock(sub_len));
         }
+        let gen = way_codes[0].code().generator().coeffs().to_vec();
+        debug_assert_eq!(gen.len(), 3, "two-parity generator has degree 2");
         InterleavedFec {
-            ways: way_codes,
             data_len,
+            mul_alpha: mul_table(Gf256::ALPHA),
+            mul_g0: mul_table(gen[0]),
+            mul_g1: mul_table(gen[1]),
+            ways: way_codes,
         }
     }
 
@@ -106,54 +173,80 @@ impl InterleavedFec {
         i % self.ways.len()
     }
 
-    /// Splits an encoded block (or, with `data_only`, just the data portion)
-    /// into per-way symbol vectors in wire order.
-    fn deinterleave(&self, bytes: &[u8]) -> Vec<Vec<u8>> {
-        let ways = self.ways.len();
-        let mut subs: Vec<Vec<u8>> = (0..ways)
-            .map(|_| Vec::with_capacity(bytes.len().div_ceil(ways)))
-            .collect();
-        for (i, &b) in bytes.iter().enumerate() {
-            subs[i % ways].push(b);
-        }
-        subs
-    }
-
-    /// Writes per-way symbol vectors back into an interleaved byte buffer.
-    fn reinterleave(&self, subs: &[Vec<u8>], out: &mut [u8]) {
-        let ways = self.ways.len();
-        let mut cursors = vec![0usize; ways];
-        for (i, slot) in out.iter_mut().enumerate() {
-            let w = i % ways;
-            *slot = subs[w][cursors[w]];
-            cursors[w] += 1;
-        }
-    }
-
     /// Encodes `data` (exactly [`data_len`](Self::data_len) bytes) into a
     /// transmitted block: the original data followed by the per-way parity
     /// bytes, laid out so the whole block stays round-robin interleaved.
+    ///
+    /// Allocating convenience wrapper over [`Self::encode_into`].
     pub fn encode(&self, data: &[u8]) -> Vec<u8> {
         assert_eq!(data.len(), self.data_len, "wrong data length for this FEC");
-        let ways = self.ways.len();
-        let subs = self.deinterleave(data);
-        // Compute parity per way, then emit parity bytes continuing the
-        // round-robin pattern at wire positions data_len..encoded_len.
-        let parities: Vec<Vec<u8>> = self
-            .ways
-            .iter()
-            .zip(&subs)
-            .map(|(way, sub)| way.code().parity_shortened(sub))
-            .collect();
-        let mut out = Vec::with_capacity(self.encoded_len());
-        out.extend_from_slice(data);
-        let mut cursors = vec![0usize; ways];
-        for i in self.data_len..self.encoded_len() {
-            let w = i % ways;
-            out.push(parities[w][cursors[w]]);
-            cursors[w] += 1;
-        }
+        let mut out = vec![0u8; self.encoded_len()];
+        out[..self.data_len].copy_from_slice(data);
+        self.encode_into(&mut out);
         out
+    }
+
+    /// Computes the parity tail in place: `block[..data_len]` must already
+    /// hold the data; the parity bytes are written to `block[data_len..]`.
+    /// Allocation-free — this is the hot-path entry point used by the flit
+    /// codecs and switches.
+    pub fn encode_into(&self, block: &mut [u8]) {
+        assert_eq!(
+            block.len(),
+            self.encoded_len(),
+            "wrong block length for this FEC"
+        );
+        let ways = self.ways.len();
+        // Stream each way's data symbols (wire stride = the way count)
+        // through the two-stage parity LFSR of the shared RS(255, 253)
+        // mother code. Virtual leading zeros of the shortened code are
+        // skipped — they cannot change the LFSR state. The constant
+        // multiplies go through the precomputed single-operand tables.
+        let mut lfsr = [[0u8; 2]; MAX_FEC_WAYS];
+        if ways == 3 {
+            // The CXL flit geometry — unrolled so each way's LFSR pair lives
+            // in registers instead of a runtime-indexed array.
+            let data = &block[..self.data_len];
+            let mut chunks = data.chunks_exact(3);
+            let (mut a, mut b, mut c) = ([0u8; 2], [0u8; 2], [0u8; 2]);
+            for ch in &mut chunks {
+                let fa = (ch[0] ^ a[0]) as usize;
+                a = [a[1] ^ self.mul_g1[fa], self.mul_g0[fa]];
+                let fb = (ch[1] ^ b[0]) as usize;
+                b = [b[1] ^ self.mul_g1[fb], self.mul_g0[fb]];
+                let fc = (ch[2] ^ c[0]) as usize;
+                c = [c[1] ^ self.mul_g1[fc], self.mul_g0[fc]];
+            }
+            let mut state = [a, b, c];
+            for (i, &byte) in chunks.remainder().iter().enumerate() {
+                let f = (byte ^ state[i][0]) as usize;
+                state[i] = [state[i][1] ^ self.mul_g1[f], self.mul_g0[f]];
+            }
+            lfsr[..3].copy_from_slice(&state);
+        } else {
+            let mut w = 0;
+            for &b in &block[..self.data_len] {
+                let [l0, l1] = lfsr[w];
+                let feedback = (b ^ l0) as usize;
+                lfsr[w] = [l1 ^ self.mul_g1[feedback], self.mul_g0[feedback]];
+                w += 1;
+                if w == ways {
+                    w = 0;
+                }
+            }
+        }
+        // Emit parity bytes continuing the round-robin pattern at wire
+        // positions data_len..encoded_len.
+        let mut cursors = [0usize; MAX_FEC_WAYS];
+        let mut w = self.data_len % ways;
+        for slot in &mut block[self.data_len..] {
+            *slot = lfsr[w][cursors[w]];
+            cursors[w] += 1;
+            w += 1;
+            if w == ways {
+                w = 0;
+            }
+        }
     }
 
     /// Decodes a transmitted block in place.
@@ -163,38 +256,113 @@ impl InterleavedFec {
     /// uncorrectable pattern the block is left untouched (a real switch or
     /// endpoint would discard it) and the aggregate outcome is
     /// [`RsDecodeOutcome::DetectedUncorrectable`].
+    ///
+    /// Allocation-free: the two syndromes of each way are computed by
+    /// striding over the interleaved block directly, and at most one symbol
+    /// per way is corrected in place — the same single-symbol-correct
+    /// semantics as [`ShortenedRs::decode_in_place`], verified against it by
+    /// the property tests below.
     pub fn decode(&self, block: &mut [u8]) -> FlitFecResult {
         assert_eq!(
             block.len(),
             self.encoded_len(),
             "wrong block length for this FEC"
         );
-        // Each way's word is its data symbols followed by its parity symbols,
-        // which is exactly the order its wire positions appear in.
-        let mut words = self.deinterleave(block);
+        let ways = self.ways.len();
 
-        let mut per_way = Vec::with_capacity(self.ways.len());
+        // Pass 1 — per-way syndromes over the strided symbols. Each way's
+        // word is its data symbols followed by its parity symbols, which is
+        // exactly the order its wire positions appear in. S0 is a plain XOR
+        // accumulation; the S1 Horner step multiplies by α through the
+        // precomputed table.
+        let mut s0_raw = [0u8; MAX_FEC_WAYS];
+        let mut s1_raw = [0u8; MAX_FEC_WAYS];
+        let mut word_len = [0usize; MAX_FEC_WAYS];
+        if ways == 3 {
+            // The CXL flit geometry — unrolled so each way's syndrome pair
+            // lives in registers instead of a runtime-indexed array.
+            let mut chunks = block.chunks_exact(3);
+            let (mut a0, mut a1, mut b0, mut b1, mut c0, mut c1) = (0u8, 0u8, 0u8, 0u8, 0u8, 0u8);
+            for ch in &mut chunks {
+                a0 ^= ch[0];
+                a1 = self.mul_alpha[a1 as usize] ^ ch[0];
+                b0 ^= ch[1];
+                b1 = self.mul_alpha[b1 as usize] ^ ch[1];
+                c0 ^= ch[2];
+                c1 = self.mul_alpha[c1 as usize] ^ ch[2];
+            }
+            let mut s0t = [a0, b0, c0];
+            let mut s1t = [a1, b1, c1];
+            for (i, &byte) in chunks.remainder().iter().enumerate() {
+                s0t[i] ^= byte;
+                s1t[i] = self.mul_alpha[s1t[i] as usize] ^ byte;
+            }
+            s0_raw[..3].copy_from_slice(&s0t);
+            s1_raw[..3].copy_from_slice(&s1t);
+            for (w, len) in word_len.iter_mut().take(3).enumerate() {
+                *len = (block.len() - w).div_ceil(3);
+            }
+        } else {
+            let mut w = 0;
+            for &b in block.iter() {
+                s0_raw[w] ^= b;
+                s1_raw[w] = self.mul_alpha[s1_raw[w] as usize] ^ b;
+                word_len[w] += 1;
+                w += 1;
+                if w == ways {
+                    w = 0;
+                }
+            }
+        }
+        let s0 = s0_raw.map(Gf256::new);
+        let s1 = s1_raw.map(Gf256::new);
+
+        // Pass 2 — per-way verdicts and correction candidates, applied only
+        // once every way is known to accept (an uncorrectable way leaves the
+        // whole block untouched).
+        let mut per_way = [RsDecodeOutcome::NoError; MAX_FEC_WAYS];
+        let mut fix: [Option<(usize, u8)>; MAX_FEC_WAYS] = [None; MAX_FEC_WAYS];
         let mut total_corrected = 0usize;
         let mut any_uncorrectable = false;
-        for (w, word) in self.ways.iter().zip(words.iter_mut()) {
-            debug_assert_eq!(word.len(), w.word_len());
-            let outcome = w.decode_in_place(word);
-            match outcome {
+        for w in 0..ways {
+            debug_assert_eq!(word_len[w], self.ways[w].word_len());
+            per_way[w] = if s0[w].is_zero() && s1[w].is_zero() {
+                RsDecodeOutcome::NoError
+            } else if s0[w].is_zero() || s1[w].is_zero() {
+                RsDecodeOutcome::DetectedUncorrectable
+            } else {
+                // Single error at degree p: S1/S0 = α^p. Corrections landing
+                // in the virtual zero padding of the shortened code are
+                // detected, not applied.
+                let p = (s1[w] / s0[w])
+                    .log()
+                    .expect("ratio of non-zero elements is non-zero")
+                    as usize;
+                if p >= word_len[w] {
+                    RsDecodeOutcome::DetectedUncorrectable
+                } else {
+                    let wire_pos = w + (word_len[w] - 1 - p) * ways;
+                    fix[w] = Some((wire_pos, s0[w].value()));
+                    RsDecodeOutcome::Corrected { symbols: 1 }
+                }
+            };
+            match per_way[w] {
                 RsDecodeOutcome::Corrected { symbols } => total_corrected += symbols,
                 RsDecodeOutcome::DetectedUncorrectable => any_uncorrectable = true,
                 RsDecodeOutcome::NoError => {}
             }
-            per_way.push(outcome);
         }
 
+        let per_way = PerWayOutcomes::new(&per_way[..ways]);
         if any_uncorrectable {
             return FlitFecResult {
                 outcome: RsDecodeOutcome::DetectedUncorrectable,
                 per_way,
             };
         }
-
-        self.reinterleave(&words, block);
+        for &(pos, magnitude) in fix[..ways].iter().flatten() {
+            block[pos] ^= magnitude;
+        }
 
         let outcome = if total_corrected == 0 {
             RsDecodeOutcome::NoError
@@ -376,12 +544,120 @@ mod tests {
         let _ = fec.decode(&mut block);
     }
 
+    /// Reference implementation of the pre-streaming codec: de-interleave,
+    /// decode each way with [`ShortenedRs`], re-interleave. The streaming
+    /// paths must match it bit for bit.
+    fn reference_decode(fec: &InterleavedFec, block: &mut [u8]) -> RsDecodeOutcome {
+        let ways = fec.ways();
+        let mut words: Vec<Vec<u8>> = (0..ways).map(|_| Vec::new()).collect();
+        for (i, &b) in block.iter().enumerate() {
+            words[i % ways].push(b);
+        }
+        let mut total = 0usize;
+        for (w, word) in words.iter_mut().enumerate() {
+            match ShortenedRs::cxl_subblock(word.len() - 2).decode_in_place(word) {
+                RsDecodeOutcome::Corrected { symbols } => total += symbols,
+                RsDecodeOutcome::DetectedUncorrectable => {
+                    return RsDecodeOutcome::DetectedUncorrectable
+                }
+                RsDecodeOutcome::NoError => {}
+            }
+            let _ = w;
+        }
+        let mut cursors = vec![0usize; ways];
+        for (i, slot) in block.iter_mut().enumerate() {
+            let w = i % ways;
+            *slot = words[w][cursors[w]];
+            cursors[w] += 1;
+        }
+        if total == 0 {
+            RsDecodeOutcome::NoError
+        } else {
+            RsDecodeOutcome::Corrected { symbols: total }
+        }
+    }
+
+    #[test]
+    fn streaming_decode_matches_per_way_reference_under_random_noise() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let fec = InterleavedFec::cxl_flit();
+        let data = random_data(250, 100);
+        let clean = fec.encode(&data);
+        for trial in 0..300 {
+            let mut block = clean.clone();
+            let errors = rng.random_range(0usize..=4);
+            for _ in 0..errors {
+                let pos = rng.random_range(0..block.len());
+                block[pos] ^= rng.random_range(1..=255u8);
+            }
+            let mut reference = block.clone();
+            let res = fec.decode(&mut block);
+            let ref_outcome = reference_decode(&fec, &mut reference);
+            assert_eq!(res.outcome, ref_outcome, "trial {trial}");
+            if res.accepted() {
+                assert_eq!(block, reference, "trial {trial}");
+            } else {
+                // Uncorrectable blocks are left untouched by both.
+                assert_eq!(reference_decode(&fec, &mut block), ref_outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_per_way_reference() {
+        for (data_len, ways) in [(250usize, 3usize), (66, 2), (40, 4)] {
+            let fec = InterleavedFec::new(data_len, ways);
+            let data = random_data(data_len, data_len as u64);
+            let block = fec.encode(&data);
+            // Reference: per-way parity via ShortenedRs on gathered symbols.
+            let mut words: Vec<Vec<u8>> = (0..ways).map(|_| Vec::new()).collect();
+            for (i, &b) in data.iter().enumerate() {
+                words[i % ways].push(b);
+            }
+            let parities: Vec<Vec<u8>> = words
+                .iter()
+                .map(|w| {
+                    ShortenedRs::cxl_subblock(w.len())
+                        .code()
+                        .parity_shortened(w)
+                })
+                .collect();
+            let mut expected = data.clone();
+            let mut cursors = vec![0usize; ways];
+            for i in data_len..fec.encoded_len() {
+                let w = i % ways;
+                expected.push(parities[w][cursors[w]]);
+                cursors[w] += 1;
+            }
+            assert_eq!(block, expected, "({data_len}, {ways})");
+        }
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
 
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn streaming_decode_matches_reference(
+                data in proptest::collection::vec(any::<u8>(), 250),
+                flips in proptest::collection::vec((0usize..256, 1u8..=255), 0..5),
+            ) {
+                let fec = InterleavedFec::cxl_flit();
+                let mut block = fec.encode(&data);
+                for (pos, flip) in flips {
+                    block[pos] ^= flip;
+                }
+                let mut reference = block.clone();
+                let res = fec.decode(&mut block);
+                let ref_outcome = reference_decode(&fec, &mut reference);
+                prop_assert_eq!(res.outcome, ref_outcome);
+                if res.accepted() {
+                    prop_assert_eq!(block, reference);
+                }
+            }
+
             #[test]
             fn any_three_byte_burst_is_corrected(
                 data in proptest::collection::vec(any::<u8>(), 250),

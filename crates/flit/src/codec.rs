@@ -102,23 +102,23 @@ impl CxlFlitCodec {
         }
     }
 
-    /// Encodes a flit into its 256-byte wire form.
+    /// Encodes a flit into its 256-byte wire form. Allocation-free: the
+    /// protected block is assembled directly in the wire image and the FEC
+    /// parity is computed in place.
     pub fn encode(&self, flit: &Flit256) -> WireFlit {
         let header = flit.header.to_bytes();
         let crc = self.crc.encode_explicit(&header, &flit.payload);
-        let mut protected = Vec::with_capacity(FEC_DATA_LEN);
-        protected.extend_from_slice(&header);
-        protected.extend_from_slice(&flit.payload);
-        protected.extend_from_slice(&crc.to_le_bytes());
-        let encoded = self.fec.encode(&protected);
         let mut wire = [0u8; WIRE_FLIT_LEN];
-        wire.copy_from_slice(&encoded);
+        wire[..FLIT_HEADER_LEN].copy_from_slice(&header);
+        wire[FLIT_HEADER_LEN..CRC_OFFSET].copy_from_slice(&flit.payload);
+        wire[CRC_OFFSET..FEC_DATA_LEN].copy_from_slice(&crc.to_le_bytes());
+        self.fec.encode_into(&mut wire);
         wire
     }
 
     /// Decodes a wire flit: FEC first, then the link-layer CRC.
     pub fn decode(&self, wire: &WireFlit) -> CxlDecode {
-        let mut block = wire.to_vec();
+        let mut block = *wire;
         let fec = self.fec.decode(&mut block);
         if !fec.accepted() {
             return CxlDecode {
@@ -178,23 +178,23 @@ impl RxlFlitCodec {
     }
 
     /// Encodes a flit bound to transport sequence number `seq`.
+    /// Allocation-free: the protected block is assembled directly in the
+    /// wire image and the FEC parity is computed in place.
     pub fn encode(&self, flit: &Flit256, seq: u16) -> WireFlit {
         let header = flit.header.to_bytes();
         let crc = self.isn.encode(&header, &flit.payload, seq);
-        let mut protected = Vec::with_capacity(FEC_DATA_LEN);
-        protected.extend_from_slice(&header);
-        protected.extend_from_slice(&flit.payload);
-        protected.extend_from_slice(&crc.to_le_bytes());
-        let encoded = self.fec.encode(&protected);
         let mut wire = [0u8; WIRE_FLIT_LEN];
-        wire.copy_from_slice(&encoded);
+        wire[..FLIT_HEADER_LEN].copy_from_slice(&header);
+        wire[FLIT_HEADER_LEN..CRC_OFFSET].copy_from_slice(&flit.payload);
+        wire[CRC_OFFSET..FEC_DATA_LEN].copy_from_slice(&crc.to_le_bytes());
+        self.fec.encode_into(&mut wire);
         wire
     }
 
     /// Decodes a wire flit at the final destination: FEC first, then the ISN
     /// ECRC checked against the receiver's expected sequence number.
     pub fn decode(&self, wire: &WireFlit, expected_seq: u16) -> RxlDecode {
-        let mut block = wire.to_vec();
+        let mut block = *wire;
         let fec = self.fec.decode(&mut block);
         if !fec.accepted() {
             return RxlDecode {

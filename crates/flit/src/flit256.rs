@@ -6,7 +6,7 @@
 
 use crate::header::FlitHeader;
 use crate::message::Message;
-use crate::slots::{pack_messages, unpack_messages, SlotError};
+use crate::slots::{pack_messages_into, unpack_messages, SlotError};
 
 /// Payload bytes per 256-byte flit.
 pub const FLIT_PAYLOAD_LEN: usize = 240;
@@ -60,10 +60,9 @@ impl Flit256 {
     }
 
     /// Packs transaction messages into the payload, replacing its contents.
+    /// Writes the slots in place — no intermediate buffer.
     pub fn pack_messages(&mut self, messages: &[Message]) -> Result<(), SlotError> {
-        let packed = pack_messages(messages, FLIT_PAYLOAD_LEN)?;
-        self.payload.copy_from_slice(&packed);
-        Ok(())
+        pack_messages_into(messages, &mut self.payload)
     }
 
     /// Unpacks the transaction messages currently in the payload.
@@ -71,11 +70,12 @@ impl Flit256 {
         unpack_messages(&self.payload)
     }
 
-    /// Concatenated header + payload bytes (the CRC input).
-    pub fn header_and_payload(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(FLIT_HEADER_LEN + FLIT_PAYLOAD_LEN);
-        out.extend_from_slice(&self.header.to_bytes());
-        out.extend_from_slice(&self.payload);
+    /// Concatenated header + payload bytes (the CRC input). Returned as a
+    /// fixed array — no heap allocation on the encode path.
+    pub fn header_and_payload(&self) -> [u8; FLIT_HEADER_LEN + FLIT_PAYLOAD_LEN] {
+        let mut out = [0u8; FLIT_HEADER_LEN + FLIT_PAYLOAD_LEN];
+        out[..FLIT_HEADER_LEN].copy_from_slice(&self.header.to_bytes());
+        out[FLIT_HEADER_LEN..].copy_from_slice(&self.payload);
         out
     }
 }

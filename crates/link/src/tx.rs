@@ -233,7 +233,13 @@ impl LinkTx {
         //    allows it).
         if !self.pending_msgs.is_empty() && !self.replay.is_full() {
             let count = self.pending_msgs.len().min(MESSAGES_PER_FLIT);
-            let msgs: Vec<Message> = self.pending_msgs.drain(..count).collect();
+            // Stage the flit's messages in a stack buffer (no per-flit Vec).
+            let mut msg_buf = [Message::response_ok(0, 0); MESSAGES_PER_FLIT];
+            for (slot, msg) in msg_buf.iter_mut().zip(self.pending_msgs.iter()) {
+                *slot = *msg;
+            }
+            self.pending_msgs.drain(..count);
+            let msgs = &msg_buf[..count];
             let seq = self.next_seq;
 
             let header = if self.config.variant.piggybacks_acks() {
@@ -248,7 +254,7 @@ impl LinkTx {
             };
 
             let mut flit = Flit256::new(header);
-            flit.pack_messages(&msgs)
+            flit.pack_messages(msgs)
                 .expect("message count bounded by MESSAGES_PER_FLIT");
             let wire = self.encode(&flit, seq);
             self.replay.push(seq, flit);

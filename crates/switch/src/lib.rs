@@ -22,4 +22,6 @@ pub mod switch;
 
 pub use internal_error::InternalErrorModel;
 pub use stats::SwitchStats;
-pub use switch::{IngressOutcome, LinkCrcMode, ProcessOutcome, Switch, SwitchConfig};
+pub use switch::{
+    IngressOutcome, LinkCrcMode, ProcessOutcome, ProcessVerdict, Switch, SwitchConfig,
+};

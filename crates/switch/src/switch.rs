@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use rand::Rng;
 use rxl_crc::catalog::Crc64;
 use rxl_fec::InterleavedFec;
-use rxl_flit::{WireFlit, WIRE_FLIT_LEN};
+use rxl_flit::WireFlit;
 
 use crate::internal_error::InternalErrorModel;
 use crate::stats::SwitchStats;
@@ -114,6 +114,33 @@ impl ProcessOutcome {
     }
 }
 
+/// What [`Switch::process_in_place`] did to the flit it was handed. Unlike
+/// [`ProcessOutcome`] this carries no wire image — the caller's buffer *is*
+/// the output — so the hot path moves no flit bytes and allocates nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcessVerdict {
+    /// The flit survived the pipeline; the caller's buffer now holds the
+    /// FEC-re-encoded egress image.
+    Forwarded {
+        /// Number of symbols the ingress FEC corrected.
+        corrected_symbols: usize,
+        /// `true` if switch-internal corruption was injected.
+        internally_corrupted: bool,
+    },
+    /// The FEC (or, in Regenerate mode, the link CRC) rejected the flit; it
+    /// was silently dropped. Callers discard the buffer: on the CRC-drop
+    /// path the FEC decode may already have applied corrections to it, so it
+    /// is not guaranteed to hold the bytes as received.
+    DroppedUncorrectable,
+}
+
+impl ProcessVerdict {
+    /// `true` if the flit survived the pipeline.
+    pub fn forwarded(&self) -> bool {
+        matches!(self, ProcessVerdict::Forwarded { .. })
+    }
+}
+
 /// A stateless, store-and-forward switching device.
 pub struct Switch {
     config: SwitchConfig,
@@ -179,15 +206,36 @@ impl Switch {
     /// corruption, `flits_forwarded`) are accumulated exactly as in
     /// [`Self::ingress`].
     pub fn process<R: Rng + ?Sized>(&mut self, wire: &WireFlit, rng: &mut R) -> ProcessOutcome {
+        let mut out = *wire;
+        match self.process_in_place(&mut out, rng) {
+            ProcessVerdict::Forwarded {
+                corrected_symbols,
+                internally_corrupted,
+            } => ProcessOutcome::Forwarded {
+                wire: Box::new(out),
+                corrected_symbols,
+                internally_corrupted,
+            },
+            ProcessVerdict::DroppedUncorrectable => ProcessOutcome::DroppedUncorrectable,
+        }
+    }
+
+    /// [`Self::process`], but transforming the caller's wire image in place:
+    /// no flit copy, no allocation. This is the fabric engine's per-hop hot
+    /// path; [`Self::process`] and [`Self::ingress`] are wrappers around it.
+    pub fn process_in_place<R: Rng + ?Sized>(
+        &mut self,
+        wire: &mut WireFlit,
+        rng: &mut R,
+    ) -> ProcessVerdict {
         self.stats.flits_in += 1;
 
-        // Link-layer FEC decode.
-        let mut block = wire.to_vec();
-        let fec_result = self.fec.decode(&mut block);
+        // Link-layer FEC decode, correcting the wire image in place.
+        let fec_result = self.fec.decode(wire);
         if !fec_result.accepted() {
             // Silent drop: the defining behaviour of switched CXL fabrics.
             self.stats.flits_dropped_uncorrectable += 1;
-            return ProcessOutcome::DroppedUncorrectable;
+            return ProcessVerdict::DroppedUncorrectable;
         }
         let corrected_symbols = fec_result.outcome.corrected_symbols();
         if corrected_symbols > 0 {
@@ -200,11 +248,11 @@ impl Switch {
         // Baseline CXL switches also verify the link CRC on ingress and drop
         // flits that fail it (the CRC covers errors the FEC miscorrected).
         if self.config.crc_mode == LinkCrcMode::Regenerate {
-            let expected = self.crc.checksum(&block[..crc_offset]);
-            let received = u64::from_le_bytes(block[crc_offset..data_len].try_into().unwrap());
+            let expected = self.crc.checksum(&wire[..crc_offset]);
+            let received = u64::from_le_bytes(wire[crc_offset..data_len].try_into().unwrap());
             if expected != received {
                 self.stats.flits_dropped_uncorrectable += 1;
-                return ProcessOutcome::DroppedUncorrectable;
+                return ProcessVerdict::DroppedUncorrectable;
             }
         }
 
@@ -213,7 +261,7 @@ impl Switch {
         let internally_corrupted = self
             .config
             .internal_error
-            .apply(&mut block[..crc_offset], rng);
+            .apply(&mut wire[..crc_offset], rng);
         if internally_corrupted {
             self.stats.flits_internally_corrupted += 1;
         }
@@ -221,17 +269,15 @@ impl Switch {
         // Per-hop CRC regeneration (CXL) masks whatever happened inside the
         // switch; pass-through (RXL) leaves the originator's ECRC intact.
         if self.config.crc_mode == LinkCrcMode::Regenerate {
-            let fresh = self.crc.checksum(&block[..crc_offset]);
-            block[crc_offset..data_len].copy_from_slice(&fresh.to_le_bytes());
+            let fresh = self.crc.checksum(&wire[..crc_offset]);
+            wire[crc_offset..data_len].copy_from_slice(&fresh.to_le_bytes());
         }
 
-        // Egress FEC re-encode.
-        let reencoded = self.fec.encode(&block[..data_len]);
-        let mut out = [0u8; WIRE_FLIT_LEN];
-        out.copy_from_slice(&reencoded);
+        // Egress FEC re-encode, in place over the (possibly corrected and
+        // corrupted) data bytes.
+        self.fec.encode_into(wire);
         self.stats.flits_forwarded += 1;
-        ProcessOutcome::Forwarded {
-            wire: Box::new(out),
+        ProcessVerdict::Forwarded {
             corrected_symbols,
             internally_corrupted,
         }
@@ -259,20 +305,20 @@ impl Switch {
             return IngressOutcome::DroppedQueueFull;
         }
 
-        match self.process(wire, rng) {
-            ProcessOutcome::Forwarded {
-                wire,
+        let mut out = *wire;
+        match self.process_in_place(&mut out, rng) {
+            ProcessVerdict::Forwarded {
                 corrected_symbols,
                 internally_corrupted,
             } => {
-                self.queues[egress].push_back(*wire);
+                self.queues[egress].push_back(out);
                 IngressOutcome::Forwarded {
                     egress,
                     corrected_symbols,
                     internally_corrupted,
                 }
             }
-            ProcessOutcome::DroppedUncorrectable => IngressOutcome::DroppedUncorrectable,
+            ProcessVerdict::DroppedUncorrectable => IngressOutcome::DroppedUncorrectable,
         }
     }
 
@@ -293,7 +339,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use rxl_flit::{CxlFlitCodec, Flit256, FlitHeader, MemOp, Message};
+    use rxl_flit::{CxlFlitCodec, Flit256, FlitHeader, MemOp, Message, WIRE_FLIT_LEN};
 
     fn wire_flit(tag: u16) -> WireFlit {
         let codec = CxlFlitCodec::new();

@@ -16,10 +16,57 @@
 //! * **lost** — counted at the end for sent messages never delivered.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use rxl_flit::Message;
 
 use crate::failure::FailureCounts;
+
+/// A fast, deterministic hasher (the FxHash construction) for the auditor's
+/// per-message maps. Every delivered flit audits up to 15 messages, each a
+/// map lookup, so the default SipHash cost is measurable at fabric scale.
+/// Hash quality only affects speed, never counts: nothing iterates these
+/// maps in hash order to produce results.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// Classification of a single observed delivery.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,8 +139,8 @@ impl CqidState {
 /// Ground-truth auditor for one direction of traffic.
 #[derive(Clone, Debug, Default)]
 pub struct DeliveryAuditor {
-    sent: HashMap<MessageKey, SentRecord>,
-    cqids: HashMap<u16, CqidState>,
+    sent: FastMap<MessageKey, SentRecord>,
+    cqids: FastMap<u16, CqidState>,
     counts: FailureCounts,
     /// Number of CQIDs currently holding an ordering gap (a delivered
     /// message ahead of a missing earlier one).

@@ -2,9 +2,10 @@
 //! switches of a real topology, driven end to end through the link/FEC/CRC
 //! stack by the `rxl-fabric` discrete-event simulator.
 //!
-//! Where `scaleout_fabric` simulates one host–device *path*, this example
-//! simulates the *fabric*: a leaf–spine pod and a ring, each carrying every
-//! session concurrently with credit backpressure on the shared trunks, under
+//! Where the single-path simulator (`rxl-sim`) models one host–device
+//! *path*, this example simulates the *fabric*: a leaf–spine pod and a
+//! ring, each carrying every session concurrently with credit backpressure
+//! on the shared trunks, under
 //! baseline CXL and under RXL. It closes with the analytic cross-check: the
 //! measured `Fail_order` rate versus `FabricSpec`'s projection at the same
 //! accelerated operating point.

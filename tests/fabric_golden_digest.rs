@@ -1,0 +1,109 @@
+//! Golden-digest regression of the fabric Monte-Carlo aggregates.
+//!
+//! The hot-path overhaul (const CRC engines, slice-by-8 update, the
+//! zero-allocation flit pipeline, and active-port slot stepping) is required
+//! to leave the simulation *bit-identical*: same SplitMix64 per-trial
+//! seeding, same RNG draw order, same CRC values, same aggregate counts.
+//! These digests were captured on the pre-overhaul engine (PR 2); any drift
+//! here means an optimisation changed simulation behaviour, not just speed.
+
+use rxl::crc::Crc64;
+use rxl::fabric::{
+    FabricConfig, FabricMonteCarlo, FabricMonteCarloReport, FabricTopology, FabricWorkload,
+};
+use rxl::link::{ChannelErrorModel, ProtocolVariant};
+
+/// Digest of every aggregate field of a Monte-Carlo report: the flit CRC-64
+/// over the report's full `Debug` rendering (which covers `FailureCounts`,
+/// `LinkStats`, `SwitchStats`, the event counters, and the per-trial event
+/// rates — f64 `Debug` output is exact, so this pins bits, not approximations).
+fn digest(report: &FabricMonteCarloReport) -> u64 {
+    Crc64::flit().checksum(format!("{report:?}").as_bytes())
+}
+
+fn run(variant: ProtocolVariant) -> FabricMonteCarloReport {
+    let topology = FabricTopology::ring(4, 1, 1);
+    let config = FabricConfig::new(variant)
+        .with_channel(ChannelErrorModel::random(2e-4))
+        .with_seed(0xD16E57);
+    let workload = FabricWorkload::symmetric(topology.session_count(), 600, 8, 7);
+    FabricMonteCarlo::new(topology, config, 5).run(&workload)
+}
+
+#[test]
+fn cxl_piggyback_aggregates_match_pre_overhaul_engine() {
+    let report = run(ProtocolVariant::CxlPiggyback);
+    // Spot-checks first: these fail with readable numbers before the digest
+    // collapses everything into one opaque value.
+    assert_eq!(
+        (
+            report.trials,
+            report.links.flits_sent,
+            report.switches.flits_in,
+            report.undetected_drop_events,
+            report.payload_drops,
+            report.failures.clean_deliveries,
+        ),
+        GOLDEN_CXL_SPOT,
+        "CXL spot-check fields drifted from the pre-overhaul engine"
+    );
+    assert_eq!(
+        digest(&report),
+        GOLDEN_CXL_DIGEST,
+        "full CXL aggregate digest drifted: {report:#?}"
+    );
+}
+
+#[test]
+fn rxl_aggregates_match_pre_overhaul_engine() {
+    let report = run(ProtocolVariant::Rxl);
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    assert_eq!(report.undetected_drop_events, 0);
+    assert_eq!(
+        (
+            report.trials,
+            report.links.flits_sent,
+            report.switches.flits_in,
+            report.undetected_drop_events,
+            report.payload_drops,
+            report.failures.clean_deliveries,
+        ),
+        GOLDEN_RXL_SPOT,
+        "RXL spot-check fields drifted from the pre-overhaul engine"
+    );
+    assert_eq!(
+        digest(&report),
+        GOLDEN_RXL_DIGEST,
+        "full RXL aggregate digest drifted: {report:#?}"
+    );
+}
+
+// Captured on the pre-overhaul engine (commit a396d2f) with the exact
+// configuration in `run` above. Regenerate ONLY if the simulation semantics
+// are intentionally changed, with `cargo test --test fabric_golden_digest --
+// --nocapture` after enabling the `print_golden` test below.
+const GOLDEN_CXL_SPOT: (u64, u64, u64, u64, u64, u64) = (5, 1600, 6348, 5, 84, 16980);
+const GOLDEN_CXL_DIGEST: u64 = 0x54EB_4756_6628_A48F;
+const GOLDEN_RXL_SPOT: (u64, u64, u64, u64, u64, u64) = (5, 1600, 6128, 0, 48, 24000);
+const GOLDEN_RXL_DIGEST: u64 = 0x5F91_0D4A_A65E_C68D;
+
+/// Prints the current golden values (run with `--nocapture --ignored`).
+#[test]
+#[ignore = "capture helper, not a regression test"]
+fn print_golden() {
+    for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+        let report = run(variant);
+        println!(
+            "{variant:?}: SPOT = {:?}, DIGEST = 0x{:016X}",
+            (
+                report.trials,
+                report.links.flits_sent,
+                report.switches.flits_in,
+                report.undetected_drop_events,
+                report.payload_drops,
+                report.failures.clean_deliveries,
+            ),
+            digest(&report)
+        );
+    }
+}
