@@ -1,0 +1,46 @@
+//! Chaos scenario sweep: BER storms and spine failover, CXL vs RXL.
+//!
+//! Runs the `rxl-chaos` scenario Monte-Carlo over a leaf–spine pod — a BER
+//! storm of several accelerations on one uplink, plus a spine failure — and
+//! tabulates per-epoch `Fail_order` counts, availability, and
+//! time-to-first-failure for both protocol variants.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p rxl-bench --bin chaos_sweep --release -- \
+//!     [--json] [--small] [--label NAME]
+//! ```
+//!
+//! * `--small` shrinks the sweep to a CI-sized smoke run.
+//! * `--json` writes the rows to `BENCH_chaos.json` in the current
+//!   directory (schema: see [`rxl_bench::chaos_json`]).
+//! * `--label NAME` tags the rows.
+
+fn main() {
+    let mut json = false;
+    let mut small = false;
+    let mut label = String::from("current");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--small" => small = true,
+            "--label" => {
+                label = args.next().unwrap_or_else(|| {
+                    eprintln!("--label requires a value");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows = rxl_bench::run_chaos_sweep(small, &label);
+    println!("{}", rxl_bench::chaos_table(&rows));
+    if json {
+        println!("wrote {}", rxl_bench::write_chaos_json(&rows));
+    }
+}

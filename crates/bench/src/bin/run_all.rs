@@ -40,4 +40,12 @@ fn main() {
         "{}",
         rxl_bench::throughput_table(&rxl_bench::run_throughput(true, "run_all"))
     );
+
+    // Fault-injection scenarios, CI-sized. The committed trajectory
+    // (`BENCH_chaos.json`) is produced by the dedicated `chaos_sweep`
+    // binary on the full sweep.
+    println!(
+        "{}",
+        rxl_bench::chaos_table(&rxl_bench::run_chaos_sweep(true, "run_all"))
+    );
 }

@@ -23,17 +23,21 @@
 //! | `sim_crosscheck` | accelerated-BER simulation vs. analytic model |
 //! | `fabric_fit_crosscheck` | fabric-scale Monte-Carlo vs. `FabricSpec` projection |
 //! | `fabric_throughput` | engine wall-clock flits/sec (perf trajectory) |
+//! | `chaos_sweep` | fault-injection scenarios: BER storms, spine failover |
 //!
 //! `run_all` and `fabric_fit_crosscheck` accept `--json` to additionally
 //! write machine-readable results to `BENCH_fabric.json`;
-//! `fabric_throughput --json` writes `BENCH_throughput.json`.
+//! `fabric_throughput --json` writes `BENCH_throughput.json`;
+//! `chaos_sweep --json` writes `BENCH_chaos.json`.
 
+pub mod chaos;
 pub mod fabriccheck;
 pub mod scenarios;
 pub mod simcheck;
 pub mod tables;
 pub mod throughput;
 
+pub use chaos::{chaos_json, chaos_table, run_chaos_sweep, write_chaos_json, ChaosRow};
 pub use fabriccheck::{
     fabric_crosscheck_json, fabric_crosscheck_table, run_fabric_crosscheck, write_fabric_json,
 };

@@ -1,0 +1,377 @@
+//! Time-varying channel models.
+//!
+//! The paper's channel model (PAPER.md §2.2) assumes independent bit errors
+//! at one stationary BER. Real fabrics break that assumption in three
+//! characteristic ways, each modelled here as an implementation of the
+//! [`Channel`] trait from `rxl-link`:
+//!
+//! * [`GilbertElliott`] — a two-state bursty channel: long stretches of a
+//!   *good* BER interrupted by *bad*-state storms with a much higher BER,
+//!   the classic model for correlated link-quality excursions;
+//! * [`BerSchedule`] — a piecewise-stationary BER: the channel switches
+//!   between static operating points at configured simulation times
+//!   (degradation ramps, maintenance windows);
+//! * [`FlapChannel`] — a link that periodically goes *down* (every flit
+//!   garbled beyond FEC correction, i.e. lost) and comes back up.
+//!
+//! All three follow the RNG-draw-order rules documented on [`Channel`]:
+//! randomness only from the passed RNG, draw counts a deterministic function
+//! of channel state and inputs, and **no draws for deterministic decisions**
+//! — a Gilbert–Elliott channel pinned to its good state by zero transition
+//! probabilities, or an all-ideal schedule, consumes exactly the draws of
+//! the static model it degenerates to (none, when ideal), which keeps it
+//! bit-identical to [`ChannelErrorModel::ideal`].
+
+use rand::{Rng, RngCore};
+use rxl_link::{Channel, ChannelErrorModel};
+
+/// Which state a [`GilbertElliott`] channel is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeState {
+    /// The low-BER operating state.
+    Good,
+    /// The high-BER storm state.
+    Bad,
+}
+
+/// A two-state Gilbert–Elliott bursty channel.
+///
+/// Before each flit traversal the state machine takes one step: from `Good`
+/// it enters `Bad` with probability `p_good_to_bad`, from `Bad` it recovers
+/// with probability `p_bad_to_good`; the flit is then corrupted by the
+/// current state's [`ChannelErrorModel`]. State dwell times are therefore
+/// geometric with means `1/p_good_to_bad` and `1/p_bad_to_good` flits, and
+/// the long-run fraction of flits seeing the bad state is
+/// `p_good_to_bad / (p_good_to_bad + p_bad_to_good)` — see
+/// [`Self::stationary_ber`], whose value the property-test suite pins the
+/// simulated long-run error rate against.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GilbertElliott {
+    /// Error model of the good state.
+    pub good: ChannelErrorModel,
+    /// Error model of the bad state.
+    pub bad: ChannelErrorModel,
+    /// Per-flit probability of a good → bad transition.
+    pub p_good_to_bad: f64,
+    /// Per-flit probability of a bad → good recovery.
+    pub p_bad_to_good: f64,
+    state: GeState,
+}
+
+impl GilbertElliott {
+    /// Creates the channel in its good state.
+    pub fn new(
+        good: ChannelErrorModel,
+        bad: ChannelErrorModel,
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_good_to_bad) && (0.0..=1.0).contains(&p_bad_to_good),
+            "transition probabilities must be in [0, 1]"
+        );
+        GilbertElliott {
+            good,
+            bad,
+            p_good_to_bad,
+            p_bad_to_good,
+            state: GeState::Good,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> GeState {
+        self.state
+    }
+
+    /// Long-run fraction of flit traversals spent in the bad state.
+    pub fn stationary_bad_fraction(&self) -> f64 {
+        let denom = self.p_good_to_bad + self.p_bad_to_good;
+        if denom == 0.0 {
+            // No transitions ever: the channel stays in its initial (good)
+            // state forever.
+            return 0.0;
+        }
+        self.p_good_to_bad / denom
+    }
+
+    /// Long-run average error-start rate per transmitted bit: the
+    /// state-occupancy-weighted mix of the two BERs. Burst extensions
+    /// multiply the *flipped bit* count beyond this rate, exactly as they do
+    /// for the stationary model.
+    pub fn stationary_ber(&self) -> f64 {
+        let pi_bad = self.stationary_bad_fraction();
+        self.good.ber * (1.0 - pi_bad) + self.bad.ber * pi_bad
+    }
+
+    /// Returns the channel scaled by `factor` in both states (BER storms
+    /// compose multiplicatively with bursty channels).
+    pub fn scaled(&self, factor: f64) -> Self {
+        GilbertElliott {
+            good: self.good.scaled(factor),
+            bad: self.bad.scaled(factor),
+            ..*self
+        }
+    }
+}
+
+impl Channel for GilbertElliott {
+    fn corrupt(&mut self, data: &mut [u8], _now_ns: f64, rng: &mut dyn RngCore) -> usize {
+        // One state-machine step per traversal. A zero-probability
+        // transition is deterministic and must not consume a draw (see the
+        // trait's draw-order rules).
+        let p = match self.state {
+            GeState::Good => self.p_good_to_bad,
+            GeState::Bad => self.p_bad_to_good,
+        };
+        if p > 0.0 && rng.random_bool(p) {
+            self.state = match self.state {
+                GeState::Good => GeState::Bad,
+                GeState::Bad => GeState::Good,
+            };
+        }
+        match self.state {
+            GeState::Good => self.good.apply(data, rng),
+            GeState::Bad => self.bad.apply(data, rng),
+        }
+    }
+}
+
+/// One piece of a [`BerSchedule`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Segment {
+    /// Simulation time this segment takes effect.
+    start_ns: f64,
+    model: ChannelErrorModel,
+}
+
+/// A piecewise-stationary BER: a sequence of static operating points, each
+/// taking effect at a configured simulation time. The segment active at
+/// `now_ns` is the last one whose start is ≤ `now_ns`; before the first
+/// configured change the `initial` model applies.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BerSchedule {
+    segments: Vec<Segment>,
+}
+
+impl BerSchedule {
+    /// A schedule that starts at `initial` and never changes (until
+    /// [`Self::then_at`] appends later segments).
+    pub fn new(initial: ChannelErrorModel) -> Self {
+        BerSchedule {
+            segments: vec![Segment {
+                start_ns: f64::NEG_INFINITY,
+                model: initial,
+            }],
+        }
+    }
+
+    /// Appends a segment taking effect at `start_ns`. Starts must be
+    /// appended in strictly ascending order.
+    pub fn then_at(mut self, start_ns: f64, model: ChannelErrorModel) -> Self {
+        let last = self.segments.last().expect("schedule is never empty");
+        assert!(
+            start_ns > last.start_ns,
+            "schedule segments must start in ascending order"
+        );
+        self.segments.push(Segment { start_ns, model });
+        self
+    }
+
+    /// The model active at `now_ns`.
+    pub fn model_at(&self, now_ns: f64) -> &ChannelErrorModel {
+        let idx = self
+            .segments
+            .iter()
+            .rposition(|s| s.start_ns <= now_ns)
+            .expect("first segment starts at -inf");
+        &self.segments[idx].model
+    }
+
+    /// Returns the schedule with every segment start multiplied by `scale`
+    /// — how slot-denominated scenario schedules convert to simulation
+    /// nanoseconds (`scale` = the flit time) when instantiated.
+    pub fn with_time_scale(&self, scale: f64) -> Self {
+        assert!(scale > 0.0, "time scale must be positive");
+        BerSchedule {
+            segments: self
+                .segments
+                .iter()
+                .map(|s| Segment {
+                    start_ns: s.start_ns * scale,
+                    model: s.model,
+                })
+                .collect(),
+        }
+    }
+
+    /// Returns the schedule with every segment's BER scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        BerSchedule {
+            segments: self
+                .segments
+                .iter()
+                .map(|s| Segment {
+                    start_ns: s.start_ns,
+                    model: s.model.scaled(factor),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Channel for BerSchedule {
+    fn corrupt(&mut self, data: &mut [u8], now_ns: f64, rng: &mut dyn RngCore) -> usize {
+        let model = *self.model_at(now_ns);
+        model.apply(data, rng)
+    }
+}
+
+/// A flapping link: deterministically alternates between an *up* channel and
+/// a *down* window at the start of every period. The default down model
+/// garbles roughly a quarter of all bits, far beyond the interleaved FEC's
+/// correction power, so every flit crossing a down window is dropped at the
+/// next switch — the discrete-event analogue of a link that lost lock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlapChannel {
+    /// Channel while the link is up.
+    pub up: ChannelErrorModel,
+    /// Channel while the link is down.
+    pub down: ChannelErrorModel,
+    /// Flap period in simulation nanoseconds.
+    pub period_ns: f64,
+    /// Fraction of each period (from the period's start) spent down.
+    pub down_fraction: f64,
+    /// Phase offset: the first period starts at this simulation time.
+    pub phase_ns: f64,
+}
+
+impl FlapChannel {
+    /// A loss-flap over `up`: down windows garble everything.
+    pub fn loss(up: ChannelErrorModel, period_ns: f64, down_fraction: f64) -> Self {
+        assert!(period_ns > 0.0, "flap period must be positive");
+        assert!(
+            (0.0..=1.0).contains(&down_fraction),
+            "down fraction must be in [0, 1]"
+        );
+        FlapChannel {
+            up,
+            down: ChannelErrorModel::random(0.25),
+            period_ns,
+            down_fraction,
+            phase_ns: 0.0,
+        }
+    }
+
+    /// `true` if the link is down at `now_ns`.
+    pub fn is_down(&self, now_ns: f64) -> bool {
+        let t = (now_ns - self.phase_ns).rem_euclid(self.period_ns);
+        t < self.down_fraction * self.period_ns
+    }
+
+    /// Returns the flap with the *up* channel scaled by `factor` (storms do
+    /// not make a down link any more down).
+    pub fn scaled(&self, factor: f64) -> Self {
+        FlapChannel {
+            up: self.up.scaled(factor),
+            ..*self
+        }
+    }
+}
+
+impl Channel for FlapChannel {
+    fn corrupt(&mut self, data: &mut [u8], now_ns: f64, rng: &mut dyn RngCore) -> usize {
+        let model = if self.is_down(now_ns) {
+            self.down
+        } else {
+            self.up
+        };
+        model.apply(data, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gilbert_elliott_stationary_helpers() {
+        let ge = GilbertElliott::new(
+            ChannelErrorModel::random(1e-6),
+            ChannelErrorModel::random(1e-3),
+            0.01,
+            0.09,
+        );
+        assert!((ge.stationary_bad_fraction() - 0.1).abs() < 1e-12);
+        let expected = 1e-6 * 0.9 + 1e-3 * 0.1;
+        assert!((ge.stationary_ber() - expected).abs() < 1e-15);
+        // Pinned channel: no transitions, stays good.
+        let pinned = GilbertElliott::new(
+            ChannelErrorModel::ideal(),
+            ChannelErrorModel::random(0.5),
+            0.0,
+            0.0,
+        );
+        assert_eq!(pinned.stationary_ber(), 0.0);
+    }
+
+    #[test]
+    fn gilbert_elliott_visits_both_states() {
+        let mut ge = GilbertElliott::new(
+            ChannelErrorModel::ideal(),
+            ChannelErrorModel::random(0.25),
+            0.2,
+            0.2,
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mut clean, mut dirty) = (0, 0);
+        for _ in 0..400 {
+            let mut data = [0u8; 64];
+            if ge.corrupt(&mut data, 0.0, &mut rng) == 0 {
+                clean += 1;
+            } else {
+                dirty += 1;
+            }
+        }
+        assert!(clean > 50, "good state must appear: {clean}");
+        assert!(dirty > 50, "bad state must appear: {dirty}");
+    }
+
+    #[test]
+    fn schedule_picks_the_active_segment() {
+        let sched = BerSchedule::new(ChannelErrorModel::ideal())
+            .then_at(100.0, ChannelErrorModel::random(1e-3))
+            .then_at(200.0, ChannelErrorModel::random(1e-5));
+        assert_eq!(sched.model_at(0.0).ber, 0.0);
+        assert_eq!(sched.model_at(99.9).ber, 0.0);
+        assert_eq!(sched.model_at(100.0).ber, 1e-3);
+        assert_eq!(sched.model_at(150.0).ber, 1e-3);
+        assert_eq!(sched.model_at(1e9).ber, 1e-5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn schedule_rejects_out_of_order_segments() {
+        let _ = BerSchedule::new(ChannelErrorModel::ideal())
+            .then_at(100.0, ChannelErrorModel::random(1e-3))
+            .then_at(50.0, ChannelErrorModel::random(1e-4));
+    }
+
+    #[test]
+    fn flap_windows_are_deterministic() {
+        let flap = FlapChannel::loss(ChannelErrorModel::ideal(), 100.0, 0.25);
+        assert!(flap.is_down(0.0));
+        assert!(flap.is_down(24.9));
+        assert!(!flap.is_down(25.0));
+        assert!(!flap.is_down(99.9));
+        assert!(flap.is_down(100.0));
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ch = flap;
+        let mut data = [0u8; 64];
+        assert!(ch.corrupt(&mut data, 10.0, &mut rng) > 50, "down garbles");
+        let mut data = [0u8; 64];
+        assert_eq!(ch.corrupt(&mut data, 60.0, &mut rng), 0, "up is ideal");
+    }
+}

@@ -1,0 +1,262 @@
+//! Sharded Monte-Carlo execution of scenario trials.
+//!
+//! Identical reproducibility contract to `rxl_fabric::montecarlo`: trials
+//! are partitioned across rayon workers, each trial derives its seed with
+//! the workspace-wide SplitMix64 finalizer ([`rxl_sim::trial_seed`]), the
+//! pristine routing table is computed once and shared read-only, and
+//! aggregation folds the order-preserving collect in trial order — so for a
+//! fixed base seed the aggregate report is bit-identical regardless of
+//! worker-thread count, scenario or no scenario.
+
+use rayon::prelude::*;
+
+use rxl_fabric::{FabricConfig, FabricTopology, FabricWorkload, RoutingTable};
+use rxl_sim::trial_seed;
+use rxl_transport::FailureCounts;
+
+use crate::runner::{run_scenario, ChaosReport};
+use crate::scenario::Scenario;
+
+/// A scenario Monte-Carlo experiment: one topology, configuration and
+/// scenario, many seeds.
+#[derive(Clone, Debug)]
+pub struct ChaosMonteCarlo {
+    topology: FabricTopology,
+    config: FabricConfig,
+    scenario: Scenario,
+    trials: u64,
+}
+
+/// Aggregate of one epoch across every trial.
+#[derive(Clone, Debug, Default)]
+pub struct EpochAggregate {
+    /// The epoch's start boundary (slot).
+    pub start_slot: u64,
+    /// Labels of the events firing at this boundary.
+    pub events: Vec<String>,
+    /// Trials that simulated at least one slot of this epoch.
+    pub trials_active: u64,
+    /// Summed slots simulated within the epoch.
+    pub slots: u64,
+    /// Summed failure-count deltas (losses excluded — only attributed at
+    /// trial finalization).
+    pub failures: FailureCounts,
+    /// Summed undetected-drop (`Fail_order`) events within the epoch.
+    pub undetected_drop_events: u64,
+    /// Summed silent payload drops within the epoch.
+    pub payload_drops: u64,
+    /// Summed fault-injection blackhole drops within the epoch.
+    pub blackholed_flits: u64,
+    /// Summed credit-stall slots within the epoch.
+    pub credit_stalls: u64,
+}
+
+/// Aggregate results over every scenario trial.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosMonteCarloReport {
+    /// Number of trials executed.
+    pub trials: u64,
+    /// Per-epoch aggregates, aligned on the scenario's canonical boundaries.
+    pub epochs: Vec<EpochAggregate>,
+    /// Summed final failure counts (losses included).
+    pub failures: FailureCounts,
+    /// Summed undetected-drop events.
+    pub undetected_drop_events: u64,
+    /// Summed fault-injection blackhole drops.
+    pub blackholed_flits: u64,
+    /// Trials that drained before their slot limit.
+    pub drained_trials: u64,
+    /// Trials that ended in a classified credit deadlock.
+    pub deadlocked_trials: u64,
+    /// Trials with at least one `Fail_order` event.
+    pub fail_order_trials: u64,
+    /// Earliest first-`Fail_order` slot across trials, if any trial had one.
+    pub earliest_fail_order_slot: Option<u64>,
+    /// Mean first-`Fail_order` slot over the trials that had one.
+    pub mean_fail_order_slot: Option<f64>,
+    /// Per-trial availability (clean deliveries / offered messages), in
+    /// trial order.
+    pub availabilities: Vec<f64>,
+}
+
+impl ChaosMonteCarloReport {
+    /// Mean availability over all trials.
+    pub fn availability_mean(&self) -> f64 {
+        if self.availabilities.is_empty() {
+            return 1.0;
+        }
+        self.availabilities.iter().sum::<f64>() / self.availabilities.len() as f64
+    }
+
+    /// Worst-trial availability.
+    pub fn availability_min(&self) -> f64 {
+        self.availabilities
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+}
+
+impl ChaosMonteCarlo {
+    /// Creates an experiment running `trials` independent scenario trials.
+    pub fn new(
+        topology: FabricTopology,
+        config: FabricConfig,
+        scenario: Scenario,
+        trials: u64,
+    ) -> Self {
+        topology.validate();
+        ChaosMonteCarlo {
+            topology,
+            config,
+            scenario,
+            trials,
+        }
+    }
+
+    /// The topology under test.
+    pub fn topology(&self) -> &FabricTopology {
+        &self.topology
+    }
+
+    /// The scenario every trial runs.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The per-trial configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Runs every trial (sharded across rayon workers) and aggregates in
+    /// trial order. Bit-identical for any worker-thread count.
+    pub fn run(&self, workload: &FabricWorkload) -> ChaosMonteCarloReport {
+        let routing = RoutingTable::new(&self.topology);
+        let base = self.config.seed;
+        let reports: Vec<ChaosReport> = (0..self.trials)
+            .into_par_iter()
+            .map(|trial| {
+                let config = self.config.with_seed(trial_seed(base, trial));
+                run_scenario(&self.topology, &routing, config, workload, &self.scenario)
+            })
+            .collect();
+
+        let boundaries = self.scenario.boundaries(self.config.max_slots);
+        let mut agg = ChaosMonteCarloReport {
+            trials: reports.len() as u64,
+            epochs: boundaries[..boundaries.len() - 1]
+                .iter()
+                .map(|&start| EpochAggregate {
+                    start_slot: start,
+                    events: self.scenario.labels_at(start, &self.topology),
+                    ..Default::default()
+                })
+                .collect(),
+            ..Default::default()
+        };
+        let mut fail_order_slot_sum = 0u64;
+        for r in reports {
+            for e in &r.epochs {
+                let slot = &mut agg.epochs[e.index];
+                slot.trials_active += 1;
+                slot.slots += e.delta.slots;
+                slot.failures.merge(&e.delta.failures);
+                slot.undetected_drop_events += e.delta.undetected_drop_events;
+                slot.payload_drops += e.delta.payload_drops;
+                slot.blackholed_flits += e.delta.blackholed_flits;
+                slot.credit_stalls += e.delta.credit_stalls;
+            }
+            agg.failures.merge(&r.fabric.total_failures());
+            agg.undetected_drop_events += r.fabric.undetected_drop_events;
+            agg.blackholed_flits += r.fabric.blackholed_flits;
+            if r.fabric.drained {
+                agg.drained_trials += 1;
+            }
+            if r.fabric.deadlock {
+                agg.deadlocked_trials += 1;
+            }
+            if let Some(slot) = r.time_to_first_fail_order {
+                agg.fail_order_trials += 1;
+                fail_order_slot_sum += slot;
+                agg.earliest_fail_order_slot = Some(match agg.earliest_fail_order_slot {
+                    Some(existing) => existing.min(slot),
+                    None => slot,
+                });
+            }
+            agg.availabilities.push(r.availability);
+        }
+        if agg.fail_order_trials > 0 {
+            agg.mean_fail_order_slot =
+                Some(fail_order_slot_sum as f64 / agg.fail_order_trials as f64);
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxl_link::{ChannelErrorModel, ProtocolVariant};
+
+    #[test]
+    fn clean_scenario_free_trials_are_fully_available() {
+        let t = FabricTopology::leaf_spine(2, 1, 1);
+        let mc = ChaosMonteCarlo::new(
+            t,
+            FabricConfig::new(ProtocolVariant::Rxl).with_channel(ChannelErrorModel::ideal()),
+            Scenario::named("none"),
+            3,
+        );
+        let workload = FabricWorkload::symmetric(2, 40, 8, 5);
+        let report = mc.run(&workload);
+        assert_eq!(report.trials, 3);
+        assert_eq!(report.drained_trials, 3);
+        assert_eq!(report.deadlocked_trials, 0);
+        assert!(report.failures.is_clean());
+        assert_eq!(report.availability_mean(), 1.0);
+        assert_eq!(report.availability_min(), 1.0);
+        assert_eq!(report.epochs.len(), 1);
+        assert_eq!(report.epochs[0].trials_active, 3);
+        assert_eq!(report.fail_order_trials, 0);
+        assert_eq!(report.mean_fail_order_slot, None);
+    }
+
+    /// The same reproducibility contract as the fabric Monte-Carlo:
+    /// identical aggregates for 1 and N worker threads at a fixed base seed,
+    /// with a scenario active.
+    #[test]
+    fn scenario_reports_are_reproducible_across_thread_counts() {
+        let t = FabricTopology::leaf_spine(2, 1, 2);
+        let uplink = t.trunk_between(0, 2).unwrap();
+        let scenario = Scenario::named("storm").ber_storm(50, 100, vec![uplink], 30.0);
+        let mc = ChaosMonteCarlo::new(
+            t,
+            FabricConfig::new(ProtocolVariant::CxlPiggyback)
+                .with_channel(ChannelErrorModel::random(1e-5))
+                .with_seed(0xC4A0),
+            scenario,
+            4,
+        );
+        let workload = FabricWorkload::symmetric(4, 900, 8, 11);
+
+        let run_with_threads = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("shim pool build is infallible");
+            pool.install(|| mc.run(&workload))
+        };
+
+        let reference = run_with_threads(1);
+        for threads in [2, 4] {
+            let report = run_with_threads(threads);
+            assert_eq!(
+                format!("{report:?}"),
+                format!("{reference:?}"),
+                "{threads} threads"
+            );
+        }
+    }
+}

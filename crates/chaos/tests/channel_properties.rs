@@ -1,0 +1,139 @@
+//! Property tests for the time-varying channels.
+//!
+//! Two contracts matter for the chaos subsystem's credibility:
+//!
+//! 1. **Statistical soundness** — the Gilbert–Elliott channel's long-run
+//!    average error rate must converge to its closed-form stationary BER
+//!    (`π_bad · ber_bad + (1 − π_bad) · ber_good`), otherwise every scenario
+//!    built on it would run at an unintended operating point.
+//! 2. **Bit-identity in the degenerate case** — a channel configured to
+//!    never leave its good/ideal state must be *bit-identical* to
+//!    [`ChannelErrorModel::ideal`]: same bytes out **and** the same RNG
+//!    stream afterwards. This is the RNG-draw-order rule of the `Channel`
+//!    trait, and it is what lets the golden-digest regression guarantee that
+//!    scenario-free simulation is unchanged by the chaos subsystem.
+
+use proptest::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use rxl_chaos::{BerSchedule, GilbertElliott};
+use rxl_link::{Channel, ChannelErrorModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Long-run flipped-bit rate of a burst-free Gilbert–Elliott channel
+    /// converges to the stationary BER (state dwell times are kept short
+    /// relative to the simulated traffic so occupancy noise stays a few
+    /// percent; the tolerance below is ≈4σ of that noise).
+    #[test]
+    fn gilbert_elliott_converges_to_its_stationary_ber(
+        good_i in 0u32..=3,
+        bad_i in 2u32..=20,
+        p_gb_i in 5u32..=50,
+        p_bg_i in 5u32..=50,
+        seed in 0u64..1_000_000,
+    ) {
+        let good = ChannelErrorModel::random(good_i as f64 * 5e-5);
+        let bad = ChannelErrorModel::random(bad_i as f64 * 1e-3);
+        let p_gb = p_gb_i as f64 / 100.0;
+        let p_bg = p_bg_i as f64 / 100.0;
+        let mut ge = GilbertElliott::new(good, bad, p_gb, p_bg);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        const FLITS: usize = 8_000;
+        const BYTES: usize = 64;
+        let mut flipped = 0usize;
+        for _ in 0..FLITS {
+            let mut data = [0u8; BYTES];
+            flipped += ge.corrupt(&mut data, 0.0, &mut rng);
+        }
+        let total_bits = (FLITS * BYTES * 8) as f64;
+        let measured = flipped as f64 / total_bits;
+        let expected = ge.stationary_ber();
+        let tolerance = (0.30 * expected).max(12.0 / total_bits);
+        prop_assert!(
+            (measured - expected).abs() < tolerance,
+            "measured {measured:.3e}, stationary {expected:.3e} (±{tolerance:.3e}); \
+             p_gb={p_gb}, p_bg={p_bg}"
+        );
+    }
+
+    /// A Gilbert–Elliott channel pinned to an ideal good state (zero
+    /// transition probabilities) is bit-identical to
+    /// `ChannelErrorModel::ideal()`: the buffer is untouched and not a
+    /// single RNG draw is consumed.
+    #[test]
+    fn pinned_good_state_is_bit_identical_to_ideal(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        seed in 0u64..1_000_000,
+        flits in 1usize..20,
+    ) {
+        let mut pinned = GilbertElliott::new(
+            ChannelErrorModel::ideal(),
+            ChannelErrorModel::random(0.5),
+            0.0,
+            0.0,
+        );
+        let mut ideal = ChannelErrorModel::ideal();
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        for i in 0..flits {
+            let mut a = data.clone();
+            let mut b = data.clone();
+            let now = i as f64 * 2.0;
+            prop_assert_eq!(pinned.corrupt(&mut a, now, &mut rng_a), 0);
+            prop_assert_eq!(ideal.corrupt(&mut b, now, &mut rng_b), 0);
+            prop_assert_eq!(&a, &data);
+            prop_assert_eq!(&b, &data);
+        }
+        // Same RNG stream afterwards ⇒ zero draws were consumed by either.
+        let first = StdRng::seed_from_u64(seed).next_u64();
+        prop_assert_eq!(rng_a.next_u64(), first);
+        prop_assert_eq!(rng_b.next_u64(), first);
+    }
+
+    /// An all-good (all-ideal) BER schedule is bit-identical to
+    /// `ChannelErrorModel::ideal()` at every simulation time, across its
+    /// segment boundaries.
+    #[test]
+    fn all_good_schedule_is_bit_identical_to_ideal(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        seed in 0u64..1_000_000,
+        t_i in 0u64..4_000,
+    ) {
+        let mut schedule = BerSchedule::new(ChannelErrorModel::ideal())
+            .then_at(1_000.0, ChannelErrorModel::ideal())
+            .then_at(2_000.0, ChannelErrorModel::ideal());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let now = t_i as f64;
+        let mut buf = data.clone();
+        prop_assert_eq!(schedule.corrupt(&mut buf, now, &mut rng), 0);
+        prop_assert_eq!(&buf, &data);
+        let mut fresh = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(rng.next_u64(), fresh.next_u64());
+    }
+
+    /// A single-segment schedule of a *noisy* static model is bit-identical
+    /// to applying that model directly: same flips, same bytes, same RNG
+    /// stream. (The schedule machinery adds observation points, never
+    /// draws.)
+    #[test]
+    fn single_segment_schedule_matches_the_static_model_bitwise(
+        data in proptest::collection::vec(any::<u8>(), 16..256),
+        seed in 0u64..1_000_000,
+    ) {
+        let model = ChannelErrorModel::random(5e-3);
+        let mut schedule = BerSchedule::new(model);
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let mut a = data.clone();
+        let mut b = data;
+        let flips_a = schedule.corrupt(&mut a, 123.0, &mut rng_a);
+        let flips_b = model.apply(&mut b, &mut rng_b);
+        prop_assert_eq!(flips_a, flips_b);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+}

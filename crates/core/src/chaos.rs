@@ -1,0 +1,139 @@
+//! Chaos bridge: stress a [`FabricSpec`]'s projection with fault injection.
+//!
+//! [`FabricSpec::simulate`] backs the analytic projection with simulation
+//! evidence at a *stationary* accelerated BER. This module asks the next
+//! question: what happens to the same fabric when the channel is **not**
+//! stationary — when one uplink takes a BER storm mid-run? The canonical
+//! stress instantiates exactly the ring fabric of `simulate`, hits one trunk
+//! on the session path with a configurable storm, and reports per-epoch
+//! failure counts plus availability through the `rxl-chaos` scenario
+//! Monte-Carlo.
+
+use rxl_chaos::{ChaosMonteCarlo, ChaosMonteCarloReport, Scenario};
+use rxl_fabric::FabricWorkload;
+
+use crate::fabric::{FabricSimOptions, FabricSpec};
+
+/// Parameters of the canonical single-uplink BER-storm stress.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StormSpec {
+    /// Slot the storm starts.
+    pub start_slot: u64,
+    /// Storm length in slots.
+    pub duration: u64,
+    /// Multiplicative BER acceleration while the storm is active.
+    pub factor: f64,
+}
+
+impl Default for StormSpec {
+    fn default() -> Self {
+        StormSpec {
+            start_slot: 500,
+            duration: 1_000,
+            factor: 30.0,
+        }
+    }
+}
+
+/// Scenario Monte-Carlo evidence for a [`FabricSpec`] under a BER storm.
+#[derive(Clone, Debug)]
+pub struct ChaosEvidence {
+    /// Label of the generated topology.
+    pub topology: String,
+    /// Sessions instantiated.
+    pub sessions: usize,
+    /// Label of the scenario that ran.
+    pub scenario: String,
+    /// Aggregated per-epoch and availability results.
+    pub report: ChaosMonteCarloReport,
+}
+
+impl FabricSpec {
+    /// Runs the canonical BER-storm stress against this spec: the same
+    /// accelerated ring fabric as [`FabricSpec::simulate`], with `storm`
+    /// applied to one trunk on the first session's path (or to the first
+    /// host's attachment link when the spec has no switched trunk to storm).
+    /// Epoch boundaries fall at the storm's start and end, so
+    /// `report.epochs` separates before / during / after failure counts.
+    pub fn simulate_storm(&self, opts: &FabricSimOptions, storm: &StormSpec) -> ChaosEvidence {
+        let (topology, _variant, config) = self.instantiate(opts);
+        let sessions = topology.session_count();
+        let name = topology.name.clone();
+
+        // The stormed link: the trunk the first session's traffic enters the
+        // ring through (clockwise from its host's switch), falling back to
+        // the host's attachment link on span-0 rings.
+        let host_switch = topology.endpoints[topology.sessions[0].host].switch;
+        let next = (host_switch + 1) % topology.switch_count();
+        let link = topology
+            .trunk_between(host_switch, next)
+            .filter(|_| self.switch_levels > 1)
+            .unwrap_or_else(|| topology.endpoint_link(topology.sessions[0].host));
+
+        let scenario = Scenario::named(format!(
+            "BER storm ×{} on {}",
+            storm.factor,
+            topology.describe_link(link)
+        ))
+        .ber_storm(storm.start_slot, storm.duration, vec![link], storm.factor);
+        let scenario_name = scenario.name.clone();
+
+        let workload =
+            FabricWorkload::symmetric(sessions, opts.messages_per_session, 8, opts.base_seed);
+        let report = ChaosMonteCarlo::new(topology, config, scenario, opts.trials).run(&workload);
+        ChaosEvidence {
+            topology: name,
+            sessions,
+            scenario: scenario_name,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolKind;
+
+    #[test]
+    fn rxl_storm_stress_stays_clean() {
+        let spec = FabricSpec::new(ProtocolKind::Rxl, 1_000, 2);
+        let opts = FabricSimOptions {
+            ber: 1e-5,
+            sessions: 3,
+            messages_per_session: 400,
+            trials: 2,
+            base_seed: 9,
+        };
+        let ev = spec.simulate_storm(&opts, &StormSpec::default());
+        assert_eq!(ev.report.trials, 2);
+        assert!(ev.report.failures.is_clean(), "{:?}", ev.report.failures);
+        assert_eq!(ev.report.undetected_drop_events, 0);
+        assert_eq!(ev.report.availability_mean(), 1.0);
+        assert!(ev.scenario.contains("BER storm"));
+        // Storm boundaries produce at least before/during epochs.
+        assert!(ev.report.epochs.len() >= 2, "{:?}", ev.report.epochs.len());
+    }
+
+    #[test]
+    fn depth_one_specs_storm_the_attachment_link() {
+        let spec = FabricSpec::new(ProtocolKind::Rxl, 16, 1);
+        let opts = FabricSimOptions {
+            ber: 1e-5,
+            sessions: 1,
+            messages_per_session: 60,
+            trials: 1,
+            base_seed: 4,
+        };
+        let ev = spec.simulate_storm(
+            &opts,
+            &StormSpec {
+                start_slot: 10,
+                duration: 50,
+                factor: 100.0,
+            },
+        );
+        assert!(ev.scenario.contains("endpoint"), "{}", ev.scenario);
+        assert!(ev.report.failures.is_clean());
+    }
+}

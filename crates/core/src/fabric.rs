@@ -135,6 +135,44 @@ impl FabricSpec {
         }
     }
 
+    /// Instantiates the canonical accelerated-BER ring fabric this spec's
+    /// simulation evidence runs on: the topology, protocol variant and trial
+    /// configuration shared by [`Self::simulate`] and the chaos bridge
+    /// (`Self::simulate_storm`).
+    pub(crate) fn instantiate(
+        &self,
+        opts: &FabricSimOptions,
+    ) -> (FabricTopology, ProtocolVariant, FabricConfig) {
+        let levels = self.switch_levels.max(1);
+        let span = (levels - 1) as usize;
+        // One host/device pair per switch keeps the ring's trunks at (or
+        // below) their one-flit-per-slot-per-direction capacity for shallow
+        // spans, so the measured coalescing fraction is not an artefact of
+        // sustained congestion; the ring also needs at least 2×span switches
+        // for `span` to be the shortest path. Very large session targets cap
+        // at 64 switches and stack extra pairs per switch instead.
+        let switches = (2 * span).max(3).max(opts.sessions.min(64));
+        let pairs = opts.sessions.div_ceil(switches).max(1);
+        let topology = FabricTopology::ring(switches, pairs, span);
+
+        let variant = match self.kind {
+            ProtocolKind::Cxl => ProtocolVariant::CxlPiggyback,
+            ProtocolKind::Rxl => ProtocolVariant::Rxl,
+        };
+        let ack_coalescing = if self.model.p_coalescing > 0.0 {
+            (1.0 / self.model.p_coalescing).round().max(1.0) as u32
+        } else {
+            u32::MAX
+        };
+        let config = FabricConfig {
+            ack_coalescing,
+            ..FabricConfig::new(variant)
+        }
+        .with_channel(ChannelErrorModel::random(opts.ber))
+        .with_seed(opts.base_seed);
+        (topology, variant, config)
+    }
+
     /// Gathers independent simulation evidence for this spec's analytic
     /// projection by running the `rxl-fabric` discrete-event simulator at an
     /// accelerated BER.
@@ -153,34 +191,9 @@ impl FabricSpec {
     /// so they are simulated at depth 1, the shallowest switched path.
     pub fn simulate(&self, opts: &FabricSimOptions) -> FabricSimEvidence {
         let levels = self.switch_levels.max(1);
-        let span = (levels - 1) as usize;
-        // One host/device pair per switch keeps the ring's trunks at (or
-        // below) their one-flit-per-slot-per-direction capacity for shallow
-        // spans, so the measured coalescing fraction is not an artefact of
-        // sustained congestion; the ring also needs at least 2×span switches
-        // for `span` to be the shortest path. Very large session targets cap
-        // at 64 switches and stack extra pairs per switch instead.
-        let switches = (2 * span).max(3).max(opts.sessions.min(64));
-        let pairs = opts.sessions.div_ceil(switches).max(1);
-        let topology = FabricTopology::ring(switches, pairs, span);
+        let (topology, variant, config) = self.instantiate(opts);
         let name = topology.name.clone();
         let sessions = topology.session_count();
-
-        let variant = match self.kind {
-            ProtocolKind::Cxl => ProtocolVariant::CxlPiggyback,
-            ProtocolKind::Rxl => ProtocolVariant::Rxl,
-        };
-        let ack_coalescing = if self.model.p_coalescing > 0.0 {
-            (1.0 / self.model.p_coalescing).round().max(1.0) as u32
-        } else {
-            u32::MAX
-        };
-        let config = FabricConfig {
-            ack_coalescing,
-            ..FabricConfig::new(variant)
-        }
-        .with_channel(ChannelErrorModel::random(opts.ber))
-        .with_seed(opts.base_seed);
 
         let routing = RoutingTable::new(&topology);
         let hops = routing

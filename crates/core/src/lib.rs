@@ -16,6 +16,9 @@
 //!   training job see an interconnect-induced failure?), and
 //!   [`FabricSpec::simulate`]: backing that projection with `rxl-fabric`
 //!   discrete-event simulation evidence at an accelerated BER.
+//! * [`chaos`] — [`FabricSpec::simulate_storm`]: stressing the same fabric
+//!   with `rxl-chaos` fault injection (a BER storm on one uplink) and
+//!   reporting per-epoch failure counts plus availability.
 //!
 //! The lower layers remain available as independent crates (`rxl-crc`,
 //! `rxl-fec`, `rxl-flit`, `rxl-link`, `rxl-switch`, `rxl-sim`) for users who
@@ -47,10 +50,12 @@
 //! assert!(receiver.receive(&wire_b).is_ok());
 //! ```
 
+pub mod chaos;
 pub mod config;
 pub mod fabric;
 pub mod stack;
 
+pub use chaos::{ChaosEvidence, StormSpec};
 pub use config::{ProtocolKind, StackConfig};
 pub use fabric::{FabricReliability, FabricSimEvidence, FabricSimOptions, FabricSpec};
 pub use stack::{CxlStack, ReceiveError, RxlStack};

@@ -35,14 +35,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rxl_flit::{Message, WireFlit};
-use rxl_link::{ChannelErrorModel, LinkConfig, LinkEndpoint, LinkStats, ProtocolVariant};
+use rxl_link::{Channel, ChannelErrorModel, LinkConfig, LinkEndpoint, LinkStats, ProtocolVariant};
 use rxl_switch::{
     InternalErrorModel, LinkCrcMode, ProcessVerdict, Switch, SwitchConfig, SwitchStats,
 };
 use rxl_transport::{DeliveryAuditor, DeliveryVerdict, FailureCounts};
 
-use crate::routing::RoutingTable;
-use crate::topology::{FabricTopology, NodeRole};
+use crate::routing::{RoutingTable, NO_ROUTE};
+use crate::topology::{FabricTopology, LinkId, NodeRole};
 
 /// Configuration of one fabric simulation trial.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -200,12 +200,28 @@ pub struct FabricReport {
     /// Slots in which a sender held a flit back for lack of downstream
     /// credit (backpressure observability).
     pub credit_stalls: u64,
+    /// Flits destroyed by fault injection: consumed by a dead switch,
+    /// purged from its queues at failure time, or dropped because routing
+    /// had no surviving path to their destination. Always 0 without an
+    /// active scenario.
+    pub blackholed_flits: u64,
     /// Number of simulated slots.
     pub slots: u64,
     /// Simulated time in nanoseconds.
     pub sim_time_ns: f64,
     /// `true` if every session drained before the slot limit.
     pub drained: bool,
+    /// `true` if the stall guard tripped while flits were wedged in switch
+    /// queues (or endpoint stall registers) with *no flit motion anywhere*
+    /// for the whole guard window — a credit deadlock, as the ring(span ≥ 2)
+    /// topology exhibits under saturation (cyclic trunk-credit dependency;
+    /// the model has no virtual channels). Distinct from the baseline-CXL
+    /// stale-NACK livelock, where replay traffic keeps moving but nothing is
+    /// accepted: that wedge reports `drained = false, deadlock = false`.
+    pub deadlock: bool,
+    /// Slot of the first undetected-drop (`Fail_order`) event, if any —
+    /// the time-to-first-failure statistic scenario reports aggregate.
+    pub first_fail_order_slot: Option<u64>,
 }
 
 impl FabricReport {
@@ -253,8 +269,48 @@ struct RoutedFlit {
 #[derive(Clone, Copy, Debug)]
 enum PortPeer {
     Endpoint(usize),
-    Trunk { switch: usize },
+    Trunk { switch: usize, trunk: usize },
     Unconnected,
+}
+
+/// Why a [`FabricSim::step`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Every session drained; the trial is complete.
+    Drained,
+    /// The stall guard tripped: livelock or credit deadlock (see
+    /// [`FabricReport::deadlock`]). The trial is over.
+    Stalled,
+    /// [`FabricConfig::max_slots`] was reached with work remaining.
+    SlotLimit,
+    /// The per-call slot budget ran out with work remaining; call
+    /// [`FabricSim::step`] again to continue (scenario engines use this to
+    /// pause at epoch boundaries).
+    Budget,
+}
+
+/// Mid-run snapshot of a trial's cumulative counters, taken with
+/// [`FabricSim::counters`]. Scenario engines difference two snapshots to
+/// report per-epoch activity. Message *losses* are only attributed when the
+/// trial finalizes, so `failures` here never includes `lost_messages`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FabricCounters {
+    /// Slots simulated so far.
+    pub slots: u64,
+    /// Audit counters over both directions of every session so far.
+    pub failures: FailureCounts,
+    /// Undetected-drop (`Fail_order`) events so far.
+    pub undetected_drop_events: u64,
+    /// Replay-window leak events so far.
+    pub replay_leak_events: u64,
+    /// Silent drops of first-transmission payload flits so far.
+    pub payload_drops: u64,
+    /// Silent drops of protocol flits (retransmissions included) so far.
+    pub protocol_flit_drops: u64,
+    /// Fault-injection blackhole drops so far.
+    pub blackholed_flits: u64,
+    /// Credit-stall slot count so far.
+    pub credit_stalls: u64,
 }
 
 /// One fabric trial: every endpoint, switch, queue and auditor.
@@ -273,6 +329,14 @@ enum PortPeer {
 /// this visit order — the Monte-Carlo reproducibility contract
 /// (`tests/fabric_golden_digest.rs`, and the 1-vs-N-thread test in
 /// [`crate::montecarlo`]) pins it.
+///
+/// Fault injection composes with this contract rather than weakening it:
+/// per-link channel overrides draw from the same RNG at exactly the points
+/// the static channel would (the [`Channel`] trait documents the draw-order
+/// rules implementations must follow), and with no overrides installed the
+/// static `config.channel` path is taken unchanged — so a scenario-free
+/// trial, and every trial before its first scenario event, remains
+/// bit-identical to the pristine engine.
 pub struct FabricSim<'a> {
     topology: &'a FabricTopology,
     routing: &'a RoutingTable,
@@ -324,6 +388,35 @@ pub struct FabricSim<'a> {
     /// guard bookkeeping).
     accepted_this_slot: bool,
     rng: StdRng,
+    /// Per-link channel overrides installed by a fault-injection scenario,
+    /// indexed by [`LinkId::index`] (endpoint attachment links first, then
+    /// trunks). `None` ⇒ every link runs the static `config.channel` — the
+    /// zero-cost path scenario-free trials stay on.
+    link_channels: Option<Vec<Option<Box<dyn Channel>>>>,
+    /// Routing recomputed after a switch drain/failure; `None` ⇒ the shared
+    /// pristine table.
+    routing_override: Option<RoutingTable>,
+    /// Switches that failed hard: queues purged, all ingress blackholed.
+    dead_switches: Vec<bool>,
+    /// Switches excluded from transit routing (drained or dead).
+    no_transit: Vec<bool>,
+    blackholed_flits: u64,
+    first_fail_order_slot: Option<u64>,
+    /// Slot at which a flit last moved anywhere (staged, consumed by a
+    /// switch pipeline, delivered, or blackholed). Distinguishes a credit
+    /// deadlock (flits wedged, zero motion) from the baseline-CXL replay
+    /// livelock (constant motion, zero acceptance) when the stall guard
+    /// trips.
+    last_motion_slot: u64,
+    deadlock: bool,
+    // Run-loop state, persisted across `step` calls so scenario engines can
+    // pause the trial at epoch boundaries.
+    workload_loaded: bool,
+    now: f64,
+    slots: u64,
+    drained: bool,
+    last_accept_slot: u64,
+    flit_time_ns: f64,
 }
 
 impl<'a> FabricSim<'a> {
@@ -354,9 +447,15 @@ impl<'a> FabricSim<'a> {
         for (id, ep) in topology.endpoints.iter().enumerate() {
             port_peer[ep.switch][ep.port] = PortPeer::Endpoint(id);
         }
-        for t in &topology.trunks {
-            port_peer[t.a.0][t.a.1] = PortPeer::Trunk { switch: t.b.0 };
-            port_peer[t.b.0][t.b.1] = PortPeer::Trunk { switch: t.a.0 };
+        for (ti, t) in topology.trunks.iter().enumerate() {
+            port_peer[t.a.0][t.a.1] = PortPeer::Trunk {
+                switch: t.b.0,
+                trunk: ti,
+            };
+            port_peer[t.b.0][t.b.1] = PortPeer::Trunk {
+                switch: t.a.0,
+                trunk: ti,
+            };
         }
 
         let mut session_of = vec![usize::MAX; topology.endpoints.len()];
@@ -412,10 +511,62 @@ impl<'a> FabricSim<'a> {
             credit_stalls: 0,
             accepted_this_slot: false,
             rng: StdRng::seed_from_u64(config.seed),
+            link_channels: None,
+            routing_override: None,
+            dead_switches: vec![false; topology.switches.len()],
+            no_transit: vec![false; topology.switches.len()],
+            blackholed_flits: 0,
+            first_fail_order_slot: None,
+            last_motion_slot: 0,
+            deadlock: false,
+            workload_loaded: false,
+            now: 0.0,
+            slots: 0,
+            drained: false,
+            last_accept_slot: 0,
+            flit_time_ns: config.link_config().flit_time_ns,
             topology,
             routing,
             config,
         }
+    }
+
+    /// The active egress lookup: the scenario-recomputed table once a switch
+    /// has been drained or failed, the pristine shared table otherwise.
+    #[inline]
+    fn egress_of(&self, sw: usize, dst: usize) -> usize {
+        match &self.routing_override {
+            Some(r) => r.egress(sw, dst),
+            None => self.routing.egress(sw, dst),
+        }
+    }
+
+    /// Runs `wire` through the channel of link `link` (a raw
+    /// [`LinkId::index`]). With no overrides installed this is exactly the
+    /// static `config.channel` — no dispatch, no draws beyond the pristine
+    /// engine's.
+    #[inline]
+    fn corrupt_on_link(&mut self, link: usize, wire: &mut WireFlit) {
+        match &mut self.link_channels {
+            None => {
+                self.config.channel.apply(wire, &mut self.rng);
+            }
+            Some(overrides) => match &mut overrides[link] {
+                Some(ch) => {
+                    ch.corrupt(wire, self.now, &mut self.rng);
+                }
+                None => {
+                    self.config.channel.apply(wire, &mut self.rng);
+                }
+            },
+        }
+    }
+
+    /// Records a fault-injection blackhole drop (which is flit motion for
+    /// deadlock-classification purposes: state changed).
+    fn note_blackhole(&mut self) {
+        self.blackholed_flits += 1;
+        self.last_motion_slot = self.slots;
     }
 
     /// Free credits on a switch-port output queue, counting flits that
@@ -467,17 +618,28 @@ impl<'a> FabricSim<'a> {
         }
     }
 
-    /// Transmits `rf` into switch `sw` (applying the link channel error and
-    /// the switch's forwarding pipeline) towards the egress chosen by the
-    /// routing table. Returns the flit untouched if the egress has no free
-    /// credit; `None` once it has been queued or silently dropped.
-    fn transmit_into(&mut self, sw: usize, mut rf: RoutedFlit) -> Option<RoutedFlit> {
-        let egress = self.routing.egress(sw, rf.dst);
+    /// Transmits `rf` into switch `sw` over link `link` (applying that
+    /// link's channel error and the switch's forwarding pipeline) towards
+    /// the egress chosen by the routing table. Returns the flit untouched if
+    /// the egress has no free credit; `None` once it has been queued,
+    /// silently dropped, or blackholed by fault injection (dead switch / no
+    /// surviving route).
+    fn transmit_into(&mut self, sw: usize, link: usize, mut rf: RoutedFlit) -> Option<RoutedFlit> {
+        if self.dead_switches[sw] {
+            self.note_blackhole();
+            return None;
+        }
+        let egress = self.egress_of(sw, rf.dst);
+        if egress == NO_ROUTE {
+            self.note_blackhole();
+            return None;
+        }
         if !self.has_credit(sw, egress) {
             self.credit_stalls += 1;
             return Some(rf);
         }
-        self.config.channel.apply(&mut rf.wire, &mut self.rng);
+        self.last_motion_slot = self.slots;
+        self.corrupt_on_link(link, &mut rf.wire);
         match self.switches[sw].process_in_place(&mut rf.wire, &mut self.rng) {
             ProcessVerdict::Forwarded { .. } => {
                 self.staged[sw][egress].push(rf);
@@ -504,7 +666,8 @@ impl<'a> FabricSim<'a> {
     /// Delivers one flit to its destination endpoint, audits the delivered
     /// messages and classifies undetected-drop events.
     fn deliver_to_endpoint(&mut self, dst: usize, mut rf: RoutedFlit, now: f64) {
-        self.config.channel.apply(&mut rf.wire, &mut self.rng);
+        self.last_motion_slot = self.slots;
+        self.corrupt_on_link(dst, &mut rf.wire);
         let result = self.endpoints[dst].receive(&rf.wire, now);
         self.accepted_this_slot |= result.accepted;
 
@@ -542,21 +705,26 @@ impl<'a> FabricSim<'a> {
                     self.replay_leak_events += 1;
                 } else if !self.gap_open[dst] {
                     self.undetected_drop_events += 1;
+                    if self.first_fail_order_slot.is_none() {
+                        self.first_fail_order_slot = Some(self.slots);
+                    }
                 }
             }
             self.gap_open[dst] = audit.has_open_gaps();
         }
     }
 
-    /// Runs the trial to quiescence (or the slot limit) and reports.
-    pub fn run(mut self, workload: &FabricWorkload) -> FabricReport {
+    /// Loads the workload: registers every message with the ground-truth
+    /// auditors and enqueues it at its sending endpoint. Must be called
+    /// exactly once, before [`Self::step`].
+    pub fn begin(&mut self, workload: &FabricWorkload) {
+        assert!(!self.workload_loaded, "begin must be called exactly once");
         assert_eq!(
             workload.sessions(),
             self.topology.sessions.len(),
             "workload must cover every session"
         );
-        let flit_time = self.config.link_config().flit_time_ns;
-
+        self.workload_loaded = true;
         for (s, session) in self.topology.sessions.iter().enumerate() {
             for m in &workload.downstream[s] {
                 self.downstream_audits[s].record_sent(m);
@@ -567,14 +735,26 @@ impl<'a> FabricSim<'a> {
             self.endpoints[session.host].enqueue_messages(workload.downstream[s].iter().copied());
             self.endpoints[session.device].enqueue_messages(workload.upstream[s].iter().copied());
         }
+    }
 
-        let mut now = 0.0f64;
-        let mut slots = 0u64;
-        let mut drained = false;
-        let mut last_accept_slot = 0u64;
-        while slots < self.config.max_slots {
-            slots += 1;
-            now += flit_time;
+    /// Advances the trial by at most `budget` slots (scenario engines pass
+    /// the distance to the next epoch boundary; [`Self::run`] passes
+    /// `u64::MAX`). Returns why the call stopped; only
+    /// [`StepOutcome::Budget`] means the trial can continue.
+    pub fn step(&mut self, budget: u64) -> StepOutcome {
+        assert!(self.workload_loaded, "step requires begin");
+        if self.drained {
+            return StepOutcome::Drained;
+        }
+        let mut stepped = 0u64;
+        while self.slots < self.config.max_slots {
+            if stepped == budget {
+                return StepOutcome::Budget;
+            }
+            stepped += 1;
+            self.slots += 1;
+            self.now += self.flit_time_ns;
+            let now = self.now;
             self.accepted_this_slot = false;
             let mut all_endpoints_idle = true;
 
@@ -584,7 +764,7 @@ impl<'a> FabricSim<'a> {
                 if let Some(rf) = self.stalled[e].take() {
                     // A stalled flit consumes this slot's opportunity.
                     all_endpoints_idle = false;
-                    self.stalled[e] = self.transmit_into(sw, rf);
+                    self.stalled[e] = self.transmit_into(sw, e, rf);
                     continue;
                 }
                 let emission = self.endpoints[e].emit(now);
@@ -602,7 +782,7 @@ impl<'a> FabricSim<'a> {
                         protocol,
                         retransmission,
                     };
-                    self.stalled[e] = self.transmit_into(sw, rf);
+                    self.stalled[e] = self.transmit_into(sw, e, rf);
                 }
             }
 
@@ -625,25 +805,42 @@ impl<'a> FabricSim<'a> {
                             let port = pwi * 64 + port_word.trailing_zeros() as usize;
                             port_word &= port_word - 1;
                             let head = self.out_q[sw][port].front().expect("tracked non-empty");
+                            let head_dst = head.dst;
                             match self.port_peer[sw][port] {
                                 PortPeer::Endpoint(dst) => {
-                                    debug_assert_eq!(head.dst, dst);
+                                    debug_assert_eq!(head_dst, dst);
                                     let rf = self.out_q[sw][port].pop_front().expect("head exists");
                                     self.note_out_pop(sw, port);
                                     self.deliver_to_endpoint(dst, rf, now);
                                 }
-                                PortPeer::Trunk { switch: next } => {
+                                PortPeer::Trunk {
+                                    switch: next,
+                                    trunk,
+                                } => {
+                                    // A dead next hop (or a destination no
+                                    // surviving route reaches) swallows the
+                                    // flit instead of wedging the queue.
+                                    if self.dead_switches[next]
+                                        || self.egress_of(next, head_dst) == NO_ROUTE
+                                    {
+                                        let _ =
+                                            self.out_q[sw][port].pop_front().expect("head exists");
+                                        self.note_out_pop(sw, port);
+                                        self.note_blackhole();
+                                        continue;
+                                    }
                                     // Credit check against the next switch's
                                     // egress before popping: without a credit
                                     // the flit holds its place at the head.
-                                    let egress = self.routing.egress(next, head.dst);
+                                    let egress = self.egress_of(next, head_dst);
                                     if !self.has_credit(next, egress) {
                                         self.credit_stalls += 1;
                                         continue;
                                     }
                                     let rf = self.out_q[sw][port].pop_front().expect("head exists");
                                     self.note_out_pop(sw, port);
-                                    let held = self.transmit_into(next, rf);
+                                    let link = self.endpoints.len() + trunk;
+                                    let held = self.transmit_into(next, link, rf);
                                     debug_assert!(held.is_none(), "credit was checked above");
                                 }
                                 PortPeer::Unconnected => {
@@ -684,21 +881,42 @@ impl<'a> FabricSim<'a> {
                 && self.stalled.iter().all(Option::is_none)
                 && self.endpoints.iter().all(LinkEndpoint::is_quiescent)
             {
-                drained = true;
-                break;
+                self.drained = true;
+                return StepOutcome::Drained;
             }
 
             // Livelock guard: abort once nothing has been accepted anywhere
             // for the configured window (see `FabricConfig::stall_slots`).
             if self.accepted_this_slot {
-                last_accept_slot = slots;
+                self.last_accept_slot = self.slots;
             } else if self.config.stall_slots > 0
-                && slots - last_accept_slot >= self.config.stall_slots
+                && self.slots - self.last_accept_slot >= self.config.stall_slots
             {
-                break;
+                // Classify the wedge: flits stuck in the fabric with no
+                // motion anywhere for at least half the guard window is a
+                // credit deadlock (once the cyclic credit wait closes,
+                // motion ceases entirely); motion without acceptance is the
+                // documented replay livelock, which keeps flits moving every
+                // few slots right up to the guard.
+                self.deadlock = (self.nonempty_out_ports > 0
+                    || self.stalled.iter().any(Option::is_some))
+                    && self.slots - self.last_motion_slot >= self.config.stall_slots.div_ceil(2);
+                return StepOutcome::Stalled;
             }
         }
+        StepOutcome::SlotLimit
+    }
 
+    /// Runs the trial to quiescence (or the slot limit) and reports.
+    pub fn run(mut self, workload: &FabricWorkload) -> FabricReport {
+        self.begin(workload);
+        let _ = self.step(u64::MAX);
+        self.finish()
+    }
+
+    /// Closes the audits (attributing losses) and assembles the final
+    /// report.
+    pub fn finish(self) -> FabricReport {
         let mut links = LinkStats::default();
         for ep in &self.endpoints {
             links.merge(&ep.stats());
@@ -732,10 +950,136 @@ impl<'a> FabricSim<'a> {
             eligible_payload_drops: self.eligible_payload_drops,
             replay_leak_events: self.replay_leak_events,
             credit_stalls: self.credit_stalls,
-            slots,
-            sim_time_ns: now,
-            drained,
+            blackholed_flits: self.blackholed_flits,
+            slots: self.slots,
+            sim_time_ns: self.now,
+            drained: self.drained,
+            deadlock: self.deadlock,
+            first_fail_order_slot: self.first_fail_order_slot,
         }
+    }
+
+    /// Slots simulated so far.
+    pub fn slot(&self) -> u64 {
+        self.slots
+    }
+
+    /// The per-trial configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Snapshot of the cumulative counters, for per-epoch deltas.
+    pub fn counters(&self) -> FabricCounters {
+        let mut failures = FailureCounts::default();
+        for audit in self.downstream_audits.iter().chain(&self.upstream_audits) {
+            failures.merge(audit.counts());
+        }
+        FabricCounters {
+            slots: self.slots,
+            failures,
+            undetected_drop_events: self.undetected_drop_events,
+            replay_leak_events: self.replay_leak_events,
+            payload_drops: self.payload_drops,
+            protocol_flit_drops: self.protocol_flit_drops,
+            blackholed_flits: self.blackholed_flits,
+            credit_stalls: self.credit_stalls,
+        }
+    }
+
+    /// Slot of the first undetected-drop (`Fail_order`) event so far.
+    pub fn first_fail_order_slot(&self) -> Option<u64> {
+        self.first_fail_order_slot
+    }
+
+    /// Installs a (possibly time-varying) channel on one link, replacing the
+    /// static `config.channel` for that link until
+    /// [`Self::reset_link_channel`]. The scenario engine in `rxl-chaos` is
+    /// the intended caller.
+    pub fn set_link_channel(&mut self, link: LinkId, channel: Box<dyn Channel>) {
+        let n = self.topology.link_count();
+        assert!(link.index() < n, "link out of range");
+        let overrides = self
+            .link_channels
+            .get_or_insert_with(|| (0..n).map(|_| None).collect());
+        overrides[link.index()] = Some(channel);
+    }
+
+    /// Reverts one link to the static `config.channel`.
+    pub fn reset_link_channel(&mut self, link: LinkId) {
+        if let Some(overrides) = &mut self.link_channels {
+            overrides[link.index()] = None;
+        }
+    }
+
+    /// Excludes switch `sw` from transit routing (a graceful drain): its
+    /// attached endpoints stay reachable and queued flits still forward, but
+    /// no recomputed route crosses it. Destinations only reachable through
+    /// it are blackholed.
+    pub fn drain_switch(&mut self, sw: usize) {
+        assert!(sw < self.switches.len(), "switch out of range");
+        if self.no_transit[sw] {
+            return;
+        }
+        self.no_transit[sw] = true;
+        self.rebuild_routing();
+    }
+
+    /// Restores a drained (not failed) switch to transit eligibility.
+    pub fn undrain_switch(&mut self, sw: usize) {
+        assert!(sw < self.switches.len(), "switch out of range");
+        if self.dead_switches[sw] || !self.no_transit[sw] {
+            return;
+        }
+        self.no_transit[sw] = false;
+        self.rebuild_routing();
+    }
+
+    /// Kills switch `sw` outright: every flit queued or staged on it is
+    /// lost, all future ingress is blackholed, and routing is recomputed so
+    /// surviving sessions reroute (destination-based lookups re-resolve at
+    /// every hop, so flits already in flight elsewhere reroute too).
+    /// Endpoints attached to it are orphaned; their traffic blackholes.
+    pub fn fail_switch(&mut self, sw: usize) {
+        assert!(sw < self.switches.len(), "switch out of range");
+        if self.dead_switches[sw] {
+            return;
+        }
+        self.dead_switches[sw] = true;
+        self.no_transit[sw] = true;
+        for port in 0..self.out_q[sw].len() {
+            let queued = std::mem::take(&mut self.out_q[sw][port]);
+            if !queued.is_empty() {
+                self.blackholed_flits += queued.len() as u64;
+                let (wi, mask) = (port / 64, 1u64 << (port % 64));
+                debug_assert_ne!(self.out_nonempty[sw][wi] & mask, 0);
+                self.out_nonempty[sw][wi] &= !mask;
+                self.nonempty_out_ports -= 1;
+                self.sw_out_count[sw] -= 1;
+            }
+            let staged = std::mem::take(&mut self.staged[sw][port]);
+            if !staged.is_empty() {
+                self.blackholed_flits += staged.len() as u64;
+                let (wi, mask) = (port / 64, 1u64 << (port % 64));
+                debug_assert_ne!(self.staged_nonempty[sw][wi] & mask, 0);
+                self.staged_nonempty[sw][wi] &= !mask;
+                self.sw_staged_count[sw] -= 1;
+            }
+        }
+        debug_assert_eq!(self.sw_out_count[sw], 0);
+        debug_assert_eq!(self.sw_staged_count[sw], 0);
+        self.sw_out_any[sw / 64] &= !(1u64 << (sw % 64));
+        self.sw_staged_any[sw / 64] &= !(1u64 << (sw % 64));
+        self.last_motion_slot = self.slots;
+        self.rebuild_routing();
+    }
+
+    fn rebuild_routing(&mut self) {
+        self.routing_override = Some(RoutingTable::degraded(
+            self.topology,
+            &self.no_transit,
+            &self.dead_switches,
+        ));
     }
 }
 
@@ -875,6 +1219,101 @@ mod tests {
         assert_eq!(a.switches, b.switches);
         assert_eq!(a.slots, b.slots);
         assert_eq!(a.total_failures(), b.total_failures());
+    }
+
+    /// The known ring(span ≥ 2) saturation wedge (cyclic trunk-credit
+    /// dependency, no virtual channels in the model) must surface as a
+    /// *detectable* outcome — `deadlock = true` — rather than a silent
+    /// stall-guard abort indistinguishable from the CXL replay livelock.
+    #[test]
+    fn saturated_ring_span2_reports_credit_deadlock() {
+        let t = FabricTopology::ring(6, 2, 2);
+        let routing = RoutingTable::new(&t);
+        let config = FabricConfig {
+            queue_capacity: 4,
+            ..FabricConfig::new(ProtocolVariant::Rxl)
+        }
+        .with_channel(ChannelErrorModel::ideal());
+        let workload = FabricWorkload::symmetric(t.session_count(), 2_000, 8, 2);
+        let report = FabricSim::new(&t, &routing, config).run(&workload);
+        assert!(!report.drained, "saturated span-2 ring must wedge");
+        assert!(report.deadlock, "the wedge must be classified as deadlock");
+        assert!(report.credit_stalls > 0);
+    }
+
+    /// The baseline-CXL stale-NACK wedge keeps replay traffic moving, so it
+    /// must NOT be classified as a credit deadlock.
+    #[test]
+    fn cxl_livelock_wedge_is_not_classified_as_deadlock() {
+        let t = FabricTopology::ring(4, 1, 1);
+        let report = run_one(
+            &t,
+            ProtocolVariant::CxlPiggyback,
+            ChannelErrorModel::random(1e-3),
+            0,
+            600,
+        );
+        assert!(!report.drained, "this operating point wedges (livelock)");
+        assert!(!report.deadlock, "livelock is not a credit deadlock");
+    }
+
+    #[test]
+    fn failing_a_spine_mid_run_reroutes_over_the_survivor() {
+        let t = FabricTopology::leaf_spine(2, 2, 1);
+        let routing = RoutingTable::new(&t);
+        let config =
+            FabricConfig::new(ProtocolVariant::Rxl).with_channel(ChannelErrorModel::ideal());
+        let workload = FabricWorkload::symmetric(t.session_count(), 2_000, 8, 3);
+        let mut sim = FabricSim::new(&t, &routing, config);
+        sim.begin(&workload);
+        assert_eq!(sim.step(60), StepOutcome::Budget, "traffic still flowing");
+        let mid = sim.counters();
+        sim.fail_switch(2); // first spine
+        assert_eq!(sim.step(u64::MAX), StepOutcome::Drained);
+        let report = sim.finish();
+        // The blackholed flits look like silent drops to RXL's go-back-N
+        // machinery, so everything is retried over the surviving spine and
+        // the audit stays clean.
+        assert!(report.drained);
+        assert!(
+            report.total_failures().is_clean(),
+            "{:?}",
+            report.total_failures()
+        );
+        assert!(report.blackholed_flits > 0, "spine queues held flits");
+        assert!(
+            report.total_failures().clean_deliveries > mid.failures.clean_deliveries,
+            "traffic must keep delivering after the failure"
+        );
+    }
+
+    #[test]
+    fn per_link_channel_override_corrupts_only_that_link() {
+        let t = FabricTopology::leaf_spine(2, 1, 1);
+        let routing = RoutingTable::new(&t);
+        let config =
+            FabricConfig::new(ProtocolVariant::Rxl).with_channel(ChannelErrorModel::ideal());
+        let workload = FabricWorkload::symmetric(t.session_count(), 120, 8, 5);
+        let mut sim = FabricSim::new(&t, &routing, config);
+        let uplink = t.trunk_between(0, 2).expect("leaf 0 ⇄ spine trunk");
+        sim.set_link_channel(uplink, Box::new(ChannelErrorModel::random(1e-3)));
+        sim.begin(&workload);
+        let _ = sim.step(u64::MAX);
+        let report = sim.finish();
+        assert!(
+            report.switches.flits_dropped_uncorrectable > 0,
+            "the noisy uplink must produce silent drops"
+        );
+        assert!(report.drained);
+        assert!(report.total_failures().is_clean());
+        // And resetting the link restores the (ideal) static path.
+        let mut sim = FabricSim::new(&t, &routing, config);
+        sim.set_link_channel(uplink, Box::new(ChannelErrorModel::random(1e-3)));
+        sim.reset_link_channel(uplink);
+        sim.begin(&workload);
+        let _ = sim.step(u64::MAX);
+        let report = sim.finish();
+        assert_eq!(report.switches.flits_dropped_uncorrectable, 0);
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub mod routing;
 pub mod topology;
 
 pub use crosscheck::FitCrosscheck;
-pub use engine::{FabricConfig, FabricReport, FabricSim, FabricWorkload};
+pub use engine::{
+    FabricConfig, FabricCounters, FabricReport, FabricSim, FabricWorkload, StepOutcome,
+};
 pub use montecarlo::{FabricMonteCarlo, FabricMonteCarloReport};
-pub use routing::RoutingTable;
-pub use topology::{EndpointNode, FabricTopology, NodeRole, Session, SwitchNode, TrunkLink};
+pub use routing::{RoutingTable, NO_ROUTE};
+pub use topology::{
+    EndpointNode, FabricTopology, LinkId, NodeRole, Session, SwitchNode, TrunkLink,
+};

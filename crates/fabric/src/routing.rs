@@ -10,6 +10,11 @@
 
 use crate::topology::FabricTopology;
 
+/// Sentinel egress value meaning "no usable path": the destination's
+/// attachment switch is dead, or every route to it crosses an excluded
+/// switch. The fabric engine blackholes flits whose lookup returns this.
+pub const NO_ROUTE: usize = usize::MAX;
+
 /// Precomputed next-hop tables: `next_hop[switch][endpoint]` is the egress
 /// port of `switch` on the shortest path towards `endpoint`.
 #[derive(Clone, Debug)]
@@ -21,7 +26,36 @@ impl RoutingTable {
     /// Builds the table for a topology. Panics if the trunk graph leaves any
     /// switch unable to reach any endpoint's attachment switch.
     pub fn new(topology: &FabricTopology) -> Self {
+        let healthy = vec![false; topology.switch_count()];
+        let table = Self::degraded(topology, &healthy, &healthy);
+        for (sw, row) in table.next_hop.iter().enumerate() {
+            for (ep_id, &port) in row.iter().enumerate() {
+                assert!(
+                    port != NO_ROUTE,
+                    "switch {sw} cannot reach endpoint {ep_id}'s switch {}",
+                    topology.endpoints[ep_id].switch
+                );
+            }
+        }
+        table
+    }
+
+    /// Builds the table for a fabric with degraded switches. Switches with
+    /// `no_transit[sw]` set still source, sink and locally deliver traffic
+    /// (their attached endpoints stay reachable) but are never used as an
+    /// intermediate hop — the routing half of a `SwitchDrain`. Switches with
+    /// `dead[sw]` set are avoided entirely; endpoints attached to them (and
+    /// endpoints every path to which crosses an excluded switch) get
+    /// [`NO_ROUTE`] entries instead of a panic.
+    ///
+    /// With both masks all-false this produces *exactly* the table of
+    /// [`RoutingTable::new`]: same BFS tie-breaks, same deterministic ECMP
+    /// spread — which is what keeps a no-op scenario bit-identical to the
+    /// scenario-free engine.
+    pub fn degraded(topology: &FabricTopology, no_transit: &[bool], dead: &[bool]) -> Self {
         let n = topology.switch_count();
+        assert_eq!(no_transit.len(), n);
+        assert_eq!(dead.len(), n);
         // Adjacency: for each switch, (egress port, neighbour switch), in
         // deterministic trunk order.
         let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
@@ -33,41 +67,62 @@ impl RoutingTable {
             neighbours.sort_unstable();
         }
 
-        // BFS from every switch: hop distance to every other switch.
-        let dist = |from: usize| -> Vec<u32> {
+        // BFS towards every destination switch `target`: `d[s]` is the hop
+        // distance from `s` to `target` over paths whose *intermediate*
+        // switches are all transit-eligible. Expanding from `u` to a
+        // neighbour `v` extends the path `v → u → … → target`, so `u` must
+        // be the target itself or transit-eligible, and nothing dead is ever
+        // entered.
+        let dist_to = |target: usize| -> Vec<u32> {
             let mut d = vec![u32::MAX; n];
-            let mut queue = std::collections::VecDeque::from([from]);
-            d[from] = 0;
-            while let Some(s) = queue.pop_front() {
-                for &(_, next) in &adj[s] {
-                    if d[next] == u32::MAX {
-                        d[next] = d[s] + 1;
-                        queue.push_back(next);
+            if dead[target] {
+                return d;
+            }
+            let mut queue = std::collections::VecDeque::from([target]);
+            d[target] = 0;
+            while let Some(u) = queue.pop_front() {
+                if u != target && no_transit[u] {
+                    continue;
+                }
+                for &(_, v) in &adj[u] {
+                    if !dead[v] && d[v] == u32::MAX {
+                        d[v] = d[u] + 1;
+                        queue.push_back(v);
                     }
                 }
             }
             d
         };
-        let dists: Vec<Vec<u32>> = (0..n).map(dist).collect();
+        let dists: Vec<Vec<u32>> = (0..n).map(dist_to).collect();
 
-        let mut next_hop = vec![vec![usize::MAX; topology.endpoint_count()]; n];
+        let mut next_hop = vec![vec![NO_ROUTE; topology.endpoint_count()]; n];
         for (ep_id, ep) in topology.endpoints.iter().enumerate() {
+            let to_target = &dists[ep.switch];
             for (sw, row) in next_hop.iter_mut().enumerate() {
+                if dead[sw] {
+                    continue;
+                }
                 if sw == ep.switch {
                     // Final hop: the endpoint's own port.
                     row[ep_id] = ep.port;
                     continue;
                 }
-                let here = dists[sw][ep.switch];
-                assert!(
-                    here != u32::MAX,
-                    "switch {sw} cannot reach endpoint {ep_id}'s switch {}",
-                    ep.switch
-                );
-                // All neighbours one hop closer to the destination switch.
+                let here = to_target[sw];
+                if here == u32::MAX {
+                    continue;
+                }
+                // All usable neighbours one hop closer to the destination
+                // switch. A transit-excluded switch can *originate* a path
+                // (it has a finite distance) but must not be entered as an
+                // intermediate hop, so it is only a candidate when it is the
+                // destination's own attachment switch. Every finite BFS
+                // distance was relaxed through such an eligible neighbour,
+                // so the candidate set is never empty.
                 let candidates: Vec<usize> = adj[sw]
                     .iter()
-                    .filter(|&&(_, next)| dists[next][ep.switch] == here - 1)
+                    .filter(|&&(_, next)| {
+                        to_target[next] == here - 1 && (next == ep.switch || !no_transit[next])
+                    })
                     .map(|&(port, _)| port)
                     .collect();
                 assert!(!candidates.is_empty(), "BFS invariant violated");
@@ -78,9 +133,15 @@ impl RoutingTable {
         RoutingTable { next_hop }
     }
 
-    /// The egress port `switch` forwards traffic for `endpoint` to.
+    /// The egress port `switch` forwards traffic for `endpoint` to, or
+    /// [`NO_ROUTE`] if a degraded table has no usable path.
     pub fn egress(&self, switch: usize, endpoint: usize) -> usize {
         self.next_hop[switch][endpoint]
+    }
+
+    /// `true` if `switch` has a usable egress towards `endpoint`.
+    pub fn reachable(&self, switch: usize, endpoint: usize) -> bool {
+        self.next_hop[switch][endpoint] != NO_ROUTE
     }
 
     /// The number of switches on every session's host→device path, if that
@@ -172,6 +233,102 @@ mod tests {
             .map(|(id, _)| r.egress(0, id))
             .collect();
         assert!(ports.len() > 1, "ECMP must spread over spines: {ports:?}");
+    }
+
+    #[test]
+    fn degraded_with_empty_masks_is_identical_to_new() {
+        for t in [
+            FabricTopology::leaf_spine(3, 2, 2),
+            FabricTopology::fat_tree2(2, 3, 2),
+            FabricTopology::ring(6, 1, 2),
+        ] {
+            let baseline = RoutingTable::new(&t);
+            let masks = vec![false; t.switch_count()];
+            let degraded = RoutingTable::degraded(&t, &masks, &masks);
+            for sw in 0..t.switch_count() {
+                for ep in 0..t.endpoint_count() {
+                    assert_eq!(
+                        baseline.egress(sw, ep),
+                        degraded.egress(sw, ep),
+                        "{}",
+                        t.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_spine_reroutes_over_the_survivor() {
+        let t = FabricTopology::leaf_spine(2, 2, 1);
+        let mut dead = vec![false; t.switch_count()];
+        dead[2] = true; // first spine (switches: leaf 0, leaf 1, spine 0, spine 1)
+        let no_transit = dead.clone();
+        let r = RoutingTable::degraded(&t, &no_transit, &dead);
+        for s in &t.sessions {
+            // Both directions still routable, and never via the dead spine.
+            for (src, dst) in [(s.host, s.device), (s.device, s.host)] {
+                assert!(r.reachable(t.endpoints[src].switch, dst));
+                assert_eq!(r.path_switches(&t, src, dst), 3);
+            }
+        }
+        for ep in 0..t.endpoint_count() {
+            assert!(!r.reachable(2, ep), "dead switch rows must be NO_ROUTE");
+            // Leaves never forward towards the dead spine's trunk ports.
+            for leaf in 0..2 {
+                let port = r.egress(leaf, ep);
+                let via_dead = t.trunks.iter().any(|tr| {
+                    (tr.a == (leaf, port) && tr.b.0 == 2) || (tr.b == (leaf, port) && tr.a.0 == 2)
+                });
+                assert!(
+                    !via_dead,
+                    "leaf {leaf} routes endpoint {ep} via the dead spine"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drained_switch_keeps_its_endpoints_reachable_but_carries_no_transit() {
+        // Ring of 4, span 1: every session's path is host-switch → next
+        // switch. Draining switch 1 must keep its own endpoints reachable
+        // (it is an attachment switch) while transit routes detour around it.
+        let t = FabricTopology::ring(4, 1, 1);
+        let mut no_transit = vec![false; t.switch_count()];
+        no_transit[1] = true;
+        let dead = vec![false; t.switch_count()];
+        let r = RoutingTable::degraded(&t, &no_transit, &dead);
+        for ep in 0..t.endpoint_count() {
+            for sw in 0..t.switch_count() {
+                assert!(r.reachable(sw, ep), "switch {sw} lost endpoint {ep}");
+            }
+        }
+        // Traffic from switch 0 to endpoints on switch 2 now detours via
+        // switch 3 (three hops) instead of transiting the drained switch 1.
+        let on_sw2 = (0..t.endpoint_count())
+            .find(|&e| t.endpoints[e].switch == 2)
+            .unwrap();
+        assert_eq!(
+            r.egress(0, on_sw2),
+            1,
+            "must leave counter-clockwise, via switch 3"
+        );
+    }
+
+    #[test]
+    fn fully_disconnected_destination_gets_no_route() {
+        // Killing both spines strands the cross-leaf sessions.
+        let t = FabricTopology::leaf_spine(2, 2, 1);
+        let mut dead = vec![false; t.switch_count()];
+        dead[2] = true;
+        dead[3] = true;
+        let r = RoutingTable::degraded(&t, &dead.clone(), &dead);
+        for s in &t.sessions {
+            let host_sw = t.endpoints[s.host].switch;
+            assert!(!r.reachable(host_sw, s.device));
+            // Local delivery on the attachment switch still works.
+            assert!(r.reachable(t.endpoints[s.device].switch, s.device));
+        }
     }
 
     #[test]

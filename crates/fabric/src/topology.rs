@@ -63,6 +63,23 @@ pub struct Session {
     pub device: usize,
 }
 
+/// Identifier of one physical link of the fabric: either an endpoint's
+/// attachment link (endpoint ⇄ its switch) or a trunk (switch ⇄ switch).
+/// Links are what fault-injection scenarios target — the fabric engine keeps
+/// one (possibly time-varying) channel per link. Obtain ids via
+/// [`FabricTopology::endpoint_link`], [`FabricTopology::trunk_link`] or
+/// [`FabricTopology::trunk_between`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub(crate) usize);
+
+impl LinkId {
+    /// Dense index into the fabric's link space: endpoint attachment links
+    /// first (in endpoint order), then trunks (in trunk order).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
 /// A complete fabric description: endpoints, switches, trunks, and the
 /// host–device sessions that will exercise them.
 #[derive(Clone, Debug)]
@@ -276,6 +293,65 @@ impl FabricTopology {
     /// Number of host–device sessions.
     pub fn session_count(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Total number of physical links: every endpoint attachment link plus
+    /// every trunk.
+    pub fn link_count(&self) -> usize {
+        self.endpoints.len() + self.trunks.len()
+    }
+
+    /// The attachment link of endpoint `endpoint`.
+    pub fn endpoint_link(&self, endpoint: usize) -> LinkId {
+        assert!(endpoint < self.endpoints.len(), "endpoint out of range");
+        LinkId(endpoint)
+    }
+
+    /// The link of trunk index `trunk` (position in [`Self::trunks`]).
+    pub fn trunk_link(&self, trunk: usize) -> LinkId {
+        assert!(trunk < self.trunks.len(), "trunk out of range");
+        LinkId(self.endpoints.len() + trunk)
+    }
+
+    /// The trunk link connecting switches `a` and `b` (either orientation),
+    /// if one exists — the natural way for a scenario to name "the leaf 0 →
+    /// spine 0 uplink".
+    pub fn trunk_between(&self, a: usize, b: usize) -> Option<LinkId> {
+        self.trunks
+            .iter()
+            .position(|t| (t.a.0 == a && t.b.0 == b) || (t.a.0 == b && t.b.0 == a))
+            .map(|i| self.trunk_link(i))
+    }
+
+    /// Every link that touches switch `sw`: its endpoints' attachment links
+    /// and its trunks, in deterministic id order.
+    pub fn links_of_switch(&self, sw: usize) -> Vec<LinkId> {
+        let mut links: Vec<LinkId> = self
+            .endpoints
+            .iter()
+            .enumerate()
+            .filter(|(_, ep)| ep.switch == sw)
+            .map(|(i, _)| LinkId(i))
+            .collect();
+        links.extend(
+            self.trunks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.a.0 == sw || t.b.0 == sw)
+                .map(|(i, _)| self.trunk_link(i)),
+        );
+        links
+    }
+
+    /// Human-readable description of a link, for scenario reports.
+    pub fn describe_link(&self, link: LinkId) -> String {
+        if link.0 < self.endpoints.len() {
+            let ep = &self.endpoints[link.0];
+            format!("{:?} endpoint {} ⇄ switch {}", ep.role, link.0, ep.switch)
+        } else {
+            let t = &self.trunks[link.0 - self.endpoints.len()];
+            format!("trunk switch {} ⇄ switch {}", t.a.0, t.b.0)
+        }
     }
 
     /// Checks structural invariants: ports in range, no port used twice, all

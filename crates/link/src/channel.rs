@@ -8,7 +8,64 @@
 //! simulation, which is what makes the laptop-scale reproduction of the
 //! paper's hardware testbed sound (see DESIGN.md, substitution table).
 
-use rand::Rng;
+use rand::{Rng, RngCore};
+
+/// Highest effective BER any scaling helper will produce: the asserted
+/// invariant everywhere in this workspace is `ber ∈ [0, 1)`, so scaling
+/// saturates just below 1 instead of crossing it.
+pub const MAX_BER: f64 = 0.999_999;
+
+/// Clamps a (possibly scaled) bit-error rate into the valid `[0, MAX_BER]`
+/// range. Negative and NaN inputs clamp to `0.0` (an ideal channel), values
+/// at or above 1 clamp to [`MAX_BER`].
+pub fn clamp_ber(ber: f64) -> f64 {
+    if ber.is_nan() || ber <= 0.0 {
+        0.0
+    } else {
+        ber.min(MAX_BER)
+    }
+}
+
+/// A wire-corruption process a simulated link traversal runs each flit
+/// through.
+///
+/// [`ChannelErrorModel`] is the stationary implementation the paper's
+/// analysis assumes; time-varying implementations (bursty Gilbert–Elliott
+/// states, piecewise BER schedules, flapping links — see the `rxl-chaos`
+/// crate) model the non-stationary regimes real fabrics fail in. The fabric
+/// engine keeps the stationary model on a monomorphised zero-cost path and
+/// dispatches through `dyn Channel` only for links a scenario has overridden.
+///
+/// # RNG-draw-order invariant
+///
+/// The fabric engine owns a **single** RNG per trial and visits links in a
+/// fixed order, drawing *only when a flit is actually present* (see the
+/// `FabricSim` type docs in `rxl-fabric`). Every `Channel` implementation
+/// must preserve that contract from the inside:
+///
+/// * all randomness must come from the `rng` argument of [`Channel::corrupt`],
+///   and only during that call — no internal RNGs, no draws in constructors;
+/// * the *number* of draws must be a deterministic function of the channel's
+///   own state, `now_ns`, and the buffer contents — never of global state or
+///   wall-clock time;
+/// * a decision whose outcome is deterministic must not consume a draw: a
+///   zero-probability state transition or a zero-BER segment must draw
+///   nothing, exactly as [`ChannelErrorModel::apply`] draws nothing at
+///   BER 0. This is what makes an all-good schedule *bit-identical* to
+///   [`ChannelErrorModel::ideal`] — same bytes out **and** same RNG stream
+///   afterwards — which the golden-digest regression relies on.
+pub trait Channel {
+    /// Corrupts `data` in place for one traversal at simulated time
+    /// `now_ns`, drawing any randomness from `rng`. Returns the number of
+    /// bits flipped.
+    fn corrupt(&mut self, data: &mut [u8], now_ns: f64, rng: &mut dyn RngCore) -> usize;
+}
+
+impl Channel for ChannelErrorModel {
+    fn corrupt(&mut self, data: &mut [u8], _now_ns: f64, rng: &mut dyn RngCore) -> usize {
+        self.apply(data, rng)
+    }
+}
 
 /// DFE-style burst extension: once a bit error occurs, each following bit is
 /// also flipped with probability `continue_prob`, producing geometric bursts.
@@ -58,11 +115,15 @@ impl ChannelErrorModel {
     }
 
     /// Same error statistics but with the BER scaled by `factor`; used to
-    /// accelerate Monte-Carlo experiments while keeping the burst shape.
+    /// accelerate Monte-Carlo experiments (and by `rxl-chaos` BER storms)
+    /// while keeping the burst shape. The result is clamped into the
+    /// asserted `[0, 1)` range via [`clamp_ber`], so arbitrarily large
+    /// acceleration factors saturate at [`MAX_BER`] instead of producing an
+    /// invalid probability (and non-finite or negative factors clamp to an
+    /// ideal channel rather than an invalid one).
     pub fn scaled(&self, factor: f64) -> Self {
-        let ber = (self.ber * factor).min(0.999_999);
         ChannelErrorModel {
-            ber,
+            ber: clamp_ber(self.ber * factor),
             burst: self.burst,
         }
     }
@@ -222,5 +283,44 @@ mod tests {
     #[should_panic]
     fn invalid_ber_is_rejected() {
         let _ = ChannelErrorModel::random(1.5);
+    }
+
+    #[test]
+    fn scaling_clamps_into_the_valid_ber_range() {
+        let base = ChannelErrorModel::cxl3();
+        // Any scaled result must stay constructible via the asserting
+        // constructor, i.e. inside [0, 1).
+        for factor in [0.0, 1.0, 1e6, 1e9, 1e30, f64::INFINITY] {
+            let scaled = base.scaled(factor);
+            assert!(
+                (0.0..1.0).contains(&scaled.ber),
+                "factor {factor}: ber {} escaped [0, 1)",
+                scaled.ber
+            );
+            let _ = ChannelErrorModel::random(scaled.ber);
+        }
+        assert_eq!(base.scaled(f64::INFINITY).ber, MAX_BER);
+        // Degenerate factors clamp to an ideal channel, not a negative or
+        // NaN probability.
+        assert_eq!(base.scaled(-5.0).ber, 0.0);
+        assert_eq!(base.scaled(f64::NAN).ber, 0.0);
+        assert_eq!(clamp_ber(2.0), MAX_BER);
+        assert_eq!(clamp_ber(0.25), 0.25);
+    }
+
+    #[test]
+    fn channel_trait_matches_apply_for_the_stationary_model() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let model = ChannelErrorModel::random(0.01);
+        let mut dynamic = model;
+        let mut data_a = vec![0u8; 128];
+        let mut data_b = vec![0u8; 128];
+        let flipped_a = model.apply(&mut data_a, &mut a);
+        let flipped_b = Channel::corrupt(&mut dynamic, &mut data_b, 123.0, &mut b);
+        assert_eq!(flipped_a, flipped_b);
+        assert_eq!(data_a, data_b);
+        // Same draws consumed: the streams stay in lockstep afterwards.
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 }

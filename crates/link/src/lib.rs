@@ -30,7 +30,7 @@ pub mod tx;
 pub mod variant;
 
 pub use ack::{AckPolicy, AckScheduler};
-pub use channel::{BurstModel, ChannelErrorModel};
+pub use channel::{clamp_ber, BurstModel, Channel, ChannelErrorModel, MAX_BER};
 pub use credit::CreditCounter;
 pub use endpoint::LinkEndpoint;
 pub use retry::ReplayBuffer;

@@ -1,0 +1,70 @@
+//! Worked fault-injection example: a BER storm on one leaf–spine uplink.
+//!
+//! A four-session leaf–spine pod runs at the paper's BER 10⁻⁶ operating
+//! point. Between slots 800 and 2000 one leaf → spine trunk takes a ×60 BER
+//! storm (a marginal cable, a bad optic). Baseline CXL's piggybacked-ACK
+//! blind spot turns the storm's silent drops into application-visible
+//! misordering that keeps poisoning the affected command queues after the
+//! storm has cleared; RXL retries every drop and finishes spotless.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example chaos_storm
+//! ```
+
+use rxl::chaos::{ChaosMonteCarlo, Scenario};
+use rxl::fabric::{FabricConfig, FabricTopology, FabricWorkload};
+use rxl::link::{ChannelErrorModel, ProtocolVariant};
+
+fn main() {
+    let topology = FabricTopology::leaf_spine(2, 1, 2);
+    let uplink = topology.trunk_between(0, 2).expect("leaf 0 ⇄ spine trunk");
+    let scenario =
+        Scenario::named("uplink BER storm ×60").ber_storm(800, 1_200, vec![uplink], 60.0);
+
+    println!("topology : {}", topology.name);
+    println!("stormed  : {}", topology.describe_link(uplink));
+    println!("scenario : {} (slots 800..2000)\n", scenario.name);
+
+    for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+        let config = FabricConfig {
+            max_slots: 30_000,
+            ..FabricConfig::new(variant)
+        }
+        .with_channel(ChannelErrorModel::random(1e-6))
+        .with_seed(0xC4A0_5EED);
+        let workload = FabricWorkload::symmetric(topology.session_count(), 6_000, 8, 0xC4A05);
+        let report =
+            ChaosMonteCarlo::new(topology.clone(), config, scenario.clone(), 4).run(&workload);
+
+        println!("=== {variant:?} ===");
+        println!("epoch        | slots  | drops | failures | clean");
+        println!("-------------|--------|-------|----------|-------");
+        let names = ["before storm", "during storm", "after storm"];
+        for (epoch, name) in report.epochs.iter().zip(names) {
+            println!(
+                "{name:<12} | {:>6} | {:>5} | {:>8} | {:>6}",
+                epoch.slots,
+                epoch.payload_drops,
+                epoch.failures.total_failures(),
+                epoch.failures.clean_deliveries,
+            );
+        }
+        println!(
+            "availability: mean {:.4}, worst trial {:.4}",
+            report.availability_mean(),
+            report.availability_min()
+        );
+        match report.earliest_fail_order_slot {
+            Some(slot) => println!("first Fail_order event at slot {slot}\n"),
+            None => println!("no Fail_order events\n"),
+        }
+    }
+
+    println!(
+        "Baseline CXL turns a transient storm into lasting damage (the\n\
+         drop-poisoned command queues keep misordering after the channel\n\
+         recovers); RXL's per-flit sequence checking retries every storm\n\
+         drop and delivers 100% clean."
+    );
+}

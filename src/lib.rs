@@ -16,10 +16,15 @@
 //! * [`fabric`] — fabric-scale simulator: whole topologies (leaf–spine,
 //!   fat-tree, ring) of concurrent sessions over shared switches, with a
 //!   sharded Monte-Carlo driver and an analytic FIT cross-check.
+//! * [`chaos`] — fault injection & scenario engine: time-varying per-link
+//!   channels (Gilbert–Elliott, BER schedules, link flaps), switch
+//!   drain/fail timelines, and a sharded scenario Monte-Carlo with
+//!   per-epoch failure reports.
 //! * [`analysis`] — closed-form reliability / bandwidth / hardware models.
 //! * [`core`] — the high-level protocol-stack API (CXL vs RXL).
 
 pub use rxl_analysis as analysis;
+pub use rxl_chaos as chaos;
 pub use rxl_core as core;
 pub use rxl_crc as crc;
 pub use rxl_fabric as fabric;
@@ -34,8 +39,9 @@ pub use rxl_transport as transport;
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {
     pub use rxl_analysis::reliability::ReliabilityModel;
+    pub use rxl_chaos::{ChaosMonteCarlo, GilbertElliott, Scenario};
     pub use rxl_core::{
-        CxlStack, FabricSimOptions, FabricSpec, ProtocolKind, RxlStack, StackConfig,
+        CxlStack, FabricSimOptions, FabricSpec, ProtocolKind, RxlStack, StackConfig, StormSpec,
     };
     pub use rxl_crc::{Crc64, IsnCrc64};
     pub use rxl_fabric::{

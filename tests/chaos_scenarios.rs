@@ -1,0 +1,148 @@
+//! Acceptance tests for the `rxl-chaos` fault-injection subsystem
+//! (ISSUE 4): a BER storm on one leaf–spine uplink must show up as
+//! *localized-in-time* failure counts for baseline CXL while RXL rides it
+//! out clean; a spine failure must reroute surviving sessions; and both
+//! scenarios must be bit-identical across Monte-Carlo worker-thread counts.
+
+use rxl::chaos::{ChaosMonteCarlo, ChaosMonteCarloReport, Scenario};
+use rxl::fabric::{FabricConfig, FabricTopology, FabricWorkload};
+use rxl::link::{ChannelErrorModel, ProtocolVariant};
+
+/// The storm scenario of the acceptance criteria: one leaf–spine uplink of
+/// a single-spine pod takes a ×60 BER storm (1e-6 → 6e-5) over slots
+/// [800, 2000) while four sessions stream through it. Every input is
+/// seeded, so the asserted counts are exact, not statistical.
+fn storm_experiment(variant: ProtocolVariant) -> ChaosMonteCarloReport {
+    let topology = FabricTopology::leaf_spine(2, 1, 2);
+    let uplink = topology.trunk_between(0, 2).expect("leaf 0 ⇄ spine trunk");
+    let scenario = Scenario::named("uplink storm").ber_storm(800, 1_200, vec![uplink], 60.0);
+    let config = FabricConfig {
+        max_slots: 30_000,
+        ..FabricConfig::new(variant)
+    }
+    .with_channel(ChannelErrorModel::random(1e-6))
+    .with_seed(0xC4A0_5EED);
+    let workload = FabricWorkload::symmetric(topology.session_count(), 6_000, 8, 0xC4A05);
+    ChaosMonteCarlo::new(topology, config, scenario, 6).run(&workload)
+}
+
+#[test]
+fn ber_storm_failures_concentrate_in_the_storm_epoch_for_cxl() {
+    let report = storm_experiment(ProtocolVariant::CxlPiggyback);
+    assert_eq!(report.epochs.len(), 3, "before / during / after");
+    let fails: Vec<u64> = report
+        .epochs
+        .iter()
+        .map(|e| e.failures.total_failures())
+        .collect();
+    let drops: Vec<u64> = report.epochs.iter().map(|e| e.payload_drops).collect();
+    // The paper's operating point (BER 1e-6) is clean before the storm...
+    assert_eq!(fails[0], 0, "pre-storm epoch must be clean: {fails:?}");
+    assert_eq!(drops[0], 0);
+    // ...the storm epoch carries strictly more failures than either
+    // neighbour...
+    assert!(
+        fails[1] > fails[0] && fails[1] > fails[2],
+        "storm epoch must dominate: {fails:?}"
+    );
+    // ...and the channel-induced silent drops localize entirely inside it.
+    assert!(drops[1] > 0, "the storm must cause silent drops: {drops:?}");
+    assert_eq!(drops[2], 0, "drops must stop with the storm: {drops:?}");
+    // The damage is application-visible overall.
+    assert!(report.failures.total_failures() > 0);
+    assert!(report.availability_mean() < 1.0);
+}
+
+#[test]
+fn rxl_rides_out_the_same_storm_clean() {
+    let report = storm_experiment(ProtocolVariant::Rxl);
+    assert!(report.failures.is_clean(), "{:?}", report.failures);
+    assert_eq!(report.undetected_drop_events, 0);
+    assert_eq!(report.fail_order_trials, 0);
+    assert_eq!(report.availability_mean(), 1.0);
+    assert_eq!(report.drained_trials, report.trials);
+    // Same storm, same drops at the link level — the difference is purely
+    // protocol recovery.
+    assert!(
+        report.epochs[1].payload_drops > 0,
+        "RXL must have faced storm drops too"
+    );
+}
+
+/// A spine dies mid-traffic; ECMP routed half the flows through it. The
+/// engine recomputes routing, in-flight traffic reroutes over the surviving
+/// spine, and — for RXL — go-back-N retries the purged flits so the audit
+/// finishes clean.
+fn failover_experiment(variant: ProtocolVariant) -> ChaosMonteCarloReport {
+    let topology = FabricTopology::leaf_spine(2, 2, 2);
+    let scenario = Scenario::named("spine failover").switch_fail(400, 2);
+    let config = FabricConfig {
+        max_slots: 30_000,
+        ..FabricConfig::new(variant)
+    }
+    .with_channel(ChannelErrorModel::ideal())
+    .with_seed(0xFA11_5EED);
+    let workload = FabricWorkload::symmetric(topology.session_count(), 6_000, 8, 0xFA11);
+    ChaosMonteCarlo::new(topology, config, scenario, 3).run(&workload)
+}
+
+#[test]
+fn switch_fail_reroutes_surviving_sessions() {
+    for variant in [ProtocolVariant::Rxl, ProtocolVariant::CxlPiggyback] {
+        let report = failover_experiment(variant);
+        assert_eq!(report.epochs.len(), 2, "before / after the failure");
+        // The dead spine held flits — they are gone.
+        assert!(report.blackholed_flits > 0, "{variant:?}");
+        // Nonzero delivered traffic after the failure: the fabric rerouted.
+        assert!(
+            report.epochs[1].failures.clean_deliveries > 0,
+            "{variant:?} must keep delivering after the spine dies"
+        );
+        if variant == ProtocolVariant::Rxl {
+            // RXL retries the purged flits like any silent drop: clean.
+            assert!(report.failures.is_clean(), "{:?}", report.failures);
+            assert_eq!(report.drained_trials, report.trials);
+            assert_eq!(report.availability_mean(), 1.0);
+        }
+    }
+}
+
+/// The acceptance criteria's reproducibility clause: both scenarios produce
+/// bit-identical aggregate reports for 1 and N worker threads.
+#[test]
+fn chaos_scenarios_are_bit_identical_across_thread_counts() {
+    let topology = FabricTopology::leaf_spine(2, 2, 1);
+    let uplink = topology.trunk_between(0, 2).expect("uplink");
+    let scenarios = [
+        Scenario::named("storm").ber_storm(100, 300, vec![uplink], 50.0),
+        Scenario::named("failover").switch_fail(150, 2),
+    ];
+    for scenario in scenarios {
+        let config = FabricConfig {
+            max_slots: 20_000,
+            ..FabricConfig::new(ProtocolVariant::CxlPiggyback)
+        }
+        .with_channel(ChannelErrorModel::random(1e-5))
+        .with_seed(0xBEEF);
+        let mc = ChaosMonteCarlo::new(topology.clone(), config, scenario, 4);
+        let workload = FabricWorkload::symmetric(topology.session_count(), 1_500, 8, 2);
+
+        let run_with_threads = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("shim pool build is infallible");
+            pool.install(|| mc.run(&workload))
+        };
+        let reference = run_with_threads(1);
+        for threads in [2, 4] {
+            let report = run_with_threads(threads);
+            assert_eq!(
+                format!("{report:?}"),
+                format!("{reference:?}"),
+                "{} with {threads} threads",
+                mc.scenario().name
+            );
+        }
+    }
+}
