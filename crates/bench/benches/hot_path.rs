@@ -13,6 +13,7 @@ use std::hint::black_box;
 use rxl_crc::{catalog::CRC64_XZ, BitwiseCrc, TableCrc, FLIT_CRC64_SLICE};
 use rxl_fec::{InterleavedFec, RsCode, ShortenedRs};
 use rxl_flit::{CxlFlitCodec, Flit256, Flit68, FlitHeader, RxlFlitCodec};
+use rxl_load::LatencyHistogram;
 
 fn payload240() -> Vec<u8> {
     (0..240u32).map(|i| (i * 31 + 7) as u8).collect()
@@ -133,11 +134,45 @@ fn bench_reed_solomon(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_latency_histogram(c: &mut Criterion) {
+    // The telemetry cost every paced fabric trial pays per delivered
+    // message: one log-bucketed record (leading_zeros + shift + mask).
+    // Values span the realistic latency range (a few slots to saturation
+    // tails) so the branch between exact and log buckets is exercised.
+    let values: Vec<u64> = (0..4096u64)
+        .map(|i| (i * 2_654_435_761) % 100_000)
+        .collect();
+    let mut group = c.benchmark_group("latency_histogram");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("record_4096", |b| {
+        b.iter(|| {
+            let mut h = LatencyHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            black_box(h.count())
+        })
+    });
+    group.bench_function("merge", |b| {
+        let mut a = LatencyHistogram::new();
+        let mut other = LatencyHistogram::new();
+        for &v in &values {
+            other.record(v);
+        }
+        b.iter(|| {
+            a.merge(black_box(&other));
+            black_box(a.count())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_crc_engines,
     bench_flit68,
     bench_flit256,
-    bench_reed_solomon
+    bench_reed_solomon,
+    bench_latency_histogram
 );
 criterion_main!(benches);

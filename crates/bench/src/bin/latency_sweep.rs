@@ -1,0 +1,46 @@
+//! Latency vs offered load on the canonical leaf–spine pod.
+//!
+//! Paces open-loop traffic through the `rxl-load` subsystem across an
+//! offered-load ladder for both protocols and prints one row per ladder
+//! point (latency percentiles in flit slots, delivered throughput,
+//! detected saturation knee).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p rxl-bench --bin latency_sweep --release -- \
+//!     [--json] [--small] [--label NAME]
+//! ```
+//!
+//! * `--small` shrinks the ladder to a CI-sized smoke run.
+//! * `--json` writes the rows to `BENCH_latency.json` in the current
+//!   directory (schema: see [`rxl_bench::latency_json`]).
+//! * `--label NAME` tags the rows.
+
+fn main() {
+    let mut json = false;
+    let mut small = false;
+    let mut label = String::from("current");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--small" => small = true,
+            "--label" => {
+                label = args.next().unwrap_or_else(|| {
+                    eprintln!("--label requires a value");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows = rxl_bench::run_latency_sweep(small, &label);
+    println!("{}", rxl_bench::latency_table(&rows));
+    if json {
+        println!("wrote {}", rxl_bench::write_latency_json(&rows));
+    }
+}

@@ -48,4 +48,12 @@ fn main() {
         "{}",
         rxl_bench::chaos_table(&rxl_bench::run_chaos_sweep(true, "run_all"))
     );
+
+    // Latency vs offered load, CI-sized. The committed trajectory
+    // (`BENCH_latency.json`) is produced by the dedicated `latency_sweep`
+    // binary on the full ladder.
+    println!(
+        "{}",
+        rxl_bench::latency_table(&rxl_bench::run_latency_sweep(true, "run_all"))
+    );
 }

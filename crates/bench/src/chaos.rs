@@ -67,13 +67,6 @@ pub struct ChaosRow {
     pub earliest_fail_order_slot: i64,
 }
 
-fn variant_name(variant: ProtocolVariant) -> &'static str {
-    match variant {
-        ProtocolVariant::Rxl => "RXL",
-        _ => "CXL",
-    }
-}
-
 /// Extracts the (before, during, after) `Fail_order` sums from a report's
 /// epochs, tolerating scenarios with only two epochs (permanent faults).
 fn epoch_events(report: &ChaosMonteCarloReport) -> (u64, u64, u64) {
@@ -100,7 +93,7 @@ fn row_from_report(
     ChaosRow {
         label: label.to_string(),
         scenario,
-        variant: variant_name(variant),
+        variant: crate::variant_name(variant),
         factor,
         trials: report.trials,
         sessions,

@@ -1,0 +1,233 @@
+//! Latency-vs-offered-load measurement (`latency_sweep`).
+//!
+//! Runs the `rxl-load` open-loop sweep over the canonical leaf–spine pod
+//! for both protocols and reports one row per ladder point: delivered
+//! throughput, efficiency, and the latency distribution (p50/p90/p99/p99.9/
+//! max, in flit slots). The machine-readable form (`BENCH_latency.json`) is
+//! the repository's latency trajectory, schema-checked in CI alongside the
+//! throughput and chaos snapshots.
+
+use rxl_fabric::{FabricConfig, FabricTopology};
+use rxl_link::{ChannelErrorModel, ProtocolVariant};
+use rxl_load::{ArrivalProcess, LoadSweep, LoadSweepConfig, TrafficMatrix};
+
+use crate::{render_table, sci};
+
+/// One ladder point of one sweep.
+#[derive(Clone, Debug)]
+pub struct LatencyRow {
+    /// Snapshot label (`current` / `run_all` / CI).
+    pub label: String,
+    /// Topology name.
+    pub workload: String,
+    /// Protocol variant simulated.
+    pub protocol: &'static str,
+    /// Traffic-matrix label.
+    pub matrix: String,
+    /// Arrival-process label.
+    pub arrival: &'static str,
+    /// Offered load (fraction of line rate).
+    pub offered_load: f64,
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Messages per loaded session per direction.
+    pub messages_per_session: usize,
+    /// Monte-Carlo trials at this point.
+    pub trials: u64,
+    /// Messages injected across trials.
+    pub injected_messages: u64,
+    /// Messages with recorded latency across trials.
+    pub delivered_messages: u64,
+    /// Pooled delivered throughput (messages per slot).
+    pub delivered_per_slot: f64,
+    /// Delivered / offered rate.
+    pub efficiency: f64,
+    /// Median latency (slots).
+    pub p50: u64,
+    /// 90th-percentile latency (slots).
+    pub p90: u64,
+    /// 99th-percentile latency (slots).
+    pub p99: u64,
+    /// 99.9th-percentile latency (slots).
+    pub p999: u64,
+    /// Maximum latency (slots).
+    pub max: u64,
+    /// Mean latency (slots).
+    pub mean_slots: f64,
+    /// `true` if this point is the sweep's detected saturation knee.
+    pub knee: bool,
+}
+
+/// Runs the latency sweep suite (leaf–spine pod × CXL and RXL) and returns
+/// one row per ladder point. `small` selects the CI smoke configuration.
+pub fn run_latency_sweep(small: bool, label: &str) -> Vec<LatencyRow> {
+    let (loads, messages, trials) = if small {
+        (vec![0.10, 0.40], 150, 1)
+    } else {
+        (vec![0.05, 0.10, 0.20, 0.30, 0.50, 0.80], 600, 4)
+    };
+    let topology = FabricTopology::leaf_spine(2, 1, 2);
+    let mut rows = Vec::new();
+    for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+        let sweep = LoadSweep::new(
+            topology.clone(),
+            FabricConfig::new(variant)
+                .with_channel(ChannelErrorModel::ideal())
+                .with_seed(0x10AD_BE2C),
+            LoadSweepConfig {
+                loads: loads.clone(),
+                messages_per_session: messages,
+                trials,
+                matrix: TrafficMatrix::Uniform,
+                arrival: ArrivalProcess::fixed(1.0),
+                ..LoadSweepConfig::default()
+            },
+        );
+        let report = sweep.run();
+        for (i, p) in report.points.iter().enumerate() {
+            rows.push(LatencyRow {
+                label: label.to_string(),
+                workload: report.topology.clone(),
+                protocol: crate::variant_name(variant),
+                matrix: report.matrix.clone(),
+                arrival: report.arrival,
+                offered_load: p.offered_load,
+                sessions: report.sessions,
+                messages_per_session: messages,
+                trials: p.trials,
+                injected_messages: p.injected_messages,
+                delivered_messages: p.delivered_messages,
+                delivered_per_slot: p.delivered_per_slot,
+                efficiency: p.efficiency,
+                p50: p.stats.p50,
+                p90: p.stats.p90,
+                p99: p.stats.p99,
+                p999: p.stats.p999,
+                max: p.stats.max,
+                mean_slots: p.stats.mean,
+                knee: report.knee == Some(i),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the rows as an aligned text table.
+pub fn latency_table(rows: &[LatencyRow]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.protocol.to_string(),
+                format!(
+                    "{:.2}{}",
+                    r.offered_load,
+                    if r.knee { " ←knee" } else { "" }
+                ),
+                sci(r.delivered_per_slot),
+                format!("{:.2}", r.efficiency),
+                r.p50.to_string(),
+                r.p90.to_string(),
+                r.p99.to_string(),
+                r.p999.to_string(),
+                r.max.to_string(),
+                format!("{:.1}", r.mean_slots),
+            ]
+        })
+        .collect();
+    render_table(
+        "Latency vs offered load (slots; leaf-spine pod, ideal channel)",
+        &[
+            "label",
+            "protocol",
+            "load",
+            "delivered/s",
+            "eff",
+            "p50",
+            "p90",
+            "p99",
+            "p99.9",
+            "max",
+            "mean",
+        ],
+        &table_rows,
+    )
+}
+
+/// Serialises the rows as a JSON document (hand-rolled — the build
+/// container has no serde) for `BENCH_latency.json`.
+pub fn latency_json(rows: &[LatencyRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"latency_sweep\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"label\": \"{}\", \"workload\": \"{}\", \"protocol\": \"{}\", ",
+                "\"matrix\": \"{}\", \"arrival\": \"{}\", \"offered_load\": {:.4}, ",
+                "\"sessions\": {}, \"messages_per_session\": {}, \"trials\": {}, ",
+                "\"injected_messages\": {}, \"delivered_messages\": {}, ",
+                "\"delivered_per_slot\": {:.4}, \"efficiency\": {:.4}, ",
+                "\"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}, ",
+                "\"mean_slots\": {:.3}, \"knee\": {}}}{}\n",
+            ),
+            crate::json_escape(&r.label),
+            crate::json_escape(&r.workload),
+            r.protocol,
+            crate::json_escape(&r.matrix),
+            r.arrival,
+            r.offered_load,
+            r.sessions,
+            r.messages_per_session,
+            r.trials,
+            r.injected_messages,
+            r.delivered_messages,
+            r.delivered_per_slot,
+            r.efficiency,
+            r.p50,
+            r.p90,
+            r.p99,
+            r.p999,
+            r.max,
+            r.mean_slots,
+            r.knee,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the JSON form to `BENCH_latency.json` in the current directory
+/// and returns the path written.
+pub fn write_latency_json(rows: &[LatencyRow]) -> &'static str {
+    let path = "BENCH_latency.json";
+    std::fs::write(path, latency_json(rows)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_runs_and_serialises() {
+        let rows = run_latency_sweep(true, "test");
+        // 2 protocols × 2 ladder points.
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.delivered_messages > 0);
+            assert_eq!(r.injected_messages, r.delivered_messages);
+            assert!(r.p50 > 0 && r.p99 >= r.p50 && r.max >= r.p999);
+            assert!(r.efficiency > 0.0);
+        }
+        let table = latency_table(&rows);
+        assert!(table.contains("Latency vs offered load"));
+        let json = latency_json(&rows);
+        assert!(json.contains("\"bench\": \"latency_sweep\""));
+        assert!(json.contains("\"label\": \"test\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

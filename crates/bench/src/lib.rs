@@ -24,14 +24,17 @@
 //! | `fabric_fit_crosscheck` | fabric-scale Monte-Carlo vs. `FabricSpec` projection |
 //! | `fabric_throughput` | engine wall-clock flits/sec (perf trajectory) |
 //! | `chaos_sweep` | fault-injection scenarios: BER storms, spine failover |
+//! | `latency_sweep` | latency vs offered load, saturation knee |
 //!
 //! `run_all` and `fabric_fit_crosscheck` accept `--json` to additionally
 //! write machine-readable results to `BENCH_fabric.json`;
 //! `fabric_throughput --json` writes `BENCH_throughput.json`;
-//! `chaos_sweep --json` writes `BENCH_chaos.json`.
+//! `chaos_sweep --json` writes `BENCH_chaos.json`;
+//! `latency_sweep --json` writes `BENCH_latency.json`.
 
 pub mod chaos;
 pub mod fabriccheck;
+pub mod latency;
 pub mod scenarios;
 pub mod simcheck;
 pub mod tables;
@@ -41,6 +44,7 @@ pub use chaos::{chaos_json, chaos_table, run_chaos_sweep, write_chaos_json, Chao
 pub use fabriccheck::{
     fabric_crosscheck_json, fabric_crosscheck_table, run_fabric_crosscheck, write_fabric_json,
 };
+pub use latency::{latency_json, latency_table, run_latency_sweep, write_latency_json, LatencyRow};
 pub use scenarios::{fig4_scenario, fig5a_scenario, fig5b_scenario, fig6_isn_scenario};
 pub use simcheck::sim_crosscheck_table;
 pub use tables::{
@@ -50,6 +54,30 @@ pub use tables::{
 pub use throughput::{
     run_throughput, throughput_json, throughput_table, write_throughput_json, ThroughputRow,
 };
+
+/// Short protocol label for report rows, shared by every measurement
+/// module (`chaos`, `throughput`, `latency`).
+pub(crate) fn variant_name(variant: rxl_link::ProtocolVariant) -> &'static str {
+    match variant {
+        rxl_link::ProtocolVariant::Rxl => "RXL",
+        _ => "CXL",
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal (shared by the
+/// hand-rolled `BENCH_*.json` writers; the build container has no serde).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Formats a floating-point value in compact scientific notation.
 pub fn sci(x: f64) -> String {

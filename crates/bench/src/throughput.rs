@@ -20,7 +20,7 @@ use std::time::Instant;
 use rxl_fabric::{FabricConfig, FabricMonteCarlo, FabricTopology, FabricWorkload};
 use rxl_link::{ChannelErrorModel, ProtocolVariant};
 
-use crate::{render_table, sci};
+use crate::{json_escape, render_table, sci};
 
 /// One timed throughput measurement.
 #[derive(Clone, Debug)]
@@ -124,10 +124,7 @@ pub fn run_throughput(small: bool, label: &str) -> Vec<ThroughputRow> {
             rows.push(ThroughputRow {
                 label: label.to_string(),
                 topology: w.name.to_string(),
-                variant: match variant {
-                    ProtocolVariant::Rxl => "RXL",
-                    _ => "CXL",
-                },
+                variant: crate::variant_name(variant),
                 sessions,
                 messages_per_session: w.messages,
                 trials: w.trials,
@@ -175,20 +172,6 @@ pub fn throughput_table(rows: &[ThroughputRow]) -> String {
         ],
         &table_rows,
     )
-}
-
-/// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// Serialises the rows as a JSON document (hand-rolled — the build container

@@ -19,6 +19,9 @@
 //! * [`chaos`] — [`FabricSpec::simulate_storm`]: stressing the same fabric
 //!   with `rxl-chaos` fault injection (a BER storm on one uplink) and
 //!   reporting per-epoch failure counts plus availability.
+//! * [`load`] — [`FabricSpec::simulate_load`]: pacing open-loop traffic
+//!   into the same fabric across an offered-load ladder (`rxl-load`) and
+//!   reporting latency-vs-load curves with a detected saturation knee.
 //!
 //! The lower layers remain available as independent crates (`rxl-crc`,
 //! `rxl-fec`, `rxl-flit`, `rxl-link`, `rxl-switch`, `rxl-sim`) for users who
@@ -53,9 +56,11 @@
 pub mod chaos;
 pub mod config;
 pub mod fabric;
+pub mod load;
 pub mod stack;
 
 pub use chaos::{ChaosEvidence, StormSpec};
 pub use config::{ProtocolKind, StackConfig};
 pub use fabric::{FabricReliability, FabricSimEvidence, FabricSimOptions, FabricSpec};
+pub use load::{LoadEvidence, LoadSweepSpec};
 pub use stack::{CxlStack, ReceiveError, RxlStack};

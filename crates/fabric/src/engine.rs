@@ -34,12 +34,12 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use rxl_flit::{Message, WireFlit};
+use rxl_flit::{Message, WireFlit, MESSAGES_PER_FLIT};
 use rxl_link::{Channel, ChannelErrorModel, LinkConfig, LinkEndpoint, LinkStats, ProtocolVariant};
 use rxl_switch::{
     InternalErrorModel, LinkCrcMode, ProcessVerdict, Switch, SwitchConfig, SwitchStats,
 };
-use rxl_transport::{DeliveryAuditor, DeliveryVerdict, FailureCounts};
+use rxl_transport::{DeliveryAuditor, DeliveryVerdict, FailureCounts, FastMap};
 
 use crate::routing::{RoutingTable, NO_ROUTE};
 use crate::topology::{FabricTopology, LinkId, NodeRole};
@@ -72,6 +72,17 @@ pub struct FabricConfig {
     pub stall_slots: u64,
     /// RNG seed for channel errors and switch faults.
     pub seed: u64,
+    /// Open-loop offered load as a fraction of per-session line rate
+    /// (`1.0` ⇒ [`MESSAGES_PER_FLIT`] new messages per slot per
+    /// session-direction, the most a fully packed one-flit-per-slot endpoint
+    /// can inject). `Some(f)` makes [`FabricSim::begin`] pace each session's
+    /// injection at a deterministic fixed rate instead of enqueueing the
+    /// whole workload up front; `None` (the default) keeps the greedy path —
+    /// **byte-for-byte identical** to the pre-pacing engine, as the golden
+    /// digest regression requires. Richer arrival processes (Poisson-like,
+    /// bursty on/off) come from `rxl-load`, which builds an explicit
+    /// [`InjectionPacing`] and calls [`FabricSim::begin_paced`].
+    pub offered_load: Option<f64>,
 }
 
 impl FabricConfig {
@@ -87,6 +98,7 @@ impl FabricConfig {
             max_slots: 400_000,
             stall_slots: 8_000,
             seed: 0,
+            offered_load: None,
         }
     }
 
@@ -99,6 +111,17 @@ impl FabricConfig {
     /// Replaces the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the open-loop offered load (fraction of per-session line rate;
+    /// see [`FabricConfig::offered_load`]).
+    pub fn with_offered_load(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction.is_finite(),
+            "offered load must be a positive finite fraction"
+        );
+        self.offered_load = Some(fraction);
         self
     }
 
@@ -162,6 +185,151 @@ impl FabricWorkload {
     pub fn sessions(&self) -> usize {
         self.downstream.len()
     }
+
+    /// Total messages across both directions of every session.
+    pub fn total_messages(&self) -> usize {
+        self.downstream
+            .iter()
+            .chain(&self.upstream)
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+/// Per-message arrival slots pacing a workload's open-loop injection:
+/// `downstream[s][i]` is the slot at which session `s`'s host may first
+/// transmit `workload.downstream[s][i]` (and symmetrically for `upstream`).
+/// Slots must be non-decreasing within each stream. Built either by
+/// [`InjectionPacing::fixed_rate`] (the [`FabricConfig::offered_load`] knob)
+/// or by the arrival processes of `rxl-load`.
+///
+/// Pacing draws **nothing** from the trial RNG: schedules are computed
+/// before the trial starts, so the engine's RNG-draw-order contract (see
+/// [`FabricSim`]) is untouched — a paced trial differs from a greedy one
+/// only in *when* messages become eligible for flitization.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InjectionPacing {
+    /// Arrival slots for `workload.downstream`, stream-aligned.
+    pub downstream: Vec<Vec<u64>>,
+    /// Arrival slots for `workload.upstream`, stream-aligned.
+    pub upstream: Vec<Vec<u64>>,
+}
+
+impl InjectionPacing {
+    /// Deterministic fixed-rate pacing at a mean of `msgs_per_slot` messages
+    /// per slot, injected in flit-sized cohorts: messages
+    /// `[b·M, (b+1)·M)` (with `M =` [`MESSAGES_PER_FLIT`]) all arrive at
+    /// slot `floor(b·M / msgs_per_slot)`. Cohort granularity is what makes
+    /// offered load mean *fraction of link flit slots*: a host that released
+    /// single messages would emit one nearly-empty flit per message, so the
+    /// wire would saturate at `1/M` of line rate no matter the knob — real
+    /// transmitters fill flits, and so does this pacing. This is what the
+    /// [`FabricConfig::offered_load`] knob expands to (with
+    /// `msgs_per_slot = offered_load × MESSAGES_PER_FLIT`).
+    pub fn fixed_rate(workload: &FabricWorkload, msgs_per_slot: f64) -> Self {
+        assert!(
+            msgs_per_slot > 0.0 && msgs_per_slot.is_finite(),
+            "injection rate must be positive and finite"
+        );
+        let schedule = |stream: &Vec<Message>| -> Vec<u64> {
+            (0..stream.len())
+                .map(|k| {
+                    let cohort_first = (k / MESSAGES_PER_FLIT) * MESSAGES_PER_FLIT;
+                    (cohort_first as f64 / msgs_per_slot) as u64
+                })
+                .collect()
+        };
+        InjectionPacing {
+            downstream: workload.downstream.iter().map(schedule).collect(),
+            upstream: workload.upstream.iter().map(schedule).collect(),
+        }
+    }
+
+    /// Panics unless this pacing covers `workload` exactly (same streams,
+    /// same lengths) with non-decreasing slots.
+    fn validate(&self, workload: &FabricWorkload) {
+        assert_eq!(
+            self.downstream.len(),
+            workload.downstream.len(),
+            "pacing must cover every downstream stream"
+        );
+        assert_eq!(
+            self.upstream.len(),
+            workload.upstream.len(),
+            "pacing must cover every upstream stream"
+        );
+        let aligned = |slots: &[Vec<u64>], msgs: &[Vec<Message>]| {
+            for (sl, ms) in slots.iter().zip(msgs) {
+                assert_eq!(sl.len(), ms.len(), "pacing must cover every message");
+                assert!(
+                    sl.windows(2).all(|w| w[0] <= w[1]),
+                    "arrival slots must be non-decreasing"
+                );
+            }
+        };
+        aligned(&self.downstream, &workload.downstream);
+        aligned(&self.upstream, &workload.upstream);
+    }
+}
+
+/// Slot-denominated injection→delivery latencies of one trial, in delivery
+/// order, recorded when [`FabricSim::enable_latency_telemetry`] was called
+/// before `begin`. A message's latency is `delivery_slot − injection_slot`:
+/// for paced injection the injection slot is the message's arrival slot; for
+/// greedy injection every message is injected at slot 0, so latency includes
+/// head-of-line waiting in the endpoint's message queue.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencySamples {
+    /// Latencies of host → device messages.
+    pub downstream: Vec<u64>,
+    /// Latencies of device → host messages.
+    pub upstream: Vec<u64>,
+    /// Deliveries with no live timestamp entry — duplicate deliveries of an
+    /// already-timed message (the first delivery consumes the entry).
+    pub untracked: u64,
+}
+
+impl LatencySamples {
+    /// Total recorded samples over both directions.
+    pub fn len(&self) -> usize {
+        self.downstream.len() + self.upstream.len()
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.downstream.is_empty() && self.upstream.is_empty()
+    }
+}
+
+/// One endpoint's not-yet-released paced messages.
+#[derive(Clone, Debug, Default)]
+struct PacedStream {
+    msgs: Vec<Message>,
+    slots: Vec<u64>,
+    cursor: usize,
+}
+
+/// Latency-telemetry state: per-*destination* tag→slot maps (allocation
+/// happens once at `begin`, the hot loop only inserts into / removes from
+/// pre-reserved capacity) plus the recorded samples.
+struct Telemetry {
+    /// `inject_slot[dst]` maps a message key to its injection slot.
+    inject_slot: Vec<FastMap<u64, u64>>,
+    samples: LatencySamples,
+}
+
+/// Identity of a message for latency timestamping — the same
+/// `(cqid, tag, kind, chunk)` quadruple the delivery auditor keys on,
+/// packed into one u64.
+#[inline]
+fn msg_key(msg: &Message) -> u64 {
+    let (kind, chunk) = match msg {
+        Message::Request { .. } => (0u64, 0u64),
+        Message::Response { .. } => (1, 0),
+        Message::DataHeader { .. } => (2, 0),
+        Message::Data { chunk_idx, .. } => (3, *chunk_idx as u64),
+    };
+    ((msg.cqid() as u64) << 32) | ((msg.tag() as u64) << 16) | (kind << 8) | chunk
 }
 
 /// Aggregate outcome of one fabric trial.
@@ -222,6 +390,9 @@ pub struct FabricReport {
     /// Slot of the first undetected-drop (`Fail_order`) event, if any —
     /// the time-to-first-failure statistic scenario reports aggregate.
     pub first_fail_order_slot: Option<u64>,
+    /// Injection→delivery latency samples, present iff
+    /// [`FabricSim::enable_latency_telemetry`] was called before `begin`.
+    pub latency: Option<LatencySamples>,
 }
 
 impl FabricReport {
@@ -337,6 +508,12 @@ pub struct FabricCounters {
 /// static `config.channel` path is taken unchanged — so a scenario-free
 /// trial, and every trial before its first scenario event, remains
 /// bit-identical to the pristine engine.
+///
+/// Paced injection and latency telemetry compose the same way: neither draws
+/// from the trial RNG (arrival schedules are precomputed, timestamps are
+/// deterministic bookkeeping), and with `offered_load` unset and telemetry
+/// off their state is `None` and the greedy slot loop is untouched — pinned,
+/// again, by the golden digest.
 pub struct FabricSim<'a> {
     topology: &'a FabricTopology,
     routing: &'a RoutingTable,
@@ -409,6 +586,14 @@ pub struct FabricSim<'a> {
     /// trips.
     last_motion_slot: u64,
     deadlock: bool,
+    /// Paced-injection state: one stream of not-yet-released messages per
+    /// endpoint. `None` ⇒ the greedy everything-at-`begin` path, which the
+    /// golden-digest regression pins byte-for-byte.
+    paced: Option<Vec<PacedStream>>,
+    /// Messages still awaiting paced release (drain gate).
+    pending_paced: usize,
+    /// Latency telemetry, if enabled before `begin`.
+    telemetry: Option<Telemetry>,
     // Run-loop state, persisted across `step` calls so scenario engines can
     // pause the trial at epoch boundaries.
     workload_loaded: bool,
@@ -519,6 +704,9 @@ impl<'a> FabricSim<'a> {
             first_fail_order_slot: None,
             last_motion_slot: 0,
             deadlock: false,
+            paced: None,
+            pending_paced: 0,
+            telemetry: None,
             workload_loaded: false,
             now: 0.0,
             slots: 0,
@@ -672,7 +860,8 @@ impl<'a> FabricSim<'a> {
         self.accepted_this_slot |= result.accepted;
 
         let session = self.session_of[dst];
-        let audit = if self.topology.endpoints[dst].role == NodeRole::Device {
+        let is_device = self.topology.endpoints[dst].role == NodeRole::Device;
+        let audit = if is_device {
             &mut self.downstream_audits[session]
         } else {
             &mut self.upstream_audits[session]
@@ -680,6 +869,25 @@ impl<'a> FabricSim<'a> {
         let mut out_of_order = false;
         for msg in &result.delivered {
             out_of_order |= audit.observe_delivery(msg) == DeliveryVerdict::OutOfOrder;
+        }
+
+        // Latency telemetry: first delivery of a timed message closes its
+        // tag→slot entry; later (duplicate) deliveries find none and are
+        // counted as untracked instead of skewing the distribution.
+        if let Some(tel) = &mut self.telemetry {
+            for msg in &result.delivered {
+                match tel.inject_slot[dst].remove(&msg_key(msg)) {
+                    Some(injected_at) => {
+                        let sample = self.slots - injected_at;
+                        if is_device {
+                            tel.samples.downstream.push(sample);
+                        } else {
+                            tel.samples.upstream.push(sample);
+                        }
+                    }
+                    None => tel.samples.untracked += 1,
+                }
+            }
         }
 
         // One undetected-drop (`Fail_order`) event per drop episode — the
@@ -715,16 +923,77 @@ impl<'a> FabricSim<'a> {
     }
 
     /// Loads the workload: registers every message with the ground-truth
-    /// auditors and enqueues it at its sending endpoint. Must be called
-    /// exactly once, before [`Self::step`].
+    /// auditors and stages it for injection. Must be called exactly once,
+    /// before [`Self::step`].
+    ///
+    /// With [`FabricConfig::offered_load`] unset every message is enqueued
+    /// at its sending endpoint immediately (the greedy path, byte-for-byte
+    /// the pre-pacing engine); with it set, injection is paced at the
+    /// configured deterministic fixed rate via [`InjectionPacing::fixed_rate`].
     pub fn begin(&mut self, workload: &FabricWorkload) {
+        match self.config.offered_load {
+            Some(fraction) => {
+                let pacing =
+                    InjectionPacing::fixed_rate(workload, fraction * MESSAGES_PER_FLIT as f64);
+                self.load_workload(workload, Some(&pacing));
+            }
+            None => self.load_workload(workload, None),
+        }
+    }
+
+    /// Like [`Self::begin`], but with an explicit per-message arrival
+    /// schedule (ignoring the [`FabricConfig::offered_load`] knob). The
+    /// arrival processes of `rxl-load` build these schedules.
+    pub fn begin_paced(&mut self, workload: &FabricWorkload, pacing: &InjectionPacing) {
+        self.load_workload(workload, Some(pacing));
+    }
+
+    /// Enables injection→delivery latency timestamping for this trial. Must
+    /// be called before `begin`; [`FabricReport::latency`] then carries the
+    /// recorded [`LatencySamples`]. All map and sample storage is reserved
+    /// at `begin`, so the per-slot hot loop performs no allocation beyond
+    /// pre-reserved-capacity hash inserts.
+    pub fn enable_latency_telemetry(&mut self) {
+        assert!(
+            !self.workload_loaded,
+            "latency telemetry must be enabled before begin"
+        );
+        self.telemetry = Some(Telemetry {
+            inject_slot: (0..self.topology.endpoints.len())
+                .map(|_| FastMap::default())
+                .collect(),
+            samples: LatencySamples::default(),
+        });
+    }
+
+    fn load_workload(&mut self, workload: &FabricWorkload, pacing: Option<&InjectionPacing>) {
         assert!(!self.workload_loaded, "begin must be called exactly once");
         assert_eq!(
             workload.sessions(),
             self.topology.sessions.len(),
             "workload must cover every session"
         );
+        if let Some(p) = pacing {
+            p.validate(workload);
+        }
         self.workload_loaded = true;
+
+        if let Some(tel) = &mut self.telemetry {
+            // One reservation per destination map and sample vector, so the
+            // hot loop never grows them.
+            let (mut down_total, mut up_total) = (0, 0);
+            for (s, session) in self.topology.sessions.iter().enumerate() {
+                tel.inject_slot[session.device].reserve(workload.downstream[s].len());
+                tel.inject_slot[session.host].reserve(workload.upstream[s].len());
+                down_total += workload.downstream[s].len();
+                up_total += workload.upstream[s].len();
+            }
+            tel.samples.downstream.reserve(down_total);
+            tel.samples.upstream.reserve(up_total);
+        }
+
+        let mut paced_streams =
+            pacing.map(|_| vec![PacedStream::default(); self.topology.endpoints.len()]);
         for (s, session) in self.topology.sessions.iter().enumerate() {
             for m in &workload.downstream[s] {
                 self.downstream_audits[s].record_sent(m);
@@ -732,8 +1001,70 @@ impl<'a> FabricSim<'a> {
             for m in &workload.upstream[s] {
                 self.upstream_audits[s].record_sent(m);
             }
-            self.endpoints[session.host].enqueue_messages(workload.downstream[s].iter().copied());
-            self.endpoints[session.device].enqueue_messages(workload.upstream[s].iter().copied());
+            match (&mut paced_streams, pacing) {
+                (Some(streams), Some(p)) => {
+                    streams[session.host] = PacedStream {
+                        msgs: workload.downstream[s].clone(),
+                        slots: p.downstream[s].clone(),
+                        cursor: 0,
+                    };
+                    streams[session.device] = PacedStream {
+                        msgs: workload.upstream[s].clone(),
+                        slots: p.upstream[s].clone(),
+                        cursor: 0,
+                    };
+                    self.pending_paced += workload.downstream[s].len() + workload.upstream[s].len();
+                }
+                _ => {
+                    if let Some(tel) = &mut self.telemetry {
+                        for m in &workload.downstream[s] {
+                            tel.inject_slot[session.device].insert(msg_key(m), 0);
+                        }
+                        for m in &workload.upstream[s] {
+                            tel.inject_slot[session.host].insert(msg_key(m), 0);
+                        }
+                    }
+                    self.endpoints[session.host]
+                        .enqueue_messages(workload.downstream[s].iter().copied());
+                    self.endpoints[session.device]
+                        .enqueue_messages(workload.upstream[s].iter().copied());
+                }
+            }
+        }
+        self.paced = paced_streams;
+    }
+
+    /// Releases every paced message whose arrival slot has been reached into
+    /// its endpoint's transmit queue (phase 0 of a slot). A release counts
+    /// as trial progress for the stall guard: an open-loop gap between
+    /// arrivals (a bursty on/off process can idle for thousands of slots)
+    /// must not be classified as a wedge while injections are pending.
+    fn release_due(&mut self) {
+        let now_slot = self.slots;
+        let Some(streams) = &mut self.paced else {
+            return;
+        };
+        let mut released_any = false;
+        for (e, stream) in streams.iter_mut().enumerate() {
+            let start = stream.cursor;
+            while stream.cursor < stream.msgs.len() && stream.slots[stream.cursor] <= now_slot {
+                stream.cursor += 1;
+            }
+            if stream.cursor > start {
+                let batch = &stream.msgs[start..stream.cursor];
+                if let Some(tel) = &mut self.telemetry {
+                    let dst = self.peer_of[e];
+                    for m in batch {
+                        tel.inject_slot[dst].insert(msg_key(m), now_slot);
+                    }
+                }
+                self.endpoints[e].enqueue_messages(batch.iter().copied());
+                self.pending_paced -= stream.cursor - start;
+                released_any = true;
+            }
+        }
+        if released_any {
+            self.last_accept_slot = now_slot;
         }
     }
 
@@ -757,6 +1088,12 @@ impl<'a> FabricSim<'a> {
             let now = self.now;
             self.accepted_this_slot = false;
             let mut all_endpoints_idle = true;
+
+            // Phase 0 — paced injection: release messages whose arrival slot
+            // has come. Free (one integer compare) on the greedy path.
+            if self.pending_paced > 0 {
+                self.release_due();
+            }
 
             // Phase 1 — endpoint transmit opportunities, in endpoint order.
             for e in 0..self.endpoints.len() {
@@ -878,6 +1215,7 @@ impl<'a> FabricSim<'a> {
 
             if all_endpoints_idle
                 && queues_empty
+                && self.pending_paced == 0
                 && self.stalled.iter().all(Option::is_none)
                 && self.endpoints.iter().all(LinkEndpoint::is_quiescent)
             {
@@ -887,9 +1225,15 @@ impl<'a> FabricSim<'a> {
 
             // Livelock guard: abort once nothing has been accepted anywhere
             // for the configured window (see `FabricConfig::stall_slots`).
+            // While paced injections are still pending the guard is held
+            // off: an open-loop arrival gap (bursty processes can idle for
+            // many thousands of slots) is scheduled quiet time, not a wedge;
+            // a genuinely wedged paced trial is still caught one guard
+            // window after its final release.
             if self.accepted_this_slot {
                 self.last_accept_slot = self.slots;
             } else if self.config.stall_slots > 0
+                && self.pending_paced == 0
                 && self.slots - self.last_accept_slot >= self.config.stall_slots
             {
                 // Classify the wedge: flits stuck in the fabric with no
@@ -956,6 +1300,7 @@ impl<'a> FabricSim<'a> {
             drained: self.drained,
             deadlock: self.deadlock,
             first_fail_order_slot: self.first_fail_order_slot,
+            latency: self.telemetry.map(|t| t.samples),
         }
     }
 
@@ -1314,6 +1659,126 @@ mod tests {
         let _ = sim.step(u64::MAX);
         let report = sim.finish();
         assert_eq!(report.switches.flits_dropped_uncorrectable, 0);
+    }
+
+    #[test]
+    fn paced_injection_delivers_everything_and_stretches_the_run() {
+        let t = FabricTopology::leaf_spine(2, 1, 1);
+        let routing = RoutingTable::new(&t);
+        let workload = FabricWorkload::symmetric(t.session_count(), 60, 8, 3);
+        let base = FabricConfig::new(ProtocolVariant::Rxl).with_channel(ChannelErrorModel::ideal());
+
+        let greedy = FabricSim::new(&t, &routing, base).run(&workload);
+        assert!(greedy.drained);
+
+        // 1% of line rate ⇒ one message every ~6.7 slots per stream; the run
+        // must take far longer than the greedy one yet stay clean.
+        let paced_cfg = base.with_offered_load(0.01);
+        let paced = FabricSim::new(&t, &routing, paced_cfg).run(&workload);
+        assert!(paced.drained, "paced run must drain");
+        assert!(paced.total_failures().is_clean());
+        assert_eq!(
+            paced.total_failures().clean_deliveries,
+            greedy.total_failures().clean_deliveries
+        );
+        assert!(
+            paced.slots > 3 * greedy.slots,
+            "pacing must stretch the run: {} vs {}",
+            paced.slots,
+            greedy.slots
+        );
+    }
+
+    #[test]
+    fn paced_idle_gaps_do_not_trip_the_stall_guard() {
+        // One message per 500 slots with a 300-slot stall guard: without the
+        // release-counts-as-progress rule this would abort as stalled.
+        let t = FabricTopology::leaf_spine(2, 1, 1);
+        let routing = RoutingTable::new(&t);
+        let workload = FabricWorkload::symmetric(t.session_count(), 10, 8, 3);
+        let pacing = InjectionPacing {
+            downstream: workload
+                .downstream
+                .iter()
+                .map(|m| (0..m.len() as u64).map(|k| k * 500).collect())
+                .collect(),
+            upstream: workload
+                .upstream
+                .iter()
+                .map(|m| (0..m.len() as u64).map(|k| k * 500).collect())
+                .collect(),
+        };
+        let config = FabricConfig {
+            stall_slots: 300,
+            ..FabricConfig::new(ProtocolVariant::Rxl)
+        }
+        .with_channel(ChannelErrorModel::ideal());
+        let mut sim = FabricSim::new(&t, &routing, config);
+        sim.begin_paced(&workload, &pacing);
+        assert_eq!(sim.step(u64::MAX), StepOutcome::Drained);
+        let report = sim.finish();
+        assert!(report.drained);
+        assert!(report.total_failures().is_clean());
+        assert!(report.slots >= 9 * 500);
+    }
+
+    #[test]
+    fn latency_telemetry_times_every_message_once() {
+        let t = FabricTopology::leaf_spine(2, 1, 1);
+        let routing = RoutingTable::new(&t);
+        let config =
+            FabricConfig::new(ProtocolVariant::Rxl).with_channel(ChannelErrorModel::ideal());
+        let workload = FabricWorkload::symmetric(t.session_count(), 45, 8, 7);
+        let mut sim = FabricSim::new(&t, &routing, config);
+        sim.enable_latency_telemetry();
+        sim.begin(&workload);
+        let _ = sim.step(u64::MAX);
+        let report = sim.finish();
+        let lat = report.latency.expect("telemetry enabled");
+        assert_eq!(lat.downstream.len(), 2 * 45);
+        assert_eq!(lat.upstream.len(), 2 * 45);
+        assert_eq!(lat.untracked, 0);
+        // Every sample covers at least the 3-hop path (leaf, spine, leaf:
+        // one slot per switch traversal plus the endpoint emission).
+        assert!(lat.downstream.iter().all(|&s| s >= 3));
+        // Greedy injection timestamps everything at slot 0, so later
+        // messages of a stream wait longer: samples are non-trivial.
+        assert!(lat.downstream.iter().max() > lat.downstream.iter().min());
+    }
+
+    #[test]
+    fn telemetry_is_absent_unless_enabled() {
+        let t = FabricTopology::ring(3, 1, 1);
+        let report = run_one(&t, ProtocolVariant::Rxl, ChannelErrorModel::ideal(), 2, 20);
+        assert!(report.latency.is_none());
+    }
+
+    #[test]
+    fn paced_telemetry_measures_queueing_delay_growth_with_load() {
+        // At a near-saturating load the same workload must show a higher
+        // mean latency than at a light load (queueing delay).
+        let t = FabricTopology::leaf_spine(2, 1, 2);
+        let routing = RoutingTable::new(&t);
+        let workload = FabricWorkload::symmetric(t.session_count(), 150, 8, 9);
+        let mean_at = |load: f64| -> f64 {
+            let config = FabricConfig::new(ProtocolVariant::Rxl)
+                .with_channel(ChannelErrorModel::ideal())
+                .with_offered_load(load);
+            let mut sim = FabricSim::new(&t, &routing, config);
+            sim.enable_latency_telemetry();
+            sim.begin(&workload);
+            let _ = sim.step(u64::MAX);
+            let report = sim.finish();
+            let lat = report.latency.expect("telemetry enabled");
+            let total: u64 = lat.downstream.iter().chain(&lat.upstream).sum();
+            total as f64 / lat.len() as f64
+        };
+        let light = mean_at(0.02);
+        let heavy = mean_at(0.9);
+        assert!(
+            heavy > 2.0 * light,
+            "queueing delay must grow with load: light {light}, heavy {heavy}"
+        );
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub mod topology;
 
 pub use crosscheck::FitCrosscheck;
 pub use engine::{
-    FabricConfig, FabricCounters, FabricReport, FabricSim, FabricWorkload, StepOutcome,
+    FabricConfig, FabricCounters, FabricReport, FabricSim, FabricWorkload, InjectionPacing,
+    LatencySamples, StepOutcome,
 };
 pub use montecarlo::{FabricMonteCarlo, FabricMonteCarloReport};
 pub use routing::{RoutingTable, NO_ROUTE};

@@ -1,0 +1,382 @@
+//! Open-loop arrival processes.
+//!
+//! An [`ArrivalProcess`] turns a per-stream rate into the slot-denominated
+//! arrival schedule an [`rxl_fabric::InjectionPacing`] carries. Rates are
+//! expressed as a **fraction of line rate**: the schedulable unit is a
+//! flit-sized cohort of [`MESSAGES_PER_FLIT`] messages (a transmitter that
+//! dribbled single messages would emit one nearly-empty flit per message and
+//! saturate the wire at 1/15 of the knob — real hosts fill flits), so rate
+//! `r` means a cohort arrives every `1/r` slots on average and the stream
+//! offers `r × MESSAGES_PER_FLIT` messages per slot.
+//!
+//! # RNG-draw-order invariant
+//!
+//! Arrival sampling follows the same discipline as the `rxl_link::Channel`
+//! contract, so schedules are reproducible bit-for-bit from a trial seed
+//! regardless of worker-thread count:
+//!
+//! * all randomness comes from the `rng` argument of
+//!   [`ArrivalProcess::schedule`], and only during that call — no internal
+//!   RNGs, no draws in constructors;
+//! * the *number* of draws is a deterministic function of the process
+//!   parameters and the cohort count — [`ArrivalProcess::Fixed`] draws
+//!   **nothing**, [`ArrivalProcess::Poisson`] draws **exactly one `f64` per
+//!   cohort**, and [`ArrivalProcess::OnOff`] draws **one `f64` per cohort
+//!   plus one `f64` per dwell segment it advances through**;
+//! * a decision whose outcome is deterministic must not consume a draw: a
+//!   fixed-rate schedule and a rate-1 Poisson stream draw nothing they do
+//!   not need, and an `OnOff` process with `mean_off == 0` never draws for
+//!   the skipped off state.
+//!
+//! The schedule is computed *before* the trial starts, from an RNG that is
+//! separate from the fabric engine's channel RNG — pacing therefore never
+//! perturbs the engine's own draw order (see the `FabricSim` type docs).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rxl_flit::MESSAGES_PER_FLIT;
+
+/// The shape of a stream's cohort arrival process. See the module docs for
+/// the rate units and the RNG-draw-order contract.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Deterministic fixed-rate arrivals: cohort `b` arrives at slot
+    /// `floor(b / rate)`. Zero RNG draws — the schedule every latency
+    /// acceptance test pins is exactly reproducible with no seed at all.
+    Fixed {
+        /// Cohorts per slot (fraction of line rate), in `(0, 1]`.
+        rate: f64,
+    },
+    /// Memoryless arrivals: cohort inter-arrival gaps are geometric with
+    /// mean `1/rate` slots (the discrete-time analogue of a Poisson
+    /// process). Exactly one draw per cohort.
+    Poisson {
+        /// Mean cohorts per slot (fraction of line rate), in `(0, 1]`.
+        rate: f64,
+    },
+    /// A bursty two-state on/off modulated process (an MMPP-2): the stream
+    /// alternates geometric-dwell ON and OFF periods and emits Poisson-like
+    /// arrivals at `rate_on` (resp. `rate_off`, typically 0) while in each
+    /// state. One draw per cohort plus one per dwell transition.
+    OnOff {
+        /// Mean cohorts per slot while ON, in `(0, 1]`.
+        rate_on: f64,
+        /// Mean cohorts per slot while OFF, in `[0, 1]` (0 ⇒ silent).
+        rate_off: f64,
+        /// Mean ON-dwell length in slots (geometric, ≥ 1 slot).
+        mean_on: f64,
+        /// Mean OFF-dwell length in slots (geometric, ≥ 1 slot).
+        mean_off: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Deterministic fixed-rate arrivals at `rate` cohorts per slot.
+    pub fn fixed(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+        ArrivalProcess::Fixed { rate }
+    }
+
+    /// Poisson-like (geometric inter-arrival) arrivals at a mean of `rate`
+    /// cohorts per slot.
+    pub fn poisson(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+        ArrivalProcess::Poisson { rate }
+    }
+
+    /// Bursty on/off arrivals: `rate_on` while ON, `rate_off` while OFF,
+    /// with geometric dwells of the given means (slots).
+    pub fn on_off(rate_on: f64, rate_off: f64, mean_on: f64, mean_off: f64) -> Self {
+        assert!(rate_on > 0.0 && rate_on <= 1.0, "rate_on must be in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&rate_off),
+            "rate_off must be in [0, 1]"
+        );
+        assert!(
+            mean_on >= 1.0 && mean_off >= 1.0,
+            "mean dwells must be at least one slot"
+        );
+        ArrivalProcess::OnOff {
+            rate_on,
+            rate_off,
+            mean_on,
+            mean_off,
+        }
+    }
+
+    /// The long-run mean cohort rate (fraction of line rate).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Fixed { rate } | ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::OnOff {
+                rate_on,
+                rate_off,
+                mean_on,
+                mean_off,
+            } => (rate_on * mean_on + rate_off * mean_off) / (mean_on + mean_off),
+        }
+    }
+
+    /// The same process shape with every rate multiplied by `factor`
+    /// (clamped into `(0, 1]`); dwell means are untouched. The load-sweep
+    /// ladder scales a unit-rate template this way.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "factor must be positive"
+        );
+        let clamp = |r: f64| (r * factor).min(1.0);
+        match *self {
+            ArrivalProcess::Fixed { rate } => ArrivalProcess::Fixed { rate: clamp(rate) },
+            ArrivalProcess::Poisson { rate } => ArrivalProcess::Poisson { rate: clamp(rate) },
+            ArrivalProcess::OnOff {
+                rate_on,
+                rate_off,
+                mean_on,
+                mean_off,
+            } => ArrivalProcess::OnOff {
+                rate_on: clamp(rate_on),
+                rate_off: (rate_off * factor).min(1.0),
+                mean_on,
+                mean_off,
+            },
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Fixed { .. } => "fixed",
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::OnOff { .. } => "on_off",
+        }
+    }
+
+    /// Generates the arrival slot of every one of `messages` messages,
+    /// non-decreasing, grouped in flit-sized cohorts (see the module docs).
+    /// Draw counts per variant are part of the contract documented above.
+    pub fn schedule(&self, messages: usize, rng: &mut StdRng) -> Vec<u64> {
+        let cohorts = messages.div_ceil(MESSAGES_PER_FLIT);
+        let cohort_slots = self.cohort_slots(cohorts, rng);
+        let mut out = Vec::with_capacity(messages);
+        for (b, &slot) in cohort_slots.iter().enumerate() {
+            let n = (messages - b * MESSAGES_PER_FLIT).min(MESSAGES_PER_FLIT);
+            out.extend(std::iter::repeat_n(slot, n));
+        }
+        out
+    }
+
+    /// Arrival slot of each of `cohorts` cohorts.
+    fn cohort_slots(&self, cohorts: usize, rng: &mut StdRng) -> Vec<u64> {
+        match *self {
+            ArrivalProcess::Fixed { rate } => {
+                (0..cohorts).map(|b| (b as f64 / rate) as u64).collect()
+            }
+            ArrivalProcess::Poisson { rate } => {
+                let mut t = 0u64;
+                let mut out = Vec::with_capacity(cohorts);
+                for b in 0..cohorts {
+                    if b > 0 {
+                        t = t.saturating_add(geometric_gap(rate, rng));
+                    }
+                    out.push(t);
+                }
+                out
+            }
+            ArrivalProcess::OnOff {
+                rate_on,
+                rate_off,
+                mean_on,
+                mean_off,
+            } => {
+                // Walk dwell segments; inside a segment arrivals are
+                // Poisson-like at the segment's rate. A zero-rate segment
+                // emits nothing and costs no arrival draws (only its dwell
+                // draw); a zero-length mean is forced to ≥ 1 slot by the
+                // constructor, so the walk always advances.
+                let mut out = Vec::with_capacity(cohorts);
+                let mut t = 0u64;
+                let mut on = true;
+                let mut segment_end = geometric_dwell(mean_on, rng);
+                let mut pending_gap: Option<u64> = None;
+                while out.len() < cohorts {
+                    let rate = if on { rate_on } else { rate_off };
+                    if rate <= 0.0 {
+                        // Silent segment: skip to its end (no draws).
+                        t = t.max(segment_end);
+                    } else {
+                        let gap = match pending_gap.take() {
+                            Some(g) => g,
+                            None => {
+                                if out.is_empty() && t == 0 {
+                                    0 // first cohort of the stream arrives at once
+                                } else {
+                                    geometric_gap(rate, rng)
+                                }
+                            }
+                        };
+                        let arrival = t.saturating_add(gap);
+                        if arrival < segment_end {
+                            t = arrival;
+                            out.push(t);
+                            continue;
+                        }
+                        // The gap crosses the dwell boundary: carry the
+                        // remainder into the next segment (memorylessness
+                        // makes the carried remainder distribution-exact
+                        // only for equal rates; for the usual rate_off = 0
+                        // it simply delays the burst restart, which is the
+                        // behaviour we model).
+                        pending_gap = Some(arrival - segment_end);
+                        t = segment_end;
+                    }
+                    on = !on;
+                    let mean = if on { mean_on } else { mean_off };
+                    segment_end = t.saturating_add(geometric_dwell(mean, rng));
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A geometric inter-arrival gap with mean `1/rate` slots (≥ 1): the
+/// discrete-time Bernoulli-process analogue of an exponential gap. Exactly
+/// one draw — except at rate ≥ 1, where the gap is deterministically 1 and
+/// nothing is drawn.
+fn geometric_gap(rate: f64, rng: &mut StdRng) -> u64 {
+    debug_assert!(rate > 0.0 && rate <= 1.0);
+    if rate >= 1.0 {
+        return 1;
+    }
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let g = (u.ln() / (1.0 - rate).ln()).floor();
+    1 + if g < 0.0 {
+        0
+    } else if g > u64::MAX as f64 {
+        u64::MAX - 1
+    } else {
+        g as u64
+    }
+}
+
+/// A geometric dwell length with the given mean (≥ 1 slot). Exactly one
+/// draw — except at mean ≤ 1, where the dwell is deterministically 1 slot.
+fn geometric_dwell(mean: f64, rng: &mut StdRng) -> u64 {
+    debug_assert!(mean >= 1.0);
+    if mean <= 1.0 {
+        return 1;
+    }
+    geometric_gap(1.0 / mean, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_draws_nothing_and_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let before = rng.clone().random::<u64>();
+        let slots = ArrivalProcess::fixed(0.25).schedule(45, &mut rng);
+        assert_eq!(rng.random::<u64>(), before, "fixed must not draw");
+        // 45 messages = 3 cohorts at slots 0, 4, 8, 15 messages each.
+        assert_eq!(slots.len(), 45);
+        assert_eq!(&slots[..3], &[0, 0, 0]);
+        assert_eq!(slots[14], 0);
+        assert_eq!(slots[15], 4);
+        assert_eq!(slots[44], 8);
+    }
+
+    #[test]
+    fn poisson_draws_one_per_cohort_and_matches_the_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cohorts = 4_000;
+        let slots = ArrivalProcess::poisson(0.1).schedule(cohorts * MESSAGES_PER_FLIT, &mut rng);
+        assert!(slots.windows(2).all(|w| w[0] <= w[1]));
+        let span = *slots.last().unwrap() as f64;
+        let mean_gap = span / (cohorts - 1) as f64;
+        assert!(
+            (mean_gap - 10.0).abs() < 1.0,
+            "mean inter-arrival ≈ 10 slots, got {mean_gap}"
+        );
+        // Draw-count contract: exactly cohorts − 1 draws (the first cohort
+        // arrives at slot 0 without a draw).
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let _ = ArrivalProcess::poisson(0.1).schedule(10 * MESSAGES_PER_FLIT, &mut a);
+        for _ in 0..9 {
+            let _: f64 = b.random();
+        }
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn on_off_bursts_cluster_arrivals() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Bursty: full line rate for ~200-slot bursts, silent ~1800 slots.
+        let p = ArrivalProcess::on_off(1.0, 0.0, 200.0, 1_800.0);
+        assert!((p.mean_rate() - 0.1).abs() < 1e-12);
+        let slots = ArrivalProcess::schedule(&p, 600 * MESSAGES_PER_FLIT, &mut rng);
+        assert!(slots.windows(2).all(|w| w[0] <= w[1]));
+        // Burstiness: the fraction of unit gaps must far exceed the 10%
+        // a smooth process at the same mean rate would produce.
+        let cohort_gaps: Vec<u64> = slots
+            .chunks_exact(MESSAGES_PER_FLIT)
+            .map(|c| c[0])
+            .collect::<Vec<_>>()
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect();
+        let unit = cohort_gaps.iter().filter(|&&g| g <= 1).count() as f64;
+        assert!(
+            unit / cohort_gaps.len() as f64 > 0.5,
+            "bursts must emit back-to-back cohorts"
+        );
+        assert!(
+            cohort_gaps.iter().any(|&g| g > 500),
+            "off dwells must leave long silent gaps"
+        );
+    }
+
+    #[test]
+    fn schedules_are_reproducible_per_seed() {
+        for p in [
+            ArrivalProcess::poisson(0.3),
+            ArrivalProcess::on_off(0.8, 0.05, 50.0, 150.0),
+        ] {
+            let a = p.schedule(300, &mut StdRng::seed_from_u64(11));
+            let b = p.schedule(300, &mut StdRng::seed_from_u64(11));
+            let c = p.schedule(300, &mut StdRng::seed_from_u64(12));
+            assert_eq!(a, b);
+            assert_ne!(a, c, "{p:?} must actually use the seed");
+        }
+    }
+
+    #[test]
+    fn scaling_scales_the_mean_rate() {
+        let p = ArrivalProcess::poisson(0.5).scaled(0.5);
+        assert!((p.mean_rate() - 0.25).abs() < 1e-12);
+        let f = ArrivalProcess::fixed(0.8).scaled(10.0);
+        assert_eq!(f.mean_rate(), 1.0, "scaling clamps at line rate");
+        let oo = ArrivalProcess::on_off(0.6, 0.0, 10.0, 30.0).scaled(0.5);
+        assert!((oo.mean_rate() - 0.075).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            ArrivalProcess::fixed(0.1).label(),
+            ArrivalProcess::poisson(0.1).label(),
+            ArrivalProcess::on_off(0.5, 0.0, 10.0, 10.0).label(),
+        ];
+        assert_eq!(
+            labels
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            3
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Session-level traffic matrices.
+//!
+//! A fabric's sessions are fixed host–device pairs; what a traffic matrix
+//! shapes is how the offered load distributes across them. Each shape maps
+//! an offered-load fraction into per-session, per-direction rate multipliers
+//! (fractions of line rate — see `crate::arrival` for units) plus the
+//! address-level [`TrafficPattern`] the generated request streams use.
+
+use rxl_fabric::FabricTopology;
+use rxl_sim::TrafficPattern;
+
+/// Per-session offered rates, as fractions of line rate.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SessionLoad {
+    /// Host → device offered rate.
+    pub downstream: f64,
+    /// Device → host offered rate.
+    pub upstream: f64,
+}
+
+/// How offered load distributes over a fabric's sessions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrafficMatrix {
+    /// Every session offers the full load symmetrically in both directions —
+    /// the shape of `FabricWorkload::symmetric`, paced.
+    Uniform,
+    /// One-way permutation traffic: every host streams to its device at the
+    /// offered rate; devices send nothing but acknowledgements.
+    Permutation,
+    /// The first `hot_sessions` sessions offer `boost ×` the load (clamped
+    /// to line rate), the rest offer the base load; hot sessions also use
+    /// the address-contended [`TrafficPattern::Hotspot`] request stream.
+    Hotspot {
+        /// Number of boosted sessions (clamped to the session count).
+        hot_sessions: usize,
+        /// Rate multiplier for the hot sessions (≥ 1).
+        boost: f64,
+    },
+    /// Incast onto one leaf: only the sessions whose *device* attaches to
+    /// switch `leaf` are loaded (downstream-only), so every loaded stream
+    /// converges on that switch's endpoint links.
+    Incast {
+        /// Switch index the loaded devices attach to.
+        leaf: usize,
+    },
+}
+
+impl TrafficMatrix {
+    /// Per-session rates at the given offered-load fraction, in session
+    /// order. Rates are clamped to line rate (1.0).
+    pub fn session_loads(&self, topology: &FabricTopology, offered: f64) -> Vec<SessionLoad> {
+        assert!(
+            offered > 0.0 && offered <= 1.0,
+            "offered load must be a fraction of line rate in (0, 1]"
+        );
+        let sessions = topology.sessions.len();
+        match *self {
+            TrafficMatrix::Uniform => vec![
+                SessionLoad {
+                    downstream: offered,
+                    upstream: offered,
+                };
+                sessions
+            ],
+            TrafficMatrix::Permutation => vec![
+                SessionLoad {
+                    downstream: offered,
+                    upstream: 0.0,
+                };
+                sessions
+            ],
+            TrafficMatrix::Hotspot {
+                hot_sessions,
+                boost,
+            } => {
+                assert!(boost >= 1.0, "hotspot boost must be at least 1");
+                let hot = hot_sessions.min(sessions);
+                (0..sessions)
+                    .map(|s| {
+                        let rate = if s < hot {
+                            (offered * boost).min(1.0)
+                        } else {
+                            offered
+                        };
+                        SessionLoad {
+                            downstream: rate,
+                            upstream: rate,
+                        }
+                    })
+                    .collect()
+            }
+            TrafficMatrix::Incast { leaf } => {
+                assert!(leaf < topology.switches.len(), "incast switch out of range");
+                let loads: Vec<SessionLoad> = topology
+                    .sessions
+                    .iter()
+                    .map(|session| {
+                        if topology.endpoints[session.device].switch == leaf {
+                            SessionLoad {
+                                downstream: offered,
+                                upstream: 0.0,
+                            }
+                        } else {
+                            SessionLoad::default()
+                        }
+                    })
+                    .collect();
+                assert!(
+                    loads.iter().any(|l| l.downstream > 0.0),
+                    "no session's device attaches to switch {leaf}"
+                );
+                loads
+            }
+        }
+    }
+
+    /// The address-level request pattern session `s` uses (`cqids` command
+    /// queues): hotspot sessions contend on the shared hot lines, everything
+    /// else streams ordered data.
+    pub fn request_pattern(&self, s: usize, cqids: u16) -> TrafficPattern {
+        match *self {
+            TrafficMatrix::Hotspot { hot_sessions, .. } if s < hot_sessions => {
+                TrafficPattern::Hotspot {
+                    cqids,
+                    hot_fraction: 0.75,
+                }
+            }
+            _ => TrafficPattern::DataStream { cqids },
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            TrafficMatrix::Uniform => "uniform".to_string(),
+            TrafficMatrix::Permutation => "permutation".to_string(),
+            TrafficMatrix::Hotspot {
+                hot_sessions,
+                boost,
+            } => format!("hotspot_{hot_sessions}x{boost:.0}"),
+            TrafficMatrix::Incast { leaf } => format!("incast_sw{leaf}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_permutation_shapes() {
+        let t = FabricTopology::leaf_spine(2, 1, 2);
+        let u = TrafficMatrix::Uniform.session_loads(&t, 0.3);
+        assert_eq!(u.len(), 4);
+        assert!(u.iter().all(|l| l.downstream == 0.3 && l.upstream == 0.3));
+        let p = TrafficMatrix::Permutation.session_loads(&t, 0.3);
+        assert!(p.iter().all(|l| l.downstream == 0.3 && l.upstream == 0.0));
+    }
+
+    #[test]
+    fn hotspot_boosts_the_first_k_sessions() {
+        let t = FabricTopology::leaf_spine(2, 1, 2);
+        let m = TrafficMatrix::Hotspot {
+            hot_sessions: 1,
+            boost: 3.0,
+        };
+        let loads = m.session_loads(&t, 0.2);
+        assert!((loads[0].downstream - 0.6).abs() < 1e-12);
+        assert!((loads[1].downstream - 0.2).abs() < 1e-12);
+        // Boost clamps at line rate.
+        let clamped = m.session_loads(&t, 0.5);
+        assert_eq!(clamped[0].downstream, 1.0);
+        // Hot sessions use the contended pattern, cold ones stream data.
+        assert!(matches!(
+            m.request_pattern(0, 8),
+            TrafficPattern::Hotspot { .. }
+        ));
+        assert!(matches!(
+            m.request_pattern(1, 8),
+            TrafficPattern::DataStream { .. }
+        ));
+    }
+
+    #[test]
+    fn incast_loads_only_the_target_leaf_devices() {
+        // leaf_spine(2, 1, 2): session k of leaf l has its device on leaf
+        // (l + 1) % 2, so sessions 0..2 (hosts on leaf 0) target leaf 1.
+        let t = FabricTopology::leaf_spine(2, 1, 2);
+        let loads = TrafficMatrix::Incast { leaf: 1 }.session_loads(&t, 0.4);
+        let loaded: Vec<usize> = loads
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.downstream > 0.0)
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(loaded.len(), 2);
+        for s in loaded {
+            assert_eq!(t.endpoints[t.sessions[s].device].switch, 1);
+        }
+        assert!(loads.iter().all(|l| l.upstream == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no session's device")]
+    fn incast_on_a_deviceless_switch_is_rejected() {
+        // Spine switches (index ≥ leaves) carry no endpoints.
+        let t = FabricTopology::leaf_spine(2, 1, 1);
+        let _ = TrafficMatrix::Incast { leaf: 2 }.session_loads(&t, 0.4);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TrafficMatrix::Uniform.label(), "uniform");
+        assert_eq!(
+            TrafficMatrix::Hotspot {
+                hot_sessions: 2,
+                boost: 4.0
+            }
+            .label(),
+            "hotspot_2x4"
+        );
+        assert_eq!(TrafficMatrix::Incast { leaf: 3 }.label(), "incast_sw3");
+    }
+}

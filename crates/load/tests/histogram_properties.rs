@@ -1,0 +1,124 @@
+//! Property tests for the HDR-style log-bucketed [`LatencyHistogram`].
+//!
+//! The histogram is the measurement instrument of every latency claim in
+//! this repository, so its structural invariants are pinned exhaustively:
+//!
+//! * **Totality** — recording any `u64` (0 and `u64::MAX` included) never
+//!   panics and lands in a valid bucket.
+//! * **Power-of-two cover** — bucket boundaries tile `u64` exactly: bucket
+//!   lower bounds are non-decreasing, `index_of(bucket_low(i)) == i`, and
+//!   every value's bucket lower bound is ≤ the value with relative error
+//!   bounded by the sub-bucket resolution (12.5%).
+//! * **Quantile monotonicity** — `quantile(q)` is non-decreasing in `q` and
+//!   stays inside the exact `[min, max]` envelope.
+//! * **Merge exactness** — `merge(a, b)` equals recording the concatenated
+//!   stream, field for field.
+
+use proptest::prelude::*;
+
+use rxl_load::LatencyHistogram;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Record is total and self-consistent for arbitrary values.
+    #[test]
+    fn record_is_total_and_buckets_are_consistent(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+            let idx = LatencyHistogram::index_of(v);
+            prop_assert!(idx < 496);
+            let low = LatencyHistogram::bucket_low(idx);
+            prop_assert!(low <= v, "bucket_low {low} > value {v}");
+            // Sub-bucket resolution: the bucket's width is at most
+            // 2^-3 = 12.5% of the value's magnitude (exact below 8).
+            if v >= 8 {
+                prop_assert!(v - low <= v / 8, "bucket too wide for {v}: low {low}");
+            } else {
+                prop_assert_eq!(low, v);
+            }
+            prop_assert_eq!(LatencyHistogram::index_of(low), idx,
+                "bucket_low must be a fixed point of index_of");
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() <= mean.abs() * 1e-9 + 1e-9);
+    }
+
+    /// Bucket lower bounds tile u64: strictly increasing across indices,
+    /// starting at 0 — together with the fixed-point property above this is
+    /// the exact power-of-two cover of the value space.
+    #[test]
+    fn bucket_boundaries_are_strictly_increasing(_dummy in 0u8..1) {
+        prop_assert_eq!(LatencyHistogram::bucket_low(0), 0);
+        let mut prev = 0u64;
+        for i in 1..496usize {
+            let low = LatencyHistogram::bucket_low(i);
+            prop_assert!(low > prev, "bucket {i}: {low} ≤ {prev}");
+            prev = low;
+        }
+        // The top bucket holds u64::MAX.
+        prop_assert_eq!(LatencyHistogram::index_of(u64::MAX), 495);
+    }
+
+    /// Quantiles are monotone non-decreasing in q and bounded by [min, max].
+    #[test]
+    fn quantiles_are_monotone_in_q(values in proptest::collection::vec(any::<u64>(), 1..150)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let mut prev = 0u64;
+        for &q in &qs {
+            let x = h.quantile(q);
+            prop_assert!(x >= prev, "quantile({q}) = {x} < {prev}");
+            prop_assert!(x >= h.min() && x <= h.max());
+            prev = x;
+        }
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    /// merge(a, b) == record(a ++ b), field for field (PartialEq covers
+    /// counts, total, sum, min and max).
+    #[test]
+    fn merge_equals_concatenated_recording(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hc = LatencyHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(&ha, &hc);
+        // Merge is also symmetric.
+        let mut hd = LatencyHistogram::new();
+        let mut he = LatencyHistogram::new();
+        for &v in &b { hd.record(v); }
+        for &v in &a { he.record(v); }
+        hd.merge(&he);
+        prop_assert_eq!(&hd, &hc);
+    }
+}
+
+#[test]
+fn zero_and_max_do_not_panic() {
+    let mut h = LatencyHistogram::new();
+    h.record(0);
+    h.record(u64::MAX);
+    h.record(1);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.quantile(1.0), u64::MAX);
+    assert_eq!(h.min(), 0);
+}

@@ -9,6 +9,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rxl_flit::{MemOp, Message};
 
+/// Bytes per cache line (every generated address is line-aligned).
+const LINE_BYTES: u64 = 64;
+/// Size of the uniformly-addressed working set, in cache lines.
+const WORKING_SET_LINES: u64 = 1_000_000;
+/// Size of the contended set the [`TrafficPattern::Hotspot`] pattern
+/// concentrates its hot accesses on, in cache lines.
+pub const HOT_SET_LINES: u64 = 16;
+
 /// The shape of generated traffic.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TrafficPattern {
@@ -30,6 +38,28 @@ pub enum TrafficPattern {
         /// Number of distinct CQIDs (transfers) interleaved.
         cqids: u16,
     },
+    /// Contended reads: a fraction of requests concentrates on a small set of
+    /// [`HOT_SET_LINES`] hot cache lines (think a lock word or a shared
+    /// counter), the rest spreads over the uniform working set. This is the
+    /// per-session pattern the `rxl-load` hotspot traffic matrices reuse.
+    Hotspot {
+        /// Number of distinct CQIDs to spread requests over.
+        cqids: u16,
+        /// Fraction of requests that target the hot set (0.0–1.0).
+        hot_fraction: f64,
+    },
+}
+
+/// Round-robin CQID assignment shared by every pattern (`cqids == 0`
+/// degrades to a single queue).
+fn round_robin_cqid(i: usize, cqids: u16) -> u16 {
+    (i as u16) % cqids.max(1)
+}
+
+/// One line-aligned address drawn uniformly from the working set — exactly
+/// one RNG draw, shared by every request-generating pattern.
+fn uniform_line_addr(rng: &mut StdRng) -> u64 {
+    rng.random_range(0..WORKING_SET_LINES) * LINE_BYTES
 }
 
 /// Generates `count` request messages following `pattern`.
@@ -40,16 +70,16 @@ pub fn request_stream(count: usize, pattern: TrafficPattern, seed: u64) -> Vec<M
         let tag = i as u16;
         match pattern {
             TrafficPattern::Reads { cqids } => {
-                let cqid = (i as u16) % cqids.max(1);
-                let addr = (rng.random_range(0..1_000_000u64)) * 64;
+                let cqid = round_robin_cqid(i, cqids);
+                let addr = uniform_line_addr(&mut rng);
                 out.push(Message::request(MemOp::RdCurr, addr, cqid, tag));
             }
             TrafficPattern::ReadWrite {
                 cqids,
                 write_fraction,
             } => {
-                let cqid = (i as u16) % cqids.max(1);
-                let addr = (rng.random_range(0..1_000_000u64)) * 64;
+                let cqid = round_robin_cqid(i, cqids);
+                let addr = uniform_line_addr(&mut rng);
                 let op = if rng.random_bool(write_fraction.clamp(0.0, 1.0)) {
                     MemOp::WrLine
                 } else {
@@ -58,10 +88,23 @@ pub fn request_stream(count: usize, pattern: TrafficPattern, seed: u64) -> Vec<M
                 out.push(Message::request(op, addr, cqid, tag));
             }
             TrafficPattern::DataStream { cqids } => {
-                let cqid = (i as u16) % cqids.max(1);
+                let cqid = round_robin_cqid(i, cqids);
                 let mut bytes = [0u8; 8];
                 rng.fill(&mut bytes);
                 out.push(Message::data(cqid, tag, 0, bytes));
+            }
+            TrafficPattern::Hotspot {
+                cqids,
+                hot_fraction,
+            } => {
+                let cqid = round_robin_cqid(i, cqids);
+                // Two draws per message: hot-or-cold, then the line.
+                let addr = if rng.random_bool(hot_fraction.clamp(0.0, 1.0)) {
+                    rng.random_range(0..HOT_SET_LINES) * LINE_BYTES
+                } else {
+                    uniform_line_addr(&mut rng)
+                };
+                out.push(Message::request(MemOp::RdShared, addr, cqid, tag));
             }
         }
     }
@@ -124,6 +167,57 @@ mod tests {
         assert_eq!(rsp.len(), 5);
         assert_eq!(rsp[3].tag(), 3);
         assert_eq!(rsp[3].cqid(), 1);
+    }
+
+    #[test]
+    fn hotspot_concentrates_addresses_on_the_hot_set() {
+        let msgs = request_stream(
+            2_000,
+            TrafficPattern::Hotspot {
+                cqids: 8,
+                hot_fraction: 0.8,
+            },
+            5,
+        );
+        let hot = msgs
+            .iter()
+            .filter(|m| match m {
+                Message::Request { addr, .. } => *addr < HOT_SET_LINES * 64,
+                _ => false,
+            })
+            .count();
+        // ~80% hot plus the vanishing chance a cold draw lands in the hot
+        // lines; 2000 samples put the count well inside (0.7, 0.9).
+        assert!(
+            (1_400..1_800).contains(&hot),
+            "hot fraction off: {hot}/2000"
+        );
+        assert!(msgs.iter().all(|m| m.is_request()));
+    }
+
+    #[test]
+    fn hotspot_extremes_are_total() {
+        let all_hot = request_stream(
+            100,
+            TrafficPattern::Hotspot {
+                cqids: 2,
+                hot_fraction: 1.0,
+            },
+            1,
+        );
+        assert!(all_hot.iter().all(|m| match m {
+            Message::Request { addr, .. } => *addr < HOT_SET_LINES * 64,
+            _ => false,
+        }));
+        let all_cold = request_stream(
+            100,
+            TrafficPattern::Hotspot {
+                cqids: 2,
+                hot_fraction: 0.0,
+            },
+            1,
+        );
+        assert_eq!(all_cold.len(), 100);
     }
 
     #[test]

@@ -26,9 +26,11 @@ use crate::failure::FailureCounts;
 /// per-message maps. Every delivered flit audits up to 15 messages, each a
 /// map lookup, so the default SipHash cost is measurable at fabric scale.
 /// Hash quality only affects speed, never counts: nothing iterates these
-/// maps in hash order to produce results.
+/// maps in hash order to produce results. Public so other hot paths in the
+/// workspace (the fabric engine's latency tag→slot maps) share the same
+/// deterministic construction instead of growing private copies.
 #[derive(Default)]
-struct FxHasher(u64);
+pub struct FxHasher(u64);
 
 impl FxHasher {
     #[inline]
@@ -66,7 +68,9 @@ impl Hasher for FxHasher {
     }
 }
 
-type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashMap` with the deterministic [`FxHasher`] — the workspace's shared
+/// fast-map type for per-message bookkeeping on simulation hot paths.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// Classification of a single observed delivery.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -20,6 +20,10 @@
 //!   channels (Gilbert–Elliott, BER schedules, link flaps), switch
 //!   drain/fail timelines, and a sharded scenario Monte-Carlo with
 //!   per-epoch failure reports.
+//! * [`load`] — open-loop traffic generation & latency telemetry: arrival
+//!   processes (fixed-rate, Poisson-like, bursty on/off), session traffic
+//!   matrices (uniform, permutation, hotspot, incast), HDR-style latency
+//!   histograms, and offered-load sweeps with saturation-knee detection.
 //! * [`analysis`] — closed-form reliability / bandwidth / hardware models.
 //! * [`core`] — the high-level protocol-stack API (CXL vs RXL).
 
@@ -32,6 +36,7 @@ pub use rxl_fec as fec;
 pub use rxl_flit as flit;
 pub use rxl_gf256 as gf256;
 pub use rxl_link as link;
+pub use rxl_load as load;
 pub use rxl_sim as sim;
 pub use rxl_switch as switch;
 pub use rxl_transport as transport;
@@ -41,7 +46,8 @@ pub mod prelude {
     pub use rxl_analysis::reliability::ReliabilityModel;
     pub use rxl_chaos::{ChaosMonteCarlo, GilbertElliott, Scenario};
     pub use rxl_core::{
-        CxlStack, FabricSimOptions, FabricSpec, ProtocolKind, RxlStack, StackConfig, StormSpec,
+        CxlStack, FabricSimOptions, FabricSpec, LoadSweepSpec, ProtocolKind, RxlStack, StackConfig,
+        StormSpec,
     };
     pub use rxl_crc::{Crc64, IsnCrc64};
     pub use rxl_fabric::{
@@ -50,5 +56,8 @@ pub mod prelude {
     pub use rxl_fec::InterleavedFec;
     pub use rxl_flit::{Flit256, FlitHeader, Message};
     pub use rxl_link::{ChannelErrorModel, LinkConfig};
+    pub use rxl_load::{
+        ArrivalProcess, LatencyHistogram, LatencyStats, LoadSweep, LoadSweepConfig, TrafficMatrix,
+    };
     pub use rxl_sim::{MonteCarlo, SimConfig, Topology};
 }
