@@ -37,6 +37,8 @@ pub struct ThroughputRow {
     pub messages_per_session: usize,
     /// Monte-Carlo trials timed.
     pub trials: u64,
+    /// Virtual channels per link the workload ran with.
+    pub vc_count: usize,
     /// First-transmission payload flits across all trials.
     pub payload_flits: u64,
     /// Flits presented at switch ingress pipelines across all trials.
@@ -54,6 +56,7 @@ struct Workload {
     topology: FabricTopology,
     messages: usize,
     trials: u64,
+    vc_count: usize,
 }
 
 fn workloads(small: bool) -> Vec<Workload> {
@@ -64,12 +67,21 @@ fn workloads(small: bool) -> Vec<Workload> {
                 topology: FabricTopology::leaf_spine(2, 1, 2),
                 messages: 120,
                 trials: 1,
+                vc_count: 1,
             },
             Workload {
                 name: "ring_small",
                 topology: FabricTopology::ring(3, 1, 1),
                 messages: 120,
                 trials: 1,
+                vc_count: 1,
+            },
+            Workload {
+                name: "ring_span2_small",
+                topology: FabricTopology::ring(6, 1, 2),
+                messages: 120,
+                trials: 1,
+                vc_count: 2,
             },
         ]
     } else {
@@ -79,16 +91,25 @@ fn workloads(small: bool) -> Vec<Workload> {
                 topology: FabricTopology::leaf_spine(4, 2, 4),
                 messages: 15_000,
                 trials: 2,
+                vc_count: 1,
             },
-            // Ring span 1: every route crosses exactly one trunk hop. Longer
-            // spans form a cyclic trunk-credit dependency that can deadlock
-            // under saturation (the model has no virtual channels), which
-            // would time the stall guard instead of the hot path.
             Workload {
                 name: "ring_large",
                 topology: FabricTopology::ring(8, 2, 1),
                 messages: 15_000,
                 trials: 2,
+                vc_count: 1,
+            },
+            // Ring span 2: multi-hop trunk routes form the cyclic
+            // credit-wait the dateline escape VCs break, so this workload
+            // runs at `vc_count = 2` and times the VC arbitration/credit
+            // path under real wrap-around pressure.
+            Workload {
+                name: "ring_span2_large",
+                topology: FabricTopology::ring(8, 2, 2),
+                messages: 15_000,
+                trials: 2,
+                vc_count: 2,
             },
         ]
     }
@@ -109,7 +130,8 @@ pub fn run_throughput(small: bool, label: &str) -> Vec<ThroughputRow> {
             // guard, not the hot path.)
             let config = FabricConfig::new(variant)
                 .with_channel(ChannelErrorModel::ideal())
-                .with_seed(0xBEEF);
+                .with_seed(0xBEEF)
+                .with_vc_count(w.vc_count);
             let mc = FabricMonteCarlo::new(w.topology.clone(), config, w.trials);
             let start = Instant::now();
             let report = mc.run(&workload);
@@ -128,6 +150,7 @@ pub fn run_throughput(small: bool, label: &str) -> Vec<ThroughputRow> {
                 sessions,
                 messages_per_session: w.messages,
                 trials: w.trials,
+                vc_count: w.vc_count,
                 payload_flits: payload,
                 hop_flits: hops,
                 wall_s,
@@ -149,6 +172,7 @@ pub fn throughput_table(rows: &[ThroughputRow]) -> String {
                 r.topology.clone(),
                 r.variant.to_string(),
                 r.sessions.to_string(),
+                r.vc_count.to_string(),
                 r.payload_flits.to_string(),
                 r.hop_flits.to_string(),
                 format!("{:.3}", r.wall_s),
@@ -164,6 +188,7 @@ pub fn throughput_table(rows: &[ThroughputRow]) -> String {
             "workload",
             "protocol",
             "sessions",
+            "vcs",
             "payload flits",
             "hop flits",
             "wall s",
@@ -185,6 +210,7 @@ pub fn throughput_json(rows: &[ThroughputRow]) -> String {
             concat!(
                 "    {{\"label\": \"{}\", \"workload\": \"{}\", \"protocol\": \"{}\", ",
                 "\"sessions\": {}, \"messages_per_session\": {}, \"trials\": {}, ",
+                "\"vc_count\": {}, ",
                 "\"payload_flits\": {}, \"hop_flits\": {}, \"wall_s\": {:.6}, ",
                 "\"payload_flits_per_sec\": {:.1}, \"hop_flits_per_sec\": {:.1}}}{}\n",
             ),
@@ -194,6 +220,7 @@ pub fn throughput_json(rows: &[ThroughputRow]) -> String {
             r.sessions,
             r.messages_per_session,
             r.trials,
+            r.vc_count,
             r.payload_flits,
             r.hop_flits,
             r.wall_s,
@@ -221,17 +248,23 @@ mod tests {
     #[test]
     fn small_suite_runs_and_serialises() {
         let rows = run_throughput(true, "test");
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 6);
         for r in &rows {
             assert!(r.payload_flits > 0);
             assert!(r.hop_flits > 0);
             assert!(r.wall_s > 0.0);
         }
+        assert!(
+            rows.iter()
+                .any(|r| r.topology == "ring_span2_small" && r.vc_count == 2),
+            "the span-2 ring must run under escape VCs"
+        );
         let table = throughput_table(&rows);
         assert!(table.contains("Fabric engine wall-clock throughput"));
         let json = throughput_json(&rows);
         assert!(json.contains("\"bench\": \"fabric_throughput\""));
         assert!(json.contains("\"label\": \"test\""));
+        assert!(json.contains("\"vc_count\": 2"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

@@ -68,6 +68,9 @@ pub struct ChaosMonteCarloReport {
     pub drained_trials: u64,
     /// Trials that ended in a classified credit deadlock.
     pub deadlocked_trials: u64,
+    /// Trials that stalled only after delivering every message
+    /// (control-plane replay wedge; counted as drained).
+    pub post_delivery_wedge_trials: u64,
     /// Trials with at least one `Fail_order` event.
     pub fail_order_trials: u64,
     /// Earliest first-`Fail_order` slot across trials, if any trial had one.
@@ -177,6 +180,9 @@ impl ChaosMonteCarlo {
             if r.fabric.deadlock {
                 agg.deadlocked_trials += 1;
             }
+            if r.fabric.post_delivery_wedge {
+                agg.post_delivery_wedge_trials += 1;
+            }
             if let Some(slot) = r.time_to_first_fail_order {
                 agg.fail_order_trials += 1;
                 fail_order_slot_sum += slot;
@@ -256,6 +262,49 @@ mod tests {
                 format!("{report:?}"),
                 format!("{reference:?}"),
                 "{threads} threads"
+            );
+        }
+    }
+
+    /// The paired VC regression across every wrap-around topology: the same
+    /// saturated workload that deadlocks every trial at `vc_count = 1`
+    /// drains every trial — zero deadlocks — once the dateline escape VCs
+    /// are installed.
+    #[test]
+    fn escape_vcs_eliminate_saturation_deadlocks_ring_and_torus() {
+        for t in [
+            FabricTopology::ring(6, 2, 2),
+            FabricTopology::torus(4, 3, 2),
+        ] {
+            let workload = FabricWorkload::symmetric(t.session_count(), 1_500, 8, 2);
+            let run = |vcs: usize| {
+                let config = FabricConfig {
+                    queue_capacity: 4,
+                    ..FabricConfig::new(ProtocolVariant::Rxl)
+                }
+                .with_channel(ChannelErrorModel::ideal())
+                .with_vc_count(vcs);
+                ChaosMonteCarlo::new(t.clone(), config, Scenario::named("none"), 3).run(&workload)
+            };
+            let wedged = run(1);
+            assert_eq!(
+                wedged.deadlocked_trials, 3,
+                "{}: every saturated vc=1 trial must deadlock",
+                t.name
+            );
+            assert_eq!(wedged.drained_trials, 0, "{}", t.name);
+            let fixed = run(2);
+            assert_eq!(
+                fixed.deadlocked_trials, 0,
+                "{}: escape VCs must eliminate the deadlock",
+                t.name
+            );
+            assert_eq!(fixed.drained_trials, 3, "{}", t.name);
+            assert!(
+                fixed.failures.is_clean(),
+                "{}: {:?}",
+                t.name,
+                fixed.failures
             );
         }
     }

@@ -24,6 +24,13 @@ pub struct FabricSpec {
     pub devices: u64,
     /// Switching levels between any host–device pair.
     pub switch_levels: u32,
+    /// Virtual channels per trunk lane in the simulated fabric. `1`
+    /// reproduces the pre-VC engine (and its ring(span ≥ 2) credit
+    /// deadlock); `≥ 2` installs the dateline escape VCs.
+    pub vc_count: usize,
+    /// Route adaptively over the minimal candidate set (requires
+    /// `vc_count ≥ 3`; escape VCs stay deterministic).
+    pub adaptive: bool,
     /// The per-link reliability operating point.
     pub model: ReliabilityModel,
 }
@@ -104,8 +111,23 @@ impl FabricSpec {
             kind,
             devices,
             switch_levels,
+            vc_count: 1,
+            adaptive: false,
             model: ReliabilityModel::cxl3_x16(),
         }
+    }
+
+    /// Sets the number of virtual channels per trunk lane in simulation.
+    pub fn with_vc_count(mut self, vc_count: usize) -> Self {
+        self.vc_count = vc_count;
+        self
+    }
+
+    /// Enables minimal-adaptive routing in simulation (needs
+    /// `vc_count ≥ 3`).
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
     }
 
     /// FIT of one device's connection under this fabric's protocol.
@@ -169,7 +191,9 @@ impl FabricSpec {
             ..FabricConfig::new(variant)
         }
         .with_channel(ChannelErrorModel::random(opts.ber))
-        .with_seed(opts.base_seed);
+        .with_seed(opts.base_seed)
+        .with_vc_count(self.vc_count)
+        .with_adaptive(self.adaptive);
         (topology, variant, config)
     }
 

@@ -8,8 +8,10 @@
 //! device — and drives N concurrent transaction sessions through them at
 //! flit-slot granularity with credit backpressure on every queue.
 //!
-//! * [`topology`] — leaf–spine, two-tier fat-tree and ring generators,
-//! * [`routing`] — deterministic shortest-path (ECMP-spread) tables,
+//! * [`topology`] — leaf–spine, fat-tree, ring, torus and dragonfly
+//!   generators with per-trunk dateline metadata for the escape VCs,
+//! * [`routing`] — deterministic shortest-path (ECMP-spread) tables plus
+//!   minimal-adaptive candidate sets,
 //! * [`engine`] — the slot-synchronous fabric engine,
 //! * [`montecarlo`] — sharded, thread-count-independent trial aggregation,
 //! * [`crosscheck`] — empirical-vs-analytic FIT comparison at an
@@ -43,5 +45,6 @@ pub use engine::{
 pub use montecarlo::{FabricMonteCarlo, FabricMonteCarloReport};
 pub use routing::{RoutingTable, NO_ROUTE};
 pub use topology::{
-    EndpointNode, FabricTopology, LinkId, NodeRole, Session, SwitchNode, TrunkLink,
+    EndpointNode, FabricTopology, LinkId, NodeRole, Session, SwitchNode, TopologyLayout,
+    TrunkClass, TrunkLink,
 };

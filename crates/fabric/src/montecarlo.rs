@@ -54,6 +54,9 @@ pub struct FabricMonteCarloReport {
     pub credit_stalls: u64,
     /// Trials that drained before their slot limit.
     pub drained_trials: u64,
+    /// Trials that stalled *after* delivering every message (control-plane
+    /// replay wedge); these still count as drained.
+    pub post_delivery_wedge_trials: u64,
     /// Per-trial undetected-drop event rates (events per protocol flit), in
     /// trial order, for dispersion estimates.
     pub event_rates: Vec<f64>,
@@ -165,6 +168,9 @@ impl FabricMonteCarlo {
             if r.drained {
                 agg.drained_trials += 1;
             }
+            if r.post_delivery_wedge {
+                agg.post_delivery_wedge_trials += 1;
+            }
             agg.event_rates.push(r.event_rate());
         }
         agg
@@ -221,6 +227,48 @@ mod tests {
             assert_eq!(report.switches, reference.switches, "{threads} threads");
             assert_eq!(
                 report.undetected_drop_events, reference.undetected_drop_events,
+                "{threads} threads"
+            );
+            assert_eq!(
+                report.event_rates, reference.event_rates,
+                "{threads} threads"
+            );
+        }
+    }
+
+    /// The same 1-vs-N-thread bit-identity contract under the VC credit
+    /// contract: escape VCs and adaptive routing draw nothing from the RNG,
+    /// so a multi-VC adaptive torus aggregates identically on any pool.
+    #[test]
+    fn multi_vc_adaptive_reports_are_reproducible_across_thread_counts() {
+        let mc = FabricMonteCarlo::new(
+            FabricTopology::torus(4, 3, 1),
+            FabricConfig::new(ProtocolVariant::Rxl)
+                .with_channel(ChannelErrorModel::random(2e-4))
+                .with_seed(0x7025)
+                .with_vc_count(3)
+                .with_adaptive(true),
+            4,
+        );
+        let workload = FabricWorkload::symmetric(12, 50, 8, 13);
+
+        let run_with_threads = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("shim pool build is infallible");
+            pool.install(|| mc.run(&workload))
+        };
+
+        let reference = run_with_threads(1);
+        assert_eq!(reference.drained_trials, 4, "adaptive torus must drain");
+        for threads in [2, 4] {
+            let report = run_with_threads(threads);
+            assert_eq!(report.failures, reference.failures, "{threads} threads");
+            assert_eq!(report.links, reference.links, "{threads} threads");
+            assert_eq!(report.switches, reference.switches, "{threads} threads");
+            assert_eq!(
+                report.credit_stalls, reference.credit_stalls,
                 "{threads} threads"
             );
             assert_eq!(

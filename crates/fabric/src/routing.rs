@@ -7,8 +7,36 @@
 //! destination endpoint's index — a deterministic equal-cost multi-path
 //! spread, so parallel sessions share the spine tier instead of piling onto
 //! one switch while remaining bit-reproducible run to run.
+//!
+//! # Escape paths and minimal-adaptive candidates
+//!
+//! The table serves two consumers in the VC-aware engine:
+//!
+//! * [`RoutingTable::egress`] is the **escape path** — the single
+//!   deterministic route a flit can always fall back to on the escape VCs.
+//!   For deadlock freedom the escape path must keep each escape VC's
+//!   channel dependency graph acyclic under the topology's dateline scheme
+//!   (see the `topology` module docs), which is a property of the *path
+//!   shape*, not just minimality. Pristine fabrics therefore dispatch on
+//!   [`TopologyLayout`]: grids use dimension-ordered routing (x, then y —
+//!   plain BFS could interleave dimensions and reintroduce turn cycles
+//!   within a VC class), dragonflies take at most one global trunk
+//!   (local → global → local), and everything else uses BFS/ECMP.
+//! * [`RoutingTable::candidates`] is the full **minimal next-hop set** —
+//!   every egress port that starts a shortest path — which the engine's
+//!   minimal-adaptive layer picks from on the adaptive VCs using queue
+//!   occupancy. The escape port is always a member. On the dragonfly the
+//!   set is just the escape port (a second global hop would cross a
+//!   dateline twice), so adaptive routing degenerates to deterministic
+//!   there by design.
+//!
+//! Degraded fabrics (drained or dead switches) always fall back to BFS:
+//! re-routing around failures takes priority over the structured escape
+//! shape, so the provable-deadlock-freedom guarantee applies to pristine
+//! fabrics. This mirrors real deployments, where a failed torus link drops
+//! the fabric into a recovery routing mode.
 
-use crate::topology::FabricTopology;
+use crate::topology::{FabricTopology, TopologyLayout};
 
 /// Sentinel egress value meaning "no usable path": the destination's
 /// attachment switch is dead, or every route to it crosses an excluded
@@ -16,10 +44,13 @@ use crate::topology::FabricTopology;
 pub const NO_ROUTE: usize = usize::MAX;
 
 /// Precomputed next-hop tables: `next_hop[switch][endpoint]` is the egress
-/// port of `switch` on the shortest path towards `endpoint`.
+/// port of `switch` on the shortest path towards `endpoint` (the escape
+/// path), and `candidates[switch][endpoint]` every egress port that starts
+/// a minimal path (the adaptive choice set).
 #[derive(Clone, Debug)]
 pub struct RoutingTable {
     next_hop: Vec<Vec<usize>>,
+    candidates: Vec<Vec<Vec<usize>>>,
 }
 
 impl RoutingTable {
@@ -56,6 +87,20 @@ impl RoutingTable {
         let n = topology.switch_count();
         assert_eq!(no_transit.len(), n);
         assert_eq!(dead.len(), n);
+        // Pristine structured fabrics get a provably escape-safe path shape
+        // (see the module docs); any degradation drops to BFS re-routing.
+        let pristine = !no_transit.contains(&true) && !dead.contains(&true);
+        if pristine {
+            match topology.layout {
+                TopologyLayout::Grid { cols, rows } => {
+                    return Self::grid_minimal(topology, cols, rows);
+                }
+                TopologyLayout::Dragonfly { group_size, .. } => {
+                    return Self::dragonfly_minimal(topology, group_size);
+                }
+                TopologyLayout::Irregular => {}
+            }
+        }
         // Adjacency: for each switch, (egress port, neighbour switch), in
         // deterministic trunk order.
         let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
@@ -95,16 +140,19 @@ impl RoutingTable {
         };
         let dists: Vec<Vec<u32>> = (0..n).map(dist_to).collect();
 
-        let mut next_hop = vec![vec![NO_ROUTE; topology.endpoint_count()]; n];
+        let eps = topology.endpoint_count();
+        let mut next_hop = vec![vec![NO_ROUTE; eps]; n];
+        let mut cand_sets = vec![vec![Vec::new(); eps]; n];
         for (ep_id, ep) in topology.endpoints.iter().enumerate() {
             let to_target = &dists[ep.switch];
-            for (sw, row) in next_hop.iter_mut().enumerate() {
+            for sw in 0..n {
                 if dead[sw] {
                     continue;
                 }
                 if sw == ep.switch {
                     // Final hop: the endpoint's own port.
-                    row[ep_id] = ep.port;
+                    next_hop[sw][ep_id] = ep.port;
+                    cand_sets[sw][ep_id] = vec![ep.port];
                     continue;
                 }
                 let here = to_target[sw];
@@ -127,10 +175,115 @@ impl RoutingTable {
                     .collect();
                 assert!(!candidates.is_empty(), "BFS invariant violated");
                 // Deterministic ECMP: spread destinations over the ties.
-                row[ep_id] = candidates[ep_id % candidates.len()];
+                next_hop[sw][ep_id] = candidates[ep_id % candidates.len()];
+                cand_sets[sw][ep_id] = candidates;
             }
         }
-        RoutingTable { next_hop }
+        RoutingTable {
+            next_hop,
+            candidates: cand_sets,
+        }
+    }
+
+    /// Dimension-ordered routing over a pristine `cols × rows` wrap grid
+    /// (the [`TopologyLayout::Grid`] port convention: 0 = +x, 1 = −x,
+    /// 2 = +y, 3 = −y). The escape path resolves x before y; ties at
+    /// exactly half the ring length go in the + direction. Candidates are
+    /// the union of the minimal direction in every unresolved dimension —
+    /// the full minimal-adaptive choice set.
+    fn grid_minimal(topology: &FabricTopology, cols: usize, rows: usize) -> Self {
+        let n = topology.switch_count();
+        assert_eq!(n, cols * rows, "Grid layout does not match switch count");
+        let eps = topology.endpoint_count();
+        let mut next_hop = vec![vec![NO_ROUTE; eps]; n];
+        let mut cand_sets = vec![vec![Vec::new(); eps]; n];
+        // Minimal direction along a ring of `len`: Some(+1/-1 port pick)
+        // when the coordinates differ, None when resolved.
+        let minimal = |from: usize, to: usize, len: usize, plus: usize, minus: usize| {
+            if from == to {
+                return None;
+            }
+            let fwd = (to + len - from) % len;
+            let bwd = len - fwd;
+            Some(if fwd <= bwd { plus } else { minus })
+        };
+        for (ep_id, ep) in topology.endpoints.iter().enumerate() {
+            let (tr, tc) = (ep.switch / cols, ep.switch % cols);
+            for sw in 0..n {
+                if sw == ep.switch {
+                    next_hop[sw][ep_id] = ep.port;
+                    cand_sets[sw][ep_id] = vec![ep.port];
+                    continue;
+                }
+                let (r, c) = (sw / cols, sw % cols);
+                let x = minimal(c, tc, cols, 0, 1);
+                let y = minimal(r, tr, rows, 2, 3);
+                next_hop[sw][ep_id] = x.or(y).expect("sw != ep.switch");
+                cand_sets[sw][ep_id] = [x, y].into_iter().flatten().collect();
+            }
+        }
+        RoutingTable {
+            next_hop,
+            candidates: cand_sets,
+        }
+    }
+
+    /// Minimal routing over a pristine dragonfly: local direct hop inside
+    /// the destination group, the hosted global trunk towards the
+    /// destination group, or a local hop to the group's gateway for that
+    /// global — never more than one global per path. Candidates equal the
+    /// escape port: the dragonfly's dateline scheme (globals are the
+    /// datelines) is only acyclic for ≤1-global paths, so there is no safe
+    /// adaptive spread to offer.
+    fn dragonfly_minimal(topology: &FabricTopology, group_size: usize) -> Self {
+        let n = topology.switch_count();
+        assert_eq!(n % group_size, 0, "Dragonfly layout mismatch");
+        let groups = n / group_size;
+        let eps = topology.endpoint_count();
+        // local_port[u][v]: u's port on the intra-group trunk to v;
+        // global_port[u][g]: u's port on its global trunk to group g.
+        let mut local_port = vec![vec![NO_ROUTE; n]; n];
+        let mut global_port = vec![vec![NO_ROUTE; groups]; n];
+        for t in &topology.trunks {
+            let ((u, pu), (v, pv)) = (t.a, t.b);
+            if u / group_size == v / group_size {
+                local_port[u][v] = pu;
+                local_port[v][u] = pv;
+            } else {
+                global_port[u][v / group_size] = pu;
+                global_port[v][u / group_size] = pv;
+            }
+        }
+        // Gateway of group g for peer group h: the first switch of g (in
+        // index order) hosting a global to h.
+        let gateway = |g: usize, h: usize| {
+            (g * group_size..(g + 1) * group_size)
+                .find(|&sw| global_port[sw][h] != NO_ROUTE)
+                .expect("every group pair has a global trunk")
+        };
+        let mut next_hop = vec![vec![NO_ROUTE; eps]; n];
+        let mut cand_sets = vec![vec![Vec::new(); eps]; n];
+        for (ep_id, ep) in topology.endpoints.iter().enumerate() {
+            let tg = ep.switch / group_size;
+            for sw in 0..n {
+                let port = if sw == ep.switch {
+                    ep.port
+                } else if sw / group_size == tg {
+                    local_port[sw][ep.switch]
+                } else if global_port[sw][tg] != NO_ROUTE {
+                    global_port[sw][tg]
+                } else {
+                    local_port[sw][gateway(sw / group_size, tg)]
+                };
+                assert!(port != NO_ROUTE, "dragonfly minimal route missing");
+                next_hop[sw][ep_id] = port;
+                cand_sets[sw][ep_id] = vec![port];
+            }
+        }
+        RoutingTable {
+            next_hop,
+            candidates: cand_sets,
+        }
     }
 
     /// The egress port `switch` forwards traffic for `endpoint` to, or
@@ -142,6 +295,14 @@ impl RoutingTable {
     /// `true` if `switch` has a usable egress towards `endpoint`.
     pub fn reachable(&self, switch: usize, endpoint: usize) -> bool {
         self.next_hop[switch][endpoint] != NO_ROUTE
+    }
+
+    /// Every egress port of `switch` that starts a minimal path towards
+    /// `endpoint` — the choice set of the engine's minimal-adaptive layer.
+    /// Always contains [`Self::egress`]; empty exactly when the escape
+    /// lookup is [`NO_ROUTE`].
+    pub fn candidates(&self, switch: usize, endpoint: usize) -> &[usize] {
+        &self.candidates[switch][endpoint]
     }
 
     /// The number of switches on every session's host→device path, if that
@@ -339,6 +500,118 @@ mod tests {
         for sw in 0..t.switch_count() {
             for ep in 0..t.endpoint_count() {
                 assert_eq!(a.egress(sw, ep), b.egress(sw, ep));
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_always_contain_the_escape_port() {
+        for t in [
+            FabricTopology::leaf_spine(2, 4, 4),
+            FabricTopology::ring(6, 1, 2),
+            FabricTopology::torus(3, 3, 1),
+            FabricTopology::dragonfly(3, 2, 1),
+        ] {
+            let r = RoutingTable::new(&t);
+            for sw in 0..t.switch_count() {
+                for ep in 0..t.endpoint_count() {
+                    assert!(
+                        r.candidates(sw, ep).contains(&r.egress(sw, ep)),
+                        "{}: escape port missing from candidates at ({sw}, {ep})",
+                        t.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_escape_is_dimension_ordered_and_minimal() {
+        let t = FabricTopology::torus(4, 3, 1);
+        let r = RoutingTable::new(&t);
+        let cols = 4;
+        for (ep_id, ep) in t.endpoints.iter().enumerate() {
+            let (tr, tc) = (ep.switch / cols, ep.switch % cols);
+            for sw in 0..t.switch_count() {
+                if sw == ep.switch {
+                    continue;
+                }
+                let (row, col) = (sw / cols, sw % cols);
+                let port = r.egress(sw, ep_id);
+                if col != tc {
+                    assert!(port < 2, "x must resolve before y at ({sw} → ep {ep_id})");
+                } else {
+                    assert!((2..4).contains(&port), "resolved x must move in y");
+                }
+                // Candidates: one minimal direction per unresolved dimension.
+                let expect = usize::from(col != tc) + usize::from(row != tr);
+                assert_eq!(r.candidates(sw, ep_id).len(), expect);
+            }
+        }
+        // DOR paths are minimal: antipodal-ish sessions on 4x3 cross
+        // 2 (x) + 1 (y) intermediate hops → 4 switches end to end.
+        for s in &t.sessions {
+            assert_eq!(r.path_switches(&t, s.host, s.device), 4);
+        }
+    }
+
+    #[test]
+    fn dragonfly_routes_cross_at_most_one_global() {
+        let t = FabricTopology::dragonfly(4, 3, 1);
+        let r = RoutingTable::new(&t);
+        let group_size = 3;
+        for (ep_id, ep) in t.endpoints.iter().enumerate() {
+            for sw in 0..t.switch_count() {
+                // Walk the route, counting group changes (= global hops).
+                let (mut here, mut globals, mut hops) = (sw, 0, 0);
+                while here != ep.switch {
+                    let port = r.egress(here, ep_id);
+                    let trunk = t
+                        .trunks
+                        .iter()
+                        .find(|tr| tr.a == (here, port) || tr.b == (here, port))
+                        .expect("route must follow a trunk");
+                    let next = if trunk.a == (here, port) {
+                        trunk.b.0
+                    } else {
+                        trunk.a.0
+                    };
+                    if here / group_size != next / group_size {
+                        globals += 1;
+                    }
+                    here = next;
+                    hops += 1;
+                    assert!(hops <= 3, "dragonfly minimal routes are ≤ 3 hops");
+                }
+                assert!(globals <= 1, "escape paths must take at most one global");
+                // No safe adaptive spread on the dragonfly.
+                assert_eq!(r.candidates(sw, ep_id), [r.egress(sw, ep_id)]);
+            }
+        }
+    }
+
+    #[test]
+    fn structured_fabrics_fall_back_to_bfs_when_degraded() {
+        // Draining one torus switch must reroute around it (DOR would not),
+        // proving the BFS fallback engages.
+        let t = FabricTopology::torus(3, 3, 1);
+        let mut no_transit = vec![false; t.switch_count()];
+        no_transit[4] = true; // centre switch (1,1)
+        let dead = vec![false; t.switch_count()];
+        let r = RoutingTable::degraded(&t, &no_transit, &dead);
+        for ep in 0..t.endpoint_count() {
+            for sw in 0..t.switch_count() {
+                assert!(r.reachable(sw, ep), "switch {sw} lost endpoint {ep}");
+            }
+            if t.endpoints[ep].switch != 4 {
+                // Never route *through* the drained centre.
+                for sw in (0..t.switch_count()).filter(|&s| s != 4) {
+                    let port = r.egress(sw, ep);
+                    let via_centre = t.trunks.iter().any(|tr| {
+                        (tr.a == (sw, port) && tr.b.0 == 4) || (tr.b == (sw, port) && tr.a.0 == 4)
+                    });
+                    assert!(!via_centre, "switch {sw} transits drained centre for {ep}");
+                }
             }
         }
     }

@@ -16,6 +16,75 @@
 //!   configurable number of hops; the generator of choice for sweeping
 //!   switching depth, since a session's path crosses exactly `span + 1`
 //!   switches.
+//! * [`FabricTopology::torus`] — a 2-D wrap-around grid; the smallest
+//!   topology with path diversity in *two* dimensions, which is what the
+//!   minimal-adaptive routing layer exploits.
+//! * [`FabricTopology::dragonfly`] — fully-connected groups joined by one
+//!   global trunk per group pair, the paper's scale-out end state.
+//!
+//! # Virtual-channel metadata: trunk classes and datelines
+//!
+//! Ring and torus trunks close cycles, and cyclic trunk graphs deadlock
+//! under saturation with a single buffer class: every switch's output queue
+//! on the cycle can fill with flits whose next hop is the *next* queue of
+//! the same cycle, a circular credit wait no one can break (the bug pinned
+//! by `saturated_ring_span2_reports_credit_deadlock`). The classical fix is
+//! a **dateline** per ring dimension: one trunk of each cycle is marked, and
+//! a flit that crosses a marked trunk moves from escape VC 0 to escape VC 1
+//! for the remaining hops in that dimension. Minimal routes cross each
+//! dimension's dateline at most once, so each escape VC's channel
+//! dependency graph is the cycle *minus* one edge — acyclic — and the
+//! engine's round-robin VC arbitration guarantees the escape VCs service,
+//! which makes the whole fabric deadlock-free.
+//!
+//! [`TrunkClass`] carries that static metadata: the ring dimension a trunk
+//! belongs to (`dim` — the torus needs the x and y cycles tracked
+//! *separately*, a single shared "crossed" bit re-admits cycles through the
+//! second dimension) and whether it is its cycle's dateline. Generators
+//! whose trunk graphs are acyclic (leaf–spine, fat-tree) carry no
+//! datelines; the dragonfly marks its global trunks so traffic entering the
+//! destination group switches to VC 1, keeping the local→global→local
+//! dependency chain acyclic.
+
+/// Virtual-channel class metadata of one trunk: which ring dimension the
+/// trunk belongs to and whether it is that cycle's dateline (see the
+/// module docs). Trunks of acyclic fabrics use the default (`dim 0`, no
+/// dateline), which makes every escape flit ride VC 0 — exactly the
+/// single-queue pre-VC behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrunkClass {
+    /// Ring dimension this trunk closes (0 = x / the only ring, 1 = y).
+    pub dim: u8,
+    /// `true` for the one trunk per cycle whose crossing bumps a flit from
+    /// escape VC 0 to escape VC 1.
+    pub dateline: bool,
+}
+
+/// Structural family of a fabric, used by the routing layer to pick an
+/// escape-path algorithm that is provably deadlock-free on that structure.
+/// BFS/ECMP remains the fallback everywhere (and the only choice once a
+/// scenario degrades the fabric — see `RoutingTable::degraded`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyLayout {
+    /// No exploitable structure: escape routing is plain BFS/ECMP.
+    Irregular,
+    /// A `cols × rows` wrap-around grid (switch `s = row * cols + col`):
+    /// escape routing is dimension-ordered (x, then y).
+    Grid {
+        /// Ring length of dimension 0.
+        cols: usize,
+        /// Ring length of dimension 1.
+        rows: usize,
+    },
+    /// `groups` fully-connected groups of `group_size` switches: escape
+    /// routing takes at most one global trunk (local → global → local).
+    Dragonfly {
+        /// Number of groups.
+        groups: usize,
+        /// Switches per group.
+        group_size: usize,
+    },
+}
 
 /// Whether an endpoint initiates requests (host) or serves them (device).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,6 +161,12 @@ pub struct FabricTopology {
     pub switches: Vec<SwitchNode>,
     /// All switch-to-switch trunk links.
     pub trunks: Vec<TrunkLink>,
+    /// Virtual-channel class of each trunk, parallel to [`Self::trunks`].
+    /// May be empty, meaning every trunk has the default class (no ring
+    /// dimension, no dateline) — the case for acyclic trunk graphs.
+    pub trunk_classes: Vec<TrunkClass>,
+    /// Structural family, used to pick the escape-path routing algorithm.
+    pub layout: TopologyLayout,
     /// All host–device sessions.
     pub sessions: Vec<Session>,
 }
@@ -153,6 +228,8 @@ impl FabricTopology {
             endpoints,
             switches,
             trunks,
+            trunk_classes: Vec::new(),
+            layout: TopologyLayout::Irregular,
             sessions,
         }
     }
@@ -215,6 +292,8 @@ impl FabricTopology {
             endpoints,
             switches,
             trunks,
+            trunk_classes: Vec::new(),
+            layout: TopologyLayout::Irregular,
             sessions,
         }
     }
@@ -252,10 +331,18 @@ impl FabricTopology {
             }
         }
 
-        let trunks = (0..switches)
+        let trunks: Vec<TrunkLink> = (0..switches)
             .map(|sw| TrunkLink {
                 a: (sw, 0),
                 b: ((sw + 1) % switches, 1),
+            })
+            .collect();
+        // The single ring cycle is dimension 0; its wrap trunk
+        // (switch n-1 ⇄ switch 0) is the dateline.
+        let trunk_classes = (0..trunks.len())
+            .map(|i| TrunkClass {
+                dim: 0,
+                dateline: i == switches - 1,
             })
             .collect();
 
@@ -276,8 +363,218 @@ impl FabricTopology {
             endpoints,
             switches: switch_nodes,
             trunks,
+            trunk_classes,
+            layout: TopologyLayout::Irregular,
             sessions,
         }
+    }
+
+    /// A 2-D torus (wrap-around grid) of `cols × rows` switches, each
+    /// carrying `pairs_per_switch` host/device pairs. Switch `(r, c)` sits
+    /// at index `r * cols + c`; ports 0/1 are the +x/−x trunks, 2/3 the
+    /// +y/−y trunks, endpoints attach from port 4. Session `k` of switch
+    /// `(r, c)` pairs its host with the device `k` of switch
+    /// `((r + rows/2) % rows, (c + cols/2) % cols)` — the antipodal
+    /// placement, so saturated workloads exercise full row *and* column
+    /// cycles (the configuration that deadlocks without virtual channels).
+    ///
+    /// Each row's wrap trunk (col `cols-1` ⇄ col 0) is the dimension-0
+    /// dateline; each column's wrap trunk (row `rows-1` ⇄ row 0) is the
+    /// dimension-1 dateline.
+    pub fn torus(cols: usize, rows: usize, pairs_per_switch: usize) -> Self {
+        assert!(
+            cols >= 3 && rows >= 3,
+            "a torus needs at least 3 switches per dimension"
+        );
+        assert!(pairs_per_switch >= 1);
+        let n = cols * rows;
+        let ports = 4 + 2 * pairs_per_switch;
+        let switch_nodes: Vec<SwitchNode> = (0..n).map(|_| SwitchNode { ports }).collect();
+
+        let mut endpoints = Vec::new();
+        for sw in 0..n {
+            for k in 0..pairs_per_switch {
+                endpoints.push(EndpointNode {
+                    role: NodeRole::Host,
+                    switch: sw,
+                    port: 4 + 2 * k,
+                });
+                endpoints.push(EndpointNode {
+                    role: NodeRole::Device,
+                    switch: sw,
+                    port: 4 + 2 * k + 1,
+                });
+            }
+        }
+
+        let at = |r: usize, c: usize| r * cols + c;
+        let mut trunks = Vec::new();
+        let mut trunk_classes = Vec::new();
+        // x trunks: (r, c) +x ⇄ (r, c+1) −x; the column wrap is the
+        // dimension-0 dateline of that row's cycle.
+        for r in 0..rows {
+            for c in 0..cols {
+                trunks.push(TrunkLink {
+                    a: (at(r, c), 0),
+                    b: (at(r, (c + 1) % cols), 1),
+                });
+                trunk_classes.push(TrunkClass {
+                    dim: 0,
+                    dateline: c == cols - 1,
+                });
+            }
+        }
+        // y trunks: (r, c) +y ⇄ (r+1, c) −y; the row wrap is the
+        // dimension-1 dateline of that column's cycle.
+        for r in 0..rows {
+            for c in 0..cols {
+                trunks.push(TrunkLink {
+                    a: (at(r, c), 2),
+                    b: (at((r + 1) % rows, c), 3),
+                });
+                trunk_classes.push(TrunkClass {
+                    dim: 1,
+                    dateline: r == rows - 1,
+                });
+            }
+        }
+
+        let endpoint_id = |sw: usize, k: usize, device: bool| {
+            2 * (sw * pairs_per_switch + k) + usize::from(device)
+        };
+        let sessions = (0..n)
+            .flat_map(|sw| {
+                let (r, c) = (sw / cols, sw % cols);
+                let peer = at((r + rows / 2) % rows, (c + cols / 2) % cols);
+                (0..pairs_per_switch).map(move |k| Session {
+                    host: endpoint_id(sw, k, false),
+                    device: endpoint_id(peer, k, true),
+                })
+            })
+            .collect();
+
+        FabricTopology {
+            name: format!("torus {cols}x{rows} ({pairs_per_switch} pairs/switch)"),
+            endpoints,
+            switches: switch_nodes,
+            trunks,
+            trunk_classes,
+            layout: TopologyLayout::Grid { cols, rows },
+            sessions,
+        }
+    }
+
+    /// A small dragonfly: `groups` groups of `group_size` fully-connected
+    /// switches, one global trunk per group pair, `pairs_per_switch`
+    /// host/device pairs on every switch. The global between groups `i` and
+    /// `j` attaches at switch `j % group_size` of group `i` and switch
+    /// `i % group_size` of group `j` (a deterministic gateway spread).
+    /// Session `k` of switch `s` pairs its host with the device `k` of the
+    /// same-position switch of the *next group*, so every session crosses
+    /// exactly one global trunk.
+    ///
+    /// Every global trunk is a dateline: traffic that has entered its
+    /// destination group rides escape VC 1 on the remaining local hop,
+    /// keeping the local → global → local dependency chain acyclic. Escape
+    /// routing (see `RoutingTable`) takes at most one global per path —
+    /// longer global detours would put global trunks *after* a dateline
+    /// crossing and reopen the cycle.
+    pub fn dragonfly(groups: usize, group_size: usize, pairs_per_switch: usize) -> Self {
+        assert!(groups >= 2, "a dragonfly needs at least two groups");
+        assert!(
+            group_size >= 2,
+            "a dragonfly group needs at least two switches"
+        );
+        assert!(pairs_per_switch >= 1);
+        let n = groups * group_size;
+        let at = |g: usize, s: usize| g * group_size + s;
+
+        // Trunk list: all locals (complete graph per group), then all
+        // globals (one per group pair) — globals are the datelines.
+        let mut trunk_ends: Vec<((usize, usize), bool)> = Vec::new();
+        for g in 0..groups {
+            for u in 0..group_size {
+                for v in (u + 1)..group_size {
+                    trunk_ends.push(((at(g, u), at(g, v)), false));
+                }
+            }
+        }
+        for i in 0..groups {
+            for j in (i + 1)..groups {
+                trunk_ends.push(((at(i, j % group_size), at(j, i % group_size)), true));
+            }
+        }
+
+        // Assign trunk ports first (in trunk order), then endpoint ports.
+        let mut next_port = vec![0usize; n];
+        let mut trunks = Vec::new();
+        let mut trunk_classes = Vec::new();
+        for ((a, b), global) in trunk_ends {
+            let pa = next_port[a];
+            next_port[a] += 1;
+            let pb = next_port[b];
+            next_port[b] += 1;
+            trunks.push(TrunkLink {
+                a: (a, pa),
+                b: (b, pb),
+            });
+            trunk_classes.push(TrunkClass {
+                dim: 0,
+                dateline: global,
+            });
+        }
+
+        let mut endpoints = Vec::new();
+        for (sw, port) in next_port.iter_mut().enumerate() {
+            for _ in 0..pairs_per_switch {
+                endpoints.push(EndpointNode {
+                    role: NodeRole::Host,
+                    switch: sw,
+                    port: *port,
+                });
+                endpoints.push(EndpointNode {
+                    role: NodeRole::Device,
+                    switch: sw,
+                    port: *port + 1,
+                });
+                *port += 2;
+            }
+        }
+        let switch_nodes: Vec<SwitchNode> = next_port
+            .iter()
+            .map(|&ports| SwitchNode { ports })
+            .collect();
+
+        let endpoint_id = |sw: usize, k: usize, device: bool| {
+            2 * (sw * pairs_per_switch + k) + usize::from(device)
+        };
+        let sessions = (0..n)
+            .flat_map(|sw| {
+                let peer = (sw + group_size) % n;
+                (0..pairs_per_switch).map(move |k| Session {
+                    host: endpoint_id(sw, k, false),
+                    device: endpoint_id(peer, k, true),
+                })
+            })
+            .collect();
+
+        FabricTopology {
+            name: format!("dragonfly {groups}x{group_size} ({pairs_per_switch} pairs/switch)"),
+            endpoints,
+            switches: switch_nodes,
+            trunks,
+            trunk_classes,
+            layout: TopologyLayout::Dragonfly { groups, group_size },
+            sessions,
+        }
+    }
+
+    /// Virtual-channel class of trunk index `trunk`. Topologies built
+    /// before (or without) VC metadata have an empty `trunk_classes` vec;
+    /// every trunk then reports the default class (no dateline).
+    pub fn trunk_class(&self, trunk: usize) -> TrunkClass {
+        assert!(trunk < self.trunks.len(), "trunk out of range");
+        self.trunk_classes.get(trunk).copied().unwrap_or_default()
     }
 
     /// Total number of endpoints.
@@ -386,6 +683,10 @@ impl FabricTopology {
                 );
             }
         }
+        assert!(
+            self.trunk_classes.is_empty() || self.trunk_classes.len() == self.trunks.len(),
+            "trunk_classes must be empty or parallel to trunks"
+        );
         for (i, s) in self.sessions.iter().enumerate() {
             assert!(
                 s.host < self.endpoints.len() && s.device < self.endpoints.len(),
@@ -468,5 +769,62 @@ mod tests {
     #[should_panic]
     fn ring_rejects_over_half_spans() {
         let _ = FabricTopology::ring(4, 1, 3);
+    }
+
+    #[test]
+    fn ring_marks_one_dateline_on_the_wrap_trunk() {
+        let t = FabricTopology::ring(6, 1, 2);
+        let datelines: Vec<usize> = (0..t.trunks.len())
+            .filter(|&i| t.trunk_class(i).dateline)
+            .collect();
+        assert_eq!(datelines, [5], "exactly the wrap trunk is the dateline");
+        assert!((0..t.trunks.len()).all(|i| t.trunk_class(i).dim == 0));
+        // Topologies without VC metadata report the default class.
+        let ls = FabricTopology::leaf_spine(2, 2, 1);
+        assert!(ls.trunk_classes.is_empty());
+        assert_eq!(ls.trunk_class(0), TrunkClass::default());
+        assert_eq!(ls.layout, TopologyLayout::Irregular);
+    }
+
+    #[test]
+    fn torus_shape_and_datelines() {
+        let t = FabricTopology::torus(3, 4, 1);
+        t.validate();
+        assert_eq!(t.switch_count(), 12);
+        assert_eq!(t.endpoint_count(), 24);
+        assert_eq!(t.trunks.len(), 24, "2 trunks per switch in a 2-D torus");
+        assert_eq!(t.layout, TopologyLayout::Grid { cols: 3, rows: 4 });
+        // One dateline per row cycle (dim 0) and per column cycle (dim 1).
+        let d0 = (0..t.trunks.len())
+            .filter(|&i| t.trunk_class(i).dateline && t.trunk_class(i).dim == 0)
+            .count();
+        let d1 = (0..t.trunks.len())
+            .filter(|&i| t.trunk_class(i).dateline && t.trunk_class(i).dim == 1)
+            .count();
+        assert_eq!((d0, d1), (4, 3));
+        // Antipodal sessions cross both dimensions.
+        for s in &t.sessions {
+            let (a, b) = (t.endpoints[s.host].switch, t.endpoints[s.device].switch);
+            assert_ne!(a / 3, b / 3, "sessions must cross rows");
+            assert_ne!(a % 3, b % 3, "sessions must cross columns");
+        }
+    }
+
+    #[test]
+    fn dragonfly_shape_globals_are_datelines() {
+        let t = FabricTopology::dragonfly(3, 2, 1);
+        t.validate();
+        assert_eq!(t.switch_count(), 6);
+        // Locals: 1 per group × 3 groups; globals: C(3,2) = 3.
+        assert_eq!(t.trunks.len(), 6);
+        let datelines = (0..t.trunks.len())
+            .filter(|&i| t.trunk_class(i).dateline)
+            .count();
+        assert_eq!(datelines, 3, "every global trunk is a dateline");
+        // Each session crosses into another group.
+        for s in &t.sessions {
+            let (a, b) = (t.endpoints[s.host].switch, t.endpoints[s.device].switch);
+            assert_ne!(a / 2, b / 2, "dragonfly sessions must cross groups");
+        }
     }
 }

@@ -1,0 +1,194 @@
+//! Virtual-channel credit accounting and output-port arbitration.
+//!
+//! A switch output port that carries more than one virtual channel keeps a
+//! private, bounded buffer per VC and advertises per-VC credits upstream:
+//! a sender may place a flit into VC `v` of the downstream port only while
+//! that VC's buffer has a free slot. Splitting the buffer space this way is
+//! what lets an *escape* VC make progress even when the adaptive VCs of the
+//! same physical link are wedged behind a congested subtree — the mechanism
+//! the fabric engine uses to break the ring/torus cyclic credit wait (see
+//! the dateline scheme documented on `rxl_fabric`'s topology types).
+//!
+//! Two pieces live here because they are link-layer switch behaviour, not
+//! routing policy:
+//!
+//! * [`VcCredits`] — the per-port credit ledger (one bounded counter per
+//!   VC, each with the full per-VC buffer depth).
+//! * [`VcArbiter`] — the round-robin output arbiter that picks which VC of
+//!   a port transmits in a given slot. Round-robin (rather than fixed
+//!   priority) matters for deadlock freedom: every non-empty VC of a port,
+//!   the escape VC included, is guaranteed service within `vc_count` grant
+//!   cycles, so an escape flit is never starved behind a busy adaptive VC.
+//!
+//! Both types are deterministic and draw nothing from any RNG, preserving
+//! the fabric engine's RNG-draw-order reproducibility contract.
+
+/// Upper bound on virtual channels per port. Small on purpose: the fabric
+/// engine packs the VC index into a `u8` lane id and real CXL switches
+/// carry single-digit VC counts.
+pub const MAX_VCS: usize = 8;
+
+/// Per-port virtual-channel credit ledger.
+///
+/// Each VC owns an independent buffer of `capacity` flits; `occupy` takes a
+/// credit when a flit is accepted into the VC's buffer and `release` returns
+/// it when the flit leaves (is forwarded onward or delivered). With
+/// `vc_count == 1` this is exactly the single bounded output queue of the
+/// pre-VC engine.
+#[derive(Clone, Debug)]
+pub struct VcCredits {
+    capacity: u32,
+    occupancy: Vec<u32>,
+    total: u32,
+}
+
+impl VcCredits {
+    /// A ledger for `vc_count` empty VCs of `capacity` flits each.
+    pub fn new(vc_count: usize, capacity: usize) -> Self {
+        assert!(
+            (1..=MAX_VCS).contains(&vc_count),
+            "vc_count must be in 1..={MAX_VCS}"
+        );
+        assert!(capacity >= 1, "a VC buffer needs at least one credit");
+        VcCredits {
+            capacity: capacity as u32,
+            occupancy: vec![0; vc_count],
+            total: 0,
+        }
+    }
+
+    /// Number of virtual channels this ledger tracks.
+    pub fn vc_count(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// `true` while VC `vc` has a free credit.
+    #[inline]
+    pub fn has_credit(&self, vc: usize) -> bool {
+        self.occupancy[vc] < self.capacity
+    }
+
+    /// Takes a credit on VC `vc` (a flit entered its buffer).
+    #[inline]
+    pub fn occupy(&mut self, vc: usize) {
+        debug_assert!(self.has_credit(vc), "occupy without a free credit");
+        self.occupancy[vc] += 1;
+        self.total += 1;
+    }
+
+    /// Returns a credit on VC `vc` (a flit left its buffer).
+    #[inline]
+    pub fn release(&mut self, vc: usize) {
+        debug_assert!(self.occupancy[vc] > 0, "release on an empty VC");
+        self.occupancy[vc] -= 1;
+        self.total -= 1;
+    }
+
+    /// Flits currently buffered in VC `vc`.
+    #[inline]
+    pub fn occupancy(&self, vc: usize) -> usize {
+        self.occupancy[vc] as usize
+    }
+
+    /// Flits currently buffered across every VC of the port — the
+    /// congestion signal minimal-adaptive routing compares between
+    /// candidate egress ports.
+    #[inline]
+    pub fn total_occupancy(&self) -> usize {
+        self.total as usize
+    }
+
+    /// Zeroes every VC (the port's buffers were purged, e.g. by a switch
+    /// failure).
+    pub fn purge(&mut self) {
+        self.occupancy.fill(0);
+        self.total = 0;
+    }
+}
+
+/// Round-robin arbiter over the virtual channels of one output port.
+///
+/// Each slot the port scans its VCs starting at the arbiter's pointer and
+/// transmits the first one able to move; [`VcArbiter::grant`] then advances
+/// the pointer one past the winner, so persistent traffic on one VC cannot
+/// starve the others. With a single VC the arbiter degenerates to "always
+/// VC 0" and adds nothing to the schedule.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VcArbiter {
+    next: u8,
+}
+
+impl VcArbiter {
+    /// An arbiter starting at VC 0.
+    pub fn new() -> Self {
+        VcArbiter::default()
+    }
+
+    /// First VC to consider this grant cycle.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.next as usize
+    }
+
+    /// The `k`-th VC in this cycle's scan order.
+    #[inline]
+    pub fn pick(&self, k: usize, vc_count: usize) -> usize {
+        debug_assert!(vc_count >= 1 && k < vc_count);
+        (self.next as usize + k) % vc_count
+    }
+
+    /// Records that `vc` won arbitration; the next cycle starts one past it.
+    #[inline]
+    pub fn grant(&mut self, vc: usize, vc_count: usize) {
+        debug_assert!(vc < vc_count);
+        self.next = ((vc + 1) % vc_count) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credits_bound_each_vc_independently() {
+        let mut c = VcCredits::new(2, 2);
+        assert_eq!(c.vc_count(), 2);
+        assert!(c.has_credit(0) && c.has_credit(1));
+        c.occupy(0);
+        c.occupy(0);
+        assert!(!c.has_credit(0), "VC 0 is full");
+        assert!(c.has_credit(1), "VC 1 keeps its own credits");
+        assert_eq!(c.occupancy(0), 2);
+        assert_eq!(c.total_occupancy(), 2);
+        c.release(0);
+        assert!(c.has_credit(0));
+        c.occupy(1);
+        assert_eq!(c.total_occupancy(), 2);
+        c.purge();
+        assert_eq!(c.total_occupancy(), 0);
+        assert!(c.has_credit(0) && c.has_credit(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "vc_count")]
+    fn credits_reject_zero_vcs() {
+        let _ = VcCredits::new(0, 4);
+    }
+
+    #[test]
+    fn arbiter_round_robins_over_granted_vcs() {
+        let mut a = VcArbiter::new();
+        assert_eq!(a.start(), 0);
+        // Scan order from the pointer, wrapping.
+        assert_eq!((0..3).map(|k| a.pick(k, 3)).collect::<Vec<_>>(), [0, 1, 2]);
+        a.grant(0, 3);
+        assert_eq!((0..3).map(|k| a.pick(k, 3)).collect::<Vec<_>>(), [1, 2, 0]);
+        a.grant(2, 3);
+        assert_eq!(a.start(), 0);
+        // Single-VC degenerate case: always VC 0.
+        let mut one = VcArbiter::new();
+        one.grant(0, 1);
+        assert_eq!(one.start(), 0);
+        assert_eq!(one.pick(0, 1), 0);
+    }
+}

@@ -242,6 +242,17 @@ impl DeliveryAuditor {
         self.gapped_cqids > 0
     }
 
+    /// `true` once every registered message has been delivered at least
+    /// once. The fabric engine consults this when its stall guard trips:
+    /// a stalled fabric whose auditors all report `all_delivered` is a
+    /// *post-delivery wedge* (control-plane replay churning after the last
+    /// payload arrived), not a credit deadlock.
+    pub fn all_delivered(&self) -> bool {
+        self.cqids
+            .values()
+            .all(|cq| cq.delivered_count == cq.sent_count)
+    }
+
     /// Closes the audit: every sent-but-undelivered message is counted as
     /// lost. Returns the final counters.
     pub fn finalize(mut self) -> FailureCounts {

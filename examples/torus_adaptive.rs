@@ -1,0 +1,99 @@
+//! Virtual channels and minimal-adaptive routing on wrap-around fabrics.
+//!
+//! A saturated ring or torus with multi-hop trunk routes wedges with a
+//! single lane per link: every trunk queue fills, each head flit waits on a
+//! credit held around the wrap-around cycle, and the stall guard classifies
+//! a credit deadlock. This example walks the fix in three acts:
+//!
+//! 1. **`vc_count = 1`** — the deadlock, reproduced on a saturated torus;
+//! 2. **`vc_count = 2`** — the dateline escape VCs break the cycle and the
+//!    same workload drains clean;
+//! 3. **`vc_count = 3, adaptive`** — minimal-adaptive routing on top of the
+//!    escape lanes spreads a hotspot over the less-occupied minimal
+//!    alternative, lowering tail latency at the same offered load.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example torus_adaptive
+//! ```
+
+use rxl::fabric::{FabricConfig, FabricSim, FabricTopology, FabricWorkload, RoutingTable};
+use rxl::link::{ChannelErrorModel, ProtocolVariant};
+use rxl::load::{LoadSweep, LoadSweepConfig, TrafficMatrix};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Act 1 & 2: the saturated torus, with and without escape VCs.
+    // ------------------------------------------------------------------
+    let topology = FabricTopology::torus(4, 3, 2);
+    println!(
+        "=== saturated {} — {} sessions, {} switches ===\n",
+        topology.name,
+        topology.session_count(),
+        topology.switch_count()
+    );
+    for vc_count in [1, 2] {
+        let routing = RoutingTable::new(&topology);
+        let config = FabricConfig {
+            queue_capacity: 4,
+            ..FabricConfig::new(ProtocolVariant::Rxl)
+        }
+        .with_channel(ChannelErrorModel::ideal())
+        .with_vc_count(vc_count);
+        let workload = FabricWorkload::symmetric(topology.session_count(), 1_500, 8, 7);
+        let report = FabricSim::new(&topology, &routing, config).run(&workload);
+        println!(
+            "vc_count = {vc_count}: drained = {:<5} deadlock = {:<5} ({} slots, {} credit-stall slots)",
+            report.drained, report.deadlock, report.slots, report.credit_stalls
+        );
+    }
+    println!(
+        "\nWith one lane per link the wrap-around trunks form a cyclic credit wait;\n\
+         the dateline escape VC (flits switch to lane 1 when they cross each ring's\n\
+         dateline) makes the lane-dependency graph acyclic, so the same saturated\n\
+         workload drains.\n"
+    );
+
+    // ------------------------------------------------------------------
+    // Act 3: minimal-adaptive routing under a hotspot.
+    // ------------------------------------------------------------------
+    println!("=== hotspot tail latency: deterministic vs minimal-adaptive ===\n");
+    let sweep = |adaptive: bool| {
+        LoadSweep::new(
+            FabricTopology::torus(4, 4, 1),
+            FabricConfig::new(ProtocolVariant::Rxl)
+                .with_channel(ChannelErrorModel::ideal())
+                .with_seed(0xADA7)
+                .with_vc_count(3)
+                .with_adaptive(adaptive),
+            LoadSweepConfig {
+                loads: vec![0.25],
+                messages_per_session: 300,
+                trials: 2,
+                matrix: TrafficMatrix::Hotspot {
+                    hot_sessions: 4,
+                    boost: 3.0,
+                },
+                ..LoadSweepConfig::default()
+            },
+        )
+        .run()
+    };
+    let deterministic = sweep(false);
+    let adaptive = sweep(true);
+    let (det, ada) = (&deterministic.points[0], &adaptive.points[0]);
+    println!(
+        "deterministic : p50 {:>4}  p90 {:>4}  p99 {:>4}  max {:>4}  (mean {:.1} slots)",
+        det.stats.p50, det.stats.p90, det.stats.p99, det.stats.max, det.stats.mean
+    );
+    println!(
+        "adaptive      : p50 {:>4}  p90 {:>4}  p99 {:>4}  max {:>4}  (mean {:.1} slots)",
+        ada.stats.p50, ada.stats.p90, ada.stats.p99, ada.stats.max, ada.stats.mean
+    );
+    println!(
+        "\nThe hotspot's DOR routes funnel through the same x-trunks; the adaptive VCs\n\
+         drain onto the less-occupied minimal alternative (flowlet-gated so a session's\n\
+         flit stream is never reordered), buying the p99 difference above at the same\n\
+         offered load and VC budget."
+    );
+}

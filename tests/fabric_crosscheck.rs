@@ -67,6 +67,8 @@ fn cxl_fabric_fail_order_rate_matches_fabricspec_projection() {
         kind: ProtocolKind::Cxl,
         devices: 16_384,
         switch_levels: hops,
+        vc_count: 1,
+        adaptive: false,
         model: ReliabilityModel {
             ber,
             fer_uc: cc.measured_drop_rate,

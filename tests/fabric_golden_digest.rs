@@ -1,11 +1,14 @@
 //! Golden-digest regression of the fabric Monte-Carlo aggregates.
 //!
 //! The hot-path overhaul (const CRC engines, slice-by-8 update, the
-//! zero-allocation flit pipeline, and active-port slot stepping) is required
-//! to leave the simulation *bit-identical*: same SplitMix64 per-trial
+//! zero-allocation flit pipeline, and active-port slot stepping) and the
+//! virtual-channel credit contract are both required to leave this
+//! `vc_count = 1` configuration *bit-identical*: same SplitMix64 per-trial
 //! seeding, same RNG draw order, same CRC values, same aggregate counts.
-//! These digests were captured on the pre-overhaul engine (PR 2); any drift
-//! here means an optimisation changed simulation behaviour, not just speed.
+//! The spot tuples were captured on the pre-overhaul engine (PR 2) and have
+//! never drifted; any drift here means a change altered simulation
+//! behaviour, not just speed. See the comment on the golden constants for
+//! the digest re-pin history.
 
 use rxl::crc::Crc64;
 use rxl::fabric::{
@@ -78,14 +81,25 @@ fn rxl_aggregates_match_pre_overhaul_engine() {
     );
 }
 
-// Captured on the pre-overhaul engine (commit a396d2f) with the exact
-// configuration in `run` above. Regenerate ONLY if the simulation semantics
-// are intentionally changed, with `cargo test --test fabric_golden_digest --
-// --nocapture` after enabling the `print_golden` test below.
+// Spot tuples: captured on the pre-overhaul engine (commit a396d2f) with
+// the exact configuration in `run` above, and UNCHANGED since — the
+// virtual-channel credit contract keeps `vc_count = 1` (this configuration)
+// bit-identical to the pre-VC engine: same SplitMix64 seeding, same RNG
+// draw order (VC arbitration, escape datelines and adaptive candidate
+// selection draw nothing), same per-flit event sequence.
+//
+// Digests: re-pinned when `FabricMonteCarloReport` gained the
+// `post_delivery_wedge_trials` field (the digest covers the report's full
+// `Debug` rendering, so adding a field re-keys it even though every
+// pre-existing counter is identical — the spot tuples above prove that).
+// Regenerate ONLY if the simulation semantics are intentionally changed,
+// with `cargo test --test fabric_golden_digest -- --ignored --nocapture`
+// (the `print_golden` helper below), and never re-pin the spot tuples
+// without a deliberate, documented semantics change.
 const GOLDEN_CXL_SPOT: (u64, u64, u64, u64, u64, u64) = (5, 1600, 6348, 5, 84, 16980);
-const GOLDEN_CXL_DIGEST: u64 = 0x54EB_4756_6628_A48F;
+const GOLDEN_CXL_DIGEST: u64 = 0x6BF7_0D72_EDBF_AF67;
 const GOLDEN_RXL_SPOT: (u64, u64, u64, u64, u64, u64) = (5, 1600, 6128, 0, 48, 24000);
-const GOLDEN_RXL_DIGEST: u64 = 0x5F91_0D4A_A65E_C68D;
+const GOLDEN_RXL_DIGEST: u64 = 0xEF8C_0C75_D322_C009;
 
 /// Prints the current golden values (run with `--nocapture --ignored`).
 #[test]

@@ -125,16 +125,23 @@ fn noisy_channel_raises_rxl_latency_only_through_retry_replay() {
         arrival,
     )
     .run();
+    // BER 4e-4 was unreachable before the post-delivery wedge
+    // classification: at this noise level a trial's control-plane replay can
+    // keep churning after the last payload delivers, and the stall guard
+    // used to call that an undrained run. With every auditor reporting
+    // `all_delivered`, such trials now finish as `drained` (flagged
+    // `post_delivery_wedge`), so the latency contract can be pinned at
+    // double the old operating point.
     let noisy = sweep(
         ProtocolVariant::Rxl,
-        ChannelErrorModel::random(2e-4),
+        ChannelErrorModel::random(4e-4),
         loads.clone(),
         arrival,
     )
     .run();
     let cxl_noisy = sweep(
         ProtocolVariant::CxlPiggyback,
-        ChannelErrorModel::random(2e-4),
+        ChannelErrorModel::random(4e-4),
         loads,
         arrival,
     )
