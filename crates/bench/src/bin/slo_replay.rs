@@ -1,0 +1,46 @@
+//! SLO incident replays: chaos scenarios scored as error-budget burn.
+//!
+//! Replays the chaos sweep's uplink BER storm and spine failover with paced
+//! injection and a per-trial `SloProbe`, then prints each incident's burn
+//! scorecard: burn during vs after the fault, peak burn, time to recovery,
+//! and how many windows the fast/slow multi-window burn-rate alerts covered.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p rxl-bench --bin slo_replay --release -- \
+//!     [--json] [--small] [--label NAME]
+//! ```
+//!
+//! * `--small` shrinks the replays to a CI-sized smoke run.
+//! * `--json` writes summary + per-window rows to `BENCH_slo.json` in the
+//!   current directory (schema: see [`rxl_bench::slo_json`]).
+//! * `--label NAME` tags the rows.
+
+fn main() {
+    let mut json = false;
+    let mut small = false;
+    let mut label = String::from("current");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--small" => small = true,
+            "--label" => {
+                label = args.next().unwrap_or_else(|| {
+                    eprintln!("--label requires a value");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let measurements = rxl_bench::run_slo_replay(small, &label);
+    println!("{}", rxl_bench::slo_table(&measurements));
+    if json {
+        println!("wrote {}", rxl_bench::write_slo_json(&measurements));
+    }
+}

@@ -18,6 +18,7 @@ use rxl_chaos::{ChaosMonteCarlo, ChaosMonteCarloReport, Scenario};
 use rxl_fabric::{FabricConfig, FabricTopology, FabricWorkload};
 use rxl_link::{ChannelErrorModel, ProtocolVariant};
 
+use crate::json::{JsonDocument, JsonRow};
 use crate::{render_table, sci};
 
 /// One scenario × protocol measurement.
@@ -63,6 +64,9 @@ pub struct ChaosRow {
     pub drained_trials: u64,
     /// Trials classified as credit deadlock.
     pub deadlocked_trials: u64,
+    /// Trials that stalled only after delivering every message
+    /// (control-plane replay wedge; counted as drained).
+    pub post_delivery_wedge_trials: u64,
     /// Earliest first-`Fail_order` slot across trials (−1 = none).
     pub earliest_fail_order_slot: i64,
 }
@@ -117,6 +121,7 @@ fn row_from_report(
         availability_min: report.availability_min(),
         drained_trials: report.drained_trials,
         deadlocked_trials: report.deadlocked_trials,
+        post_delivery_wedge_trials: report.post_delivery_wedge_trials,
         earliest_fail_order_slot: report
             .earliest_fail_order_slot
             .map(|s| s as i64)
@@ -208,6 +213,7 @@ pub fn chaos_table(rows: &[ChaosRow]) -> String {
                 r.blackholed_flits.to_string(),
                 sci(r.availability_mean),
                 format!("{}/{}", r.drained_trials, r.trials),
+                r.post_delivery_wedge_trials.to_string(),
                 if r.earliest_fail_order_slot < 0 {
                     "-".to_string()
                 } else {
@@ -229,6 +235,7 @@ pub fn chaos_table(rows: &[ChaosRow]) -> String {
             "blackholed",
             "avail",
             "drained",
+            "wedged",
             "first-fail slot",
         ],
         &table_rows,
@@ -238,53 +245,36 @@ pub fn chaos_table(rows: &[ChaosRow]) -> String {
 /// Serialises the rows as `BENCH_chaos.json` content (hand-rolled — no
 /// serde in the build container).
 pub fn chaos_json(rows: &[ChaosRow]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"chaos_sweep\",\n");
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            concat!(
-                "    {{\"label\": \"{}\", \"scenario\": \"{}\", \"protocol\": \"{}\", ",
-                "\"factor\": {}, \"trials\": {}, \"sessions\": {}, ",
-                "\"messages_per_session\": {}, \"before_events\": {}, ",
-                "\"during_events\": {}, \"after_events\": {}, ",
-                "\"during_clean_deliveries\": {}, \"during_failures\": {}, \"total_failures\": {}, ",
-                "\"blackholed_flits\": {}, \"availability_mean\": {:.6}, ",
-                "\"availability_min\": {:.6}, \"drained_trials\": {}, ",
-                "\"deadlocked_trials\": {}, \"earliest_fail_order_slot\": {}}}{}\n",
-            ),
-            r.label,
-            r.scenario,
-            r.variant,
-            r.factor,
-            r.trials,
-            r.sessions,
-            r.messages_per_session,
-            r.before_events,
-            r.during_events,
-            r.after_events,
-            r.during_clean_deliveries,
-            r.during_failures,
-            r.total_failures,
-            r.blackholed_flits,
-            r.availability_mean,
-            r.availability_min,
-            r.drained_trials,
-            r.deadlocked_trials,
-            r.earliest_fail_order_slot,
-            if i + 1 == rows.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    JsonDocument::new("chaos_sweep").rows(rows.iter().map(|r| {
+        JsonRow::new()
+            .str("label", &r.label)
+            .str("scenario", &r.scenario)
+            .str("protocol", r.variant)
+            .raw("factor", r.factor)
+            .raw("trials", r.trials)
+            .raw("sessions", r.sessions)
+            .raw("messages_per_session", r.messages_per_session)
+            .raw("before_events", r.before_events)
+            .raw("during_events", r.during_events)
+            .raw("after_events", r.after_events)
+            .raw("during_clean_deliveries", r.during_clean_deliveries)
+            .raw("during_failures", r.during_failures)
+            .raw("total_failures", r.total_failures)
+            .raw("blackholed_flits", r.blackholed_flits)
+            .num("availability_mean", r.availability_mean, 6)
+            .num("availability_min", r.availability_min, 6)
+            .raw("drained_trials", r.drained_trials)
+            .raw("deadlocked_trials", r.deadlocked_trials)
+            .raw("post_delivery_wedge_trials", r.post_delivery_wedge_trials)
+            .raw("earliest_fail_order_slot", r.earliest_fail_order_slot)
+            .finish()
+    }))
 }
 
 /// Writes the JSON form to `BENCH_chaos.json` in the current directory and
 /// returns the path written.
 pub fn write_chaos_json(rows: &[ChaosRow]) -> &'static str {
-    let path = "BENCH_chaos.json";
-    std::fs::write(path, chaos_json(rows)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    path
+    crate::json::write_artifact("BENCH_chaos.json", &chaos_json(rows))
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use rxl_core::{FabricSimEvidence, FabricSimOptions, FabricSpec, ProtocolKind};
 
+use crate::json::{JsonDocument, JsonRow};
 use crate::{render_table, sci};
 
 /// One protocol's worth of fabric cross-check evidence.
@@ -107,67 +108,45 @@ pub fn fabric_crosscheck_table(rows: &[FabricCheckRow], opts: &FabricSimOptions)
 /// Serialises the cross-check rows as a JSON document (hand-rolled — the
 /// build container has no serde) for `BENCH_fabric.json`.
 pub fn fabric_crosscheck_json(rows: &[FabricCheckRow], opts: &FabricSimOptions) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"fabric_fit_crosscheck\",\n");
-    out.push_str(&format!("  \"ber\": {:e},\n", opts.ber));
-    out.push_str(&format!("  \"trials\": {},\n", opts.trials));
-    out.push_str(&format!(
-        "  \"messages_per_session\": {},\n",
-        opts.messages_per_session
-    ));
-    out.push_str("  \"rows\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let cc = &row.evidence.crosscheck;
-        let r = &row.evidence.report;
-        out.push_str(&format!(
-            concat!(
-                "    {{\"protocol\": \"{}\", \"topology\": \"{}\", \"devices\": {}, ",
-                "\"switch_levels\": {}, \"sessions\": {}, \"payload_flits\": {}, ",
-                "\"silent_drops\": {}, \"fail_order_events\": {}, \"replay_leak_events\": {}, ",
-                "\"drop_rate_per_hop\": {:e}, \"p_coalescing\": {:e}, ",
-                "\"empirical_failure_rate\": {:e}, \"analytic_failure_rate\": {:e}, ",
-                "\"empirical_fit\": {:e}, \"analytic_fit\": {:e}, ",
-                "\"empirical_fabric_fit\": {:e}, \"analytic_fabric_fit\": {:e}, ",
-                "\"ordering_failures\": {}, \"duplicate_deliveries\": {}, ",
-                "\"clean_deliveries\": {}, \"drained_trials\": {}, \"agrees_3sigma\": {}}}{}\n",
-            ),
-            row.kind.name(),
-            row.evidence.topology,
-            row.spec.devices,
-            cc.path_switches,
-            row.evidence.sessions,
-            cc.payload_flits,
-            cc.silent_drops,
-            cc.undetected_drop_events,
-            r.replay_leak_events,
-            cc.measured_drop_rate,
-            cc.measured_p_coalescing,
-            cc.empirical_failure_rate,
-            cc.analytic_failure_rate,
-            cc.empirical_fit,
-            cc.analytic_fit,
-            row.evidence.empirical_fabric_fit,
-            row.evidence.analytic_fabric_fit,
-            r.failures.ordering_failures,
-            r.failures.duplicate_deliveries,
-            r.failures.clean_deliveries,
-            r.drained_trials,
-            cc.agrees_within(3.0),
-            if i + 1 == rows.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    JsonDocument::new("fabric_fit_crosscheck")
+        .field("ber", format!("{:e}", opts.ber))
+        .field("trials", opts.trials)
+        .field("messages_per_session", opts.messages_per_session)
+        .rows(rows.iter().map(|row| {
+            let cc = &row.evidence.crosscheck;
+            let r = &row.evidence.report;
+            JsonRow::new()
+                .str("protocol", row.kind.name())
+                .str("topology", &row.evidence.topology)
+                .raw("devices", row.spec.devices)
+                .raw("switch_levels", cc.path_switches)
+                .raw("sessions", row.evidence.sessions)
+                .raw("payload_flits", cc.payload_flits)
+                .raw("silent_drops", cc.silent_drops)
+                .raw("fail_order_events", cc.undetected_drop_events)
+                .raw("replay_leak_events", r.replay_leak_events)
+                .sci("drop_rate_per_hop", cc.measured_drop_rate)
+                .sci("p_coalescing", cc.measured_p_coalescing)
+                .sci("empirical_failure_rate", cc.empirical_failure_rate)
+                .sci("analytic_failure_rate", cc.analytic_failure_rate)
+                .sci("empirical_fit", cc.empirical_fit)
+                .sci("analytic_fit", cc.analytic_fit)
+                .sci("empirical_fabric_fit", row.evidence.empirical_fabric_fit)
+                .sci("analytic_fabric_fit", row.evidence.analytic_fabric_fit)
+                .raw("ordering_failures", r.failures.ordering_failures)
+                .raw("duplicate_deliveries", r.failures.duplicate_deliveries)
+                .raw("clean_deliveries", r.failures.clean_deliveries)
+                .raw("drained_trials", r.drained_trials)
+                .raw("agrees_3sigma", cc.agrees_within(3.0))
+                .finish()
+        }))
 }
 
 /// Writes the JSON form of the cross-check to `BENCH_fabric.json` in the
 /// current directory (shared by the `run_all` and `fabric_fit_crosscheck`
 /// binaries' `--json` flag) and returns the path written.
 pub fn write_fabric_json(rows: &[FabricCheckRow], opts: &FabricSimOptions) -> &'static str {
-    let path = "BENCH_fabric.json";
-    std::fs::write(path, fabric_crosscheck_json(rows, opts))
-        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    path
+    crate::json::write_artifact("BENCH_fabric.json", &fabric_crosscheck_json(rows, opts))
 }
 
 #[cfg(test)]

@@ -1,0 +1,161 @@
+//! Shared hand-rolled JSON writing for the `BENCH_*.json` artifacts.
+//!
+//! The build container has no serde, so every bench writer emits JSON by
+//! hand. This module centralises the document shape they all share —
+//!
+//! ```json
+//! {
+//!   "bench": "<name>",
+//!   "<top-level field>": ...,
+//!   "rows": [
+//!     {"k": v, ...},
+//!     {"k": v, ...}
+//!   ]
+//! }
+//! ```
+//!
+//! — so the writers differ only in their field lists, and the brace/comma
+//! bookkeeping (the part that historically drifts between copies) lives in
+//! one place. Output is byte-compatible with the previous per-module
+//! writers.
+
+use std::fmt::Display;
+
+/// Builder for one `rows[]` object: `{"k": v, "k2": v2}`.
+#[derive(Debug, Default)]
+pub struct JsonRow {
+    buf: String,
+}
+
+impl JsonRow {
+    /// An empty row object.
+    pub fn new() -> Self {
+        JsonRow {
+            buf: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push_str(", ");
+        }
+        self.buf.push('"');
+        self.buf.push_str(key);
+        self.buf.push_str("\": ");
+    }
+
+    /// A string field, JSON-escaped and quoted.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&crate::json_escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// A field rendered by `Display` verbatim: integers, bools, and floats
+    /// whose default formatting is wanted (`20.0` → `20`).
+    pub fn raw(mut self, key: &str, value: impl Display) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// A float field with a fixed number of `decimals`.
+    pub fn num(mut self, key: &str, value: f64, decimals: usize) -> Self {
+        self.key(key);
+        self.buf.push_str(&format!("{value:.decimals$}"));
+        self
+    }
+
+    /// A float field in scientific notation (`{:e}`).
+    pub fn sci(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.buf.push_str(&format!("{value:e}"));
+        self
+    }
+
+    /// Closes the object.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Builder for a whole `BENCH_*.json` document.
+#[derive(Debug)]
+pub struct JsonDocument {
+    out: String,
+}
+
+impl JsonDocument {
+    /// Starts a document with its `"bench"` identifier.
+    pub fn new(bench: &str) -> Self {
+        JsonDocument {
+            out: format!("{{\n  \"bench\": \"{bench}\",\n"),
+        }
+    }
+
+    /// Adds a top-level field before the rows. Pre-format floats that need
+    /// a specific notation (`format!("{:e}", ber)`).
+    pub fn field(mut self, key: &str, value: impl Display) -> Self {
+        self.out.push_str(&format!("  \"{key}\": {value},\n"));
+        self
+    }
+
+    /// Adds the `"rows"` array (each entry a [`JsonRow::finish`] string)
+    /// and closes the document.
+    pub fn rows(mut self, rows: impl IntoIterator<Item = String>) -> String {
+        self.out.push_str("  \"rows\": [\n");
+        let rows: Vec<String> = rows.into_iter().collect();
+        let last = rows.len();
+        for (i, row) in rows.iter().enumerate() {
+            self.out.push_str("    ");
+            self.out.push_str(row);
+            self.out.push_str(if i + 1 == last { "\n" } else { ",\n" });
+        }
+        self.out.push_str("  ]\n}\n");
+        self.out
+    }
+}
+
+/// Writes an artifact to `path` in the current directory and returns the
+/// path (shared by every `write_*_json` helper).
+pub fn write_artifact(path: &'static str, content: &str) -> &'static str {
+    std::fs::write(path, content).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_shape_matches_the_historical_writers() {
+        let doc = JsonDocument::new("demo")
+            .field("ber", format!("{:e}", 1e-4))
+            .rows([
+                JsonRow::new()
+                    .str("name", "a\"b")
+                    .raw("count", 3)
+                    .num("avail", 0.5, 6)
+                    .sci("rate", 2.5e-7)
+                    .finish(),
+                JsonRow::new()
+                    .raw("flag", true)
+                    .raw("factor", 20.0)
+                    .finish(),
+            ]);
+        let expected = "{\n  \"bench\": \"demo\",\n  \"ber\": 1e-4,\n  \"rows\": [\n    \
+                        {\"name\": \"a\\\"b\", \"count\": 3, \"avail\": 0.500000, \"rate\": 2.5e-7},\n    \
+                        {\"flag\": true, \"factor\": 20}\n  ]\n}\n";
+        assert_eq!(doc, expected);
+    }
+
+    #[test]
+    fn empty_rows_still_close_the_document() {
+        let doc = JsonDocument::new("empty").rows([]);
+        assert!(doc.ends_with("  \"rows\": [\n  ]\n}\n"), "{doc}");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

@@ -11,6 +11,7 @@ use rxl_fabric::{FabricConfig, FabricTopology};
 use rxl_link::{ChannelErrorModel, ProtocolVariant};
 use rxl_load::{ArrivalProcess, LoadSweep, LoadSweepConfig, TrafficMatrix};
 
+use crate::json::{JsonDocument, JsonRow};
 use crate::{render_table, sci};
 
 /// One ladder point of one sweep.
@@ -158,53 +159,36 @@ pub fn latency_table(rows: &[LatencyRow]) -> String {
 /// Serialises the rows as a JSON document (hand-rolled — the build
 /// container has no serde) for `BENCH_latency.json`.
 pub fn latency_json(rows: &[LatencyRow]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"latency_sweep\",\n");
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            concat!(
-                "    {{\"label\": \"{}\", \"workload\": \"{}\", \"protocol\": \"{}\", ",
-                "\"matrix\": \"{}\", \"arrival\": \"{}\", \"offered_load\": {:.4}, ",
-                "\"sessions\": {}, \"messages_per_session\": {}, \"trials\": {}, ",
-                "\"injected_messages\": {}, \"delivered_messages\": {}, ",
-                "\"delivered_per_slot\": {:.4}, \"efficiency\": {:.4}, ",
-                "\"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}, ",
-                "\"mean_slots\": {:.3}, \"knee\": {}}}{}\n",
-            ),
-            crate::json_escape(&r.label),
-            crate::json_escape(&r.workload),
-            r.protocol,
-            crate::json_escape(&r.matrix),
-            r.arrival,
-            r.offered_load,
-            r.sessions,
-            r.messages_per_session,
-            r.trials,
-            r.injected_messages,
-            r.delivered_messages,
-            r.delivered_per_slot,
-            r.efficiency,
-            r.p50,
-            r.p90,
-            r.p99,
-            r.p999,
-            r.max,
-            r.mean_slots,
-            r.knee,
-            if i + 1 == rows.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    JsonDocument::new("latency_sweep").rows(rows.iter().map(|r| {
+        JsonRow::new()
+            .str("label", &r.label)
+            .str("workload", &r.workload)
+            .str("protocol", r.protocol)
+            .str("matrix", &r.matrix)
+            .str("arrival", r.arrival)
+            .num("offered_load", r.offered_load, 4)
+            .raw("sessions", r.sessions)
+            .raw("messages_per_session", r.messages_per_session)
+            .raw("trials", r.trials)
+            .raw("injected_messages", r.injected_messages)
+            .raw("delivered_messages", r.delivered_messages)
+            .num("delivered_per_slot", r.delivered_per_slot, 4)
+            .num("efficiency", r.efficiency, 4)
+            .raw("p50", r.p50)
+            .raw("p90", r.p90)
+            .raw("p99", r.p99)
+            .raw("p999", r.p999)
+            .raw("max", r.max)
+            .num("mean_slots", r.mean_slots, 3)
+            .raw("knee", r.knee)
+            .finish()
+    }))
 }
 
 /// Writes the JSON form to `BENCH_latency.json` in the current directory
 /// and returns the path written.
 pub fn write_latency_json(rows: &[LatencyRow]) -> &'static str {
-    let path = "BENCH_latency.json";
-    std::fs::write(path, latency_json(rows)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    path
+    crate::json::write_artifact("BENCH_latency.json", &latency_json(rows))
 }
 
 #[cfg(test)]

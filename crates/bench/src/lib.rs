@@ -25,18 +25,22 @@
 //! | `fabric_throughput` | engine wall-clock flits/sec (perf trajectory) |
 //! | `chaos_sweep` | fault-injection scenarios: BER storms, spine failover |
 //! | `latency_sweep` | latency vs offered load, saturation knee |
+//! | `slo_replay` | chaos incidents scored as SLO burn (windowed telemetry) |
 //!
 //! `run_all` and `fabric_fit_crosscheck` accept `--json` to additionally
 //! write machine-readable results to `BENCH_fabric.json`;
 //! `fabric_throughput --json` writes `BENCH_throughput.json`;
 //! `chaos_sweep --json` writes `BENCH_chaos.json`;
-//! `latency_sweep --json` writes `BENCH_latency.json`.
+//! `latency_sweep --json` writes `BENCH_latency.json`;
+//! `slo_replay --json` writes `BENCH_slo.json`.
 
 pub mod chaos;
 pub mod fabriccheck;
+pub mod json;
 pub mod latency;
 pub mod scenarios;
 pub mod simcheck;
+pub mod slo;
 pub mod tables;
 pub mod throughput;
 
@@ -47,6 +51,7 @@ pub use fabriccheck::{
 pub use latency::{latency_json, latency_table, run_latency_sweep, write_latency_json, LatencyRow};
 pub use scenarios::{fig4_scenario, fig5a_scenario, fig5b_scenario, fig6_isn_scenario};
 pub use simcheck::sim_crosscheck_table;
+pub use slo::{run_slo_replay, slo_json, slo_table, write_slo_json, SloMeasurement};
 pub use tables::{
     bandwidth_table, buffering_table, crc_detection_table, fec_detection_table, fig8_table,
     header_overhead_table, hw_overhead_table, reliability_table,

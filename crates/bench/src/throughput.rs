@@ -20,7 +20,8 @@ use std::time::Instant;
 use rxl_fabric::{FabricConfig, FabricMonteCarlo, FabricTopology, FabricWorkload};
 use rxl_link::{ChannelErrorModel, ProtocolVariant};
 
-use crate::{json_escape, render_table, sci};
+use crate::json::{JsonDocument, JsonRow};
+use crate::{render_table, sci};
 
 /// One timed throughput measurement.
 #[derive(Clone, Debug)]
@@ -202,43 +203,28 @@ pub fn throughput_table(rows: &[ThroughputRow]) -> String {
 /// Serialises the rows as a JSON document (hand-rolled — the build container
 /// has no serde) for `BENCH_throughput.json`.
 pub fn throughput_json(rows: &[ThroughputRow]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"fabric_throughput\",\n");
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            concat!(
-                "    {{\"label\": \"{}\", \"workload\": \"{}\", \"protocol\": \"{}\", ",
-                "\"sessions\": {}, \"messages_per_session\": {}, \"trials\": {}, ",
-                "\"vc_count\": {}, ",
-                "\"payload_flits\": {}, \"hop_flits\": {}, \"wall_s\": {:.6}, ",
-                "\"payload_flits_per_sec\": {:.1}, \"hop_flits_per_sec\": {:.1}}}{}\n",
-            ),
-            json_escape(&r.label),
-            json_escape(&r.topology),
-            r.variant,
-            r.sessions,
-            r.messages_per_session,
-            r.trials,
-            r.vc_count,
-            r.payload_flits,
-            r.hop_flits,
-            r.wall_s,
-            r.payload_flits_per_sec,
-            r.hop_flits_per_sec,
-            if i + 1 == rows.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    JsonDocument::new("fabric_throughput").rows(rows.iter().map(|r| {
+        JsonRow::new()
+            .str("label", &r.label)
+            .str("workload", &r.topology)
+            .str("protocol", r.variant)
+            .raw("sessions", r.sessions)
+            .raw("messages_per_session", r.messages_per_session)
+            .raw("trials", r.trials)
+            .raw("vc_count", r.vc_count)
+            .raw("payload_flits", r.payload_flits)
+            .raw("hop_flits", r.hop_flits)
+            .num("wall_s", r.wall_s, 6)
+            .num("payload_flits_per_sec", r.payload_flits_per_sec, 1)
+            .num("hop_flits_per_sec", r.hop_flits_per_sec, 1)
+            .finish()
+    }))
 }
 
 /// Writes the JSON form to `BENCH_throughput.json` in the current directory
 /// and returns the path written.
 pub fn write_throughput_json(rows: &[ThroughputRow]) -> &'static str {
-    let path = "BENCH_throughput.json";
-    std::fs::write(path, throughput_json(rows)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    path
+    crate::json::write_artifact("BENCH_throughput.json", &throughput_json(rows))
 }
 
 #[cfg(test)]

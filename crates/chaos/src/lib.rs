@@ -49,5 +49,5 @@ pub mod scenario;
 
 pub use channels::{BerSchedule, FlapChannel, GeState, GilbertElliott};
 pub use montecarlo::{ChaosMonteCarlo, ChaosMonteCarloReport, EpochAggregate};
-pub use runner::{run_scenario, ChaosReport, EpochReport};
+pub use runner::{run_scenario, run_scenario_probed, ChaosReport, EpochReport};
 pub use scenario::{ChannelSpec, ChaosEvent, Scenario, TimedEvent};

@@ -10,11 +10,11 @@
 
 use rayon::prelude::*;
 
-use rxl_fabric::{FabricConfig, FabricTopology, FabricWorkload, RoutingTable};
+use rxl_fabric::{FabricConfig, FabricTopology, FabricWorkload, NullProbe, Probe, RoutingTable};
 use rxl_sim::trial_seed;
 use rxl_transport::FailureCounts;
 
-use crate::runner::{run_scenario, ChaosReport};
+use crate::runner::{run_scenario_probed, ChaosReport};
 use crate::scenario::Scenario;
 
 /// A scenario Monte-Carlo experiment: one topology, configuration and
@@ -136,15 +136,42 @@ impl ChaosMonteCarlo {
     /// Runs every trial (sharded across rayon workers) and aggregates in
     /// trial order. Bit-identical for any worker-thread count.
     pub fn run(&self, workload: &FabricWorkload) -> ChaosMonteCarloReport {
+        self.run_probed(workload, |_| NullProbe).0
+    }
+
+    /// Like [`Self::run`], but each trial carries a lifecycle-event
+    /// [`Probe`] built by `probe_for_trial` from the trial index. The probes
+    /// come back in trial order alongside the aggregate report, so telemetry
+    /// consumers can merge their per-trial state deterministically — the
+    /// same thread-count-independence contract as the report itself (probes
+    /// observe only their own trial, and aggregation order is fixed).
+    pub fn run_probed<P, F>(
+        &self,
+        workload: &FabricWorkload,
+        probe_for_trial: F,
+    ) -> (ChaosMonteCarloReport, Vec<P>)
+    where
+        P: Probe + Send,
+        F: Fn(u64) -> P + Sync,
+    {
         let routing = RoutingTable::new(&self.topology);
         let base = self.config.seed;
-        let reports: Vec<ChaosReport> = (0..self.trials)
+        let (reports, probes): (Vec<ChaosReport>, Vec<P>) = (0..self.trials)
             .into_par_iter()
             .map(|trial| {
                 let config = self.config.with_seed(trial_seed(base, trial));
-                run_scenario(&self.topology, &routing, config, workload, &self.scenario)
+                run_scenario_probed(
+                    &self.topology,
+                    &routing,
+                    config,
+                    workload,
+                    &self.scenario,
+                    probe_for_trial(trial),
+                )
             })
-            .collect();
+            .collect::<Vec<_>>()
+            .into_iter()
+            .unzip();
 
         let boundaries = self.scenario.boundaries(self.config.max_slots);
         let mut agg = ChaosMonteCarloReport {
@@ -197,7 +224,7 @@ impl ChaosMonteCarlo {
             agg.mean_fail_order_slot =
                 Some(fail_order_slot_sum as f64 / agg.fail_order_trials as f64);
         }
-        agg
+        (agg, probes)
     }
 }
 

@@ -10,7 +10,7 @@
 
 use rxl_fabric::{
     FabricConfig, FabricCounters, FabricReport, FabricSim, FabricTopology, FabricWorkload,
-    RoutingTable, StepOutcome,
+    NullProbe, Probe, RoutingTable, StepOutcome,
 };
 use rxl_transport::FailureCounts;
 
@@ -89,11 +89,28 @@ pub fn run_scenario(
     workload: &FabricWorkload,
     scenario: &Scenario,
 ) -> ChaosReport {
+    run_scenario_probed(topology, routing, config, workload, scenario, NullProbe).0
+}
+
+/// Like [`run_scenario`], with a lifecycle-event [`Probe`] observing the
+/// trial. On top of the engine-emitted events, the runner fires
+/// [`Probe::on_epoch`] at every epoch boundary (before the boundary's switch
+/// events and channel installs), so probe consumers can attribute windows to
+/// scenario epochs. The probe obeys the engine's observation contract —
+/// the simulated trial is bit-identical to [`run_scenario`]'s.
+pub fn run_scenario_probed<P: Probe>(
+    topology: &FabricTopology,
+    routing: &RoutingTable,
+    config: FabricConfig,
+    workload: &FabricWorkload,
+    scenario: &Scenario,
+    probe: P,
+) -> (ChaosReport, P) {
     let flit_time_ns = config.link_config().flit_time_ns;
     let boundaries = scenario.boundaries(config.max_slots);
     let targeted = scenario.targeted_links();
 
-    let mut sim = FabricSim::new(topology, routing, config);
+    let mut sim = FabricSim::with_probe(topology, routing, config, probe);
     sim.begin(workload);
     let mut epochs: Vec<EpochReport> = Vec::with_capacity(boundaries.len() - 1);
     let mut prev = sim.counters();
@@ -104,6 +121,9 @@ pub fn run_scenario(
     let mut installed: Vec<Option<ChannelSpec>> = vec![None; targeted.len()];
     for w in boundaries.windows(2) {
         let (start, end) = (w[0], w[1]);
+        if P::ENABLED {
+            sim.probe_mut().on_epoch(start, epochs.len());
+        }
         for (switch, fatal) in scenario.switch_events_at(start) {
             if fatal {
                 sim.fail_switch(switch);
@@ -147,9 +167,9 @@ pub fn run_scenario(
         .chain(&workload.upstream)
         .map(|m| m.len() as u64)
         .sum();
-    let fabric = sim.finish();
+    let (fabric, probe) = sim.finish_with_probe();
     let clean = fabric.total_failures().clean_deliveries;
-    ChaosReport {
+    let report = ChaosReport {
         scenario: scenario.name.clone(),
         topology: topology.name.clone(),
         epochs,
@@ -161,7 +181,8 @@ pub fn run_scenario(
         },
         time_to_first_fail_order: fabric.first_fail_order_slot,
         fabric,
-    }
+    };
+    (report, probe)
 }
 
 #[cfg(test)]

@@ -10,7 +10,8 @@
 //! Monte-Carlo.
 
 use rxl_chaos::{ChaosMonteCarlo, ChaosMonteCarloReport, Scenario};
-use rxl_fabric::FabricWorkload;
+use rxl_fabric::{FabricTopology, FabricWorkload};
+use rxl_telemetry::{IncidentReplay, IncidentReport, SloSpec};
 
 use crate::fabric::{FabricSimOptions, FabricSpec};
 
@@ -48,7 +49,42 @@ pub struct ChaosEvidence {
     pub report: ChaosMonteCarloReport,
 }
 
+/// Incident-replay evidence for a [`FabricSpec`] under a BER storm: the
+/// same stress as [`FabricSpec::simulate_storm`], scored as an SLO
+/// incident through `rxl-telemetry`'s windowed burn accounting.
+#[derive(Clone, Debug)]
+pub struct IncidentEvidence {
+    /// Label of the generated topology.
+    pub topology: String,
+    /// Sessions instantiated.
+    pub sessions: usize,
+    /// Label of the scenario that ran.
+    pub scenario: String,
+    /// Windowed telemetry, burn-rate series and incident score.
+    pub report: IncidentReport,
+}
+
 impl FabricSpec {
+    /// The canonical storm scenario for this spec on `topology`: `storm`
+    /// applied to the trunk the first session's traffic enters the ring
+    /// through (clockwise from its host's switch), falling back to the
+    /// host's attachment link on span-0 rings.
+    fn storm_scenario(&self, topology: &FabricTopology, storm: &StormSpec) -> Scenario {
+        let host_switch = topology.endpoints[topology.sessions[0].host].switch;
+        let next = (host_switch + 1) % topology.switch_count();
+        let link = topology
+            .trunk_between(host_switch, next)
+            .filter(|_| self.switch_levels > 1)
+            .unwrap_or_else(|| topology.endpoint_link(topology.sessions[0].host));
+
+        Scenario::named(format!(
+            "BER storm ×{} on {}",
+            storm.factor,
+            topology.describe_link(link)
+        ))
+        .ber_storm(storm.start_slot, storm.duration, vec![link], storm.factor)
+    }
+
     /// Runs the canonical BER-storm stress against this spec: the same
     /// accelerated ring fabric as [`FabricSpec::simulate`], with `storm`
     /// applied to one trunk on the first session's path (or to the first
@@ -59,23 +95,7 @@ impl FabricSpec {
         let (topology, _variant, config) = self.instantiate(opts);
         let sessions = topology.session_count();
         let name = topology.name.clone();
-
-        // The stormed link: the trunk the first session's traffic enters the
-        // ring through (clockwise from its host's switch), falling back to
-        // the host's attachment link on span-0 rings.
-        let host_switch = topology.endpoints[topology.sessions[0].host].switch;
-        let next = (host_switch + 1) % topology.switch_count();
-        let link = topology
-            .trunk_between(host_switch, next)
-            .filter(|_| self.switch_levels > 1)
-            .unwrap_or_else(|| topology.endpoint_link(topology.sessions[0].host));
-
-        let scenario = Scenario::named(format!(
-            "BER storm ×{} on {}",
-            storm.factor,
-            topology.describe_link(link)
-        ))
-        .ber_storm(storm.start_slot, storm.duration, vec![link], storm.factor);
+        let scenario = self.storm_scenario(&topology, storm);
         let scenario_name = scenario.name.clone();
 
         let workload =
@@ -86,6 +106,36 @@ impl FabricSpec {
             sessions,
             scenario: scenario_name,
             report,
+        }
+    }
+
+    /// Replays the canonical BER-storm stress as a scored SLO incident:
+    /// per-window latency/availability, error-budget burn rates with
+    /// fast/slow alert states, and an incident score (burn during vs after
+    /// the storm, peak burn, time to recovery). `window_slots` sets the
+    /// telemetry window length; `slo` the objectives and alert policy.
+    pub fn replay_storm_incident(
+        &self,
+        opts: &FabricSimOptions,
+        storm: &StormSpec,
+        window_slots: u64,
+        slo: SloSpec,
+    ) -> IncidentEvidence {
+        let (topology, _variant, config) = self.instantiate(opts);
+        let sessions = topology.session_count();
+        let name = topology.name.clone();
+        let scenario = self.storm_scenario(&topology, storm);
+        let scenario_name = scenario.name.clone();
+
+        let workload =
+            FabricWorkload::symmetric(sessions, opts.messages_per_session, 8, opts.base_seed);
+        let replay =
+            IncidentReplay::new(topology, config, scenario, opts.trials, window_slots, slo);
+        IncidentEvidence {
+            topology: name,
+            sessions,
+            scenario: scenario_name,
+            report: replay.run(&workload),
         }
     }
 }
@@ -113,6 +163,31 @@ mod tests {
         assert!(ev.scenario.contains("BER storm"));
         // Storm boundaries produce at least before/during epochs.
         assert!(ev.report.epochs.len() >= 2, "{:?}", ev.report.epochs.len());
+    }
+
+    #[test]
+    fn storm_incident_replay_burns_and_recovers() {
+        let spec = FabricSpec::new(ProtocolKind::Rxl, 1_000, 2);
+        let opts = FabricSimOptions {
+            ber: 1e-5,
+            sessions: 3,
+            messages_per_session: 400,
+            trials: 2,
+            base_seed: 9,
+        };
+        let ev = spec.replay_storm_incident(&opts, &StormSpec::default(), 250, SloSpec::default());
+        assert_eq!(ev.report.aggregate.trials, 2);
+        assert!(!ev.report.windows.is_empty());
+        let score = ev.report.score.expect("storm anchors an interval");
+        assert_eq!(score.incident_start, 500);
+        assert_eq!(score.incident_end, 1_500);
+        assert_eq!(ev.report.stats.len(), ev.report.burn.len());
+        // RXL rides the storm out cleanly, so the budget never burns hot.
+        assert!(
+            score.peak_burn <= ev.report.slo.fast_burn,
+            "peak burn {}",
+            score.peak_burn
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ use rxl_switch::{
 };
 use rxl_transport::{DeliveryAuditor, DeliveryVerdict, FailureCounts, FastMap};
 
+use crate::probe::{ChannelErrorEvent, DeliverEvent, InjectEvent, NullProbe, Probe};
 use crate::routing::{RoutingTable, NO_ROUTE};
 use crate::topology::{FabricTopology, LinkId, NodeRole};
 
@@ -355,9 +356,17 @@ struct Telemetry {
     samples: LatencySamples,
 }
 
-/// Identity of a message for latency timestamping — the same
-/// `(cqid, tag, kind, chunk)` quadruple the delivery auditor keys on,
-/// packed into one u64.
+/// Identity of a message for latency timestamping and probe events — the
+/// same `(cqid, tag, kind, chunk)` quadruple the delivery auditor keys on,
+/// packed into one u64. The key occupies bits `0..48`, and it is unique only
+/// *within a destination endpoint* (sessions reuse cqid/tag spaces), so
+/// consumers correlating inject/deliver events across the fabric should key
+/// on `(dst, key)` — e.g. `(dst as u64) << 48 | key`.
+#[inline]
+pub fn message_key(msg: &Message) -> u64 {
+    msg_key(msg)
+}
+
 #[inline]
 fn msg_key(msg: &Message) -> u64 {
     let (kind, chunk) = match msg {
@@ -587,7 +596,16 @@ pub struct FabricCounters {
 /// deterministic bookkeeping), and with `offered_load` unset and telemetry
 /// off their state is `None` and the greedy slot loop is untouched — pinned,
 /// again, by the golden digest.
-pub struct FabricSim<'a> {
+///
+/// Probes are the third composition point, and the strictest: the `P`
+/// type parameter (default [`NullProbe`]) receives structured lifecycle
+/// events from every phase, but **a probe never draws from the trial RNG
+/// and never feeds state back into the engine** — see the
+/// [`crate::probe`] module docs for the full contract. With `P =
+/// NullProbe` every `if P::ENABLED` guard is a constant `false` and the
+/// instrumentation compiles out entirely, so [`FabricSim::new`] remains
+/// the pristine engine the golden digest pins.
+pub struct FabricSim<'a, P: Probe = NullProbe> {
     topology: &'a FabricTopology,
     routing: &'a RoutingTable,
     config: FabricConfig,
@@ -697,6 +715,10 @@ pub struct FabricSim<'a> {
     pending_paced: usize,
     /// Latency telemetry, if enabled before `begin`.
     telemetry: Option<Telemetry>,
+    /// The lifecycle-event probe ([`NullProbe`] unless built with
+    /// [`FabricSim::with_probe`]). Write-only from the engine's point of
+    /// view: events go in, nothing comes back.
+    probe: P,
     // Run-loop state, persisted across `step` calls so scenario engines can
     // pause the trial at epoch boundaries.
     workload_loaded: bool,
@@ -708,11 +730,30 @@ pub struct FabricSim<'a> {
 }
 
 impl<'a> FabricSim<'a> {
-    /// Builds one trial over a validated topology and its routing tables.
+    /// Builds one trial over a validated topology and its routing tables,
+    /// with instrumentation disabled ([`NullProbe`] — zero cost, pinned
+    /// bit-identical to the pre-probe engine by the golden digest).
     pub fn new(
         topology: &'a FabricTopology,
         routing: &'a RoutingTable,
         config: FabricConfig,
+    ) -> Self {
+        FabricSim::with_probe(topology, routing, config, NullProbe)
+    }
+}
+
+impl<'a, P: Probe> FabricSim<'a, P> {
+    /// Builds one trial with an explicit lifecycle-event [`Probe`]. The
+    /// probe observes; it never draws from the trial RNG or influences the
+    /// trial (see [`crate::probe`]), so the simulated outcome is identical
+    /// for every probe type. Retrieve the probe with [`Self::probe`] /
+    /// [`Self::probe_mut`] mid-run or [`Self::finish_with_probe`] at the
+    /// end.
+    pub fn with_probe(
+        topology: &'a FabricTopology,
+        routing: &'a RoutingTable,
+        config: FabricConfig,
+        probe: P,
     ) -> Self {
         topology.validate();
         let vcc = config.vc_count;
@@ -859,6 +900,7 @@ impl<'a> FabricSim<'a> {
             paced: None,
             pending_paced: 0,
             telemetry: None,
+            probe,
             workload_loaded: false,
             now: 0.0,
             slots: 0,
@@ -934,6 +976,9 @@ impl<'a> FabricSim<'a> {
     fn note_blackhole(&mut self) {
         self.blackholed_flits += 1;
         self.last_motion_slot = self.slots;
+        if P::ENABLED {
+            self.probe.on_blackhole(self.slots);
+        }
     }
 
     /// Lane index of `(port, vc)` in the flat per-switch lane arrays.
@@ -1091,6 +1136,9 @@ impl<'a> FabricSim<'a> {
             }
             HopPlan::Blocked => {
                 self.credit_stalls += 1;
+                if P::ENABLED {
+                    self.probe.on_credit_stall(self.slots, sw, None);
+                }
                 return Some(rf);
             }
             HopPlan::Lane { egress, vc } => (egress, vc),
@@ -1098,7 +1146,17 @@ impl<'a> FabricSim<'a> {
         self.last_motion_slot = self.slots;
         self.corrupt_on_link(link, &mut rf.wire);
         match self.switches[sw].process_in_place(&mut rf.wire, &mut self.rng) {
-            ProcessVerdict::Forwarded { .. } => {
+            ProcessVerdict::Forwarded {
+                corrected_symbols, ..
+            } => {
+                if P::ENABLED && corrected_symbols > 0 {
+                    self.probe.on_channel_error(ChannelErrorEvent {
+                        slot: self.slots,
+                        switch: sw,
+                        dropped: false,
+                        corrected_symbols,
+                    });
+                }
                 rf.vc = vc as u8;
                 let dst = rf.dst;
                 let lane = self.lane(egress, vc);
@@ -1115,9 +1173,22 @@ impl<'a> FabricSim<'a> {
                     self.adaptive_pin[sw][dst] = egress as u32;
                 }
                 self.credits[sw][egress].occupy(vc);
+                if P::ENABLED {
+                    let occupancy = self.credits[sw][egress].occupancy(vc);
+                    self.probe
+                        .on_vc_occupancy(self.slots, sw, egress, vc, occupancy);
+                }
                 self.mark_staged(sw, egress);
             }
             ProcessVerdict::DroppedUncorrectable => {
+                if P::ENABLED {
+                    self.probe.on_channel_error(ChannelErrorEvent {
+                        slot: self.slots,
+                        switch: sw,
+                        dropped: true,
+                        corrected_symbols: 0,
+                    });
+                }
                 if !injecting {
                     self.in_flight[rf.dst] -= 1;
                 }
@@ -1213,6 +1284,9 @@ impl<'a> FabricSim<'a> {
         }
         if any_blocked {
             self.credit_stalls += 1;
+            if P::ENABLED {
+                self.probe.on_credit_stall(self.slots, sw, Some(port));
+            }
         }
     }
 
@@ -1233,7 +1307,18 @@ impl<'a> FabricSim<'a> {
         };
         let mut out_of_order = false;
         for msg in &result.delivered {
-            out_of_order |= audit.observe_delivery(msg) == DeliveryVerdict::OutOfOrder;
+            let verdict = audit.observe_delivery(msg);
+            out_of_order |= verdict == DeliveryVerdict::OutOfOrder;
+            if P::ENABLED {
+                self.probe.on_deliver(DeliverEvent {
+                    slot: self.slots,
+                    session,
+                    dst,
+                    downstream: is_device,
+                    key: msg_key(msg),
+                    verdict,
+                });
+            }
         }
 
         // Latency telemetry: first delivery of a timed message closes its
@@ -1280,6 +1365,9 @@ impl<'a> FabricSim<'a> {
                     self.undetected_drop_events += 1;
                     if self.first_fail_order_slot.is_none() {
                         self.first_fail_order_slot = Some(self.slots);
+                    }
+                    if P::ENABLED {
+                        self.probe.on_fail_order(self.slots, session, dst);
                     }
                 }
             }
@@ -1389,6 +1477,28 @@ impl<'a> FabricSim<'a> {
                             tel.inject_slot[session.host].insert(msg_key(m), 0);
                         }
                     }
+                    if P::ENABLED {
+                        for m in &workload.downstream[s] {
+                            self.probe.on_inject(InjectEvent {
+                                slot: 0,
+                                session: s,
+                                src: session.host,
+                                dst: session.device,
+                                downstream: true,
+                                key: msg_key(m),
+                            });
+                        }
+                        for m in &workload.upstream[s] {
+                            self.probe.on_inject(InjectEvent {
+                                slot: 0,
+                                session: s,
+                                src: session.device,
+                                dst: session.host,
+                                downstream: false,
+                                key: msg_key(m),
+                            });
+                        }
+                    }
                     self.endpoints[session.host]
                         .enqueue_messages(workload.downstream[s].iter().copied());
                     self.endpoints[session.device]
@@ -1421,6 +1531,21 @@ impl<'a> FabricSim<'a> {
                     let dst = self.peer_of[e];
                     for m in batch {
                         tel.inject_slot[dst].insert(msg_key(m), now_slot);
+                    }
+                }
+                if P::ENABLED {
+                    let dst = self.peer_of[e];
+                    let downstream = self.topology.endpoints[dst].role == NodeRole::Device;
+                    let session = self.session_of[e];
+                    for m in batch {
+                        self.probe.on_inject(InjectEvent {
+                            slot: now_slot,
+                            session,
+                            src: e,
+                            dst,
+                            downstream,
+                            key: msg_key(m),
+                        });
                     }
                 }
                 self.endpoints[e].enqueue_messages(batch.iter().copied());
@@ -1476,6 +1601,13 @@ impl<'a> FabricSim<'a> {
                     }
                     _ => (false, false),
                 };
+                if P::ENABLED {
+                    if retransmission {
+                        self.probe.on_retransmit(self.slots, e, self.session_of[e]);
+                    } else if matches!(&emission, rxl_link::TxEmission::Nack { .. }) {
+                        self.probe.on_nack(self.slots, e, self.session_of[e]);
+                    }
+                }
                 if let Some(wire) = emission.wire() {
                     all_endpoints_idle = false;
                     let rf = RoutedFlit {
@@ -1603,6 +1735,12 @@ impl<'a> FabricSim<'a> {
     /// Closes the audits (attributing losses) and assembles the final
     /// report.
     pub fn finish(self) -> FabricReport {
+        self.finish_with_probe().0
+    }
+
+    /// Like [`Self::finish`], additionally handing back the probe with
+    /// everything it recorded over the trial.
+    pub fn finish_with_probe(self) -> (FabricReport, P) {
         let mut links = LinkStats::default();
         for ep in &self.endpoints {
             links.merge(&ep.stats());
@@ -1624,7 +1762,7 @@ impl<'a> FabricSim<'a> {
             per_session.push(both);
         }
 
-        FabricReport {
+        let report = FabricReport {
             downstream,
             upstream,
             per_session,
@@ -1644,7 +1782,19 @@ impl<'a> FabricSim<'a> {
             post_delivery_wedge: self.post_delivery_wedge,
             first_fail_order_slot: self.first_fail_order_slot,
             latency: self.telemetry.map(|t| t.samples),
-        }
+        };
+        (report, self.probe)
+    }
+
+    /// The trial's probe (read access mid-run).
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// The trial's probe, mutably — scenario engines use this to feed it
+    /// out-of-band events ([`Probe::on_epoch`]) at epoch boundaries.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
     }
 
     /// Slots simulated so far.
@@ -1710,6 +1860,9 @@ impl<'a> FabricSim<'a> {
             return;
         }
         self.no_transit[sw] = true;
+        if P::ENABLED {
+            self.probe.on_switch_drain(self.slots, sw, false);
+        }
         self.rebuild_routing();
     }
 
@@ -1720,6 +1873,9 @@ impl<'a> FabricSim<'a> {
             return;
         }
         self.no_transit[sw] = false;
+        if P::ENABLED {
+            self.probe.on_switch_drain(self.slots, sw, true);
+        }
         self.rebuild_routing();
     }
 
@@ -1735,6 +1891,7 @@ impl<'a> FabricSim<'a> {
         }
         self.dead_switches[sw] = true;
         self.no_transit[sw] = true;
+        let purged_before = self.blackholed_flits;
         for port in 0..self.topology.switches[sw].ports {
             let (mut queued, mut staged) = (0usize, 0usize);
             for vc in 0..self.vcc {
@@ -1770,6 +1927,10 @@ impl<'a> FabricSim<'a> {
         self.sw_out_any[sw / 64] &= !(1u64 << (sw % 64));
         self.sw_staged_any[sw / 64] &= !(1u64 << (sw % 64));
         self.last_motion_slot = self.slots;
+        if P::ENABLED {
+            self.probe
+                .on_switch_fail(self.slots, sw, self.blackholed_flits - purged_before);
+        }
         self.rebuild_routing();
     }
 

@@ -34,15 +34,17 @@
 pub mod crosscheck;
 pub mod engine;
 pub mod montecarlo;
+pub mod probe;
 pub mod routing;
 pub mod topology;
 
 pub use crosscheck::FitCrosscheck;
 pub use engine::{
-    FabricConfig, FabricCounters, FabricReport, FabricSim, FabricWorkload, InjectionPacing,
-    LatencySamples, StepOutcome,
+    message_key, FabricConfig, FabricCounters, FabricReport, FabricSim, FabricWorkload,
+    InjectionPacing, LatencySamples, StepOutcome,
 };
 pub use montecarlo::{FabricMonteCarlo, FabricMonteCarloReport};
+pub use probe::{ChannelErrorEvent, CountingProbe, DeliverEvent, InjectEvent, NullProbe, Probe};
 pub use routing::{RoutingTable, NO_ROUTE};
 pub use topology::{
     EndpointNode, FabricTopology, LinkId, NodeRole, Session, SwitchNode, TopologyLayout,

@@ -1,0 +1,251 @@
+//! Zero-cost engine instrumentation: the [`Probe`] seam.
+//!
+//! A [`Probe`] is threaded through [`FabricSim`](crate::FabricSim) as a
+//! monomorphized type parameter and receives structured lifecycle events
+//! from the engine's hot loop: message injection and delivery,
+//! retransmissions, NACKs, credit stalls, VC-occupancy samples, channel
+//! errors, fault-injection blackholes, switch failures/drains and scenario
+//! epoch boundaries. Consumers live in `rxl-telemetry` (windowed SLO
+//! metrics, burn-rate accounting, incident traces); the seam itself is
+//! deliberately dependency-free so the engine stays at the bottom of the
+//! crate graph.
+//!
+//! # Zero cost when disabled
+//!
+//! The default probe, [`NullProbe`], sets [`Probe::ENABLED`] to `false`.
+//! Every emission site in the engine is guarded by `if P::ENABLED { … }`
+//! with a *constant* condition, so for `FabricSim<NullProbe>` (what
+//! [`FabricSim::new`](crate::FabricSim::new) builds) the event payloads are
+//! never even constructed — the whole instrumentation layer compiles to
+//! nothing. `tests/fabric_golden_digest.rs` pins that the disabled path is
+//! bit-identical to the pre-probe engine.
+//!
+//! # The RNG-draw-order contract
+//!
+//! The engine's Monte-Carlo reproducibility rests on a fixed RNG draw order
+//! (see the [`FabricSim`](crate::FabricSim) type-level docs). Probes are
+//! part of that contract: **a probe never touches the trial RNG**. The seam
+//! enforces this structurally — no [`Probe`] method receives an RNG, a
+//! `FabricSim`, or any handle through which a draw could happen; probes see
+//! immutable event data and their own state, nothing else. A probe may not
+//! influence the trial in any way: the engine ignores probe state
+//! everywhere, so an enabled probe observes a byte-for-byte identical trial
+//! to a disabled one (pinned by `tests/telemetry_neutrality.rs`).
+//!
+//! Implementations should also stay allocation-light: events fire from the
+//! per-slot hot loop, so an enabled probe's cost is whatever its handlers
+//! do. [`CountingProbe`] (a few integer increments per event) is the
+//! reference for "cheap but enabled".
+
+use rxl_transport::DeliveryVerdict;
+
+/// One message entering the fabric: the span-opening event of a message's
+/// inject → deliver lifecycle. Greedy workloads inject everything at slot 0;
+/// paced workloads inject at each message's arrival slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectEvent {
+    /// Slot at which the message became transmittable.
+    pub slot: u64,
+    /// Session the message belongs to.
+    pub session: usize,
+    /// Transmitting endpoint index.
+    pub src: usize,
+    /// Destination endpoint index.
+    pub dst: usize,
+    /// `true` for host → device traffic.
+    pub downstream: bool,
+    /// Message identity within its destination (see [`crate::message_key`]);
+    /// `(dst, key)` is unique among live messages.
+    pub key: u64,
+}
+
+/// One message delivered to its destination endpoint: the span-closing
+/// event. `slot − inject.slot` is the message's injection→delivery latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliverEvent {
+    /// Delivery slot.
+    pub slot: u64,
+    /// Session the message belongs to.
+    pub session: usize,
+    /// Destination endpoint index.
+    pub dst: usize,
+    /// `true` for host → device traffic.
+    pub downstream: bool,
+    /// Message identity within `dst` (pairs with [`InjectEvent::key`]).
+    pub key: u64,
+    /// The ground-truth auditor's verdict for this delivery.
+    pub verdict: DeliveryVerdict,
+}
+
+/// A flit corrupted on a link and caught (or not) by a switch pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChannelErrorEvent {
+    /// Slot of the traversal.
+    pub slot: u64,
+    /// Switch whose ingress pipeline observed the error.
+    pub switch: usize,
+    /// `true` if the flit was silently dropped as FEC-uncorrectable; `false`
+    /// if the FEC corrected it and the flit was forwarded.
+    pub dropped: bool,
+    /// Symbols the ingress FEC corrected (0 on the uncorrectable path).
+    pub corrected_symbols: usize,
+}
+
+/// Structured lifecycle events emitted by the fabric engine.
+///
+/// Every method has an empty default body, so implementations override only
+/// what they consume. See the [module docs](self) for the zero-cost
+/// guarantee and the RNG-draw-order contract.
+pub trait Probe {
+    /// `false` compiles every emission site to nothing ([`NullProbe`]).
+    /// Keep `true` (the default) for any probe that observes events.
+    const ENABLED: bool = true;
+
+    /// A message became transmittable at its source endpoint.
+    fn on_inject(&mut self, _ev: InjectEvent) {}
+
+    /// A message was delivered (with the auditor's verdict).
+    fn on_deliver(&mut self, _ev: DeliverEvent) {}
+
+    /// A delivery was classified as an undetected-drop (`Fail_order`) event
+    /// — the paper's silent-failure channel, fired at most once per drop
+    /// episode, immediately after the deliveries of the flit that exposed
+    /// it.
+    fn on_fail_order(&mut self, _slot: u64, _session: usize, _dst: usize) {}
+
+    /// An endpoint put a retransmission (go-back-N replay) on the wire.
+    fn on_retransmit(&mut self, _slot: u64, _endpoint: usize, _session: usize) {}
+
+    /// An endpoint put a NACK / retry-request control flit on the wire.
+    fn on_nack(&mut self, _slot: u64, _endpoint: usize, _session: usize) {}
+
+    /// A sender held a flit for lack of downstream credit this slot.
+    /// `port` is the blocked output port for switch-to-switch holds, `None`
+    /// when an endpoint's injection stalled at switch ingress.
+    fn on_credit_stall(&mut self, _slot: u64, _switch: usize, _port: Option<usize>) {}
+
+    /// A flit was buffered into VC `vc` of output port `(switch, port)`;
+    /// `occupancy` is that lane's queue depth after the arrival. Fired on
+    /// every hop, so probes can down-sample as coarsely as they like.
+    fn on_vc_occupancy(
+        &mut self,
+        _slot: u64,
+        _switch: usize,
+        _port: usize,
+        _vc: usize,
+        _occupancy: usize,
+    ) {
+    }
+
+    /// A switch ingress pipeline observed a corrupted flit (corrected or
+    /// silently dropped).
+    fn on_channel_error(&mut self, _ev: ChannelErrorEvent) {}
+
+    /// A flit was destroyed by fault injection in transit (dead switch or
+    /// no surviving route). Queue purges at failure time are reported via
+    /// [`Probe::on_switch_fail`] instead.
+    fn on_blackhole(&mut self, _slot: u64) {}
+
+    /// A switch failed hard, purging `purged_flits` queued flits.
+    fn on_switch_fail(&mut self, _slot: u64, _switch: usize, _purged_flits: u64) {}
+
+    /// A switch was drained from (`restored == false`) or restored to
+    /// (`restored == true`) transit eligibility.
+    fn on_switch_drain(&mut self, _slot: u64, _switch: usize, _restored: bool) {}
+
+    /// A scenario epoch boundary was applied at `slot` (fired by the
+    /// `rxl-chaos` runner, not the engine itself; `epoch` indexes the epoch
+    /// that *starts* here).
+    fn on_epoch(&mut self, _slot: u64, _epoch: usize) {}
+}
+
+/// The disabled probe: no state, no events, no cost. The engine's default —
+/// [`FabricSim::new`](crate::FabricSim::new) builds a
+/// `FabricSim<NullProbe>`, which is bit-identical *and* instruction-
+/// identical to the pre-probe engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    const ENABLED: bool = false;
+}
+
+/// A minimal enabled probe: one counter per event class. Used by the
+/// neutrality regression (an enabled probe must not change any trial
+/// outcome) and by the probe-overhead measurement in `fabric_throughput`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountingProbe {
+    /// Messages injected.
+    pub injects: u64,
+    /// Messages delivered.
+    pub delivers: u64,
+    /// `Fail_order` classifications.
+    pub fail_orders: u64,
+    /// Retransmission emissions.
+    pub retransmits: u64,
+    /// NACK emissions.
+    pub nacks: u64,
+    /// Credit-stall observations.
+    pub credit_stalls: u64,
+    /// VC-occupancy samples (one per buffered hop).
+    pub vc_samples: u64,
+    /// Peak lane occupancy seen by any VC sample.
+    pub peak_occupancy: usize,
+    /// Channel-error observations (corrected + dropped).
+    pub channel_errors: u64,
+    /// In-transit fault-injection blackholes.
+    pub blackholes: u64,
+    /// Switch failures.
+    pub switch_fails: u64,
+    /// Switch drains/restores.
+    pub switch_drains: u64,
+    /// Epoch boundaries.
+    pub epochs: u64,
+}
+
+impl Probe for CountingProbe {
+    fn on_inject(&mut self, _ev: InjectEvent) {
+        self.injects += 1;
+    }
+    fn on_deliver(&mut self, _ev: DeliverEvent) {
+        self.delivers += 1;
+    }
+    fn on_fail_order(&mut self, _slot: u64, _session: usize, _dst: usize) {
+        self.fail_orders += 1;
+    }
+    fn on_retransmit(&mut self, _slot: u64, _endpoint: usize, _session: usize) {
+        self.retransmits += 1;
+    }
+    fn on_nack(&mut self, _slot: u64, _endpoint: usize, _session: usize) {
+        self.nacks += 1;
+    }
+    fn on_credit_stall(&mut self, _slot: u64, _switch: usize, _port: Option<usize>) {
+        self.credit_stalls += 1;
+    }
+    fn on_vc_occupancy(
+        &mut self,
+        _slot: u64,
+        _switch: usize,
+        _port: usize,
+        _vc: usize,
+        occupancy: usize,
+    ) {
+        self.vc_samples += 1;
+        self.peak_occupancy = self.peak_occupancy.max(occupancy);
+    }
+    fn on_channel_error(&mut self, _ev: ChannelErrorEvent) {
+        self.channel_errors += 1;
+    }
+    fn on_blackhole(&mut self, _slot: u64) {
+        self.blackholes += 1;
+    }
+    fn on_switch_fail(&mut self, _slot: u64, _switch: usize, _purged_flits: u64) {
+        self.switch_fails += 1;
+    }
+    fn on_switch_drain(&mut self, _slot: u64, _switch: usize, _restored: bool) {
+        self.switch_drains += 1;
+    }
+    fn on_epoch(&mut self, _slot: u64, _epoch: usize) {
+        self.epochs += 1;
+    }
+}

@@ -153,6 +153,15 @@ impl<const SUB_BITS: u32, const BUCKETS: usize> Histogram<SUB_BITS, BUCKETS> {
         }
     }
 
+    /// Number of recorded values above `threshold`, at bucket resolution:
+    /// every value in a strictly higher bucket counts, values sharing
+    /// `threshold`'s bucket do not. SLO accounting ("deliveries slower than
+    /// the objective") divides this by [`Self::count`]; the ≤12.5% bucket
+    /// width is far below the burn-rate thresholds it feeds.
+    pub fn count_above(&self, threshold: u64) -> u64 {
+        self.counts[Self::index_of(threshold) + 1..].iter().sum()
+    }
+
     /// The value at quantile `q ∈ [0, 1]`: the lower bound of the bucket
     /// holding the `ceil(q·n)`-th smallest recorded value, clamped into the
     /// exact `[min, max]` envelope. Monotone non-decreasing in `q` (pinned
@@ -262,6 +271,23 @@ mod tests {
         assert!((88..=99).contains(&p99), "p99 = {p99}");
         assert_eq!(h.quantile(1.0), 100);
         assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn count_above_matches_the_bucket_layout() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 100, 200, 4000] {
+            h.record(v);
+        }
+        // Thresholds below the sub-bucket limit are exact.
+        assert_eq!(h.count_above(2), 4);
+        assert_eq!(h.count_above(0), 6);
+        // Everything above the maximum counts nothing, even at u64::MAX.
+        assert_eq!(h.count_above(4000), 0);
+        assert_eq!(h.count_above(u64::MAX), 0);
+        // A threshold between populated buckets counts exactly the tail.
+        assert_eq!(h.count_above(1000), 1);
+        assert_eq!(LatencyHistogram::new().count_above(0), 0);
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! SLO burn accounting: error budgets, multi-window burn rates, incident
+//! scoring.
+//!
+//! An SLO pairs an objective ("99.9% of deliveries under 600 slots",
+//! "99.9% of offered messages served cleanly") with an error budget (the
+//! allowed 0.1%). The **burn rate** of a window is its error rate divided
+//! by the budget: burn 1.0 spends the budget exactly at the sustainable
+//! pace, burn 14.4 exhausts a 30-day budget in two days — the classic
+//! fast-page threshold. Scoring a chaos scenario this way turns "the storm
+//! epoch had 37 failures" into "the storm burned 120× budget for four
+//! windows and recovery took 1,800 slots", which is the judgement an
+//! operator actually makes.
+//!
+//! Alerting follows the multi-window, multi-burn-rate pattern: a *fast*
+//! alert (page) needs a high burn sustained over a short trailing span of
+//! windows **and** in the current window (so it arms fast and disarms as
+//! soon as the burn stops); a *slow* alert (ticket) needs a lower burn over
+//! a longer trailing span.
+
+use crate::window::{WindowAccum, WindowedTelemetry};
+use rxl_chaos::Scenario;
+
+/// Latency + availability objectives and the burn-rate alert policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloSpec {
+    /// A delivery is an SLO violation if its injection→delivery latency
+    /// exceeds this many slots.
+    pub latency_threshold_slots: u64,
+    /// Fraction of deliveries that must meet the threshold (e.g. `0.999`).
+    pub latency_objective: f64,
+    /// Fraction of offered messages that must resolve cleanly (e.g.
+    /// `0.999`).
+    pub availability_objective: f64,
+    /// Trailing windows the fast (page) alert averages over.
+    pub fast_windows: usize,
+    /// Trailing windows the slow (ticket) alert averages over.
+    pub slow_windows: usize,
+    /// Fast-alert burn threshold (14.4 ≈ a 30-day budget in 2 days).
+    pub fast_burn: f64,
+    /// Slow-alert burn threshold (6.0 ≈ a 30-day budget in 5 days).
+    pub slow_burn: f64,
+}
+
+impl Default for SloSpec {
+    fn default() -> Self {
+        SloSpec {
+            latency_threshold_slots: 600,
+            latency_objective: 0.999,
+            availability_objective: 0.999,
+            fast_windows: 3,
+            slow_windows: 12,
+            fast_burn: 14.4,
+            slow_burn: 6.0,
+        }
+    }
+}
+
+impl SloSpec {
+    fn latency_budget(&self) -> f64 {
+        (1.0 - self.latency_objective).max(f64::MIN_POSITIVE)
+    }
+
+    fn availability_budget(&self) -> f64 {
+        (1.0 - self.availability_objective).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// One window's burn rates and alert state.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowBurn {
+    /// Window index.
+    pub index: usize,
+    /// First slot of the window.
+    pub start_slot: u64,
+    /// Latency burn: fraction of the window's deliveries over the threshold,
+    /// divided by the latency error budget (0.0 for a window with no
+    /// deliveries).
+    pub latency_burn: f64,
+    /// Availability burn: the window's unavailability divided by the
+    /// availability error budget (0.0 for a window with no arrivals).
+    pub availability_burn: f64,
+    /// `max(latency_burn, availability_burn)` — the figure the alerts and
+    /// incident scores consume.
+    pub burn: f64,
+    /// Fast (page) alert: burn ≥ `fast_burn` averaged over the trailing
+    /// `fast_windows` *and* in this window.
+    pub fast_alert: bool,
+    /// Slow (ticket) alert: burn ≥ `slow_burn` averaged over the trailing
+    /// `slow_windows` *and* in this window.
+    pub slow_alert: bool,
+}
+
+fn window_burns(spec: &SloSpec, w: &WindowAccum) -> (f64, f64) {
+    let deliveries = w.hist.count();
+    let latency_burn = if deliveries == 0 {
+        0.0
+    } else {
+        let violations = w.hist.count_above(spec.latency_threshold_slots);
+        (violations as f64 / deliveries as f64) / spec.latency_budget()
+    };
+    let availability_burn = if w.injected == 0 {
+        0.0
+    } else {
+        let unavailability = 1.0 - w.clean as f64 / w.injected as f64;
+        unavailability / spec.availability_budget()
+    };
+    (latency_burn, availability_burn)
+}
+
+/// Computes the per-window burn series and alert states of `telemetry`
+/// under `spec`, in window order.
+pub fn burn_series(spec: &SloSpec, telemetry: &WindowedTelemetry) -> Vec<WindowBurn> {
+    assert!(spec.fast_windows > 0 && spec.slow_windows > 0);
+    let windows = telemetry.windows();
+    let mut burns: Vec<WindowBurn> = Vec::with_capacity(windows.len());
+    let combined: Vec<f64> = windows
+        .iter()
+        .map(|w| {
+            let (l, a) = window_burns(spec, w);
+            l.max(a)
+        })
+        .collect();
+    let trailing_mean = |upto: usize, span: usize| {
+        let from = (upto + 1).saturating_sub(span);
+        let slice = &combined[from..=upto];
+        slice.iter().sum::<f64>() / slice.len() as f64
+    };
+    for (index, w) in windows.iter().enumerate() {
+        let (latency_burn, availability_burn) = window_burns(spec, w);
+        let burn = combined[index];
+        burns.push(WindowBurn {
+            index,
+            start_slot: index as u64 * telemetry.window_slots(),
+            latency_burn,
+            availability_burn,
+            burn,
+            fast_alert: burn >= spec.fast_burn
+                && trailing_mean(index, spec.fast_windows) >= spec.fast_burn,
+            slow_alert: burn >= spec.slow_burn
+                && trailing_mean(index, spec.slow_windows) >= spec.slow_burn,
+        });
+    }
+    burns
+}
+
+/// How a scenario scored as an incident: burn during and after, recovery
+/// time, alert coverage.
+#[derive(Clone, Copy, Debug)]
+pub struct IncidentScore {
+    /// First slot any scenario event fires.
+    pub incident_start: u64,
+    /// Last scenario boundary below the horizon (the final event start or
+    /// expiry; equals `incident_start` for a single permanent event).
+    pub incident_end: u64,
+    /// Mean combined burn over the windows intersecting
+    /// `[incident_start, incident_end]`.
+    pub burn_during: f64,
+    /// Mean combined burn over the windows strictly after `incident_end`.
+    pub burn_after: f64,
+    /// Largest combined single-window burn anywhere in the series.
+    pub peak_burn: f64,
+    /// Slots from `incident_end` until the start of the first post-incident
+    /// window that begins a run of two consecutive windows with burn ≤ 1
+    /// (sustainably inside budget). `None` if the series never recovers.
+    pub time_to_recovery_slots: Option<u64>,
+    /// Windows with the fast (page) alert firing.
+    pub fast_alert_windows: usize,
+    /// Windows with the slow (ticket) alert firing.
+    pub slow_alert_windows: usize,
+}
+
+/// The slot interval a scenario's events span: first event start to last
+/// boundary (event start or expiry) below `horizon`. `None` for an empty
+/// scenario.
+pub fn incident_interval(scenario: &Scenario, horizon: u64) -> Option<(u64, u64)> {
+    let start = scenario.events.iter().map(|te| te.at_slot).min()?;
+    let bounds = scenario.boundaries(horizon);
+    let end = bounds[..bounds.len() - 1]
+        .last()
+        .copied()
+        .unwrap_or(start)
+        .max(start);
+    Some((start, end))
+}
+
+/// Scores a burn series as an incident replay over
+/// `[incident_start, incident_end]` (slots). `window_slots` is the window
+/// length the series was built with.
+pub fn score_incident(
+    burns: &[WindowBurn],
+    window_slots: u64,
+    incident_start: u64,
+    incident_end: u64,
+) -> IncidentScore {
+    let mut during = (0.0, 0u64);
+    let mut after = (0.0, 0u64);
+    let mut peak = 0.0f64;
+    let (mut fast, mut slow) = (0usize, 0usize);
+    for b in burns {
+        let w_start = b.start_slot;
+        let w_end = w_start + window_slots - 1;
+        peak = peak.max(b.burn);
+        fast += usize::from(b.fast_alert);
+        slow += usize::from(b.slow_alert);
+        if w_end >= incident_start && w_start <= incident_end {
+            during.0 += b.burn;
+            during.1 += 1;
+        } else if w_start > incident_end {
+            after.0 += b.burn;
+            after.1 += 1;
+        }
+    }
+    // Recovery: the first post-incident window starting a run of two
+    // consecutive in-budget windows (burn ≤ 1). A final lone window also
+    // counts — there is nothing after it to contradict the recovery.
+    let mut recovery = None;
+    for (i, b) in burns.iter().enumerate() {
+        if b.start_slot <= incident_end || b.burn > 1.0 {
+            continue;
+        }
+        if burns.get(i + 1).is_none_or(|next| next.burn <= 1.0) {
+            recovery = Some(b.start_slot - incident_end);
+            break;
+        }
+    }
+    IncidentScore {
+        incident_start,
+        incident_end,
+        burn_during: if during.1 > 0 {
+            during.0 / during.1 as f64
+        } else {
+            0.0
+        },
+        burn_after: if after.1 > 0 {
+            after.0 / after.1 as f64
+        } else {
+            0.0
+        },
+        peak_burn: peak,
+        time_to_recovery_slots: recovery,
+        fast_alert_windows: fast,
+        slow_alert_windows: slow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SloSpec {
+        SloSpec {
+            latency_threshold_slots: 100,
+            latency_objective: 0.9,
+            availability_objective: 0.9,
+            fast_windows: 2,
+            slow_windows: 4,
+            fast_burn: 5.0,
+            slow_burn: 2.0,
+        }
+    }
+
+    /// Build: 2 clean windows, 2 outage windows, 2 clean windows.
+    fn storm_series() -> WindowedTelemetry {
+        let mut t = WindowedTelemetry::new(100);
+        for w in 0..6u64 {
+            let base = w * 100;
+            let outage = (2..4).contains(&w);
+            for i in 0..10u64 {
+                let slot = base + i;
+                t.record_inject(slot);
+                if outage && i < 8 {
+                    // 8 of 10 messages lost: availability 0.2.
+                    continue;
+                }
+                let latency = if outage { 400 } else { 10 };
+                t.record_outcome(slot, true);
+                t.record_latency(slot + latency, latency);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn burn_spikes_in_the_outage_windows() {
+        let t = storm_series();
+        let burns = burn_series(&spec(), &t);
+        // Clean windows sit inside budget.
+        assert!(burns[0].burn <= 1.0, "{:?}", burns[0]);
+        assert!(burns[1].burn <= 1.0);
+        // Outage windows burn hard: 80% unavailable against a 10% budget.
+        assert!(burns[2].availability_burn > 7.0, "{:?}", burns[2]);
+        assert!(burns[3].availability_burn > 7.0);
+        // The slow deliveries land in windows 5–7 and burn the latency SLO.
+        assert!(burns.iter().any(|b| b.latency_burn > 5.0));
+        // Fast alert fires only once the trailing mean catches up.
+        assert!(burns[3].fast_alert, "{:?}", burns[3]);
+        assert!(!burns[0].fast_alert && !burns[1].fast_alert);
+    }
+
+    #[test]
+    fn incident_scoring_separates_during_from_after() {
+        let t = storm_series();
+        let burns = burn_series(&spec(), &t);
+        let score = score_incident(&burns, 100, 200, 399);
+        assert!(
+            score.burn_during > score.burn_after,
+            "during {} after {}",
+            score.burn_during,
+            score.burn_after
+        );
+        assert!(score.peak_burn >= 7.0);
+        assert!(score.fast_alert_windows >= 1);
+        let ttr = score.time_to_recovery_slots.expect("series recovers");
+        assert!(ttr > 0 && ttr % 100 == 1, "ttr {ttr}");
+    }
+
+    #[test]
+    fn incident_interval_spans_event_starts_and_expiries() {
+        use rxl_fabric::FabricTopology;
+        let t = FabricTopology::leaf_spine(2, 1, 2);
+        let uplink = t.trunk_between(0, 2).unwrap();
+        let s = Scenario::named("storm").ber_storm(50, 100, vec![uplink], 10.0);
+        assert_eq!(incident_interval(&s, 10_000), Some((50, 150)));
+        let f = Scenario::named("fail").switch_fail(1_000, 2);
+        assert_eq!(incident_interval(&f, 10_000), Some((1_000, 1_000)));
+        assert_eq!(incident_interval(&Scenario::named("none"), 100), None);
+    }
+
+    #[test]
+    fn empty_windows_do_not_burn() {
+        let t = WindowedTelemetry::new(10);
+        assert!(burn_series(&spec(), &t).is_empty());
+        let mut one = WindowedTelemetry::new(10);
+        one.record_retransmit(5); // a window with no arrivals or deliveries
+        let burns = burn_series(&spec(), &one);
+        assert_eq!(burns.len(), 1);
+        assert_eq!(burns[0].burn, 0.0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Sliding-window metric accumulation over probe events.
+//!
+//! A [`WindowedTelemetry`] partitions simulated time into fixed-length
+//! windows of `window_slots` flit slots and accumulates, per window, a
+//! latency histogram plus availability and event counters. It is the
+//! time-domain view the end-of-run reports cannot give: p99.9 *per window*,
+//! availability *during* a storm epoch, recovery *after* it.
+//!
+//! # Attribution
+//!
+//! Two different windows matter for one message, and the accumulator uses
+//! both deliberately:
+//!
+//! * **Latency** is attributed to the window of the *delivery* slot — what a
+//!   load balancer measuring completions would record, so a burst of
+//!   delayed deliveries shows up as a tail spike in the window where the
+//!   deliveries actually land.
+//! * **Availability** is attributed to the window of the *injection* slot —
+//!   "of the requests that arrived in this window, how many were eventually
+//!   served exactly once, in order, intact". A message injected during an
+//!   outage and lost forever counts against the outage's window, not
+//!   against nothing; one delivered late but clean keeps its window
+//!   available (the lateness is the latency series' job to show).
+//!
+//! Counter events (retransmissions, NACKs, credit stalls, blackholes,
+//! channel errors, `Fail_order` classifications) land in the window they
+//! fire in.
+//!
+//! # Exact merge
+//!
+//! Merging two accumulators is elementwise: counter addition and the exact
+//! [`LatencyHistogram`] merge. Merging the per-trial accumulators of a
+//! Monte-Carlo in trial order therefore yields the same series for any
+//! worker-thread count — the workspace's standard reproducibility contract.
+
+use rxl_load::{LatencyHistogram, LatencyStats};
+
+/// Per-window accumulation state.
+#[derive(Clone, Debug, Default)]
+pub struct WindowAccum {
+    /// Latencies of deliveries landing in this window (delivery-slot
+    /// attribution).
+    pub hist: LatencyHistogram,
+    /// Messages injected in this window (injection-slot attribution).
+    pub injected: u64,
+    /// Of [`Self::injected`], those eventually delivered exactly once, in
+    /// order, intact.
+    pub clean: u64,
+    /// Of [`Self::injected`], those delivered with a failure verdict
+    /// (corrupted, mis-ordered, unexpected). Messages never delivered at
+    /// all appear in neither `clean` nor `tainted` — `injected - clean -
+    /// tainted` is the window's unresolved/lost count.
+    pub tainted: u64,
+    /// Undetected-drop (`Fail_order`) classifications in this window.
+    pub fail_orders: u64,
+    /// Go-back-N retransmission emissions in this window.
+    pub retransmits: u64,
+    /// NACK emissions in this window.
+    pub nacks: u64,
+    /// Credit-stall observations in this window.
+    pub credit_stalls: u64,
+    /// Fault-injection blackhole drops in this window.
+    pub blackholes: u64,
+    /// Channel-error observations (FEC-corrected + uncorrectable) in this
+    /// window.
+    pub channel_errors: u64,
+    /// Switch fail/drain/restore events in this window.
+    pub switch_events: u64,
+}
+
+impl WindowAccum {
+    fn merge(&mut self, other: &WindowAccum) {
+        self.hist.merge(&other.hist);
+        self.injected += other.injected;
+        self.clean += other.clean;
+        self.tainted += other.tainted;
+        self.fail_orders += other.fail_orders;
+        self.retransmits += other.retransmits;
+        self.nacks += other.nacks;
+        self.credit_stalls += other.credit_stalls;
+        self.blackholes += other.blackholes;
+        self.channel_errors += other.channel_errors;
+        self.switch_events += other.switch_events;
+    }
+}
+
+/// Summary of one window, derived by [`WindowedTelemetry::stats`].
+#[derive(Clone, Debug)]
+pub struct WindowStat {
+    /// Window index.
+    pub index: usize,
+    /// First slot of the window.
+    pub start_slot: u64,
+    /// Messages injected in the window.
+    pub injected: u64,
+    /// Deliveries landing in the window (latency population).
+    pub deliveries: u64,
+    /// Clean outcomes attributed to the window.
+    pub clean: u64,
+    /// Latency summary of the window's deliveries.
+    pub latency: LatencyStats,
+    /// `clean / injected` (`1.0` for a window with no arrivals): the
+    /// fraction of the window's offered messages eventually served cleanly.
+    pub availability: f64,
+    /// Retransmissions in the window.
+    pub retransmits: u64,
+    /// Credit stalls in the window.
+    pub credit_stalls: u64,
+    /// `Fail_order` events in the window.
+    pub fail_orders: u64,
+}
+
+/// Fixed-width sliding-window accumulator over probe events.
+#[derive(Clone, Debug)]
+pub struct WindowedTelemetry {
+    window_slots: u64,
+    windows: Vec<WindowAccum>,
+}
+
+impl WindowedTelemetry {
+    /// An empty accumulator with `window_slots`-slot windows.
+    pub fn new(window_slots: u64) -> Self {
+        assert!(window_slots > 0, "windows need a positive length");
+        WindowedTelemetry {
+            window_slots,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The configured window length, in slots.
+    pub fn window_slots(&self) -> u64 {
+        self.window_slots
+    }
+
+    /// Number of windows touched so far.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// `true` if no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The raw per-window accumulators.
+    pub fn windows(&self) -> &[WindowAccum] {
+        &self.windows
+    }
+
+    fn at(&mut self, slot: u64) -> &mut WindowAccum {
+        let idx = (slot / self.window_slots) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize_with(idx + 1, WindowAccum::default);
+        }
+        &mut self.windows[idx]
+    }
+
+    /// A message became transmittable at `slot`.
+    pub fn record_inject(&mut self, slot: u64) {
+        self.at(slot).injected += 1;
+    }
+
+    /// A message injected at `inject_slot` resolved (`clean` per the
+    /// auditor). Attributed to the *injection* window.
+    pub fn record_outcome(&mut self, inject_slot: u64, clean: bool) {
+        let w = self.at(inject_slot);
+        if clean {
+            w.clean += 1;
+        } else {
+            w.tainted += 1;
+        }
+    }
+
+    /// A delivery with the given injection→delivery `latency` landed at
+    /// `deliver_slot`. Attributed to the *delivery* window.
+    pub fn record_latency(&mut self, deliver_slot: u64, latency: u64) {
+        self.at(deliver_slot).hist.record(latency);
+    }
+
+    /// A `Fail_order` classification fired at `slot`.
+    pub fn record_fail_order(&mut self, slot: u64) {
+        self.at(slot).fail_orders += 1;
+    }
+
+    /// A retransmission was emitted at `slot`.
+    pub fn record_retransmit(&mut self, slot: u64) {
+        self.at(slot).retransmits += 1;
+    }
+
+    /// A NACK was emitted at `slot`.
+    pub fn record_nack(&mut self, slot: u64) {
+        self.at(slot).nacks += 1;
+    }
+
+    /// A credit stall was observed at `slot`.
+    pub fn record_credit_stall(&mut self, slot: u64) {
+        self.at(slot).credit_stalls += 1;
+    }
+
+    /// A fault-injection blackhole fired at `slot`.
+    pub fn record_blackhole(&mut self, slot: u64) {
+        self.at(slot).blackholes += 1;
+    }
+
+    /// A channel error was observed at `slot`.
+    pub fn record_channel_error(&mut self, slot: u64) {
+        self.at(slot).channel_errors += 1;
+    }
+
+    /// A switch fail/drain/restore was applied at `slot`.
+    pub fn record_switch_event(&mut self, slot: u64) {
+        self.at(slot).switch_events += 1;
+    }
+
+    /// Merges another accumulator in (exact: counter addition plus the
+    /// exact histogram merge). Panics if the window lengths differ.
+    pub fn merge(&mut self, other: &WindowedTelemetry) {
+        assert_eq!(
+            self.window_slots, other.window_slots,
+            "cannot merge accumulators with different window lengths"
+        );
+        if other.windows.len() > self.windows.len() {
+            self.windows
+                .resize_with(other.windows.len(), WindowAccum::default);
+        }
+        for (a, b) in self.windows.iter_mut().zip(&other.windows) {
+            a.merge(b);
+        }
+    }
+
+    /// Per-window summaries, in window order.
+    pub fn stats(&self) -> Vec<WindowStat> {
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(index, w)| WindowStat {
+                index,
+                start_slot: index as u64 * self.window_slots,
+                injected: w.injected,
+                deliveries: w.hist.count(),
+                clean: w.clean,
+                latency: LatencyStats::from_histogram(&w.hist),
+                availability: if w.injected == 0 {
+                    1.0
+                } else {
+                    w.clean as f64 / w.injected as f64
+                },
+                retransmits: w.retransmits,
+                credit_stalls: w.credit_stalls,
+                fail_orders: w.fail_orders,
+            })
+            .collect()
+    }
+
+    /// Warmup detection for open-system runs: the first window index `w`
+    /// such that `run` consecutive windows starting at `w` all have
+    /// deliveries and their p50 latencies agree within `tolerance`
+    /// (relative: `max_p50 ≤ min_p50 × (1 + tolerance)`). `None` if the
+    /// series never settles — measurement windows before the returned index
+    /// are still filling pipelines and should be excluded from steady-state
+    /// summaries.
+    pub fn warmup_window(&self, run: usize, tolerance: f64) -> Option<usize> {
+        assert!(run > 0, "warmup detection needs a positive run length");
+        if self.windows.len() < run {
+            return None;
+        }
+        'outer: for w in 0..=(self.windows.len() - run) {
+            let (mut lo, mut hi) = (u64::MAX, 0u64);
+            for acc in &self.windows[w..w + run] {
+                if acc.hist.is_empty() {
+                    continue 'outer;
+                }
+                let p50 = acc.hist.quantile(0.5);
+                lo = lo.min(p50);
+                hi = hi.max(p50);
+            }
+            if (hi as f64) <= (lo as f64) * (1.0 + tolerance) {
+                return Some(w);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_splits_injection_and_delivery_windows() {
+        let mut t = WindowedTelemetry::new(100);
+        // Injected in window 0, delivered (slowly) in window 2.
+        t.record_inject(40);
+        t.record_latency(250, 210);
+        t.record_outcome(40, true);
+        let stats = t.stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].injected, 1);
+        assert_eq!(stats[0].clean, 1);
+        assert_eq!(stats[0].availability, 1.0);
+        assert_eq!(stats[0].deliveries, 0);
+        assert_eq!(stats[2].deliveries, 1);
+        assert_eq!(stats[2].injected, 0);
+        assert_eq!(stats[2].availability, 1.0, "no arrivals = fully available");
+    }
+
+    #[test]
+    fn lost_messages_burn_their_injection_window() {
+        let mut t = WindowedTelemetry::new(10);
+        for _ in 0..4 {
+            t.record_inject(5);
+        }
+        t.record_outcome(5, true);
+        // Three messages never resolve.
+        let s = &t.stats()[0];
+        assert_eq!(s.injected, 4);
+        assert_eq!(s.clean, 1);
+        assert!((s.availability - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_exact_and_extends() {
+        let mut a = WindowedTelemetry::new(50);
+        a.record_inject(10);
+        a.record_latency(10, 7);
+        let mut b = WindowedTelemetry::new(50);
+        b.record_inject(10);
+        b.record_latency(120, 9);
+        b.record_retransmit(60);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        let stats = a.stats();
+        assert_eq!(stats[0].injected, 2);
+        assert_eq!(stats[0].deliveries, 1);
+        assert_eq!(stats[1].retransmits, 1);
+        assert_eq!(stats[2].deliveries, 1);
+    }
+
+    #[test]
+    fn warmup_finds_the_settled_prefix() {
+        let mut t = WindowedTelemetry::new(10);
+        // Window 0 is slow (pipeline fill), windows 1..5 settle around 20.
+        for _ in 0..4 {
+            t.record_latency(5, 400);
+        }
+        for w in 1..5u64 {
+            for _ in 0..4 {
+                t.record_latency(w * 10 + 5, 20);
+            }
+        }
+        assert_eq!(t.warmup_window(3, 0.25), Some(1));
+        // An impossible tolerance over the noisy prefix never settles.
+        let mut noisy = WindowedTelemetry::new(10);
+        noisy.record_latency(5, 10);
+        noisy.record_latency(15, 1000);
+        assert_eq!(noisy.warmup_window(2, 0.01), None);
+    }
+}

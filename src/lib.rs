@@ -24,6 +24,11 @@
 //!   processes (fixed-rate, Poisson-like, bursty on/off), session traffic
 //!   matrices (uniform, permutation, hotspot, incast), HDR-style latency
 //!   histograms, and offered-load sweeps with saturation-knee detection.
+//! * [`telemetry`] — windowed SLO telemetry over the fabric engine's
+//!   zero-cost probe seam: per-window latency/availability series,
+//!   error-budget burn-rate accounting with multi-window alerts, bounded
+//!   incident traces (JSONL / Chrome tracing), and chaos-scenario incident
+//!   replays.
 //! * [`analysis`] — closed-form reliability / bandwidth / hardware models.
 //! * [`core`] — the high-level protocol-stack API (CXL vs RXL).
 
@@ -39,6 +44,7 @@ pub use rxl_link as link;
 pub use rxl_load as load;
 pub use rxl_sim as sim;
 pub use rxl_switch as switch;
+pub use rxl_telemetry as telemetry;
 pub use rxl_transport as transport;
 
 /// Convenience prelude bringing the most commonly used types into scope.
@@ -60,4 +66,5 @@ pub mod prelude {
         ArrivalProcess, LatencyHistogram, LatencyStats, LoadSweep, LoadSweepConfig, TrafficMatrix,
     };
     pub use rxl_sim::{MonteCarlo, SimConfig, Topology};
+    pub use rxl_telemetry::{IncidentReplay, SloProbe, SloSpec, WindowedTelemetry};
 }

@@ -1,0 +1,169 @@
+//! Telemetry-neutrality regression: probes observe, they never perturb.
+//!
+//! The probe seam's contract (see `rxl_fabric::probe`) has two halves, and
+//! each gets pinned here from the outside of the stack:
+//!
+//! * **Disabled costs nothing and changes nothing** — the golden-digest
+//!   suite (`tests/fabric_golden_digest.rs`) already pins the default
+//!   `NullProbe` path bit-identical to the pre-probe engine.
+//! * **Enabled changes nothing either** — a probe receives lifecycle events
+//!   but never draws from the trial RNG and never feeds state back, so the
+//!   simulated trial with a probe attached is bit-identical to the trial
+//!   without one, and everything a probe accumulates merges exactly across
+//!   any rayon worker-thread count.
+
+use rxl::chaos::{ChaosMonteCarlo, Scenario};
+use rxl::fabric::{
+    CountingProbe, FabricConfig, FabricSim, FabricTopology, FabricWorkload, RoutingTable,
+};
+use rxl::link::{ChannelErrorModel, ProtocolVariant};
+use rxl::load::LatencyHistogram;
+use rxl::telemetry::{SloProbe, WindowedTelemetry};
+
+/// A noisy single-trial configuration: enough channel errors to exercise
+/// retransmission, NACK and verdict paths, so any probe-induced RNG drift
+/// would cascade into visibly different aggregates.
+fn noisy_config(variant: ProtocolVariant) -> FabricConfig {
+    FabricConfig::new(variant)
+        .with_channel(ChannelErrorModel::random(2e-4))
+        .with_seed(0xD16E57)
+}
+
+#[test]
+fn enabled_probe_observes_a_bit_identical_trial() {
+    let topology = FabricTopology::ring(4, 1, 1);
+    let routing = RoutingTable::new(&topology);
+    let workload = FabricWorkload::symmetric(topology.session_count(), 600, 8, 7);
+
+    for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+        let baseline = FabricSim::new(&topology, &routing, noisy_config(variant)).run(&workload);
+
+        let mut sim = FabricSim::with_probe(
+            &topology,
+            &routing,
+            noisy_config(variant),
+            CountingProbe::default(),
+        );
+        sim.begin(&workload);
+        let _ = sim.step(u64::MAX);
+        let (probed, counts) = sim.finish_with_probe();
+
+        // The full `Debug` rendering covers every aggregate — counters,
+        // stats, exact f64 rates — so equality here means the probed trial
+        // was the same trial, bit for bit.
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{probed:?}"),
+            "{variant:?}: attaching an enabled probe changed the simulation"
+        );
+        // And the probe actually watched it happen.
+        assert_eq!(counts.injects, 2 * 4 * 600, "{variant:?}");
+        assert!(
+            counts.delivers >= probed.total_failures().clean_deliveries,
+            "{variant:?}: every clean delivery passes through the probe (saw {}, clean {})",
+            counts.delivers,
+            probed.total_failures().clean_deliveries,
+        );
+        assert!(counts.channel_errors > 0, "{variant:?}: noisy channel");
+    }
+}
+
+fn storm_experiment(variant: ProtocolVariant) -> (ChaosMonteCarlo, FabricWorkload) {
+    let topology = FabricTopology::leaf_spine(2, 1, 2);
+    let uplink = topology.trunk_between(0, 2).expect("leaf 0 uplink");
+    let scenario = Scenario::named("neutrality storm").ber_storm(300, 400, vec![uplink], 50.0);
+    let workload = FabricWorkload::symmetric(topology.session_count(), 900, 8, 11);
+    let config = noisy_config(variant).with_seed(0x510);
+    (
+        ChaosMonteCarlo::new(topology, config, scenario, 4),
+        workload,
+    )
+}
+
+#[test]
+fn slo_probe_leaves_chaos_aggregates_unchanged() {
+    for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+        let (mc, workload) = storm_experiment(variant);
+        let unprobed = mc.run(&workload);
+        let (probed, probes) = mc.run_probed(&workload, |_| SloProbe::new(200));
+        assert_eq!(
+            format!("{unprobed:?}"),
+            format!("{probed:?}"),
+            "{variant:?}: SloProbe perturbed the Monte-Carlo aggregates"
+        );
+        assert_eq!(probes.len(), 4);
+        assert!(probes.iter().all(|p| !p.windows().is_empty()));
+    }
+}
+
+/// Runs the probed storm Monte-Carlo on a dedicated `threads`-wide rayon
+/// pool and returns the report plus the trial-order merge of the per-trial
+/// windows.
+fn probed_on_pool(variant: ProtocolVariant, threads: usize) -> (String, String) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build rayon pool");
+    pool.install(|| {
+        let (mc, workload) = storm_experiment(variant);
+        let (report, probes) = mc.run_probed(&workload, |_| SloProbe::new(200));
+        let mut merged = WindowedTelemetry::new(200);
+        for probe in &probes {
+            merged.merge(probe.windows());
+        }
+        (format!("{report:?}"), format!("{merged:?}"))
+    })
+}
+
+#[test]
+fn probed_aggregates_are_thread_count_independent() {
+    for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+        let (report_1, windows_1) = probed_on_pool(variant, 1);
+        let (report_4, windows_4) = probed_on_pool(variant, 4);
+        assert_eq!(
+            report_1, report_4,
+            "{variant:?}: FailureCounts/epoch aggregates drifted with thread count"
+        );
+        assert_eq!(
+            windows_1, windows_4,
+            "{variant:?}: merged telemetry windows drifted with thread count"
+        );
+    }
+}
+
+#[test]
+fn slo_probe_histogram_agrees_with_engine_latency_samples() {
+    let topology = FabricTopology::leaf_spine(2, 1, 2);
+    let routing = RoutingTable::new(&topology);
+    let workload = FabricWorkload::symmetric(topology.session_count(), 400, 8, 3);
+
+    for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+        let mut sim = FabricSim::with_probe(
+            &topology,
+            &routing,
+            noisy_config(variant),
+            SloProbe::new(100),
+        );
+        sim.enable_latency_telemetry();
+        sim.begin(&workload);
+        let _ = sim.step(u64::MAX);
+        let (report, probe) = sim.finish_with_probe();
+
+        let samples = report.latency.expect("latency telemetry enabled");
+        let mut engine_hist = LatencyHistogram::default();
+        engine_hist.record_samples(&samples);
+
+        let mut probe_hist = LatencyHistogram::default();
+        for w in probe.windows().windows() {
+            probe_hist.merge(&w.hist);
+        }
+        // Same population, bucket for bucket: the probe's delivery-window
+        // histograms partition exactly the engine's own sample stream.
+        assert_eq!(
+            format!("{engine_hist:?}"),
+            format!("{probe_hist:?}"),
+            "{variant:?}: probe histogram disagrees with engine latency samples"
+        );
+        assert_eq!(probe_hist.count(), samples.len() as u64, "{variant:?}");
+    }
+}
