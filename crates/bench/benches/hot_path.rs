@@ -5,14 +5,21 @@
 //! (bitwise reference, byte-at-a-time table, slice-by-8), both flit formats'
 //! encode/decode, and the Reed–Solomon layers (the RS(68,64)-shaped
 //! shortened code and the interleaved CXL flit FEC) in their streaming
-//! allocation-free forms.
+//! allocation-free forms. The `channel_sampling` group compares per-flit
+//! Bernoulli draws against the geometric skip-ahead cursor, and
+//! `gf256_const_mul` compares the log/exp field multiply against the
+//! nibble-split half-tables used by the FEC inner loops.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rxl_crc::{catalog::CRC64_XZ, BitwiseCrc, TableCrc, FLIT_CRC64_SLICE};
 use rxl_fec::{InterleavedFec, RsCode, ShortenedRs};
 use rxl_flit::{CxlFlitCodec, Flit256, Flit68, FlitHeader, RxlFlitCodec};
+use rxl_gf256::{ConstMul, Gf256};
+use rxl_link::{ChannelErrorModel, EventCursor};
 use rxl_load::LatencyHistogram;
 
 fn payload240() -> Vec<u8> {
@@ -134,6 +141,87 @@ fn bench_reed_solomon(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_channel_sampling(c: &mut Criterion) {
+    // Per-link error sampling at the quiet-link operating point (BER 1e-6,
+    // 256-byte flits): the per-traversal Bernoulli draw the engine used to
+    // make for every flit, versus the geometric skip-ahead cursor that only
+    // touches the RNG at (rare) error events. The ideal-channel row is the
+    // cursor's floor: a cached `never` prediction and no RNG at all.
+    const FLITS: u64 = 4096;
+    let mut group = c.benchmark_group("channel_sampling");
+    group.throughput(Throughput::Elements(FLITS));
+    group.bench_function("per_flit_bernoulli_ber1e6", |b| {
+        let ch = ChannelErrorModel::random(1e-6);
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        b.iter(|| {
+            let mut data = [0u8; 256];
+            let mut flips = 0usize;
+            for _ in 0..FLITS {
+                flips += ch.apply(black_box(&mut data), &mut rng);
+            }
+            black_box(flips)
+        })
+    });
+    group.bench_function("skip_ahead_ber1e6", |b| {
+        let mut ch = ChannelErrorModel::random(1e-6);
+        let mut cursor = EventCursor::new();
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        b.iter(|| {
+            let mut data = [0u8; 256];
+            let mut flips = 0usize;
+            for slot in 0..FLITS {
+                flips += cursor.advance(&mut ch, black_box(&mut data), slot as f64, &mut rng);
+            }
+            black_box(flips)
+        })
+    });
+    group.bench_function("skip_ahead_ideal", |b| {
+        let mut ch = ChannelErrorModel::ideal();
+        let mut cursor = EventCursor::new();
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        b.iter(|| {
+            let mut data = [0u8; 256];
+            let mut flips = 0usize;
+            for slot in 0..FLITS {
+                flips += cursor.advance(&mut ch, black_box(&mut data), slot as f64, &mut rng);
+            }
+            black_box(flips)
+        })
+    });
+    group.finish();
+}
+
+fn bench_gf256_const_mul(c: &mut Criterion) {
+    // Multiply-by-constant strategies behind the FEC hot loops (syndrome
+    // Horner steps and encoder LFSR taps): the branchy log/exp lookup of the
+    // general field multiply, versus the 32-byte nibble-split half-tables
+    // (two indexed loads and a XOR, branch-free, pshufb-shaped).
+    let data: Vec<u8> = (0..4096u32).map(|i| (i * 37 + 11) as u8).collect();
+    let alpha = Gf256::new(rxl_gf256::tables::GF256_GENERATOR);
+    let nib = ConstMul::new(rxl_gf256::tables::GF256_GENERATOR);
+    let mut group = c.benchmark_group("gf256_const_mul");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("log_exp_4096B", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &x in black_box(&data) {
+                acc = (alpha * Gf256::new(acc)).value() ^ x;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("nibble_split_4096B", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &x in black_box(&data) {
+                acc = nib.mul(acc) ^ x;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 fn bench_latency_histogram(c: &mut Criterion) {
     // The telemetry cost every paced fabric trial pays per delivered
     // message: one log-bucketed record (leading_zeros + shift + mask).
@@ -173,6 +261,8 @@ criterion_group!(
     bench_flit68,
     bench_flit256,
     bench_reed_solomon,
+    bench_channel_sampling,
+    bench_gf256_const_mul,
     bench_latency_histogram
 );
 criterion_main!(benches);

@@ -28,8 +28,14 @@ pub struct ScenarioOutcome {
 
 fn protocol_flit(tx: &mut LinkTx, msg: Message, now: f64) -> (Box<rxl_flit::WireFlit>, u16) {
     tx.enqueue_messages([msg]);
-    match tx.emit(now) {
-        TxEmission::Protocol { wire, seq, .. } => (wire, seq),
+    let emission = tx.emit(now);
+    match &emission {
+        TxEmission::Protocol { seq, .. } => {
+            let wire = tx
+                .encode_emission(&emission)
+                .expect("protocol flit encodes");
+            (Box::new(wire), *seq)
+        }
         other => panic!("expected a protocol flit, got {other:?}"),
     }
 }
@@ -113,8 +119,12 @@ fn drive_scenario(
         // Replay everything the transmitter still holds.
         loop {
             now += 2.0;
-            match tx.emit(now) {
-                TxEmission::Protocol { wire, .. } => {
+            let emission = tx.emit(now);
+            match &emission {
+                TxEmission::Protocol { .. } => {
+                    let wire = tx
+                        .encode_emission(&emission)
+                        .expect("protocol flit encodes");
                     let r = rx.receive(&wire);
                     for m in &r.delivered {
                         delivered_tags.push(m.tag());

@@ -34,8 +34,12 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use rxl_flit::{Message, WireFlit, MESSAGES_PER_FLIT};
-use rxl_link::{Channel, ChannelErrorModel, LinkConfig, LinkEndpoint, LinkStats, ProtocolVariant};
+use rxl_flit::{
+    CxlFlitCodec, Flit256, Message, RxlFlitCodec, WireFlit, MESSAGES_PER_FLIT, WIRE_FLIT_LEN,
+};
+use rxl_link::{
+    Channel, ChannelErrorModel, EventCursor, LinkConfig, LinkEndpoint, LinkStats, ProtocolVariant,
+};
 use rxl_switch::{
     InternalErrorModel, LinkCrcMode, ProcessVerdict, Switch, SwitchConfig, SwitchStats, VcArbiter,
     VcCredits, MAX_VCS,
@@ -358,10 +362,12 @@ struct Telemetry {
 
 /// Identity of a message for latency timestamping and probe events — the
 /// same `(cqid, tag, kind, chunk)` quadruple the delivery auditor keys on,
-/// packed into one u64. The key occupies bits `0..48`, and it is unique only
-/// *within a destination endpoint* (sessions reuse cqid/tag spaces), so
-/// consumers correlating inject/deliver events across the fabric should key
-/// on `(dst, key)` — e.g. `(dst as u64) << 48 | key`.
+/// packed and splitmix64-finalized into one u64. The finalizer is bijective,
+/// so distinct quadruples keep distinct keys, but the key uses **all 64
+/// bits** and it is unique only *within a destination endpoint* (sessions
+/// reuse cqid/tag spaces). Consumers correlating inject/deliver events
+/// across the fabric must key on the `(dst, key)` *pair* — no bit-packing
+/// of `dst` into the key can stay collision-free.
 #[inline]
 pub fn message_key(msg: &Message) -> u64 {
     msg_key(msg)
@@ -375,7 +381,12 @@ fn msg_key(msg: &Message) -> u64 {
         Message::DataHeader { .. } => (2, 0),
         Message::Data { chunk_idx, .. } => (3, *chunk_idx as u64),
     };
-    ((msg.cqid() as u64) << 32) | ((msg.tag() as u64) << 16) | (kind << 8) | chunk
+    // splitmix64-finalized (bijective): the raw packing has all its entropy
+    // in high bit fields, which FxHash-backed maps index terribly (see
+    // `rxl_transport::mix64`).
+    rxl_transport::mix64(
+        ((msg.cqid() as u64) << 32) | ((msg.tag() as u64) << 16) | (kind << 8) | chunk,
+    )
 }
 
 /// Aggregate outcome of one fabric trial.
@@ -480,11 +491,73 @@ impl FabricReport {
     }
 }
 
+/// The engine-held flit encoder, fixed per trial by
+/// [`FabricConfig::variant`]. `LinkTx`/`LinkRx` always run their codecs in
+/// default mode (there is no per-link codec knob; the switch-level
+/// [`LinkCrcMode`] is a forwarding-pipeline concept), so a wire image
+/// produced here is bit-identical to what the emitting endpoint's
+/// transmitter would have produced.
+enum SimCodec {
+    Cxl(CxlFlitCodec),
+    Rxl(RxlFlitCodec),
+}
+
+impl SimCodec {
+    fn for_variant(variant: ProtocolVariant) -> Self {
+        match variant {
+            ProtocolVariant::Rxl => SimCodec::Rxl(RxlFlitCodec::new()),
+            _ => SimCodec::Cxl(CxlFlitCodec::new()),
+        }
+    }
+
+    /// Encodes `flit` bound to link-layer sequence number `seq` (ignored by
+    /// the CXL codec, whose CRC has no sequence component).
+    #[inline]
+    fn encode(&self, flit: &Flit256, seq: u16) -> WireFlit {
+        match self {
+            SimCodec::Cxl(c) => c.encode(flit),
+            SimCodec::Rxl(c) => c.encode(flit, seq),
+        }
+    }
+}
+
+/// The payload of an in-fabric flit: either the *logical* flit plus its
+/// bound sequence number (no wire bytes materialised yet — the state every
+/// flit starts in and, on a quiet link, stays in for its whole journey), or
+/// the explicit 256-byte wire image (forced the moment a channel corrupts
+/// the flit or a switch pipeline needs real bytes).
+///
+/// Because a clean wire image is a pure function of `(flit, seq)`, deferring
+/// the encode is invisible to the simulation: a flit that reaches its
+/// destination still `Clean` is handed to [`LinkEndpoint::receive_trusted`],
+/// whose outcome is provably identical to encode-then-`receive` (see the
+/// equivalence argument on [`rxl_link::LinkRx::receive_trusted`]).
+#[derive(Clone)]
+enum FlitPayload {
+    Clean { flit: Flit256, seq: u16 },
+    Wire(WireFlit),
+}
+
+impl FlitPayload {
+    /// Forces the wire image into existence (encoding on first call) and
+    /// returns it for in-place mutation.
+    #[inline]
+    fn materialize(&mut self, codec: &SimCodec) -> &mut WireFlit {
+        if let FlitPayload::Clean { flit, seq } = self {
+            *self = FlitPayload::Wire(codec.encode(flit, *seq));
+        }
+        match self {
+            FlitPayload::Wire(wire) => wire,
+            FlitPayload::Clean { .. } => unreachable!("materialize just set Wire"),
+        }
+    }
+}
+
 /// A flit in flight through the fabric, with its out-of-band routing
 /// metadata (the modelled PBR destination identifier).
 #[derive(Clone)]
 struct RoutedFlit {
-    wire: WireFlit,
+    payload: FlitPayload,
     /// Destination endpoint index.
     dst: usize,
     /// `true` for payload-bearing protocol flits (as opposed to standalone
@@ -568,28 +641,43 @@ pub struct FabricCounters {
 
 /// One fabric trial: every endpoint, switch, queue and auditor.
 ///
-/// # Determinism and RNG draw order
+/// # Determinism and RNG draw order (event-jump shape)
 ///
 /// The trial owns a single `StdRng` seeded from [`FabricConfig::seed`], and
-/// every random decision (channel corruption on each link traversal,
-/// switch-internal faults) draws from it in a fixed order: phase 1 visits
+/// every random decision draws from it in a fixed order: phase 1 visits
 /// endpoints in ascending index order, phase 2 visits switch output ports in
 /// ascending `(switch, port)` order, and a draw happens only when a flit is
-/// actually present. The active-port tracking below exploits that last fact:
-/// skipping a port whose queue is empty skips no draws, so iterating only
-/// the non-empty ports (in the same ascending order) is *bit-identical* to
-/// the dense sweep it replaced. Any future scheduling change must preserve
-/// this visit order — the Monte-Carlo reproducibility contract
-/// (`tests/fabric_golden_digest.rs`, and the 1-vs-N-thread test in
-/// [`crate::montecarlo`]) pins it.
+/// actually present. Channel randomness is *event-jump shaped*: every link
+/// owns an [`EventCursor`] that counts the link's flit traversals and caches
+/// the traversal index of the channel's next error event
+/// ([`Channel::next_error_slot`] — one geometric jump per error event, plus
+/// one resample per piecewise boundary or state dwell for time-varying
+/// channels), so a traversal short of the cached event consumes **zero**
+/// draws and a quiet link costs no RNG work per slot. The active-port
+/// bitmaps compose with this unchanged: skipping an empty port skips no
+/// draws, and skipping a pre-event traversal skips none either. What the
+/// reproducibility contract (`tests/fabric_golden_digest.rs`, and the
+/// 1-vs-N-thread test in [`crate::montecarlo`]) pins is therefore the visit
+/// order — endpoints ascending, then `(switch, port)` ascending, each link's
+/// cursor consulted exactly once per traversal in that order. Relative to
+/// the pre-event-jump engine the draw *sequence* differs (the golden digest
+/// was re-pinned for this contract); per-link error statistics are pinned
+/// instead by the statistical-equivalence suite
+/// (`tests/skip_ahead_equivalence.rs`), and an ideal channel is draw-free
+/// under both shapes, so ideal-channel trials stayed bit-identical across
+/// the change.
 ///
 /// Fault injection composes with this contract rather than weakening it:
-/// per-link channel overrides draw from the same RNG at exactly the points
-/// the static channel would (the [`Channel`] trait documents the draw-order
-/// rules implementations must follow), and with no overrides installed the
-/// static `config.channel` path is taken unchanged — so a scenario-free
-/// trial, and every trial before its first scenario event, remains
-/// bit-identical to the pristine engine.
+/// per-link channel overrides are driven through the same per-link cursor
+/// and draw from the same RNG at exactly the points the static channel
+/// would (the [`Channel`] trait documents the sampling rules
+/// implementations must follow). Installing or resetting an override resets
+/// only that link's cursor — the chaos runner reinstalls only on a real
+/// spec change, so an unchanged channel keeps its cached event and its
+/// draw stream. With no overrides installed the static `config.channel`
+/// path is taken unchanged, so a scenario-free trial, and every trial
+/// before its first scenario event, remains bit-identical to the pristine
+/// engine.
 ///
 /// Paced injection and latency telemetry compose the same way: neither draws
 /// from the trial RNG (arrival schedules are precomputed, timestamps are
@@ -690,6 +778,21 @@ pub struct FabricSim<'a, P: Probe = NullProbe> {
     /// trunks). `None` ⇒ every link runs the static `config.channel` — the
     /// zero-cost path scenario-free trials stay on.
     link_channels: Option<Vec<Option<Box<dyn Channel>>>>,
+    /// Per-link skip-ahead cursors (indexed like `link_channels`): each
+    /// counts the link's traversals and caches the traversal index of the
+    /// channel's next error event, so traversals short of the event consume
+    /// zero RNG draws. Reset whenever that link's channel is replaced.
+    link_cursors: Vec<EventCursor>,
+    /// `true` when the switch forwarding pipeline is provably the identity
+    /// on clean flits (`switch_internal` disabled): lets a zero-flip
+    /// traversal take [`Switch::forward_clean`] instead of the full
+    /// decode/CRC/re-encode pipeline. Hoisted from `config` for the hot
+    /// path.
+    clean_switch: bool,
+    /// The engine-held flit encoder used to materialise deferred
+    /// ([`FlitPayload::Clean`]) wire images on demand. Matches the
+    /// endpoints' codecs bit-for-bit (see [`SimCodec`]).
+    codec: SimCodec,
     /// Routing recomputed after a switch drain/failure; `None` ⇒ the shared
     /// pristine table.
     routing_override: Option<RoutingTable>,
@@ -889,6 +992,9 @@ impl<'a, P: Probe> FabricSim<'a, P> {
             accepted_this_slot: false,
             rng: StdRng::seed_from_u64(config.seed),
             link_channels: None,
+            link_cursors: vec![EventCursor::new(); topology.link_count()],
+            clean_switch: config.switch_internal.per_flit_probability <= 0.0,
+            codec: SimCodec::for_variant(config.variant),
             routing_override: None,
             dead_switches: vec![false; topology.switches.len()],
             no_transit: vec![false; topology.switches.len()],
@@ -950,25 +1056,31 @@ impl<'a, P: Probe> FabricSim<'a, P> {
         }
     }
 
-    /// Runs `wire` through the channel of link `link` (a raw
-    /// [`LinkId::index`]). With no overrides installed this is exactly the
-    /// static `config.channel` — no dispatch, no draws beyond the pristine
-    /// engine's.
+    /// Runs a flit through the channel of link `link` (a raw
+    /// [`LinkId::index`]) via that link's skip-ahead cursor, returning the
+    /// number of bits flipped. A traversal short of the cached next-error
+    /// event consumes zero draws *and materialises no wire bytes* — the
+    /// common case on every realistic-BER link: the flit stays
+    /// [`FlitPayload::Clean`] and only the cursor's traversal counter moves.
+    /// Only when the cursor says this traversal is the cached error event is
+    /// the wire image encoded (if still deferred) and corrupted in place.
+    /// With no overrides installed the cursor drives the static
+    /// `config.channel`.
     #[inline]
-    fn corrupt_on_link(&mut self, link: usize, wire: &mut WireFlit) {
-        match &mut self.link_channels {
-            None => {
-                self.config.channel.apply(wire, &mut self.rng);
-            }
+    fn corrupt_on_link(&mut self, link: usize, payload: &mut FlitPayload) -> usize {
+        let cursor = &mut self.link_cursors[link];
+        let channel: &mut dyn Channel = match &mut self.link_channels {
             Some(overrides) => match &mut overrides[link] {
-                Some(ch) => {
-                    ch.corrupt(wire, self.now, &mut self.rng);
-                }
-                None => {
-                    self.config.channel.apply(wire, &mut self.rng);
-                }
+                Some(ch) => ch.as_mut(),
+                None => &mut self.config.channel,
             },
+            None => &mut self.config.channel,
+        };
+        if !cursor.step(channel, (WIRE_FLIT_LEN * 8) as u64, self.now, &mut self.rng) {
+            return 0;
         }
+        let wire = payload.materialize(&self.codec);
+        cursor.corrupt_event(channel, wire, self.now, &mut self.rng)
     }
 
     /// Records a fault-injection blackhole drop (which is flit motion for
@@ -1144,8 +1256,25 @@ impl<'a, P: Probe> FabricSim<'a, P> {
             HopPlan::Lane { egress, vc } => (egress, vc),
         };
         self.last_motion_slot = self.slots;
-        self.corrupt_on_link(link, &mut rf.wire);
-        match self.switches[sw].process_in_place(&mut rf.wire, &mut self.rng) {
+        let flips = self.corrupt_on_link(link, &mut rf.payload);
+        // Known-clean bypass: zero channel flips and a disabled internal
+        // model mean the full pipeline is the identity and draw-free on this
+        // flit (the previous hop emitted a valid codeword with a matching
+        // CRC), so only the statistics need touching. This is where the
+        // skip-ahead path earns its quiet-link speedup: no FEC decode, no
+        // CRC verify, no re-encode — and, for a still-deferred
+        // [`FlitPayload::Clean`] flit, no wire bytes at all.
+        let verdict = if flips == 0 && self.clean_switch {
+            self.switches[sw].forward_clean();
+            ProcessVerdict::Forwarded {
+                corrected_symbols: 0,
+                internally_corrupted: false,
+            }
+        } else {
+            let wire = rf.payload.materialize(&self.codec);
+            self.switches[sw].process_in_place(wire, &mut self.rng)
+        };
+        match verdict {
             ProcessVerdict::Forwarded {
                 corrected_symbols, ..
             } => {
@@ -1294,8 +1423,19 @@ impl<'a, P: Probe> FabricSim<'a, P> {
     /// messages and classifies undetected-drop events.
     fn deliver_to_endpoint(&mut self, dst: usize, mut rf: RoutedFlit, now: f64) {
         self.last_motion_slot = self.slots;
-        self.corrupt_on_link(dst, &mut rf.wire);
-        let result = self.endpoints[dst].receive(&rf.wire, now);
+        self.corrupt_on_link(dst, &mut rf.payload);
+        // A flit still `Clean` after its last traversal never needed wire
+        // bytes at all: the receiver takes the trusted path (no FEC decode,
+        // no CRC verify) whose outcome is provably identical. Anything that
+        // was ever corrupted — even if a switch FEC-corrected it back —
+        // stays `Wire` and takes the full decode, byte-for-byte the
+        // eager-encode engine's behaviour.
+        let result = match &rf.payload {
+            FlitPayload::Clean { flit, seq } => {
+                self.endpoints[dst].receive_trusted(flit, *seq, now)
+            }
+            FlitPayload::Wire(wire) => self.endpoints[dst].receive(wire, now),
+        };
         self.accepted_this_slot |= result.accepted;
 
         let session = self.session_of[dst];
@@ -1448,6 +1588,11 @@ impl<'a, P: Probe> FabricSim<'a, P> {
         let mut paced_streams =
             pacing.map(|_| vec![PacedStream::default(); self.topology.endpoints.len()]);
         for (s, session) in self.topology.sessions.iter().enumerate() {
+            // Reserve the ground-truth maps before registration: fabric-scale
+            // workloads register O(10^5) messages per session pair, and the
+            // incremental doubling rehashes dominated `record_sent` profiles.
+            self.downstream_audits[s].reserve(workload.downstream[s].len(), 64);
+            self.upstream_audits[s].reserve(workload.upstream[s].len(), 64);
             for m in &workload.downstream[s] {
                 self.downstream_audits[s].record_sent(m);
             }
@@ -1608,10 +1753,20 @@ impl<'a, P: Probe> FabricSim<'a, P> {
                         self.probe.on_nack(self.slots, e, self.session_of[e]);
                     }
                 }
-                if let Some(wire) = emission.wire() {
+                if let Some(flit) = emission.flit() {
                     all_endpoints_idle = false;
+                    // The wire image is *not* encoded here: the flit enters
+                    // the fabric in deferred (`Clean`) form, bound to the
+                    // sequence number its transmitter assigned, and only a
+                    // corrupting traversal forces the encode.
+                    let seq = emission
+                        .bound_seq()
+                        .expect("non-idle emission has a bound seq");
                     let rf = RoutedFlit {
-                        wire: *wire,
+                        payload: FlitPayload::Clean {
+                            flit: flit.clone(),
+                            seq,
+                        },
                         dst: self.peer_of[e],
                         protocol,
                         retransmission,
@@ -1841,12 +1996,19 @@ impl<'a, P: Probe> FabricSim<'a, P> {
             .link_channels
             .get_or_insert_with(|| (0..n).map(|_| None).collect());
         overrides[link.index()] = Some(channel);
+        // The cached next-error event belonged to the replaced channel;
+        // resample from the new one at the next traversal. Callers dedup
+        // unchanged specs (the chaos runner does), so an untouched link
+        // keeps its cache.
+        self.link_cursors[link.index()].reset();
     }
 
     /// Reverts one link to the static `config.channel`.
     pub fn reset_link_channel(&mut self, link: LinkId) {
         if let Some(overrides) = &mut self.link_channels {
-            overrides[link.index()] = None;
+            if overrides[link.index()].take().is_some() {
+                self.link_cursors[link.index()].reset();
+            }
         }
     }
 

@@ -15,7 +15,7 @@
 //! sub-block and are detected with the probabilities analysed in
 //! [`crate::stats`].
 
-use rxl_gf256::Gf256;
+use rxl_gf256::{ConstMul, Gf256};
 
 use crate::decoder::RsDecodeOutcome;
 use crate::shortened::ShortenedRs;
@@ -88,23 +88,16 @@ impl FlitFecResult {
 pub struct InterleavedFec {
     ways: Vec<ShortenedRs>,
     data_len: usize,
-    /// Single-operand multiplication tables for the constants the per-byte
-    /// loops multiply by: `α` (the S1 Horner step) and the generator
-    /// coefficients `g0`, `g1` of `g(x) = x² + g1·x + g0` (the parity LFSR).
-    /// One direct lookup replaces the general log/exp multiply on the
-    /// per-hop hot path.
-    mul_alpha: [u8; 256],
-    mul_g0: [u8; 256],
-    mul_g1: [u8; 256],
-}
-
-/// Builds the table `t[v] = v · c` for a fixed field constant `c`.
-fn mul_table(c: Gf256) -> [u8; 256] {
-    let mut t = [0u8; 256];
-    for (v, slot) in t.iter_mut().enumerate() {
-        *slot = (Gf256::new(v as u8) * c).value();
-    }
-    t
+    /// Nibble-split constant multipliers for the per-byte loops: `α` (the
+    /// S1 Horner step) and the generator coefficients `g0`, `g1` of
+    /// `g(x) = x² + g1·x + g0` (the parity LFSR). Two 16-entry half-tables
+    /// per constant (32 bytes instead of a 256-entry product table) answer
+    /// each byte with two loads and an XOR — see [`rxl_gf256::nibble`] —
+    /// keeping the whole working set of the per-hop hot path inside two
+    /// cache lines and in the shape LLVM vectorizes to byte shuffles.
+    mul_alpha: ConstMul,
+    mul_g0: ConstMul,
+    mul_g1: ConstMul,
 }
 
 impl InterleavedFec {
@@ -128,9 +121,9 @@ impl InterleavedFec {
         debug_assert_eq!(gen.len(), 3, "two-parity generator has degree 2");
         InterleavedFec {
             data_len,
-            mul_alpha: mul_table(Gf256::ALPHA),
-            mul_g0: mul_table(gen[0]),
-            mul_g1: mul_table(gen[1]),
+            mul_alpha: ConstMul::new(Gf256::ALPHA.value()),
+            mul_g0: ConstMul::new(gen[0].value()),
+            mul_g1: ConstMul::new(gen[1].value()),
             ways: way_codes,
         }
     }
@@ -210,25 +203,25 @@ impl InterleavedFec {
             let mut chunks = data.chunks_exact(3);
             let (mut a, mut b, mut c) = ([0u8; 2], [0u8; 2], [0u8; 2]);
             for ch in &mut chunks {
-                let fa = (ch[0] ^ a[0]) as usize;
-                a = [a[1] ^ self.mul_g1[fa], self.mul_g0[fa]];
-                let fb = (ch[1] ^ b[0]) as usize;
-                b = [b[1] ^ self.mul_g1[fb], self.mul_g0[fb]];
-                let fc = (ch[2] ^ c[0]) as usize;
-                c = [c[1] ^ self.mul_g1[fc], self.mul_g0[fc]];
+                let fa = ch[0] ^ a[0];
+                a = [a[1] ^ self.mul_g1.mul(fa), self.mul_g0.mul(fa)];
+                let fb = ch[1] ^ b[0];
+                b = [b[1] ^ self.mul_g1.mul(fb), self.mul_g0.mul(fb)];
+                let fc = ch[2] ^ c[0];
+                c = [c[1] ^ self.mul_g1.mul(fc), self.mul_g0.mul(fc)];
             }
             let mut state = [a, b, c];
             for (i, &byte) in chunks.remainder().iter().enumerate() {
-                let f = (byte ^ state[i][0]) as usize;
-                state[i] = [state[i][1] ^ self.mul_g1[f], self.mul_g0[f]];
+                let f = byte ^ state[i][0];
+                state[i] = [state[i][1] ^ self.mul_g1.mul(f), self.mul_g0.mul(f)];
             }
             lfsr[..3].copy_from_slice(&state);
         } else {
             let mut w = 0;
             for &b in &block[..self.data_len] {
                 let [l0, l1] = lfsr[w];
-                let feedback = (b ^ l0) as usize;
-                lfsr[w] = [l1 ^ self.mul_g1[feedback], self.mul_g0[feedback]];
+                let feedback = b ^ l0;
+                lfsr[w] = [l1 ^ self.mul_g1.mul(feedback), self.mul_g0.mul(feedback)];
                 w += 1;
                 if w == ways {
                     w = 0;
@@ -285,17 +278,17 @@ impl InterleavedFec {
             let (mut a0, mut a1, mut b0, mut b1, mut c0, mut c1) = (0u8, 0u8, 0u8, 0u8, 0u8, 0u8);
             for ch in &mut chunks {
                 a0 ^= ch[0];
-                a1 = self.mul_alpha[a1 as usize] ^ ch[0];
+                a1 = self.mul_alpha.mul(a1) ^ ch[0];
                 b0 ^= ch[1];
-                b1 = self.mul_alpha[b1 as usize] ^ ch[1];
+                b1 = self.mul_alpha.mul(b1) ^ ch[1];
                 c0 ^= ch[2];
-                c1 = self.mul_alpha[c1 as usize] ^ ch[2];
+                c1 = self.mul_alpha.mul(c1) ^ ch[2];
             }
             let mut s0t = [a0, b0, c0];
             let mut s1t = [a1, b1, c1];
             for (i, &byte) in chunks.remainder().iter().enumerate() {
                 s0t[i] ^= byte;
-                s1t[i] = self.mul_alpha[s1t[i] as usize] ^ byte;
+                s1t[i] = self.mul_alpha.mul(s1t[i]) ^ byte;
             }
             s0_raw[..3].copy_from_slice(&s0t);
             s1_raw[..3].copy_from_slice(&s1t);
@@ -306,7 +299,7 @@ impl InterleavedFec {
             let mut w = 0;
             for &b in block.iter() {
                 s0_raw[w] ^= b;
-                s1_raw[w] = self.mul_alpha[s1_raw[w] as usize] ^ b;
+                s1_raw[w] = self.mul_alpha.mul(s1_raw[w]) ^ b;
                 word_len[w] += 1;
                 w += 1;
                 if w == ways {

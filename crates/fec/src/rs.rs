@@ -8,7 +8,7 @@
 //! The generator polynomial is `g(x) = Π_{i=0}^{2t-1} (x − α^{fcr+i})` where
 //! `fcr` is the first consecutive root exponent (0 in this crate).
 
-use rxl_gf256::{Gf256, GfPoly};
+use rxl_gf256::{ConstMul, Gf256, GfPoly};
 
 /// First consecutive root exponent used throughout this crate.
 pub const FIRST_CONSECUTIVE_ROOT: u32 = 0;
@@ -19,6 +19,13 @@ pub struct RsCode {
     n: usize,
     k: usize,
     generator: GfPoly,
+    /// Nibble-split multipliers for the generator coefficients
+    /// `g_0 … g_{2t-1}` (the parity LFSR taps), in ascending degree order.
+    /// The monic leading coefficient needs no table.
+    gen_mul: Vec<ConstMul>,
+    /// Nibble-split multipliers for the syndrome evaluation points
+    /// `α^{fcr+j}`, one per syndrome (the Horner step constants).
+    syndrome_mul: Vec<ConstMul>,
 }
 
 impl RsCode {
@@ -33,7 +40,20 @@ impl RsCode {
             "n − k must be an even number ≥ 2"
         );
         let generator = Self::build_generator(parity);
-        RsCode { n, k, generator }
+        let gen_mul = generator.coeffs()[..parity]
+            .iter()
+            .map(|c| ConstMul::new(c.value()))
+            .collect();
+        let syndrome_mul = (0..parity)
+            .map(|j| ConstMul::new(Gf256::alpha_pow(FIRST_CONSECUTIVE_ROOT + j as u32).value()))
+            .collect();
+        RsCode {
+            n,
+            k,
+            generator,
+            gen_mul,
+            syndrome_mul,
+        }
     }
 
     /// The CXL flit sub-block code: a shortened RS(255, 253) mother code with
@@ -99,22 +119,18 @@ impl RsCode {
     fn parity_unchecked(&self, data: &[u8]) -> Vec<u8> {
         let parity_len = self.parity_len();
         // LFSR division: process data symbols most-significant-first.
-        // `lfsr[0]` holds the coefficient that is about to shift out.
-        let mut lfsr = vec![Gf256::ZERO; parity_len];
-        let gen = self.generator.coeffs();
-        // Generator is monic of degree parity_len; gen[parity_len] == 1.
+        // `lfsr[0]` holds the coefficient that is about to shift out. The
+        // generator is monic of degree parity_len, and each tap multiply
+        // goes through its precomputed nibble-split half-tables.
+        let mut lfsr = vec![0u8; parity_len];
         for &d in data {
-            let feedback = Gf256::new(d) + lfsr[0];
+            let feedback = d ^ lfsr[0];
             for i in 0..parity_len {
-                let next = if i + 1 < parity_len {
-                    lfsr[i + 1]
-                } else {
-                    Gf256::ZERO
-                };
-                lfsr[i] = next + feedback * gen[parity_len - 1 - i];
+                let next = if i + 1 < parity_len { lfsr[i + 1] } else { 0 };
+                lfsr[i] = next ^ self.gen_mul[parity_len - 1 - i].mul(feedback);
             }
         }
-        lfsr.iter().map(|c| c.value()).collect()
+        lfsr
     }
 
     /// Encodes a full-length data block into an `n`-symbol codeword.
@@ -136,16 +152,16 @@ impl RsCode {
     /// The received word is interpreted with its **first** symbol as the
     /// highest-degree coefficient (matching the data-first codeword layout).
     pub fn syndromes(&self, received: &[u8]) -> Vec<Gf256> {
-        let parity_len = self.parity_len();
-        let mut out = Vec::with_capacity(parity_len);
-        for j in 0..parity_len {
-            let x = Gf256::alpha_pow(FIRST_CONSECUTIVE_ROOT + j as u32);
-            // Horner evaluation with received[0] as the highest-degree term.
-            let mut acc = Gf256::ZERO;
+        let mut out = Vec::with_capacity(self.syndrome_mul.len());
+        for xm in &self.syndrome_mul {
+            // Horner evaluation with received[0] as the highest-degree term;
+            // the per-symbol multiply by α^{fcr+j} runs branch-free through
+            // the point's nibble-split half-tables.
+            let mut acc = 0u8;
             for &r in received {
-                acc = acc * x + Gf256::new(r);
+                acc = xm.mul(acc) ^ r;
             }
-            out.push(acc);
+            out.push(Gf256::new(acc));
         }
         out
     }

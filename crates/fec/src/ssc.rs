@@ -15,10 +15,14 @@
 //! zero padding cannot legitimately be corrected, so the decoder reports the
 //! pattern instead of silently miscorrecting.
 
-use rxl_gf256::Gf256;
+use rxl_gf256::{ConstMul, Gf256};
 
 use crate::decoder::RsDecodeOutcome;
 use crate::rs::RsCode;
+
+/// Nibble-split half-tables for the S1 Horner step's multiply-by-α, built
+/// at compile time (α is a property of the field, not of any code).
+const ALPHA_MUL: ConstMul = ConstMul::new(rxl_gf256::tables::GF256_GENERATOR);
 
 /// Single-symbol-correct decoder for a (possibly shortened) two-parity code.
 #[derive(Clone, Debug)]
@@ -55,17 +59,17 @@ impl SingleSymbolCorrector {
         assert!(len > 2, "word must contain at least one data symbol");
 
         // Syndromes S0 = r(α^0), S1 = r(α^1), evaluated over the shortened
-        // word only: virtual leading zeros contribute nothing.
-        let alpha = Gf256::ALPHA;
-        let mut s0 = Gf256::ZERO;
-        let mut s1 = Gf256::ZERO;
+        // word only: virtual leading zeros contribute nothing. S0 is a plain
+        // XOR of symbols (evaluation at α^0 = 1); the S1 Horner step
+        // multiplies by α through the nibble-split half-tables.
+        let mut s0_raw = 0u8;
+        let mut s1_raw = 0u8;
         for &b in word.iter() {
-            let v = Gf256::new(b);
-            s0 += v;
-            s1 = s1 * alpha + v;
+            s0_raw ^= b;
+            s1_raw = ALPHA_MUL.mul(s1_raw) ^ b;
         }
-        // Note: s0 accumulates r evaluated at α^0 = 1 (plain XOR of symbols);
-        // s1 uses Horner at α.
+        let s0 = Gf256::new(s0_raw);
+        let s1 = Gf256::new(s1_raw);
 
         if s0.is_zero() && s1.is_zero() {
             return (RsDecodeOutcome::NoError, None);

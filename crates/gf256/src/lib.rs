@@ -14,6 +14,8 @@
 //! * [`Gf256`] — a copyable field-element wrapper with `+`, `-`, `*`, `/`
 //!   operator overloads (addition and subtraction are both XOR),
 //! * [`tables`] — precomputed exponent/logarithm tables built at first use,
+//! * [`nibble`] — branch-free multiplication by a fixed constant via two
+//!   16-entry half-tables, the vectorizable shape the FEC hot loops use,
 //! * [`poly`] — dense polynomials over GF(2^8) (evaluation, arithmetic,
 //!   formal derivative) used by the Reed–Solomon encoder and decoder.
 //!
@@ -32,9 +34,11 @@
 //! ```
 
 pub mod field;
+pub mod nibble;
 pub mod poly;
 pub mod tables;
 
 pub use field::Gf256;
+pub use nibble::ConstMul;
 pub use poly::GfPoly;
 pub use tables::{exp_table, log_table, GF256_PRIMITIVE_POLY};

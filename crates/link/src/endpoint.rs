@@ -5,7 +5,7 @@
 //! node) and moves wire flits between them through channel error models and,
 //! in switched topologies, through `rxl-switch` devices.
 
-use rxl_flit::{Message, WireFlit};
+use rxl_flit::{Flit256, Message, WireFlit};
 
 use crate::rx::{LinkRx, RxResult};
 use crate::stats::LinkStats;
@@ -84,6 +84,33 @@ impl LinkEndpoint {
         result
     }
 
+    /// Like [`Self::receive`], but for a flit that is *known clean*: the
+    /// arriving wire image is bit-identical to `encode(flit, tx_seq)`, so
+    /// the FEC/CRC decode is skipped entirely (see
+    /// [`LinkRx::receive_trusted`]). Feedback wiring is identical.
+    pub fn receive_trusted(&mut self, flit: &Flit256, tx_seq: u16, now_ns: f64) -> RxResult {
+        let result = self.rx.receive_trusted(flit, tx_seq);
+        if let Some(ack) = result.peer_ack {
+            self.tx.handle_peer_ack(ack, now_ns);
+        }
+        if let Some(nack) = result.peer_nack {
+            self.tx.handle_peer_nack(nack, now_ns);
+        }
+        if let Some(ack) = result.send_ack {
+            self.tx.queue_ack(ack);
+        }
+        if let Some(nack) = result.send_nack {
+            self.tx.queue_nack(nack);
+        }
+        result
+    }
+
+    /// Materialises the wire bytes of an emission produced by
+    /// [`Self::emit`] — see [`LinkTx::encode_emission`].
+    pub fn encode_emission(&self, emission: &TxEmission) -> Option<WireFlit> {
+        self.tx.encode_emission(emission)
+    }
+
     /// Combined transmit + receive statistics for this endpoint.
     pub fn stats(&self) -> LinkStats {
         let mut s = *self.tx.stats();
@@ -128,11 +155,11 @@ mod tests {
             now += 2.0;
             let ea = a.emit(now);
             let eb = b.emit(now);
-            if let Some(wire) = ea.wire() {
-                at_b.extend(b.receive(wire, now).delivered);
+            if let Some(wire) = a.encode_emission(&ea) {
+                at_b.extend(b.receive(&wire, now).delivered);
             }
-            if let Some(wire) = eb.wire() {
-                at_a.extend(a.receive(wire, now).delivered);
+            if let Some(wire) = b.encode_emission(&eb) {
+                at_a.extend(a.receive(&wire, now).delivered);
             }
             if ea.is_idle() && eb.is_idle() && a.is_quiescent() && b.is_quiescent() {
                 break;

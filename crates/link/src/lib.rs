@@ -30,7 +30,10 @@ pub mod tx;
 pub mod variant;
 
 pub use ack::{AckPolicy, AckScheduler};
-pub use channel::{clamp_ber, BurstModel, Channel, ChannelErrorModel, MAX_BER};
+pub use channel::{
+    clamp_ber, geometric_failures, BurstModel, Channel, ChannelErrorModel, ErrorPrediction,
+    EventCursor, MAX_BER,
+};
 pub use credit::CreditCounter;
 pub use endpoint::LinkEndpoint;
 pub use retry::ReplayBuffer;

@@ -126,6 +126,27 @@ impl LinkRx {
         }
     }
 
+    /// Processes one arriving flit that is *known clean*: the wire image the
+    /// peer put on the link was bit-identical to `encode(flit, tx_seq)` and
+    /// no traversal corrupted it, so decoding is pure overhead. This is the
+    /// receiver half of the fabric engine's known-clean fast path; it must
+    /// (and does) reproduce [`Self::receive`]'s exact accept/reject
+    /// decisions, statistics and state transitions for such a wire:
+    ///
+    /// * FEC always accepts a clean codeword with zero corrections;
+    /// * the CXL link CRC always verifies (it has no sequence component);
+    /// * the RXL ISN ECRC verifies **iff** `tx_seq` equals the receiver's
+    ///   expected sequence — the defining property of the ISN construction
+    ///   (a 10-bit sequence folded into a CRC-64 can never collide across
+    ///   distinct sequence numbers, see `rxl-crc`'s ISN docs) — and control
+    ///   flits verify against their fixed binding to sequence 0.
+    pub fn receive_trusted(&mut self, flit: &rxl_flit::Flit256, tx_seq: u16) -> RxResult {
+        match self.config.variant {
+            ProtocolVariant::Rxl => self.receive_trusted_rxl(flit, tx_seq),
+            _ => self.dispatch_cxl(flit),
+        }
+    }
+
     // ----- baseline CXL ---------------------------------------------------
 
     fn receive_cxl(&mut self, wire: &WireFlit) -> RxResult {
@@ -153,6 +174,15 @@ impl LinkRx {
         }
 
         let flit = decode.flit.expect("accepted CXL flit carries contents");
+        self.dispatch_cxl(&flit)
+    }
+
+    /// The integrity-independent tail of [`Self::receive_cxl`]: everything
+    /// the baseline receiver does once FEC and CRC have passed (or are known
+    /// to pass, on the trusted fast path). All decisions below depend only
+    /// on header bits and receiver state, never on wire bytes.
+    fn dispatch_cxl(&mut self, flit: &rxl_flit::Flit256) -> RxResult {
+        let mut result = RxResult::default();
         match flit.header.flit_type {
             FlitType::LinkControl => {
                 result.accepted = true;
@@ -296,6 +326,56 @@ impl LinkRx {
         result
     }
 
+    /// The RXL receiver's decision for a *known-clean* arrival bound to
+    /// `tx_seq` (see [`Self::receive_trusted`]): the FEC accepts, and the
+    /// ISN ECRC outcome is exactly `tx_seq == expected_seq` for protocol
+    /// flits (always-verifying for control flits, which the transmitter
+    /// binds to sequence 0). Mirrors [`Self::receive_rxl`] branch for
+    /// branch.
+    fn receive_trusted_rxl(&mut self, flit: &rxl_flit::Flit256, tx_seq: u16) -> RxResult {
+        let mut result = RxResult::default();
+
+        if matches!(
+            flit.header.flit_type,
+            FlitType::LinkControl | FlitType::StandaloneAck | FlitType::Idle
+        ) {
+            debug_assert_eq!(tx_seq, 0, "control flits are bound to sequence 0");
+            result.accepted = true;
+            match flit.header.flit_type {
+                FlitType::LinkControl => result.peer_nack = Some(flit.header.fsn),
+                FlitType::StandaloneAck => result.peer_ack = Some(flit.header.fsn),
+                _ => {}
+            }
+            return result;
+        }
+
+        if tx_seq == self.expected_seq {
+            // Data intact *and* sequence as expected: forward.
+            self.awaiting_replay = false;
+            result.sequence_checked = true;
+            if flit.header.replay_cmd == ReplayCmd::Ack {
+                result.peer_ack = Some(flit.header.fsn);
+            }
+            self.accept_and_forward(flit.header, &flit.payload, &mut result);
+        } else {
+            // A clean flit with the wrong sequence: (at least) one flit
+            // before this one was dropped, and the ECRC would have exposed
+            // it. Same response as the decode path: retry.
+            self.stats.ecrc_rejections += 1;
+            self.stats.flits_rejected += 1;
+            result.rejected = true;
+            if !self.awaiting_replay {
+                let last_good = seq_add(self.expected_seq, -1);
+                result.send_nack = Some(last_good);
+                self.stats.nacks_sent += 1;
+                self.awaiting_replay = true;
+            } else {
+                self.stats.flits_discarded_in_replay += 1;
+            }
+        }
+        result
+    }
+
     // ----- shared ----------------------------------------------------------
 
     fn accept_and_forward(
@@ -330,8 +410,12 @@ mod tests {
 
     fn protocol_wire(tx: &mut LinkTx, tag: u16) -> (Box<WireFlit>, u16) {
         tx.enqueue_messages([Message::request(MemOp::RdCurr, tag as u64 * 64, 1, tag)]);
-        match tx.emit(0.0) {
-            TxEmission::Protocol { wire, seq, .. } => (wire, seq),
+        let emission = tx.emit(0.0);
+        match &emission {
+            TxEmission::Protocol { seq, .. } => (
+                Box::new(tx.encode_emission(&emission).expect("protocol wire")),
+                *seq,
+            ),
             other => panic!("expected protocol flit, got {other:?}"),
         }
     }
@@ -438,8 +522,10 @@ mod tests {
 
         let mut delivered_tags = vec![10u16];
         loop {
-            match tx.emit(101.0) {
-                TxEmission::Protocol { wire, .. } => {
+            let emission = tx.emit(101.0);
+            match &emission {
+                TxEmission::Protocol { .. } => {
+                    let wire = tx.encode_emission(&emission).unwrap();
                     let out = rx.receive(&wire);
                     if out.accepted {
                         delivered_tags.extend(out.delivered.iter().map(|m| m.tag()));
@@ -484,8 +570,9 @@ mod tests {
             let mut tx = LinkTx::new(config(variant));
             let mut rx = LinkRx::new(config(variant));
             tx.queue_nack(5);
-            let nack_wire = match tx.emit(0.0) {
-                TxEmission::Nack { wire, .. } => wire,
+            let emission = tx.emit(0.0);
+            let nack_wire = match &emission {
+                TxEmission::Nack { .. } => tx.encode_emission(&emission).unwrap(),
                 other => panic!("expected NACK, got {other:?}"),
             };
             let out = rx.receive(&nack_wire);
@@ -494,8 +581,9 @@ mod tests {
             assert!(out.delivered.is_empty());
 
             tx.queue_ack(9);
-            let ack_wire = match tx.emit(1.0) {
-                TxEmission::StandaloneAck { wire, .. } => wire,
+            let emission = tx.emit(1.0);
+            let ack_wire = match &emission {
+                TxEmission::StandaloneAck { .. } => tx.encode_emission(&emission).unwrap(),
                 other => panic!("expected standalone ACK, got {other:?}"),
             };
             let out = rx.receive(&ack_wire);

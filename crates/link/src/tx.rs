@@ -18,12 +18,21 @@ use crate::stats::LinkStats;
 use crate::variant::{LinkConfig, ProtocolVariant};
 
 /// What the transmitter put on the wire for one transmit slot.
+///
+/// Emissions carry the *logical* flit plus the sequence number it is bound
+/// to, not encoded wire bytes: a clean wire image is a pure function of
+/// `(flit, bound_seq)`, so callers that only traverse clean links (the
+/// fabric engine's skip-ahead fast path) never pay the FEC/CRC encode at
+/// all. Callers that need real bytes — a lossy channel about to flip bits,
+/// or a wire-level test — materialise them with
+/// [`LinkTx::encode_emission`] (or [`crate::LinkEndpoint::encode_emission`]),
+/// which is bit-identical to what the transmitter used to emit eagerly.
 #[derive(Clone, Debug)]
 pub enum TxEmission {
     /// A protocol flit carrying payload (new or retransmitted).
     Protocol {
-        /// The encoded wire flit.
-        wire: Box<WireFlit>,
+        /// The logical flit (encode with [`LinkTx::encode_emission`]).
+        flit: Box<Flit256>,
         /// The transport sequence number bound to this flit.
         seq: u16,
         /// `true` if this is a retransmission from the replay buffer.
@@ -31,15 +40,15 @@ pub enum TxEmission {
     },
     /// A standalone acknowledgement flit (no payload).
     StandaloneAck {
-        /// The encoded wire flit.
-        wire: Box<WireFlit>,
+        /// The logical control flit.
+        flit: Box<Flit256>,
         /// The acknowledged sequence number.
         ack: u16,
     },
     /// A NACK / retry-request control flit.
     Nack {
-        /// The encoded wire flit.
-        wire: Box<WireFlit>,
+        /// The logical control flit.
+        flit: Box<Flit256>,
         /// The last correctly received sequence number.
         last_good: u16,
     },
@@ -48,12 +57,23 @@ pub enum TxEmission {
 }
 
 impl TxEmission {
-    /// The wire bytes of this emission, if any.
-    pub fn wire(&self) -> Option<&WireFlit> {
+    /// The logical flit of this emission, if any.
+    pub fn flit(&self) -> Option<&Flit256> {
         match self {
-            TxEmission::Protocol { wire, .. }
-            | TxEmission::StandaloneAck { wire, .. }
-            | TxEmission::Nack { wire, .. } => Some(wire),
+            TxEmission::Protocol { flit, .. }
+            | TxEmission::StandaloneAck { flit, .. }
+            | TxEmission::Nack { flit, .. } => Some(flit),
+            TxEmission::Idle => None,
+        }
+    }
+
+    /// The sequence number the wire encoding is bound to: the transport
+    /// sequence for protocol flits, 0 for control flits (which live outside
+    /// the transport sequence space), `None` for idle slots.
+    pub fn bound_seq(&self) -> Option<u16> {
+        match self {
+            TxEmission::Protocol { seq, .. } => Some(*seq),
+            TxEmission::StandaloneAck { .. } | TxEmission::Nack { .. } => Some(0),
             TxEmission::Idle => None,
         }
     }
@@ -184,13 +204,14 @@ impl LinkTx {
         }
     }
 
-    /// Encodes a control flit (NACK or standalone ACK). Control flits live
-    /// outside the transport sequence space, so RXL binds them to sequence 0.
-    fn encode_control(&self, flit: &Flit256) -> WireFlit {
-        match &self.codec {
-            Codec::Cxl(c) => c.encode(flit),
-            Codec::Rxl(c) => c.encode(flit, 0),
-        }
+    /// Materialises the wire bytes of an emission — bit-identical to what
+    /// [`Self::emit`] describes. Emission is lazy so callers on all-clean
+    /// paths (the fabric engine's known-clean fast path) never pay the
+    /// FEC/CRC encode; wire-level consumers call this when they need bytes.
+    pub fn encode_emission(&self, emission: &TxEmission) -> Option<WireFlit> {
+        emission
+            .flit()
+            .map(|flit| self.encode(flit, emission.bound_seq().expect("non-idle emission")))
     }
 
     /// Produces the emission for the current transmit slot.
@@ -198,10 +219,9 @@ impl LinkTx {
         // 1. NACKs are the most urgent: the peer is stalled until it rewinds.
         if let Some(last_good) = self.pending_nack.take() {
             let flit = Flit256::new(FlitHeader::nack_go_back_n(last_good));
-            let wire = self.encode_control(&flit);
             self.stats.nacks_sent += 1;
             return TxEmission::Nack {
-                wire: Box::new(wire),
+                flit: Box::new(flit),
                 last_good,
             };
         }
@@ -220,10 +240,9 @@ impl LinkTx {
 
         // 3. Pending retransmissions.
         if let Some((seq, flit)) = self.retransmit_queue.pop_front() {
-            let wire = self.encode(&flit, seq);
             self.stats.flits_retransmitted += 1;
             return TxEmission::Protocol {
-                wire: Box::new(wire),
+                flit: Box::new(flit),
                 seq,
                 retransmission: true,
             };
@@ -256,13 +275,12 @@ impl LinkTx {
             let mut flit = Flit256::new(header);
             flit.pack_messages(msgs)
                 .expect("message count bounded by MESSAGES_PER_FLIT");
-            let wire = self.encode(&flit, seq);
-            self.replay.push(seq, flit);
+            self.replay.push(seq, flit.clone());
             self.next_seq = seq_next(seq);
             self.stats.flits_sent += 1;
             self.last_progress_ns = now_ns;
             return TxEmission::Protocol {
-                wire: Box::new(wire),
+                flit: Box::new(flit),
                 seq,
                 retransmission: false,
             };
@@ -272,11 +290,10 @@ impl LinkTx {
         //    variant that never piggybacks) go out as standalone ACK flits.
         if let Some(ack) = self.pending_ack.take() {
             let flit = Flit256::new(FlitHeader::standalone_ack(ack));
-            let wire = self.encode_control(&flit);
             self.stats.standalone_acks_sent += 1;
             self.stats.acks_sent += 1;
             return TxEmission::StandaloneAck {
-                wire: Box::new(wire),
+                flit: Box::new(flit),
                 ack,
             };
         }
@@ -398,8 +415,12 @@ mod tests {
         let mut t = tx(ProtocolVariant::CxlPiggyback);
         t.queue_ack(100);
         t.enqueue_messages(msgs(1));
-        match t.emit(0.0) {
-            TxEmission::Protocol { wire, .. } => {
+        // Round-trip through the lazily encoded wire image, proving the
+        // emission's `(flit, bound_seq)` pair fully determines the bytes.
+        let emission = t.emit(0.0);
+        let wire = t.encode_emission(&emission).expect("protocol emission");
+        match emission {
+            TxEmission::Protocol { .. } => {
                 let codec = CxlFlitCodec::new();
                 let out = codec.decode(&wire);
                 let flit = out.flit.unwrap();
@@ -418,9 +439,7 @@ mod tests {
         t.enqueue_messages(msgs(1));
         // The protocol flit goes out with its own sequence number...
         match t.emit(0.0) {
-            TxEmission::Protocol { wire, seq, .. } => {
-                let codec = CxlFlitCodec::new();
-                let flit = codec.decode(&wire).flit.unwrap();
+            TxEmission::Protocol { flit, seq, .. } => {
                 assert_eq!(flit.header.fsn, seq);
                 assert!(flit.header.carries_own_sequence());
             }
@@ -439,9 +458,13 @@ mod tests {
         let mut t = tx(ProtocolVariant::Rxl);
         t.enqueue_messages(msgs(5));
         t.queue_nack(42);
-        match t.emit(0.0) {
-            TxEmission::Nack { last_good, wire } => {
-                assert_eq!(last_good, 42);
+        let emission = t.emit(0.0);
+        match &emission {
+            TxEmission::Nack { last_good, .. } => {
+                assert_eq!(*last_good, 42);
+                // Control flits are bound to sequence 0 on the wire.
+                assert_eq!(emission.bound_seq(), Some(0));
+                let wire = t.encode_emission(&emission).unwrap();
                 let codec = RxlFlitCodec::new();
                 let out = codec.decode(&wire, 0);
                 assert!(out.accepted());
@@ -480,10 +503,12 @@ mod tests {
     fn rxl_protocol_flits_keep_fsn_zero_unless_piggybacking() {
         let mut t = tx(ProtocolVariant::Rxl);
         t.enqueue_messages(msgs(1));
-        match t.emit(0.0) {
-            TxEmission::Protocol { wire, seq, .. } => {
+        let emission = t.emit(0.0);
+        match &emission {
+            TxEmission::Protocol { seq, .. } => {
+                let wire = t.encode_emission(&emission).unwrap();
                 let codec = RxlFlitCodec::new();
-                let out = codec.decode(&wire, seq);
+                let out = codec.decode(&wire, *seq);
                 assert!(out.accepted());
                 let flit = out.flit.unwrap();
                 assert_eq!(

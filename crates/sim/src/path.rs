@@ -189,16 +189,16 @@ impl PathSim {
             let host_emission = self.host.emit(now);
             let device_emission = self.device.emit(now);
 
-            if let Some(wire) = host_emission.wire() {
-                if let Some(arrived) = self.traverse_downstream(*wire) {
+            if let Some(wire) = self.host.encode_emission(&host_emission) {
+                if let Some(arrived) = self.traverse_downstream(wire) {
                     let result = self.device.receive(&arrived, now);
                     for msg in &result.delivered {
                         downstream_audit.observe_delivery(msg);
                     }
                 }
             }
-            if let Some(wire) = device_emission.wire() {
-                if let Some(arrived) = self.traverse_upstream(*wire) {
+            if let Some(wire) = self.device.encode_emission(&device_emission) {
+                if let Some(arrived) = self.traverse_upstream(wire) {
                     let result = self.host.receive(&arrived, now);
                     for msg in &result.delivered {
                         upstream_audit.observe_delivery(msg);

@@ -283,6 +283,44 @@ impl Switch {
         }
     }
 
+    /// Accounts a flit that is *known clean* through the forwarding pipeline
+    /// without running it: bumps `flits_in`/`flits_forwarded` and leaves the
+    /// caller's buffer untouched.
+    ///
+    /// This is only sound when the full pipeline is provably the identity on
+    /// the flit: the wire image is a valid codeword whose data bytes carry a
+    /// matching link CRC (true for anything a conforming endpoint or switch
+    /// emitted that the channel did not touch), and the switch-internal error
+    /// model is disabled (`per_flit_probability <= 0.0`, where
+    /// [`InternalErrorModel::apply`] is also draw-free). Under those
+    /// preconditions [`Self::process_in_place`] would decode zero errors,
+    /// verify the CRC, inject nothing, re-encode the identical parity, and
+    /// consume zero RNG draws — so skipping it changes neither the flit, the
+    /// statistics, nor the RNG stream. The fabric engine uses this from its
+    /// skip-ahead path when the link-channel cursor reports zero flips.
+    pub fn forward_clean(&mut self) {
+        self.stats.flits_in += 1;
+        self.stats.flits_forwarded += 1;
+    }
+
+    /// Runs [`Self::process_in_place`] over a batch of wire flits presented
+    /// at one ingress port, in slice order, returning one verdict per flit.
+    ///
+    /// Draw-order-identical to calling `process_in_place` serially — the
+    /// batch exists so bursts share one pass over the FEC table working set
+    /// (the decode/encode lookup tables stay hot across the batch instead of
+    /// being re-fetched per slot interleaved with unrelated engine work).
+    pub fn process_batch_in_place<R: Rng + ?Sized>(
+        &mut self,
+        wires: &mut [WireFlit],
+        rng: &mut R,
+    ) -> Vec<ProcessVerdict> {
+        wires
+            .iter_mut()
+            .map(|wire| self.process_in_place(wire, rng))
+            .collect()
+    }
+
     /// Presents one wire flit at `ingress`. The flit is FEC-decoded,
     /// possibly internally corrupted, FEC-re-encoded and queued at the routed
     /// egress port — or dropped.
@@ -338,7 +376,7 @@ impl Switch {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
     use rxl_flit::{CxlFlitCodec, Flit256, FlitHeader, MemOp, Message, WIRE_FLIT_LEN};
 
     fn wire_flit(tag: u16) -> WireFlit {
@@ -568,6 +606,62 @@ mod tests {
         );
         assert_eq!(sw.stats().flits_dropped_uncorrectable, 1);
         assert_eq!(sw.stats().flits_in, 2);
+    }
+
+    #[test]
+    fn forward_clean_matches_the_full_pipeline_on_clean_flits() {
+        // On a valid codeword with a disabled internal model, the full
+        // pipeline is the identity and draw-free — forward_clean must be an
+        // exact stand-in: same buffer, same stats, same RNG stream.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut full = Switch::new(SwitchConfig::cxl(2));
+        let mut fast = Switch::new(SwitchConfig::cxl(2));
+        let clean = wire_flit(33);
+        for _ in 0..16 {
+            let mut buf = clean;
+            assert!(full.process_in_place(&mut buf, &mut rng).forwarded());
+            assert_eq!(buf, clean, "pipeline must be the identity here");
+            fast.forward_clean();
+        }
+        let mut twin = StdRng::seed_from_u64(21);
+        assert_eq!(rng.next_u64(), twin.next_u64(), "pipeline drew from RNG");
+        assert_eq!(full.stats().flits_in, fast.stats().flits_in);
+        assert_eq!(full.stats().flits_forwarded, fast.stats().flits_forwarded);
+        assert_eq!(fast.stats().flits_dropped_uncorrectable, 0);
+    }
+
+    #[test]
+    fn batch_processing_is_draw_order_identical_to_serial() {
+        let mut serial_rng = StdRng::seed_from_u64(40);
+        let mut batch_rng = StdRng::seed_from_u64(40);
+        let mut serial_sw = Switch::new(SwitchConfig {
+            internal_error: InternalErrorModel::new(0.5, 2),
+            ..SwitchConfig::simple(2)
+        });
+        let mut batch_sw = Switch::new(SwitchConfig {
+            internal_error: InternalErrorModel::new(0.5, 2),
+            ..SwitchConfig::simple(2)
+        });
+        let mut serial_flits: Vec<WireFlit> = (0u16..8).map(wire_flit).collect();
+        serial_flits[3][0] ^= 0x5A; // one correctable error
+        serial_flits[3][3] ^= 0x5A; // ...made uncorrectable
+        serial_flits[5][100] ^= 0xFF; // one correctable error
+        let mut batch_flits = serial_flits.clone();
+
+        let serial_verdicts: Vec<ProcessVerdict> = serial_flits
+            .iter_mut()
+            .map(|w| serial_sw.process_in_place(w, &mut serial_rng))
+            .collect();
+        let batch_verdicts = batch_sw.process_batch_in_place(&mut batch_flits, &mut batch_rng);
+
+        assert_eq!(serial_verdicts, batch_verdicts);
+        assert_eq!(serial_flits, batch_flits);
+        assert_eq!(serial_rng.next_u64(), batch_rng.next_u64());
+        assert_eq!(serial_sw.stats().flits_in, batch_sw.stats().flits_in);
+        assert_eq!(
+            serial_sw.stats().flits_forwarded,
+            batch_sw.stats().flits_forwarded
+        );
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! counts into the injection window, latency + outcome on delivery, counter
 //! events into the window they fire in. Latency is computed here — the
 //! probe pairs each [`InjectEvent`] with its delivery through an in-flight
-//! map keyed by `(dst << 48) | key`, the workspace's message-span identity.
+//! map keyed by the `(dst, key)` pair, the workspace's message-span
+//! identity. (The pair is the key — [`rxl_fabric::message_key`] uses the
+//! full 64 bits, so no bit-packing of `dst` into the key can stay
+//! collision-free.)
 //!
 //! Per the seam's contract the probe never touches the RNG and the engine
 //! never reads probe state, so attaching an `SloProbe` leaves every trial
@@ -27,7 +30,7 @@ use crate::window::WindowedTelemetry;
 #[derive(Clone, Debug)]
 pub struct SloProbe {
     windows: WindowedTelemetry,
-    inflight: FastMap<u64, u64>,
+    inflight: FastMap<(u64, u64), u64>,
     trace: Option<TraceRecorder>,
 }
 
@@ -50,8 +53,8 @@ impl SloProbe {
         }
     }
 
-    fn span_id(dst: usize, key: u64) -> u64 {
-        (dst as u64) << 48 | key
+    fn span_id(dst: usize, key: u64) -> (u64, u64) {
+        (dst as u64, key)
     }
 
     /// The accumulated windowed telemetry.

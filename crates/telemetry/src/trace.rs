@@ -107,7 +107,7 @@ pub struct InstantEvent {
 #[derive(Clone, Debug)]
 pub struct TraceRecorder {
     capacity: usize,
-    open: FastMap<u64, InjectEvent>,
+    open: FastMap<(u64, u64), InjectEvent>,
     spans: VecDeque<MessageSpan>,
     instants: VecDeque<InstantEvent>,
     dropped_spans: u64,
@@ -129,8 +129,8 @@ impl TraceRecorder {
         }
     }
 
-    fn span_id(dst: usize, key: u64) -> u64 {
-        (dst as u64) << 48 | key
+    fn span_id(dst: usize, key: u64) -> (u64, u64) {
+        (dst as u64, key)
     }
 
     /// Opens a span for an injected message.

@@ -87,52 +87,74 @@ pub enum DeliveryVerdict {
     Unexpected,
 }
 
-/// Identity of a message for auditing purposes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-struct MessageKey {
-    cqid: u16,
-    tag: u16,
-    kind: u8,
-    chunk: u8,
+/// The splitmix64 finalizer: a cheap bijective mixer whose every output bit
+/// depends on every input bit. Public because every [`FastMap`] keyed by a
+/// *packed* integer needs it: [`FxHasher`] alone leaves the low output bits
+/// (hashbrown's bucket index) a function of only the low input bits, so keys
+/// whose entropy sits in high bit fields cluster catastrophically.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
-fn key_of(msg: &Message) -> MessageKey {
+/// Identity of a message *within its CQID*, packed as
+/// `tag:16 | kind:8 | chunk:8` (the CQID itself selects the per-CQID record
+/// vector, so it needs no representation here).
+#[inline]
+fn ident_of(msg: &Message) -> u32 {
     let (kind, chunk) = match msg {
         Message::Request { .. } => (0u8, 0u8),
         Message::Response { .. } => (1, 0),
         Message::DataHeader { .. } => (2, 0),
         Message::Data { chunk_idx, .. } => (3, *chunk_idx),
     };
-    MessageKey {
-        cqid: msg.cqid(),
-        tag: msg.tag(),
-        kind,
-        chunk,
-    }
+    (msg.tag() as u32) << 16 | (kind as u32) << 8 | chunk as u32
 }
 
 #[derive(Clone, Debug)]
 struct SentRecord {
-    message: Message,
-    /// Position of this message within its CQID's send order.
-    order: usize,
+    /// [`ident_of`] the registered message.
+    ident: u32,
     delivered: bool,
+    message: Message,
 }
 
-#[derive(Clone, Debug, Default)]
-struct CqidState {
-    sent_count: usize,
+/// Audit state of one CQID: the registered messages *in send order* (so a
+/// record's index is its send-order position) plus the delivery cursor.
+///
+/// This dense layout is the auditor's hot-path design: deliveries on a quiet
+/// link arrive overwhelmingly in send order, so classifying one is a single
+/// identity compare against the record under the cursor — no hashing, no
+/// probing, and sequential memory access. Workload generators register
+/// identities in increasing order, which keeps `sorted` true and gives the
+/// out-of-order / duplicate / unexpected slow paths a binary search; an
+/// unsorted registration order merely downgrades those rare paths to a
+/// linear scan.
+#[derive(Clone, Debug)]
+struct CqidAudit {
+    records: Vec<SentRecord>,
     /// Lowest send-order index not yet delivered.
     next_undelivered: usize,
-    /// Delivered flags indexed by send order.
-    delivered: Vec<bool>,
-    /// Total messages delivered (at least once) in this CQID.
+    /// Records delivered (at least once) in this CQID.
     delivered_count: usize,
+    /// `true` while `records` is strictly increasing by `ident`.
+    sorted: bool,
 }
 
-impl CqidState {
+impl CqidAudit {
+    fn new() -> Self {
+        CqidAudit {
+            records: Vec::new(),
+            next_undelivered: 0,
+            delivered_count: 0,
+            sorted: true,
+        }
+    }
+
     /// `true` while some message has been delivered ahead of a still-missing
-    /// earlier message of the same CQID: `delivered[0..next_undelivered]` is
+    /// earlier message of the same CQID: `records[0..next_undelivered]` is
     /// the contiguous delivered prefix, so any delivery beyond it means a
     /// gap is open.
     fn gapped(&self) -> bool {
@@ -140,15 +162,25 @@ impl CqidState {
     }
 }
 
+/// Sentinel in [`DeliveryAuditor::cqid_slot`] for a CQID never registered.
+const NO_CQID: u32 = u32::MAX;
+
 /// Ground-truth auditor for one direction of traffic.
 #[derive(Clone, Debug, Default)]
 pub struct DeliveryAuditor {
-    sent: FastMap<MessageKey, SentRecord>,
-    cqids: FastMap<u16, CqidState>,
+    /// `cqid_slot[cqid]` → index into `cqs` ([`NO_CQID`] if unregistered).
+    /// Grown to the highest registered CQID + 1; CQIDs are 16-bit, so the
+    /// worst case is a 256 KiB table and the typical workload a few words.
+    cqid_slot: Vec<u32>,
+    cqs: Vec<CqidAudit>,
     counts: FailureCounts,
     /// Number of CQIDs currently holding an ordering gap (a delivered
     /// message ahead of a missing earlier one).
     gapped_cqids: usize,
+    /// Total messages registered across all CQIDs.
+    registered: usize,
+    /// Total messages delivered at least once across all CQIDs.
+    delivered_unique: usize,
 }
 
 impl DeliveryAuditor {
@@ -157,57 +189,109 @@ impl DeliveryAuditor {
         Self::default()
     }
 
+    /// Pre-reserves capacity for `messages` registered messages across
+    /// `cqids` connection queues. With the dense per-CQID storage there are
+    /// no hash tables left to pre-size; reserving the CQID vector is all
+    /// that is useful up front (the per-CQID record vectors grow amortised
+    /// and contiguous).
+    pub fn reserve(&mut self, _messages: usize, cqids: usize) {
+        self.cqs.reserve(cqids);
+    }
+
     /// Registers a message that is about to be transmitted. Must be called in
     /// transmit order.
     pub fn record_sent(&mut self, msg: &Message) {
-        let key = key_of(msg);
-        let cq = self.cqids.entry(msg.cqid()).or_default();
-        let order = cq.sent_count;
-        cq.sent_count += 1;
-        cq.delivered.push(false);
-        let previous = self.sent.insert(
-            key,
-            SentRecord {
-                message: *msg,
-                order,
-                delivered: false,
-            },
-        );
+        let cqid = msg.cqid() as usize;
+        if self.cqid_slot.len() <= cqid {
+            self.cqid_slot.resize(cqid + 1, NO_CQID);
+        }
+        let slot = match self.cqid_slot[cqid] {
+            NO_CQID => {
+                self.cqs.push(CqidAudit::new());
+                let slot = (self.cqs.len() - 1) as u32;
+                self.cqid_slot[cqid] = slot;
+                slot
+            }
+            slot => slot,
+        };
+        let cq = &mut self.cqs[slot as usize];
+        let ident = ident_of(msg);
+        // Uniqueness check: free while registration order is strictly
+        // increasing by identity (every workload generator's order); a
+        // non-monotonic registration falls back to a scan.
+        let unique = match cq.records.last() {
+            None => true,
+            Some(last) if cq.sorted && last.ident < ident => true,
+            _ => {
+                cq.sorted = false;
+                cq.records.iter().all(|r| r.ident != ident)
+            }
+        };
         assert!(
-            previous.is_none(),
-            "duplicate message identity registered: {key:?}"
+            unique,
+            "duplicate message identity registered: cqid {} ident {ident:#010x}",
+            msg.cqid()
         );
+        cq.records.push(SentRecord {
+            ident,
+            delivered: false,
+            message: *msg,
+        });
+        self.registered += 1;
     }
 
     /// Number of messages registered for transmission.
     pub fn sent_count(&self) -> usize {
-        self.sent.len()
+        self.registered
     }
 
     /// Classifies one delivered message and updates the counters.
+    ///
+    /// The hot path is the in-order delivery: one identity compare against
+    /// the record under the CQID's cursor. Everything else (duplicates,
+    /// out-of-order arrivals, never-sent identities) resolves by binary
+    /// search over the send-ordered records.
     pub fn observe_delivery(&mut self, msg: &Message) -> DeliveryVerdict {
-        let key = key_of(msg);
-        let Some(record) = self.sent.get_mut(&key) else {
-            self.counts.data_failures += 1;
-            return DeliveryVerdict::Unexpected;
+        let ident = ident_of(msg);
+        let slot = match self.cqid_slot.get(msg.cqid() as usize) {
+            Some(&slot) if slot != NO_CQID => slot,
+            _ => {
+                self.counts.data_failures += 1;
+                return DeliveryVerdict::Unexpected;
+            }
         };
+        let cq = &mut self.cqs[slot as usize];
+        let order = if cq.next_undelivered < cq.records.len()
+            && cq.records[cq.next_undelivered].ident == ident
+        {
+            cq.next_undelivered
+        } else {
+            let found = if cq.sorted {
+                cq.records.binary_search_by_key(&ident, |r| r.ident).ok()
+            } else {
+                cq.records.iter().position(|r| r.ident == ident)
+            };
+            match found {
+                Some(i) => i,
+                None => {
+                    self.counts.data_failures += 1;
+                    return DeliveryVerdict::Unexpected;
+                }
+            }
+        };
+        let record = &mut cq.records[order];
         if record.delivered {
             self.counts.duplicate_deliveries += 1;
             return DeliveryVerdict::Duplicate;
         }
         record.delivered = true;
-        let order = record.order;
         let intact = record.message == *msg;
-        let cq = self
-            .cqids
-            .get_mut(&msg.cqid())
-            .expect("CQID state exists for every sent message");
         let was_gapped = cq.gapped();
-        cq.delivered[order] = true;
         cq.delivered_count += 1;
+        self.delivered_unique += 1;
         let in_order = order == cq.next_undelivered;
         // Advance the next-undelivered cursor over everything now delivered.
-        while cq.next_undelivered < cq.delivered.len() && cq.delivered[cq.next_undelivered] {
+        while cq.next_undelivered < cq.records.len() && cq.records[cq.next_undelivered].delivered {
             cq.next_undelivered += 1;
         }
         match (was_gapped, cq.gapped()) {
@@ -248,16 +332,13 @@ impl DeliveryAuditor {
     /// *post-delivery wedge* (control-plane replay churning after the last
     /// payload arrived), not a credit deadlock.
     pub fn all_delivered(&self) -> bool {
-        self.cqids
-            .values()
-            .all(|cq| cq.delivered_count == cq.sent_count)
+        self.delivered_unique == self.registered
     }
 
     /// Closes the audit: every sent-but-undelivered message is counted as
     /// lost. Returns the final counters.
     pub fn finalize(mut self) -> FailureCounts {
-        let lost = self.sent.values().filter(|r| !r.delivered).count() as u64;
-        self.counts.lost_messages += lost;
+        self.counts.lost_messages += (self.registered - self.delivered_unique) as u64;
         self.counts
     }
 }

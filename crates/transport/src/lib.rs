@@ -22,7 +22,7 @@ pub mod completer;
 pub mod failure;
 pub mod requester;
 
-pub use audit::{DeliveryAuditor, DeliveryVerdict, FastMap, FxHasher};
+pub use audit::{mix64, DeliveryAuditor, DeliveryVerdict, FastMap, FxHasher};
 pub use coherence::{CoherenceDirectory, CoherenceViolation, LineState};
 pub use completer::Completer;
 pub use failure::FailureCounts;

@@ -5,10 +5,14 @@
 //! virtual-channel credit contract are both required to leave this
 //! `vc_count = 1` configuration *bit-identical*: same SplitMix64 per-trial
 //! seeding, same RNG draw order, same CRC values, same aggregate counts.
-//! The spot tuples were captured on the pre-overhaul engine (PR 2) and have
-//! never drifted; any drift here means a change altered simulation
-//! behaviour, not just speed. See the comment on the golden constants for
-//! the digest re-pin history.
+//! The pins below are captured under the **event-jump** RNG contract (see
+//! the `FabricSim` type docs): per-link skip-ahead cursors sample the slot
+//! of the next error event geometrically instead of one Bernoulli draw per
+//! traversal, so the draw *sequence* differs from the pre-event-jump engine
+//! by design, while per-link error statistics are pinned separately by
+//! `tests/skip_ahead_equivalence.rs`. Any drift here means a change altered
+//! simulation behaviour under the current contract, not just speed. See the
+//! comment on the golden constants for the digest re-pin history.
 
 use rxl::crc::Crc64;
 use rxl::fabric::{
@@ -81,25 +85,30 @@ fn rxl_aggregates_match_pre_overhaul_engine() {
     );
 }
 
-// Spot tuples: captured on the pre-overhaul engine (commit a396d2f) with
-// the exact configuration in `run` above, and UNCHANGED since — the
-// virtual-channel credit contract keeps `vc_count = 1` (this configuration)
-// bit-identical to the pre-VC engine: same SplitMix64 seeding, same RNG
-// draw order (VC arbitration, escape datelines and adaptive candidate
-// selection draw nothing), same per-flit event sequence.
+// Pin history:
 //
-// Digests: re-pinned when `FabricMonteCarloReport` gained the
-// `post_delivery_wedge_trials` field (the digest covers the report's full
-// `Debug` rendering, so adding a field re-keys it even though every
-// pre-existing counter is identical — the spot tuples above prove that).
+// * Spot tuples originally captured on the pre-overhaul engine (commit
+//   a396d2f) and unchanged through the hot-path overhaul, the probe layer
+//   and the virtual-channel credit contract — each of those changes was
+//   required to be bit-identical for this `vc_count = 1` configuration.
+// * Re-pinned (spot tuples AND digests) for the geometric skip-ahead
+//   channel contract: the engine now samples the slot of each link's next
+//   error event instead of drawing per traversal, which deliberately
+//   changes the RNG draw *sequence* at a noisy-channel configuration like
+//   this one (2e-4 BER). Ideal-channel configurations were draw-free under
+//   both contracts and stayed bit-identical; statistical equivalence of
+//   the error process across the old and new shapes is pinned by
+//   `tests/skip_ahead_equivalence.rs`. (The earlier digest-only re-pin for
+//   the `post_delivery_wedge_trials` report field predates this.)
+//
 // Regenerate ONLY if the simulation semantics are intentionally changed,
 // with `cargo test --test fabric_golden_digest -- --ignored --nocapture`
 // (the `print_golden` helper below), and never re-pin the spot tuples
 // without a deliberate, documented semantics change.
-const GOLDEN_CXL_SPOT: (u64, u64, u64, u64, u64, u64) = (5, 1600, 6348, 5, 84, 16980);
-const GOLDEN_CXL_DIGEST: u64 = 0x6BF7_0D72_EDBF_AF67;
-const GOLDEN_RXL_SPOT: (u64, u64, u64, u64, u64, u64) = (5, 1600, 6128, 0, 48, 24000);
-const GOLDEN_RXL_DIGEST: u64 = 0xEF8C_0C75_D322_C009;
+const GOLDEN_CXL_SPOT: (u64, u64, u64, u64, u64, u64) = (5, 1600, 5882, 1, 70, 14370);
+const GOLDEN_CXL_DIGEST: u64 = 0xDD8A_4F5A_380F_7212;
+const GOLDEN_RXL_SPOT: (u64, u64, u64, u64, u64, u64) = (5, 1600, 6402, 0, 51, 24000);
+const GOLDEN_RXL_DIGEST: u64 = 0xBBC7_93B8_9670_C13C;
 
 /// Prints the current golden values (run with `--nocapture --ignored`).
 #[test]

@@ -1,0 +1,195 @@
+//! Statistical-equivalence pins for the geometric skip-ahead channel
+//! sampler.
+//!
+//! The event-jump contract (see the `FabricSim` engine docs and the
+//! `Channel` trait) deliberately changes the RNG draw *sequence* relative to
+//! per-traversal Bernoulli sampling, so bit-identity against the old engine
+//! is not the invariant — distributional identity is. This suite pins it:
+//!
+//! * per-link error-traversal counts and flipped-bit totals under skip-ahead
+//!   match the per-flit Bernoulli reference across BERs 1e-7..1e-3 (mean ±
+//!   a 5σ binomial/Poisson envelope, deterministic seeds),
+//! * interleaving several links' cursors over one shared RNG stream — the
+//!   engine's composition — preserves every link's marginal,
+//! * Gilbert–Elliott state-dwell occupancy inferred from the event rate
+//!   matches the chain's stationary distribution, and the long-run flipped
+//!   bit rate converges to `stationary_ber()`, re-pinning that helper's
+//!   meaning under the dwell-jump sampler.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rxl::chaos::GilbertElliott;
+use rxl::link::{ChannelErrorModel, EventCursor};
+
+const FLIT_BYTES: usize = 256;
+const FLIT_BITS: u64 = (FLIT_BYTES * 8) as u64;
+
+/// 5σ envelope (± an absolute floor of 1) around a binomial mean.
+fn envelope(n: f64, p: f64) -> f64 {
+    5.0 * (n * p * (1.0 - p)).sqrt() + 1.0
+}
+
+fn assert_within(label: &str, observed: u64, expected: f64, tol: f64) {
+    assert!(
+        (observed as f64 - expected).abs() <= tol,
+        "{label}: observed {observed}, expected {expected:.1} ± {tol:.1}"
+    );
+}
+
+#[test]
+fn skip_ahead_error_counts_match_per_flit_bernoulli_across_bers() {
+    for (ber, trials) in [(1e-7, 400_000u64), (1e-5, 200_000), (1e-3, 100_000)] {
+        let ch = ChannelErrorModel::random(ber);
+        let p_unit = ch.unit_error_probability(FLIT_BITS as usize);
+
+        // Skip-ahead: cursor-driven event jumps.
+        let mut skip_ch = ch;
+        let mut cursor = EventCursor::new();
+        let mut rng = StdRng::seed_from_u64(0xA11CE ^ ber.to_bits());
+        let (mut skip_events, mut skip_flips) = (0u64, 0u64);
+        for slot in 0..trials {
+            let mut data = [0u8; FLIT_BYTES];
+            let flips = cursor.advance(&mut skip_ch, &mut data, slot as f64, &mut rng);
+            skip_events += u64::from(flips > 0);
+            skip_flips += flips as u64;
+        }
+
+        // Per-flit Bernoulli reference: one legacy `apply` per traversal.
+        let mut ref_rng = StdRng::seed_from_u64(0xBE77E4 ^ ber.to_bits());
+        let (mut ref_events, mut ref_flips) = (0u64, 0u64);
+        for _ in 0..trials {
+            let mut data = [0u8; FLIT_BYTES];
+            let flips = ch.apply(&mut data, &mut ref_rng);
+            ref_events += u64::from(flips > 0);
+            ref_flips += flips as u64;
+        }
+
+        // Both samplers sit inside the same envelope around the analytic
+        // per-traversal error probability...
+        let expected_events = trials as f64 * p_unit;
+        let tol_events = envelope(trials as f64, p_unit);
+        assert_within(
+            &format!("skip-ahead events at BER {ber}"),
+            skip_events,
+            expected_events,
+            tol_events,
+        );
+        assert_within(
+            &format!("reference events at BER {ber}"),
+            ref_events,
+            expected_events,
+            tol_events,
+        );
+        // ...and around the analytic flipped-bit rate (≈ Poisson at these
+        // BERs, so 5·√mean bounds it).
+        let expected_flips = trials as f64 * FLIT_BITS as f64 * ber;
+        let tol_flips = 5.0 * expected_flips.sqrt() + 1.0;
+        assert_within(
+            &format!("skip-ahead flips at BER {ber}"),
+            skip_flips,
+            expected_flips,
+            tol_flips,
+        );
+        assert_within(
+            &format!("reference flips at BER {ber}"),
+            ref_flips,
+            expected_flips,
+            tol_flips,
+        );
+    }
+}
+
+#[test]
+fn interleaved_per_link_cursors_keep_their_marginals() {
+    // Three links of different BERs share one RNG stream, advanced in a
+    // fixed round-robin — the fabric engine's composition of per-link
+    // cursors over the single trial RNG. Each link's error count must
+    // still match its own Bernoulli marginal.
+    let bers = [1e-5, 1e-4, 1e-3];
+    let mut chans: Vec<ChannelErrorModel> =
+        bers.iter().map(|&b| ChannelErrorModel::random(b)).collect();
+    let mut cursors = vec![EventCursor::new(); bers.len()];
+    let mut rng = StdRng::seed_from_u64(0x71E5C0);
+    let mut events = [0u64; 3];
+    let trials = 120_000u64;
+    for slot in 0..trials {
+        for (i, (ch, cursor)) in chans.iter_mut().zip(cursors.iter_mut()).enumerate() {
+            let mut data = [0u8; FLIT_BYTES];
+            if cursor.advance(ch, &mut data, slot as f64, &mut rng) > 0 {
+                events[i] += 1;
+            }
+        }
+    }
+    for (i, &ber) in bers.iter().enumerate() {
+        let p_unit = chans[i].unit_error_probability(FLIT_BITS as usize);
+        assert_within(
+            &format!("link {i} (BER {ber}) events"),
+            events[i],
+            trials as f64 * p_unit,
+            envelope(trials as f64, p_unit),
+        );
+    }
+}
+
+#[test]
+fn ge_dwell_occupancy_matches_the_stationary_chain() {
+    // With an ideal good state, every error event is a bad-state traversal,
+    // so the event rate divided by the bad state's per-traversal error
+    // probability estimates the bad-state occupancy — pinning the geometric
+    // dwell-length sampler's means against the chain's stationary
+    // distribution.
+    let ge_template = GilbertElliott::new(
+        ChannelErrorModel::ideal(),
+        ChannelErrorModel::random(5e-4),
+        0.004,
+        0.036,
+    );
+    let pi_bad = ge_template.stationary_bad_fraction();
+    let p_bad = ge_template.bad.unit_error_probability(FLIT_BITS as usize);
+
+    let mut ge = ge_template;
+    let mut cursor = EventCursor::new();
+    let mut rng = StdRng::seed_from_u64(0xD3E11);
+    let trials = 400_000u64;
+    let mut events = 0u64;
+    for slot in 0..trials {
+        let mut data = [0u8; FLIT_BYTES];
+        if cursor.advance(&mut ge, &mut data, slot as f64, &mut rng) > 0 {
+            events += 1;
+        }
+    }
+    let occupancy_hat = events as f64 / trials as f64 / p_bad;
+    assert!(
+        (occupancy_hat - pi_bad).abs() < 0.15 * pi_bad,
+        "inferred bad-state occupancy {occupancy_hat:.4} vs stationary {pi_bad:.4}"
+    );
+}
+
+#[test]
+fn ge_stationary_ber_convergence_is_repinned_under_skip_ahead() {
+    // The long-run flipped-bit rate under the dwell-jump sampler converges
+    // to `stationary_ber()` — the same meaning the helper had under
+    // per-traversal stepping.
+    let ge_template = GilbertElliott::new(
+        ChannelErrorModel::random(1e-5),
+        ChannelErrorModel::random(1e-3),
+        0.002,
+        0.018,
+    );
+    let expected = ge_template.stationary_ber();
+
+    let mut ge = ge_template;
+    let mut cursor = EventCursor::new();
+    let mut rng = StdRng::seed_from_u64(0x5AB1E);
+    let trials = 600_000u64;
+    let mut flips = 0u64;
+    for slot in 0..trials {
+        let mut data = [0u8; FLIT_BYTES];
+        flips += cursor.advance(&mut ge, &mut data, slot as f64, &mut rng) as u64;
+    }
+    let measured = flips as f64 / (trials as f64 * FLIT_BITS as f64);
+    assert!(
+        (measured - expected).abs() < 0.12 * expected,
+        "measured long-run BER {measured:.3e} vs stationary {expected:.3e}"
+    );
+}
