@@ -3,20 +3,28 @@
 //! Usage:
 //! ```text
 //! cargo run -p rxl-bench --bin fabric_fit_crosscheck --release -- \
-//!     [--json] [devices] [levels] [ber] [trials] [messages]
+//!     [--json] [--out DIR] [devices] [levels] [ber] [trials] [messages]
 //! ```
 //!
 //! `--json` additionally writes machine-readable results to
-//! `BENCH_fabric.json` in the current directory.
+//! `BENCH_fabric.json` at the repository root (override the directory with
+//! `--out DIR`).
 
 use rxl_core::FabricSimOptions;
 
 fn main() {
     let mut json = false;
+    let mut out: Option<std::path::PathBuf> = None;
     let mut positional = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--json" {
             json = true;
+        } else if arg == "--out" {
+            out = Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
+                eprintln!("--out requires a value");
+                std::process::exit(2);
+            })));
         } else {
             positional.push(arg);
         }
@@ -39,6 +47,9 @@ fn main() {
     let rows = rxl_bench::run_fabric_crosscheck(devices, levels, &opts);
     println!("{}", rxl_bench::fabric_crosscheck_table(&rows, &opts));
     if json {
-        println!("wrote {}", rxl_bench::write_fabric_json(&rows, &opts));
+        println!(
+            "wrote {}",
+            rxl_bench::write_fabric_json(&rows, &opts, out.as_deref()).display()
+        );
     }
 }

@@ -1,19 +1,22 @@
-//! Latency vs offered load on the canonical leaf–spine pod.
+//! Spatial congestion attribution: per-link heatmaps, bottleneck ranking,
+//! and the engine self-profiler.
 //!
-//! Paces open-loop traffic through the `rxl-load` subsystem across an
-//! offered-load ladder for both protocols and prints one row per ladder
-//! point (latency percentiles in flit slots, delivered throughput,
-//! detected saturation knee).
+//! Runs the incast load sweep on the leaf–spine pod with a metrics probe on
+//! every trial and prints per-rung bottleneck attribution (which link is
+//! saturated, how hard, and with what congestion signature), the knee
+//! sentence naming the saturated uplink, and the engine's per-phase
+//! self-profile.
 //!
 //! Usage:
 //! ```text
-//! cargo run -p rxl-bench --bin latency_sweep --release -- \
+//! cargo run -p rxl-bench --bin fabric_hotspots --release -- \
 //!     [--json] [--small] [--label NAME] [--out DIR]
 //! ```
 //!
-//! * `--small` shrinks the ladder to a CI-sized smoke run.
-//! * `--json` writes the rows to `BENCH_latency.json` at the
-//!   repository root (override the directory with `--out DIR`) (schema: see [`rxl_bench::latency_json`]).
+//! * `--small` shrinks the sweep to a CI-sized smoke run.
+//! * `--json` writes link / attribution / heat / profile rows to
+//!   `BENCH_hotspots.json` at the repository root (override the directory
+//!   with `--out DIR`; schema: see [`rxl_bench::hotspots_json`]).
 //! * `--label NAME` tags the rows.
 
 fn main() {
@@ -45,12 +48,12 @@ fn main() {
         }
     }
 
-    let rows = rxl_bench::run_latency_sweep(small, &label);
-    println!("{}", rxl_bench::latency_table(&rows));
+    let report = rxl_bench::run_hotspots(small, &label);
+    println!("{}", rxl_bench::hotspots_table(&report));
     if json {
         println!(
             "wrote {}",
-            rxl_bench::write_latency_json(&rows, out.as_deref()).display()
+            rxl_bench::write_hotspots_json(&report, out.as_deref()).display()
         );
     }
 }

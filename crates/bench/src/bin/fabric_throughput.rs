@@ -8,24 +8,31 @@
 //! Usage:
 //! ```text
 //! cargo run -p rxl-bench --bin fabric_throughput --release -- \
-//!     [--json] [--small] [--label NAME]
+//!     [--json] [--small] [--label NAME] [--out DIR]
 //! ```
 //!
 //! * `--small` shrinks the workload to a CI-sized smoke run.
-//! * `--json` writes the rows to `BENCH_throughput.json` in the current
-//!   directory (schema: see [`rxl_bench::throughput_json`]).
+//! * `--json` writes the rows to `BENCH_throughput.json` at the
+//!   repository root (override the directory with `--out DIR`) (schema: see [`rxl_bench::throughput_json`]).
 //! * `--label NAME` tags the rows (used to distinguish `before`/`after`
 //!   snapshots in the committed trajectory file).
 
 fn main() {
     let mut json = false;
     let mut small = false;
+    let mut out: Option<std::path::PathBuf> = None;
     let mut label = String::from("current");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--small" => small = true,
+            "--out" => {
+                out = Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a value");
+                    std::process::exit(2);
+                })))
+            }
             "--label" => {
                 label = args.next().unwrap_or_else(|| {
                     eprintln!("--label requires a value");
@@ -42,6 +49,9 @@ fn main() {
     let rows = rxl_bench::run_throughput(small, &label);
     println!("{}", rxl_bench::throughput_table(&rows));
     if json {
-        println!("wrote {}", rxl_bench::write_throughput_json(&rows));
+        println!(
+            "wrote {}",
+            rxl_bench::write_throughput_json(&rows, out.as_deref()).display()
+        );
     }
 }

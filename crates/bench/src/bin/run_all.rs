@@ -2,13 +2,30 @@
 //! The output of this binary is the basis of EXPERIMENTS.md.
 //!
 //! Pass `--json` to additionally write the fabric cross-check results to
-//! `BENCH_fabric.json` in the current directory (the machine-readable perf
-//! trajectory seed).
+//! `BENCH_fabric.json` at the repository root (the machine-readable perf
+//! trajectory seed); `--out DIR` redirects the artifact directory.
 
 use rxl_core::FabricSimOptions;
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let mut json = false;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--out" => {
+                out = Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a value");
+                    std::process::exit(2);
+                })))
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     println!("{}", rxl_bench::reliability_table());
     println!("{}", rxl_bench::fig8_table(4));
@@ -30,7 +47,10 @@ fn main() {
     let rows = rxl_bench::run_fabric_crosscheck(16_384, 2, &opts);
     println!("{}", rxl_bench::fabric_crosscheck_table(&rows, &opts));
     if json {
-        println!("wrote {}", rxl_bench::write_fabric_json(&rows, &opts));
+        println!(
+            "wrote {}",
+            rxl_bench::write_fabric_json(&rows, &opts, out.as_deref()).display()
+        );
     }
 
     // Engine wall-clock throughput, CI-sized. The committed performance
@@ -55,5 +75,13 @@ fn main() {
     println!(
         "{}",
         rxl_bench::latency_table(&rxl_bench::run_latency_sweep(true, "run_all"))
+    );
+
+    // Spatial congestion attribution, CI-sized. The committed trajectory
+    // (`BENCH_hotspots.json`) is produced by the dedicated `fabric_hotspots`
+    // binary on the full ladder.
+    println!(
+        "{}",
+        rxl_bench::hotspots_table(&rxl_bench::run_hotspots(true, "run_all"))
     );
 }

@@ -271,10 +271,10 @@ pub fn chaos_json(rows: &[ChaosRow]) -> String {
     }))
 }
 
-/// Writes the JSON form to `BENCH_chaos.json` in the current directory and
-/// returns the path written.
-pub fn write_chaos_json(rows: &[ChaosRow]) -> &'static str {
-    crate::json::write_artifact("BENCH_chaos.json", &chaos_json(rows))
+/// Writes the JSON form to `BENCH_chaos.json` in `out` (the repo root when
+/// `None`) and returns the path written.
+pub fn write_chaos_json(rows: &[ChaosRow], out: Option<&std::path::Path>) -> std::path::PathBuf {
+    crate::json::write_artifact("BENCH_chaos.json", out, &chaos_json(rows))
 }
 
 #[cfg(test)]

@@ -142,11 +142,20 @@ pub fn fabric_crosscheck_json(rows: &[FabricCheckRow], opts: &FabricSimOptions) 
         }))
 }
 
-/// Writes the JSON form of the cross-check to `BENCH_fabric.json` in the
-/// current directory (shared by the `run_all` and `fabric_fit_crosscheck`
-/// binaries' `--json` flag) and returns the path written.
-pub fn write_fabric_json(rows: &[FabricCheckRow], opts: &FabricSimOptions) -> &'static str {
-    crate::json::write_artifact("BENCH_fabric.json", &fabric_crosscheck_json(rows, opts))
+/// Writes the JSON form of the cross-check to `BENCH_fabric.json` in `out`
+/// (the repo root when `None`; shared by the `run_all` and
+/// `fabric_fit_crosscheck` binaries' `--json` flag) and returns the path
+/// written.
+pub fn write_fabric_json(
+    rows: &[FabricCheckRow],
+    opts: &FabricSimOptions,
+    out: Option<&std::path::Path>,
+) -> std::path::PathBuf {
+    crate::json::write_artifact(
+        "BENCH_fabric.json",
+        out,
+        &fabric_crosscheck_json(rows, opts),
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,309 @@
+//! Spatial congestion attribution measurement (`fabric_hotspots`).
+//!
+//! Runs the incast load sweep on the canonical leaf–spine pod with a
+//! [`MetricsProbe`](rxl_telemetry::MetricsProbe) riding every trial, then
+//! reports *where* the fabric hurts: per-link utilization at the saturation
+//! knee, per-rung top-k bottleneck attribution (the knee report names the
+//! saturated leaf-0 uplink instead of just locating the knee on the load
+//! axis), a link × window traversal heatmap, and the engine self-profiler's
+//! per-phase slot-loop accounting. The machine-readable form
+//! (`BENCH_hotspots.json`) is schema-checked in CI alongside the other
+//! `BENCH_*.json` trajectories.
+//!
+//! The workload is deliberately asymmetric — [`TrafficMatrix::Incast`] onto
+//! leaf 1 loads only the two leaf-0 hosts, downstream-only — because a
+//! symmetric matrix heats every link on a session's path equally (path
+//! conservation) and both trunks of the two-leaf pod would tie exactly.
+//! Under incast the trunks still tie on *utilization*, but every credit
+//! stall lands on the leaf-0 → spine uplink, so stall pressure uniquely
+//! identifies the bottleneck. A shallow `queue_capacity` keeps that backlog
+//! visible as stalls instead of silently absorbed buffering.
+
+use rxl_fabric::{
+    EnginePhase, FabricConfig, FabricSim, FabricTopology, FabricWorkload, RoutingTable,
+};
+use rxl_link::{ChannelErrorModel, ProtocolVariant};
+use rxl_load::{ArrivalProcess, LoadSweep, LoadSweepConfig, TrafficMatrix};
+use rxl_telemetry::{AttributedSweep, PhaseProfile};
+
+use crate::json::{JsonDocument, JsonRow};
+use crate::render_table;
+
+/// Heatmap window width, in slots.
+pub const HEAT_WINDOW_SLOTS: u64 = 64;
+
+/// Links to name per rung in the attribution rows.
+pub const TOP_K: usize = 3;
+
+/// The full spatial-attribution measurement: the attributed sweep plus the
+/// engine self-profile.
+#[derive(Clone, Debug)]
+pub struct HotspotsReport {
+    /// Snapshot label (`current` / `run_all` / CI).
+    pub label: String,
+    /// Topology name.
+    pub topology: String,
+    /// The topology object (for link descriptions in exports).
+    pub fabric: FabricTopology,
+    /// Traffic-matrix label.
+    pub matrix: String,
+    /// Protocol variant simulated.
+    pub protocol: &'static str,
+    /// The load sweep with per-rung congestion attribution.
+    pub sweep: AttributedSweep,
+    /// Engine self-profile (wall-clock; machine-local, not reproducible).
+    pub profile: PhaseProfile,
+}
+
+fn pod_config() -> FabricConfig {
+    FabricConfig {
+        // Shallow lanes surface the incast backlog as credit stalls.
+        queue_capacity: 8,
+        ..FabricConfig::new(ProtocolVariant::Rxl)
+            .with_channel(ChannelErrorModel::ideal())
+            .with_seed(0x407_5707)
+    }
+}
+
+/// Runs the spatial-attribution suite (incast onto leaf 1 of the leaf–spine
+/// pod, RXL, ideal channel). `small` selects the CI smoke configuration.
+pub fn run_hotspots(small: bool, label: &str) -> HotspotsReport {
+    let (loads, messages, trials) = if small {
+        (vec![0.20, 0.80], 300, 1)
+    } else {
+        // Both leaf-0 hosts inject downstream-only, so the uplink crosses
+        // line rate at per-session load 0.5; the ladder brackets that knee.
+        (vec![0.10, 0.20, 0.30, 0.40, 0.60, 0.80], 2_000, 4)
+    };
+    let topology = FabricTopology::leaf_spine(2, 1, 2);
+    let config = pod_config();
+    let sweep = LoadSweep::new(
+        topology.clone(),
+        config,
+        LoadSweepConfig {
+            loads,
+            messages_per_session: messages,
+            trials,
+            matrix: TrafficMatrix::Incast { leaf: 1 },
+            arrival: ArrivalProcess::fixed(1.0),
+            ..LoadSweepConfig::default()
+        },
+    );
+    let attributed = AttributedSweep::run_with_heatmap(&sweep, TOP_K, HEAT_WINDOW_SLOTS);
+
+    // The self-profile rides one standalone symmetric trial: wall-clock
+    // readings never enter the exact-merge sweep aggregates.
+    let routing = RoutingTable::new(&topology);
+    let mut sim = FabricSim::with_probe(
+        &topology,
+        &routing,
+        pod_config(),
+        rxl_telemetry::EngineProfiler::new(),
+    );
+    sim.begin(&FabricWorkload::symmetric(
+        topology.session_count(),
+        messages,
+        8,
+        13,
+    ));
+    let _ = sim.step(u64::MAX);
+    let (_, profiler) = sim.finish_with_probe();
+
+    HotspotsReport {
+        label: label.to_string(),
+        topology: attributed.report.topology.clone(),
+        fabric: topology,
+        matrix: attributed.report.matrix.clone(),
+        protocol: crate::variant_name(ProtocolVariant::Rxl),
+        sweep: attributed,
+        profile: profiler.profile(),
+    }
+}
+
+/// Renders the report as aligned text tables: per-rung attribution, the
+/// knee sentence, and the self-profile.
+pub fn hotspots_table(report: &HotspotsReport) -> String {
+    let mut rows = Vec::new();
+    for rung in &report.sweep.rungs {
+        for (rank, l) in rung.top.iter().enumerate() {
+            rows.push(vec![
+                report.label.clone(),
+                format!("{:.2}", rung.offered_load),
+                rung.signature.label().to_string(),
+                format!("#{}", rank + 1),
+                l.description.clone(),
+                format!("{:.1}%", l.utilization * 100.0),
+                l.stall_slots.to_string(),
+                format!("{:.3}", l.score),
+            ]);
+        }
+    }
+    let mut out = render_table(
+        "Congestion attribution (incast onto leaf 1; leaf-spine pod, RXL)",
+        &[
+            "label",
+            "load",
+            "signature",
+            "rank",
+            "link",
+            "util",
+            "stalls",
+            "score",
+        ],
+        &rows,
+    );
+    match report.sweep.knee_attribution() {
+        Some(knee) => {
+            let top = knee.top.first().expect("knee rung moved flits");
+            out.push_str(&format!(
+                "knee at {:.2}: {} at {:.0}% util, {} credit-stall slots ({})\n",
+                knee.offered_load,
+                top.description,
+                top.utilization * 100.0,
+                top.stall_slots,
+                knee.signature.label()
+            ));
+        }
+        None => out.push_str("no saturation knee inside the ladder\n"),
+    }
+    out.push('\n');
+    out.push_str(&report.profile.to_string());
+    out
+}
+
+/// Serialises the report as a JSON document (hand-rolled — the build
+/// container has no serde) for `BENCH_hotspots.json`. Four row kinds share
+/// the document:
+///
+/// * `"link"` — per-link totals of the hottest analyzed rung (the knee
+///   rung, or the heaviest rung when the ladder never crossed a knee).
+/// * `"attribution"` — per-rung top-k bottleneck links with signature.
+/// * `"heat"` — the hottest rung's link × window traversal matrix, one row
+///   per window (`counts` in link-index order).
+/// * `"profile"` — engine self-profiler phases (wall-clock; the one row
+///   kind that is machine-local rather than reproducible).
+pub fn hotspots_json(report: &HotspotsReport) -> String {
+    let sweep = &report.sweep;
+    let hot_rung = sweep.report.knee.unwrap_or(sweep.rungs.len() - 1);
+    let rung = &sweep.rungs[hot_rung];
+    let registry = &sweep.registries[hot_rung];
+    let mut rows = Vec::new();
+
+    let analysis = rxl_telemetry::BottleneckReport::analyze(&report.fabric, registry, rung.slots);
+    for l in &analysis.links {
+        rows.push(
+            JsonRow::new()
+                .str("kind", "link")
+                .str("label", &report.label)
+                .num("load", rung.offered_load, 2)
+                .raw("link", l.link)
+                .str("desc", &l.description)
+                .raw("endpoint_link", l.endpoint_link)
+                .raw("traversals", l.traversals)
+                .num("utilization", l.utilization, 4)
+                .raw("stall_slots", l.stall_slots)
+                .raw("retransmits", l.retransmits)
+                .raw("errors", l.errors)
+                .num("score", l.score, 4)
+                .finish(),
+        );
+    }
+
+    for (i, r) in sweep.rungs.iter().enumerate() {
+        for (rank, l) in r.top.iter().enumerate() {
+            rows.push(
+                JsonRow::new()
+                    .str("kind", "attribution")
+                    .str("label", &report.label)
+                    .num("load", r.offered_load, 2)
+                    .raw("knee", sweep.report.knee == Some(i))
+                    .str("signature", r.signature.label())
+                    .raw("rank", rank + 1)
+                    .raw("link", l.link)
+                    .str("desc", &l.description)
+                    .num("utilization", l.utilization, 4)
+                    .raw("stall_slots", l.stall_slots)
+                    .num("score", l.score, 4)
+                    .finish(),
+            );
+        }
+    }
+
+    for (w, counts) in registry.heatmap().iter().enumerate() {
+        let joined = counts
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push(
+            JsonRow::new()
+                .str("kind", "heat")
+                .num("load", rung.offered_load, 2)
+                .raw("window", w)
+                .raw("start_slot", w as u64 * HEAT_WINDOW_SLOTS)
+                .raw("counts", format!("[{joined}]"))
+                .finish(),
+        );
+    }
+
+    for phase in EnginePhase::ALL {
+        rows.push(
+            JsonRow::new()
+                .str("kind", "profile")
+                .str("phase", phase.label())
+                .raw("nanos", report.profile.nanos[phase.index()])
+                .num("share", report.profile.share(phase), 4)
+                .num("ns_per_slot", report.profile.nanos_per_slot(phase), 1)
+                .finish(),
+        );
+    }
+
+    JsonDocument::new("hotspots")
+        .field(
+            "topology",
+            format!("\"{}\"", crate::json_escape(&report.topology)),
+        )
+        .field(
+            "matrix",
+            format!("\"{}\"", crate::json_escape(&report.matrix)),
+        )
+        .field("protocol", format!("\"{}\"", report.protocol))
+        .field("heat_window_slots", HEAT_WINDOW_SLOTS)
+        .rows(rows)
+}
+
+/// Writes the JSON form to `BENCH_hotspots.json` in `out` (the repo root
+/// when `None`) and returns the path written.
+pub fn write_hotspots_json(
+    report: &HotspotsReport,
+    out: Option<&std::path::Path>,
+) -> std::path::PathBuf {
+    crate::json::write_artifact("BENCH_hotspots.json", out, &hotspots_json(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_attributes_the_uplink_and_serialises() {
+        let report = run_hotspots(true, "test");
+        // The heavy rung's top attribution names the leaf-0 uplink (dense
+        // link 8 = first trunk of the 8-endpoint pod).
+        let heavy = report.sweep.rungs.last().expect("ladder is non-empty");
+        assert_eq!(heavy.top[0].link, 8, "top link: {:?}", heavy.top);
+        assert!(heavy.top[0].stall_slots > 0);
+        let table = hotspots_table(&report);
+        assert!(table.contains("Congestion attribution"));
+        assert!(table.contains("engine self-profile"));
+        let json = hotspots_json(&report);
+        assert!(json.contains("\"bench\": \"hotspots\""));
+        for kind in ["link", "attribution", "heat", "profile"] {
+            assert!(
+                json.contains(&format!("\"kind\": \"{kind}\"")),
+                "missing row kind {kind}"
+            );
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -20,6 +20,7 @@
 //! writers.
 
 use std::fmt::Display;
+use std::path::{Path, PathBuf};
 
 /// Builder for one `rows[]` object: `{"k": v, "k2": v2}`.
 #[derive(Debug, Default)]
@@ -119,10 +120,22 @@ impl JsonDocument {
     }
 }
 
-/// Writes an artifact to `path` in the current directory and returns the
+/// The directory `BENCH_*.json` artifacts land in when no `--out` override
+/// is given: the repository root, independent of the invoking working
+/// directory. (Writers used to drop artifacts into the CWD, which silently
+/// scattered them when bins ran from crate subdirectories.)
+pub fn default_out_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// Writes an artifact named `name` into `out` (created if missing), or
+/// into [`default_out_dir`] when `out` is `None`, and returns the full
 /// path (shared by every `write_*_json` helper).
-pub fn write_artifact(path: &'static str, content: &str) -> &'static str {
-    std::fs::write(path, content).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+pub fn write_artifact(name: &str, out: Option<&Path>, content: &str) -> PathBuf {
+    let dir = out.map_or_else(default_out_dir, Path::to_path_buf);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     path
 }
 

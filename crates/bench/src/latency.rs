@@ -185,10 +185,13 @@ pub fn latency_json(rows: &[LatencyRow]) -> String {
     }))
 }
 
-/// Writes the JSON form to `BENCH_latency.json` in the current directory
-/// and returns the path written.
-pub fn write_latency_json(rows: &[LatencyRow]) -> &'static str {
-    crate::json::write_artifact("BENCH_latency.json", &latency_json(rows))
+/// Writes the JSON form to `BENCH_latency.json` in `out` (the repo root
+/// when `None`) and returns the path written.
+pub fn write_latency_json(
+    rows: &[LatencyRow],
+    out: Option<&std::path::Path>,
+) -> std::path::PathBuf {
+    crate::json::write_artifact("BENCH_latency.json", out, &latency_json(rows))
 }
 
 #[cfg(test)]

@@ -26,16 +26,21 @@
 //! | `chaos_sweep` | fault-injection scenarios: BER storms, spine failover |
 //! | `latency_sweep` | latency vs offered load, saturation knee |
 //! | `slo_replay` | chaos incidents scored as SLO burn (windowed telemetry) |
+//! | `fabric_hotspots` | spatial congestion attribution: per-link heatmaps, bottleneck ranking, engine self-profile |
 //!
 //! `run_all` and `fabric_fit_crosscheck` accept `--json` to additionally
 //! write machine-readable results to `BENCH_fabric.json`;
 //! `fabric_throughput --json` writes `BENCH_throughput.json`;
 //! `chaos_sweep --json` writes `BENCH_chaos.json`;
 //! `latency_sweep --json` writes `BENCH_latency.json`;
-//! `slo_replay --json` writes `BENCH_slo.json`.
+//! `slo_replay --json` writes `BENCH_slo.json`;
+//! `fabric_hotspots --json` writes `BENCH_hotspots.json`.
+//! Artifacts land at the repository root regardless of the invoking working
+//! directory; every bin takes `--out DIR` to redirect them.
 
 pub mod chaos;
 pub mod fabriccheck;
+pub mod hotspots;
 pub mod json;
 pub mod latency;
 pub mod scenarios;
@@ -47,6 +52,9 @@ pub mod throughput;
 pub use chaos::{chaos_json, chaos_table, run_chaos_sweep, write_chaos_json, ChaosRow};
 pub use fabriccheck::{
     fabric_crosscheck_json, fabric_crosscheck_table, run_fabric_crosscheck, write_fabric_json,
+};
+pub use hotspots::{
+    hotspots_json, hotspots_table, run_hotspots, write_hotspots_json, HotspotsReport,
 };
 pub use latency::{latency_json, latency_table, run_latency_sweep, write_latency_json, LatencyRow};
 pub use scenarios::{fig4_scenario, fig5a_scenario, fig5b_scenario, fig6_isn_scenario};

@@ -273,10 +273,13 @@ pub fn slo_json(measurements: &[SloMeasurement]) -> String {
     JsonDocument::new("slo_replay").rows(rows)
 }
 
-/// Writes the JSON form to `BENCH_slo.json` in the current directory and
-/// returns the path written.
-pub fn write_slo_json(measurements: &[SloMeasurement]) -> &'static str {
-    crate::json::write_artifact("BENCH_slo.json", &slo_json(measurements))
+/// Writes the JSON form to `BENCH_slo.json` in `out` (the repo root when
+/// `None`) and returns the path written.
+pub fn write_slo_json(
+    measurements: &[SloMeasurement],
+    out: Option<&std::path::Path>,
+) -> std::path::PathBuf {
+    crate::json::write_artifact("BENCH_slo.json", out, &slo_json(measurements))
 }
 
 #[cfg(test)]

@@ -259,10 +259,13 @@ pub fn throughput_json(rows: &[ThroughputRow]) -> String {
     }))
 }
 
-/// Writes the JSON form to `BENCH_throughput.json` in the current directory
-/// and returns the path written.
-pub fn write_throughput_json(rows: &[ThroughputRow]) -> &'static str {
-    crate::json::write_artifact("BENCH_throughput.json", &throughput_json(rows))
+/// Writes the JSON form to `BENCH_throughput.json` in `out` (the repo root
+/// when `None`) and returns the path written.
+pub fn write_throughput_json(
+    rows: &[ThroughputRow],
+    out: Option<&std::path::Path>,
+) -> std::path::PathBuf {
+    crate::json::write_artifact("BENCH_throughput.json", out, &throughput_json(rows))
 }
 
 #[cfg(test)]

@@ -46,7 +46,10 @@ use rxl_switch::{
 };
 use rxl_transport::{DeliveryAuditor, DeliveryVerdict, FailureCounts, FastMap};
 
-use crate::probe::{ChannelErrorEvent, DeliverEvent, InjectEvent, NullProbe, Probe};
+use crate::probe::{
+    ChannelErrorEvent, DeliverEvent, EnginePhase, InjectEvent, LinkHop, LinkTraversalEvent,
+    NullProbe, Probe,
+};
 use crate::routing::{RoutingTable, NO_ROUTE};
 use crate::topology::{FabricTopology, LinkId, NodeRole};
 
@@ -1083,13 +1086,28 @@ impl<'a, P: Probe> FabricSim<'a, P> {
         cursor.corrupt_event(channel, wire, self.now, &mut self.rng)
     }
 
-    /// Records a fault-injection blackhole drop (which is flit motion for
-    /// deadlock-classification purposes: state changed).
-    fn note_blackhole(&mut self) {
+    /// Records a fault-injection blackhole drop at switch `sw` (which is
+    /// flit motion for deadlock-classification purposes: state changed).
+    fn note_blackhole(&mut self, sw: usize) {
         self.blackholed_flits += 1;
         self.last_motion_slot = self.slots;
         if P::ENABLED {
-            self.probe.on_blackhole(self.slots);
+            self.probe.on_blackhole(self.slots, sw);
+        }
+    }
+
+    /// Self-profiler phase boundary: with a live clock (only ever `Some`
+    /// when `P::ENABLED && P::PROFILE`), reports the nanoseconds since the
+    /// previous boundary to the probe and restarts the clock. Wall-clock
+    /// readings flow *only* into the probe — never back into simulation
+    /// state — so profiled trials stay bit-identical to unprofiled ones.
+    #[inline]
+    fn phase_mark(&mut self, clock: &mut Option<std::time::Instant>, phase: EnginePhase) {
+        if let Some(t) = clock {
+            let mark = std::time::Instant::now();
+            self.probe
+                .on_phase(phase, mark.duration_since(*t).as_nanos() as u64);
+            *t = mark;
         }
     }
 
@@ -1235,7 +1253,7 @@ impl<'a, P: Probe> FabricSim<'a, P> {
             if !injecting {
                 self.in_flight[rf.dst] -= 1;
             }
-            self.note_blackhole();
+            self.note_blackhole(sw);
             return None;
         }
         let (egress, vc) = match self.plan_hop(sw, rf.dst, rf.crossed, others) {
@@ -1243,19 +1261,39 @@ impl<'a, P: Probe> FabricSim<'a, P> {
                 if !injecting {
                     self.in_flight[rf.dst] -= 1;
                 }
-                self.note_blackhole();
+                self.note_blackhole(sw);
                 return None;
             }
             HopPlan::Blocked => {
                 self.credit_stalls += 1;
                 if P::ENABLED {
-                    self.probe.on_credit_stall(self.slots, sw, None);
+                    // Charge the stall to the planned escape egress — the
+                    // port whose lanes were out of credit — so spatial
+                    // probes can attribute ingress stalls to the congested
+                    // link. Plan state is pure queue/table lookup: no RNG.
+                    let egress = self.egress_of(sw, rf.dst);
+                    let evc = self.escape_vc(sw, egress, rf.crossed);
+                    self.probe
+                        .on_credit_stall(self.slots, sw, Some(egress), Some(evc));
                 }
                 return Some(rf);
             }
             HopPlan::Lane { egress, vc } => (egress, vc),
         };
         self.last_motion_slot = self.slots;
+        if P::ENABLED {
+            self.probe.on_link_traversal(LinkTraversalEvent {
+                slot: self.slots,
+                link,
+                hop: if injecting {
+                    LinkHop::Inject
+                } else {
+                    LinkHop::Trunk
+                },
+                protocol: rf.protocol,
+                retransmission: rf.retransmission,
+            });
+        }
         let flips = self.corrupt_on_link(link, &mut rf.payload);
         // Known-clean bypass: zero channel flips and a disabled internal
         // model mean the full pipeline is the identity and draw-free on this
@@ -1282,6 +1320,7 @@ impl<'a, P: Probe> FabricSim<'a, P> {
                     self.probe.on_channel_error(ChannelErrorEvent {
                         slot: self.slots,
                         switch: sw,
+                        link,
                         dropped: false,
                         corrected_symbols,
                     });
@@ -1314,6 +1353,7 @@ impl<'a, P: Probe> FabricSim<'a, P> {
                     self.probe.on_channel_error(ChannelErrorEvent {
                         slot: self.slots,
                         switch: sw,
+                        link,
                         dropped: true,
                         corrected_symbols: 0,
                     });
@@ -1350,6 +1390,7 @@ impl<'a, P: Probe> FabricSim<'a, P> {
     fn forward_port(&mut self, sw: usize, port: usize, now: f64) {
         let vcc = self.vcc;
         let mut any_blocked = false;
+        let mut blocked_vc: Option<usize> = None;
         for k in 0..vcc {
             let vc = self.arb[sw][port].pick(k, vcc);
             let lane = self.lane(port, vc);
@@ -1382,7 +1423,7 @@ impl<'a, P: Probe> FabricSim<'a, P> {
                         self.credits[sw][port].release(vc);
                         self.note_out_pop(sw, port);
                         self.arb[sw][port].grant(vc, vcc);
-                        self.note_blackhole();
+                        self.note_blackhole(next);
                         return;
                     }
                     // Plan the hop (lane + credit) against the next switch
@@ -1394,6 +1435,9 @@ impl<'a, P: Probe> FabricSim<'a, P> {
                     let others = self.in_flight[head_dst] - 1;
                     if self.plan_hop(next, head_dst, crossed, others) == HopPlan::Blocked {
                         any_blocked = true;
+                        if blocked_vc.is_none() {
+                            blocked_vc = Some(vc);
+                        }
                         continue;
                     }
                     let mut rf = self.out_q[sw][lane].pop_front().expect("head exists");
@@ -1414,7 +1458,8 @@ impl<'a, P: Probe> FabricSim<'a, P> {
         if any_blocked {
             self.credit_stalls += 1;
             if P::ENABLED {
-                self.probe.on_credit_stall(self.slots, sw, Some(port));
+                self.probe
+                    .on_credit_stall(self.slots, sw, Some(port), blocked_vc);
             }
         }
     }
@@ -1423,6 +1468,15 @@ impl<'a, P: Probe> FabricSim<'a, P> {
     /// messages and classifies undetected-drop events.
     fn deliver_to_endpoint(&mut self, dst: usize, mut rf: RoutedFlit, now: f64) {
         self.last_motion_slot = self.slots;
+        if P::ENABLED {
+            self.probe.on_link_traversal(LinkTraversalEvent {
+                slot: self.slots,
+                link: dst,
+                hop: LinkHop::Deliver,
+                protocol: rf.protocol,
+                retransmission: rf.retransmission,
+            });
+        }
         self.corrupt_on_link(dst, &mut rf.payload);
         // A flit still `Clean` after its last traversal never needed wire
         // bytes at all: the receiver takes the trusted path (no FEC decode,
@@ -1724,11 +1778,21 @@ impl<'a, P: Probe> FabricSim<'a, P> {
             self.accepted_this_slot = false;
             let mut all_endpoints_idle = true;
 
+            // Self-profiler clock: a constant condition, so unprofiled
+            // builds (NullProbe *and* enabled-but-unprofiled probes)
+            // compile every phase mark away.
+            let mut phase_clock = if P::ENABLED && P::PROFILE {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
+
             // Phase 0 — paced injection: release messages whose arrival slot
             // has come. Free (one integer compare) on the greedy path.
             if self.pending_paced > 0 {
                 self.release_due();
             }
+            self.phase_mark(&mut phase_clock, EnginePhase::PacedRelease);
 
             // Phase 1 — endpoint transmit opportunities, in endpoint order.
             for e in 0..self.endpoints.len() {
@@ -1776,6 +1840,7 @@ impl<'a, P: Probe> FabricSim<'a, P> {
                     self.stalled[e] = self.transmit_into(sw, e, rf);
                 }
             }
+            self.phase_mark(&mut phase_clock, EnginePhase::EndpointTx);
 
             // Phase 2 — every non-empty switch output port forwards at most
             // one flit, in ascending (switch, port) order — exactly the
@@ -1800,6 +1865,7 @@ impl<'a, P: Probe> FabricSim<'a, P> {
                     }
                 }
             }
+            self.phase_mark(&mut phase_clock, EnginePhase::SwitchForward);
 
             // Phase 3 — flits that arrived this slot become visible next
             // slot (one switch traversal per slot). Only ports that staged
@@ -1825,6 +1891,7 @@ impl<'a, P: Probe> FabricSim<'a, P> {
                     self.sw_staged_count[sw] = 0;
                 }
             }
+            self.phase_mark(&mut phase_clock, EnginePhase::StageMerge);
             let queues_empty = self.nonempty_out_ports == 0;
 
             if all_endpoints_idle

@@ -44,7 +44,10 @@ pub use engine::{
     InjectionPacing, LatencySamples, StepOutcome,
 };
 pub use montecarlo::{FabricMonteCarlo, FabricMonteCarloReport};
-pub use probe::{ChannelErrorEvent, CountingProbe, DeliverEvent, InjectEvent, NullProbe, Probe};
+pub use probe::{
+    ChannelErrorEvent, CountingProbe, DeliverEvent, EnginePhase, InjectEvent, LinkHop,
+    LinkTraversalEvent, NullProbe, Probe,
+};
 pub use routing::{RoutingTable, NO_ROUTE};
 pub use topology::{
     EndpointNode, FabricTopology, LinkId, NodeRole, Session, SwitchNode, TopologyLayout,

@@ -84,11 +84,90 @@ pub struct ChannelErrorEvent {
     pub slot: u64,
     /// Switch whose ingress pipeline observed the error.
     pub switch: usize,
+    /// Dense [`LinkId::index`](crate::topology::LinkId::index) of the link
+    /// the flit was corrupted on — spatial metrics attribute errors per
+    /// physical link, not just per observing switch.
+    pub link: usize,
     /// `true` if the flit was silently dropped as FEC-uncorrectable; `false`
     /// if the FEC corrected it and the flit was forwarded.
     pub dropped: bool,
     /// Symbols the ingress FEC corrected (0 on the uncorrectable path).
     pub corrected_symbols: usize,
+}
+
+/// Which kind of hop a link traversal was. Endpoint attachment links carry
+/// [`LinkHop::Inject`] traffic in one direction and [`LinkHop::Deliver`]
+/// traffic in the other; trunks only ever see [`LinkHop::Trunk`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkHop {
+    /// An endpoint put the flit onto its attachment link towards its switch.
+    Inject,
+    /// A switch forwarded the flit over a trunk to the next switch.
+    Trunk,
+    /// A switch put the flit onto an attachment link towards its endpoint.
+    Deliver,
+}
+
+/// One flit traversing one physical link — the utilization event. Fired
+/// once per link crossing, *before* the receiving pipeline's verdict, so a
+/// flit the switch then drops as uncorrectable still occupied the wire.
+/// Blocked (credit-stalled) and blackholed flits never fire it: a stalled
+/// flit traverses exactly once, on the slot it finally moves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkTraversalEvent {
+    /// Slot of the traversal.
+    pub slot: u64,
+    /// Dense [`LinkId::index`](crate::topology::LinkId::index) of the link.
+    pub link: usize,
+    /// Direction/kind of the crossing.
+    pub hop: LinkHop,
+    /// `true` for protocol (payload-bearing) flits, `false` for standalone
+    /// control flits (ACK/NACK).
+    pub protocol: bool,
+    /// `true` if this flit is a go-back-N replay retransmission.
+    pub retransmission: bool,
+}
+
+/// The slot loop's phases, in execution order — the engine self-profiler's
+/// accounting buckets (see [`Probe::on_phase`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnginePhase {
+    /// Phase 0: paced-injection release of due arrivals.
+    PacedRelease = 0,
+    /// Phase 1: endpoint transmit opportunities (emission, replay, and the
+    /// injection-link channel sampling of `transmit_into`).
+    EndpointTx = 1,
+    /// Phase 2: switch output-port forwarding — trunk hops *and* endpoint
+    /// deliveries (delivery happens inside this phase's port scan).
+    SwitchForward = 2,
+    /// Phase 3: staged→visible queue merge (the one-traversal-per-slot
+    /// barrier).
+    StageMerge = 3,
+}
+
+impl EnginePhase {
+    /// Every phase, in execution order.
+    pub const ALL: [EnginePhase; 4] = [
+        EnginePhase::PacedRelease,
+        EnginePhase::EndpointTx,
+        EnginePhase::SwitchForward,
+        EnginePhase::StageMerge,
+    ];
+
+    /// Dense index (0..4) for flat per-phase accumulators.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnginePhase::PacedRelease => "paced_release",
+            EnginePhase::EndpointTx => "endpoint_tx",
+            EnginePhase::SwitchForward => "switch_forward",
+            EnginePhase::StageMerge => "stage_merge",
+        }
+    }
 }
 
 /// Structured lifecycle events emitted by the fabric engine.
@@ -100,6 +179,20 @@ pub trait Probe {
     /// `false` compiles every emission site to nothing ([`NullProbe`]).
     /// Keep `true` (the default) for any probe that observes events.
     const ENABLED: bool = true;
+
+    /// Opt-in for the engine self-profiler: when `true` (and
+    /// [`Probe::ENABLED`]), the slot loop reads a monotonic clock around
+    /// each [`EnginePhase`] and reports the elapsed nanoseconds via
+    /// [`Probe::on_phase`]. The guard is `P::ENABLED && P::PROFILE`, a
+    /// *constant* condition, so the default `false` compiles the timers
+    /// away entirely — an enabled-but-unprofiled probe (e.g. an SLO probe)
+    /// pays nothing for them, and `NullProbe` builds stay bit- and
+    /// instruction-identical. Wall-clock readings never feed back into the
+    /// simulation (they flow only into the probe), so profiled trials
+    /// remain bit-identical to unprofiled ones — but the *timings
+    /// themselves* are wall-clock and therefore not reproducible; keep them
+    /// out of any exact-merge aggregate.
+    const PROFILE: bool = false;
 
     /// A message became transmittable at its source endpoint.
     fn on_inject(&mut self, _ev: InjectEvent) {}
@@ -120,9 +213,35 @@ pub trait Probe {
     fn on_nack(&mut self, _slot: u64, _endpoint: usize, _session: usize) {}
 
     /// A sender held a flit for lack of downstream credit this slot.
-    /// `port` is the blocked output port for switch-to-switch holds, `None`
-    /// when an endpoint's injection stalled at switch ingress.
-    fn on_credit_stall(&mut self, _slot: u64, _switch: usize, _port: Option<usize>) {}
+    ///
+    /// `port` names the output port of `switch` the stall is charged to —
+    /// the port facing the congested link: for switch-to-switch holds the
+    /// holding output port whose head flit(s) could not move, for an
+    /// endpoint injection stalled at switch ingress the *planned escape
+    /// egress* whose lanes were out of credit. The engine always passes
+    /// `Some` for both cases; `None` is reserved for stalls no port can be
+    /// named for. `vc` is the blocked VC lane at that port: the first
+    /// blocked head's lane (in arbiter scan order) for transit holds, the
+    /// escape lane the injection would have ridden for ingress stalls.
+    fn on_credit_stall(
+        &mut self,
+        _slot: u64,
+        _switch: usize,
+        _port: Option<usize>,
+        _vc: Option<usize>,
+    ) {
+    }
+
+    /// A flit traversed a physical link (see [`LinkTraversalEvent`]). This
+    /// is the spatial-utilization event: per-link heatmaps, utilization and
+    /// retransmit counters all derive from it. Fired from the per-flit hot
+    /// path — keep handlers to a few integer operations.
+    fn on_link_traversal(&mut self, _ev: LinkTraversalEvent) {}
+
+    /// The slot loop finished `phase`, which took `nanos` wall-clock
+    /// nanoseconds this slot. Only fired when `Self::PROFILE` (and
+    /// `Self::ENABLED`) is `true` — see the [`Probe::PROFILE`] contract.
+    fn on_phase(&mut self, _phase: EnginePhase, _nanos: u64) {}
 
     /// A flit was buffered into VC `vc` of output port `(switch, port)`;
     /// `occupancy` is that lane's queue depth after the arrival. Fired on
@@ -142,9 +261,11 @@ pub trait Probe {
     fn on_channel_error(&mut self, _ev: ChannelErrorEvent) {}
 
     /// A flit was destroyed by fault injection in transit (dead switch or
-    /// no surviving route). Queue purges at failure time are reported via
-    /// [`Probe::on_switch_fail`] instead.
-    fn on_blackhole(&mut self, _slot: u64) {}
+    /// no surviving route). `switch` is the switch the flit vanished at —
+    /// the dead switch it was entering, or the switch that swallowed it for
+    /// want of a surviving route. Queue purges at failure time are reported
+    /// via [`Probe::on_switch_fail`] instead.
+    fn on_blackhole(&mut self, _slot: u64, _switch: usize) {}
 
     /// A switch failed hard, purging `purged_flits` queued flits.
     fn on_switch_fail(&mut self, _slot: u64, _switch: usize, _purged_flits: u64) {}
@@ -187,6 +308,8 @@ pub struct CountingProbe {
     pub nacks: u64,
     /// Credit-stall observations.
     pub credit_stalls: u64,
+    /// Link traversals (one per physical link crossing).
+    pub link_traversals: u64,
     /// VC-occupancy samples (one per buffered hop).
     pub vc_samples: u64,
     /// Peak lane occupancy seen by any VC sample.
@@ -219,8 +342,17 @@ impl Probe for CountingProbe {
     fn on_nack(&mut self, _slot: u64, _endpoint: usize, _session: usize) {
         self.nacks += 1;
     }
-    fn on_credit_stall(&mut self, _slot: u64, _switch: usize, _port: Option<usize>) {
+    fn on_credit_stall(
+        &mut self,
+        _slot: u64,
+        _switch: usize,
+        _port: Option<usize>,
+        _vc: Option<usize>,
+    ) {
         self.credit_stalls += 1;
+    }
+    fn on_link_traversal(&mut self, _ev: LinkTraversalEvent) {
+        self.link_traversals += 1;
     }
     fn on_vc_occupancy(
         &mut self,
@@ -236,7 +368,7 @@ impl Probe for CountingProbe {
     fn on_channel_error(&mut self, _ev: ChannelErrorEvent) {
         self.channel_errors += 1;
     }
-    fn on_blackhole(&mut self, _slot: u64) {
+    fn on_blackhole(&mut self, _slot: u64, _switch: usize) {
         self.blackholes += 1;
     }
     fn on_switch_fail(&mut self, _slot: u64, _switch: usize, _purged_flits: u64) {

@@ -17,7 +17,8 @@ use rayon::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rxl_fabric::{
-    FabricConfig, FabricSim, FabricTopology, FabricWorkload, InjectionPacing, RoutingTable,
+    FabricConfig, FabricSim, FabricTopology, FabricWorkload, InjectionPacing, NullProbe, Probe,
+    RoutingTable,
 };
 use rxl_flit::MESSAGES_PER_FLIT;
 use rxl_sim::{request_stream, response_stream, trial_seed};
@@ -230,8 +231,27 @@ impl LoadSweep {
     /// Runs the ladder and returns the latency-vs-load curve. Bit-identical
     /// for any worker-thread count (see the module docs).
     pub fn run(&self) -> LoadSweepReport {
+        self.run_probed(|_| NullProbe).0
+    }
+
+    /// Like [`Self::run`], but every trial carries a lifecycle-event
+    /// [`Probe`] built by `probe_for_trial` from the trial's *global* index
+    /// (`ladder_point * trials + trial` — the same index that seeds the
+    /// trial). The probes come back grouped per ladder point, in trial
+    /// order inside each point, so consumers can merge per-trial state
+    /// deterministically — the same thread-count-independence contract as
+    /// the report itself. Probes observe and never perturb, so
+    /// `run_probed(..).0` is bit-identical to [`Self::run`]. This is the
+    /// seam the spatial-metrics layer (`rxl_telemetry::metrics`) uses to
+    /// attribute a latency knee to the saturated links behind it.
+    pub fn run_probed<P, F>(&self, probe_for_trial: F) -> (LoadSweepReport, Vec<Vec<P>>)
+    where
+        P: Probe + Send,
+        F: Fn(u64) -> P + Sync,
+    {
         let routing = RoutingTable::new(&self.topology);
         let mut points = Vec::with_capacity(self.sweep.loads.len());
+        let mut point_probes = Vec::with_capacity(self.sweep.loads.len());
         for (pi, &load) in self.sweep.loads.iter().enumerate() {
             let session_loads = self.sweep.matrix.session_loads(&self.topology, load);
             let offered_msgs_per_slot: f64 = session_loads
@@ -239,13 +259,16 @@ impl LoadSweep {
                 .map(|l| (l.downstream + l.upstream) * MESSAGES_PER_FLIT as f64)
                 .sum();
 
-            let outcomes: Vec<TrialOutcome> = (0..self.sweep.trials)
+            let (outcomes, probes): (Vec<TrialOutcome>, Vec<P>) = (0..self.sweep.trials)
                 .into_par_iter()
                 .map(|trial| {
                     let global = pi as u64 * self.sweep.trials + trial;
-                    self.run_trial(&routing, &session_loads, global)
+                    self.run_trial(&routing, &session_loads, global, probe_for_trial(global))
                 })
-                .collect();
+                .collect::<Vec<_>>()
+                .into_iter()
+                .unzip();
+            point_probes.push(probes);
 
             let mut point = LoadPoint {
                 offered_load: load,
@@ -286,26 +309,30 @@ impl LoadSweep {
         }
 
         let knee = detect_knee(&points);
-        LoadSweepReport {
-            topology: self.topology.name.clone(),
-            protocol: self.config.variant.name(),
-            matrix: self.sweep.matrix.label(),
-            arrival: self.sweep.arrival.label(),
-            sessions: self.topology.sessions.len(),
-            points,
-            knee,
-        }
+        (
+            LoadSweepReport {
+                topology: self.topology.name.clone(),
+                protocol: self.config.variant.name(),
+                matrix: self.sweep.matrix.label(),
+                arrival: self.sweep.arrival.label(),
+                sessions: self.topology.sessions.len(),
+                points,
+                knee,
+            },
+            point_probes,
+        )
     }
 
     /// One paced, telemetry-enabled trial. Everything (workload content,
     /// arrival schedule, channel errors) derives from `(config.seed,
-    /// global_trial)` alone.
-    fn run_trial(
+    /// global_trial)` alone; the probe observes without perturbing.
+    fn run_trial<P: Probe>(
         &self,
         routing: &RoutingTable,
         session_loads: &[crate::matrix::SessionLoad],
         global_trial: u64,
-    ) -> TrialOutcome {
+        probe: P,
+    ) -> (TrialOutcome, P) {
         let engine_seed = trial_seed(self.config.seed, global_trial);
         let mut arrival_rng =
             StdRng::seed_from_u64(trial_seed(self.config.seed ^ ARRIVAL_SALT, global_trial));
@@ -368,23 +395,26 @@ impl LoadSweep {
             ..self.config
         };
 
-        let mut sim = FabricSim::new(&self.topology, routing, config);
+        let mut sim = FabricSim::with_probe(&self.topology, routing, config, probe);
         sim.enable_latency_telemetry();
         sim.begin_paced(&workload, &pacing);
         let _ = sim.step(u64::MAX);
-        let report = sim.finish();
+        let (report, probe) = sim.finish_with_probe();
         let samples = report.latency.as_ref().expect("telemetry was enabled");
         let mut hist = LatencyHistogram::new();
         hist.record_samples(samples);
-        TrialOutcome {
-            injected: workload.total_messages() as u64,
-            delivered: samples.len() as u64,
-            untracked: samples.untracked,
-            slots: report.slots,
-            drained: report.drained,
-            failures: report.total_failures(),
-            hist,
-        }
+        (
+            TrialOutcome {
+                injected: workload.total_messages() as u64,
+                delivered: samples.len() as u64,
+                untracked: samples.untracked,
+                slots: report.slots,
+                drained: report.drained,
+                failures: report.total_failures(),
+                hist,
+            },
+            probe,
+        )
     }
 }
 

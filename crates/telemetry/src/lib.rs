@@ -29,6 +29,12 @@
 //!   spans and instant events, exportable as JSONL or Chrome tracing JSON.
 //! * [`probe`] — [`SloProbe`]: the [`rxl_fabric::Probe`] implementation
 //!   feeding all of the above from engine events.
+//! * [`metrics`] — [`MetricsProbe`] / [`MetricsRegistry`] /
+//!   [`BottleneckReport`] / [`AttributedSweep`] / [`EngineProfiler`]: the
+//!   *spatial* half — fixed-layout per-link/VC counter registries,
+//!   utilization × stall-pressure bottleneck ranking with congestion
+//!   signatures, per-rung load-sweep attribution, Prometheus exposition,
+//!   and the engine's per-phase self-profiler.
 //! * [`replay`] — [`IncidentReplay`]: a chaos scenario re-run as a scored
 //!   SLO incident over a [`rxl_chaos::ChaosMonteCarlo`].
 //!
@@ -57,12 +63,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod probe;
 pub mod replay;
 pub mod slo;
 pub mod trace;
 pub mod window;
 
+pub use metrics::{
+    AttributedSweep, BottleneckReport, CongestionSignature, EngineProfiler, LinkPressure,
+    MetricsProbe, MetricsRegistry, OccupancyHistogram, PhaseProfile, RungAttribution,
+    SwitchPressure,
+};
 pub use probe::SloProbe;
 pub use replay::{IncidentReplay, IncidentReport};
 pub use slo::{burn_series, incident_interval, score_incident, IncidentScore, SloSpec, WindowBurn};

@@ -135,9 +135,16 @@ impl Probe for SloProbe {
         }
     }
 
-    fn on_credit_stall(&mut self, slot: u64, _switch: usize, _port: Option<usize>) {
+    fn on_credit_stall(
+        &mut self,
+        slot: u64,
+        _switch: usize,
+        _port: Option<usize>,
+        _vc: Option<usize>,
+    ) {
         // Counter only: stalls fire per held flit per slot, far too hot for
-        // the trace ring.
+        // the trace ring. Per-port/per-lane attribution is MetricsProbe's
+        // job (see `crate::metrics`).
         self.windows.record_credit_stall(slot);
     }
 
@@ -145,10 +152,10 @@ impl Probe for SloProbe {
         self.windows.record_channel_error(ev.slot);
     }
 
-    fn on_blackhole(&mut self, slot: u64) {
+    fn on_blackhole(&mut self, slot: u64, switch: usize) {
         self.windows.record_blackhole(slot);
         if let Some(trace) = &mut self.trace {
-            trace.instant(slot, InstantKind::Blackhole, 0, 0);
+            trace.instant(slot, InstantKind::Blackhole, switch as u64, 0);
         }
     }
 

@@ -1,0 +1,95 @@
+//! Bottleneck-attribution integration: the spatial metrics layer must name
+//! the physically saturated link, not just locate the knee on the load axis.
+//!
+//! The scenario is the canonical incast: both leaf-0 hosts blast the leaf-1
+//! devices of the two-leaf pod, downstream-only. By path conservation every
+//! data flit crosses *both* trunks (up leaf 0 → spine, down spine → leaf 1),
+//! so trunk utilizations tie exactly and utilization alone cannot rank them.
+//! But the backlog queues at the congestion root — the leaf-0 → spine
+//! uplink — so every credit stall lands there, and the stall-pressure term
+//! of the bottleneck score breaks the tie in its favour. A shallow
+//! `queue_capacity` keeps that backlog visible as stalls rather than
+//! silently absorbed buffering.
+
+use rxl::fabric::{FabricConfig, FabricTopology};
+use rxl::link::{ChannelErrorModel, ProtocolVariant};
+use rxl::load::{ArrivalProcess, LoadSweep, LoadSweepConfig, TrafficMatrix};
+use rxl::telemetry::AttributedSweep;
+
+fn incast_sweep(loads: Vec<f64>) -> (FabricTopology, LoadSweep) {
+    let topology = FabricTopology::leaf_spine(2, 1, 2);
+    let config = FabricConfig {
+        queue_capacity: 8,
+        ..FabricConfig::new(ProtocolVariant::Rxl)
+            .with_channel(ChannelErrorModel::ideal())
+            .with_seed(0xB0_77_1E)
+    };
+    let sweep = LoadSweep::new(
+        topology.clone(),
+        config,
+        LoadSweepConfig {
+            loads,
+            messages_per_session: 600,
+            trials: 2,
+            matrix: TrafficMatrix::Incast { leaf: 1 },
+            arrival: ArrivalProcess::fixed(1.0),
+            ..LoadSweepConfig::default()
+        },
+    );
+    (topology, sweep)
+}
+
+#[test]
+fn incast_attribution_names_the_leaf0_uplink() {
+    // A ladder that brackets the trunk's line-rate crossing (two hosts
+    // inject downstream-only, so the uplink saturates at load 0.5).
+    let (topology, sweep) = incast_sweep(vec![0.2, 0.4, 0.8]);
+    let attributed = AttributedSweep::run(&sweep, 3);
+    let uplink = topology
+        .trunk_between(0, 2)
+        .expect("leaf 0 attaches to the spine")
+        .index();
+
+    let saturated = attributed.rungs.last().expect("ladder is non-empty");
+    assert_eq!(
+        saturated.top[0].link, uplink,
+        "top-ranked bottleneck must be the leaf-0 uplink: {:?}",
+        saturated.top
+    );
+    assert!(
+        saturated.top[0].stall_slots > 0,
+        "saturation must surface as credit stalls"
+    );
+    // Path conservation: the return trunk carried the same flits but took
+    // none of the stall pressure, so it ranks strictly below.
+    let other_trunk = attributed.rungs.last().unwrap().top[1..]
+        .iter()
+        .find(|l| !l.endpoint_link)
+        .expect("second trunk appears in the top-k");
+    assert!(saturated.top[0].score > other_trunk.score);
+    assert!(saturated.top[0].stall_slots > other_trunk.stall_slots);
+
+    // Every rung carries non-empty attribution, and if the sweep crossed a
+    // knee the knee rung's report names the same uplink.
+    assert!(attributed.rungs.iter().all(|r| !r.top.is_empty()));
+    if let Some(knee) = attributed.knee_attribution() {
+        assert_eq!(knee.top[0].link, uplink);
+        assert!(!knee.top.is_empty());
+    }
+}
+
+#[test]
+fn light_load_attribution_reports_no_stalls() {
+    // Far below saturation the analyzer must not invent pressure: top links
+    // exist (attribution is always non-empty) but carry zero stall slots.
+    let (_, sweep) = incast_sweep(vec![0.1]);
+    let attributed = AttributedSweep::run(&sweep, 3);
+    let rung = &attributed.rungs[0];
+    assert!(!rung.top.is_empty());
+    assert!(
+        rung.top.iter().all(|l| l.stall_slots == 0),
+        "load 0.1 should not stall an 8-deep queue: {:?}",
+        rung.top
+    );
+    assert!(attributed.report.knee.is_none());
+}

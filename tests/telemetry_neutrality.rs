@@ -17,8 +17,8 @@ use rxl::fabric::{
     CountingProbe, FabricConfig, FabricSim, FabricTopology, FabricWorkload, RoutingTable,
 };
 use rxl::link::{ChannelErrorModel, ProtocolVariant};
-use rxl::load::LatencyHistogram;
-use rxl::telemetry::{SloProbe, WindowedTelemetry};
+use rxl::load::{ArrivalProcess, LatencyHistogram, LoadSweep, LoadSweepConfig, TrafficMatrix};
+use rxl::telemetry::{MetricsProbe, MetricsRegistry, SloProbe, WindowedTelemetry};
 
 /// A noisy single-trial configuration: enough channel errors to exercise
 /// retransmission, NACK and verdict paths, so any probe-induced RNG drift
@@ -128,6 +128,137 @@ fn probed_aggregates_are_thread_count_independent() {
             windows_1, windows_4,
             "{variant:?}: merged telemetry windows drifted with thread count"
         );
+    }
+}
+
+#[test]
+fn metrics_probe_observes_a_bit_identical_trial() {
+    let topology = FabricTopology::ring(4, 1, 1);
+    let routing = RoutingTable::new(&topology);
+    let workload = FabricWorkload::symmetric(topology.session_count(), 600, 8, 7);
+
+    for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+        let baseline = FabricSim::new(&topology, &routing, noisy_config(variant)).run(&workload);
+
+        let config = noisy_config(variant);
+        let probe = MetricsProbe::for_topology(&topology, config.vc_count);
+        let mut sim = FabricSim::with_probe(&topology, &routing, config, probe);
+        sim.begin(&workload);
+        let _ = sim.step(u64::MAX);
+        let (probed, probe) = sim.finish_with_probe();
+
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{probed:?}"),
+            "{variant:?}: attaching a MetricsProbe changed the simulation"
+        );
+        let reg = probe.registry();
+        let traversals: u64 = (0..reg.link_count()).map(|l| reg.traversals(l)).sum();
+        assert!(traversals > 0, "{variant:?}: registry saw the trial");
+        let forwarded: u64 = (0..reg.switch_count())
+            .map(|s| reg.switch_forwarded(s))
+            .sum();
+        assert!(forwarded > 0, "{variant:?}: switches forwarded flits");
+    }
+}
+
+/// The attributed incast sweep of the metrics layer, run on a dedicated
+/// `threads`-wide rayon pool; returns the per-rung trial-order registry
+/// merges.
+fn metrics_sweep_on_pool(threads: usize) -> Vec<MetricsRegistry> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build rayon pool");
+    pool.install(|| {
+        let topology = FabricTopology::leaf_spine(2, 1, 2);
+        let config = FabricConfig {
+            queue_capacity: 8,
+            ..noisy_config(ProtocolVariant::Rxl)
+        };
+        let vcc = config.vc_count;
+        let sweep = LoadSweep::new(
+            topology.clone(),
+            config,
+            LoadSweepConfig {
+                loads: vec![0.3, 0.8],
+                messages_per_session: 400,
+                trials: 4,
+                matrix: TrafficMatrix::Incast { leaf: 1 },
+                arrival: ArrivalProcess::fixed(1.0),
+                ..LoadSweepConfig::default()
+            },
+        );
+        let (_, probes) = sweep.run_probed(|_| MetricsProbe::for_topology(&topology, vcc));
+        probes
+            .into_iter()
+            .map(|trial_probes| {
+                let mut merged: Option<MetricsRegistry> = None;
+                for p in trial_probes {
+                    match &mut merged {
+                        None => merged = Some(p.into_registry()),
+                        Some(m) => m.merge(p.registry()),
+                    }
+                }
+                merged.expect("each rung ran trials")
+            })
+            .collect()
+    })
+}
+
+#[test]
+fn metrics_registries_are_thread_count_independent() {
+    let single = metrics_sweep_on_pool(1);
+    let wide = metrics_sweep_on_pool(4);
+    assert_eq!(
+        single, wide,
+        "per-rung registry merges drifted with thread count"
+    );
+    assert!(single.iter().any(|r| (0..r.switch_count())
+        .map(|s| r.switch_stalls(s))
+        .sum::<u64>()
+        > 0));
+}
+
+#[test]
+fn probe_traversals_agree_with_engine_link_stats() {
+    let topology = FabricTopology::leaf_spine(2, 1, 2);
+    let routing = RoutingTable::new(&topology);
+    let workload = FabricWorkload::symmetric(topology.session_count(), 400, 8, 3);
+
+    for channel in [ChannelErrorModel::ideal(), ChannelErrorModel::random(2e-4)] {
+        for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+            let config = FabricConfig::new(variant)
+                .with_channel(channel)
+                .with_seed(0xD16E57);
+            let probe = MetricsProbe::for_topology(&topology, config.vc_count);
+            let mut sim = FabricSim::with_probe(&topology, &routing, config, probe);
+            sim.begin(&workload);
+            let _ = sim.step(u64::MAX);
+            let (report, probe) = sim.finish_with_probe();
+            assert!(report.drained, "{variant:?}");
+
+            let reg = probe.registry();
+            let injected: u64 = (0..topology.endpoint_count())
+                .map(|e| reg.inject_traversals(e))
+                .sum();
+            // Injection-direction traversals are the endpoints' non-idle
+            // wire flits. `LinkStats` tallies payload, replay and
+            // standalone-ACK flits individually; standalone NACK emissions
+            // also occupy the wire but are folded into the NACK counter, so
+            // the identity is exact on an ideal channel (no NACKs) and
+            // NACK-bounded on a noisy one.
+            let non_idle = report.links.total_wire_flits() - report.links.idle_flits_sent;
+            assert!(
+                injected >= non_idle && injected <= non_idle + report.links.nacks_sent,
+                "{variant:?}: probe saw {injected} injected flits, engine wire counters \
+                 bound [{non_idle}, {}]",
+                non_idle + report.links.nacks_sent
+            );
+            if report.links.nacks_sent == 0 {
+                assert_eq!(injected, non_idle, "{variant:?}: exact on an ideal channel");
+            }
+        }
     }
 }
 
