@@ -1,0 +1,80 @@
+//! Request-scale serving mode: fanout tail amplification and the
+//! operating-point recommendation.
+//!
+//! Runs the open-system request sweep twice: a uniform fanout ladder at a
+//! fixed per-message load (request p99 vs fanout `k`, CXL vs RXL) and the
+//! incast operating-point ladder on the shallow leaf–spine pod (max safe
+//! offered load under the request SLO, binding bottleneck link).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p rxl-bench --bin request_tail --release -- \
+//!     [--json] [--small] [--label NAME] [--out DIR] [--spans FILE]
+//! ```
+//!
+//! * `--small` shrinks the ladders to a CI-sized smoke run.
+//! * `--json` writes the rows to `BENCH_requests.json` at the repository
+//!   root (override the directory with `--out DIR`) (schema: see
+//!   [`rxl_bench::requests_json`]).
+//! * `--spans FILE` additionally writes the binding rung's per-shard span
+//!   trace as JSONL (with its dropped-span meta line).
+//! * `--label NAME` tags the rows.
+
+fn main() {
+    let mut json = false;
+    let mut small = false;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut spans: Option<std::path::PathBuf> = None;
+    let mut label = String::from("current");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--small" => small = true,
+            "--out" => {
+                out = Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a value");
+                    std::process::exit(2);
+                })))
+            }
+            "--spans" => {
+                spans = Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--spans requires a value");
+                    std::process::exit(2);
+                })))
+            }
+            "--label" => {
+                label = args.next().unwrap_or_else(|| {
+                    eprintln!("--label requires a value");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = rxl_bench::run_requests(small, &label);
+    println!("{}", rxl_bench::requests_table(&report));
+    println!(
+        "span trace: {} spans retained, {} dropped",
+        report.trace_spans, report.dropped_spans
+    );
+    if let Some(path) = spans {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+        }
+        std::fs::write(&path, &report.trace_jsonl)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+    if json {
+        println!(
+            "wrote {}",
+            rxl_bench::write_requests_json(&report, out.as_deref()).display()
+        );
+    }
+}

@@ -84,4 +84,12 @@ fn main() {
         "{}",
         rxl_bench::hotspots_table(&rxl_bench::run_hotspots(true, "run_all"))
     );
+
+    // Request-scale serving mode, CI-sized. The committed trajectory
+    // (`BENCH_requests.json`) is produced by the dedicated `request_tail`
+    // binary on the full fanout ladder.
+    println!(
+        "{}",
+        rxl_bench::requests_table(&rxl_bench::run_requests(true, "run_all"))
+    );
 }

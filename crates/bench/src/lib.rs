@@ -27,6 +27,7 @@
 //! | `latency_sweep` | latency vs offered load, saturation knee |
 //! | `slo_replay` | chaos incidents scored as SLO burn (windowed telemetry) |
 //! | `fabric_hotspots` | spatial congestion attribution: per-link heatmaps, bottleneck ranking, engine self-profile |
+//! | `request_tail` | open-system serving mode: request tail amplification vs fanout, operating-point recommendation |
 //!
 //! `run_all` and `fabric_fit_crosscheck` accept `--json` to additionally
 //! write machine-readable results to `BENCH_fabric.json`;
@@ -34,7 +35,8 @@
 //! `chaos_sweep --json` writes `BENCH_chaos.json`;
 //! `latency_sweep --json` writes `BENCH_latency.json`;
 //! `slo_replay --json` writes `BENCH_slo.json`;
-//! `fabric_hotspots --json` writes `BENCH_hotspots.json`.
+//! `fabric_hotspots --json` writes `BENCH_hotspots.json`;
+//! `request_tail --json` writes `BENCH_requests.json`.
 //! Artifacts land at the repository root regardless of the invoking working
 //! directory; every bin takes `--out DIR` to redirect them.
 
@@ -43,6 +45,7 @@ pub mod fabriccheck;
 pub mod hotspots;
 pub mod json;
 pub mod latency;
+pub mod requests;
 pub mod scenarios;
 pub mod simcheck;
 pub mod slo;
@@ -57,6 +60,9 @@ pub use hotspots::{
     hotspots_json, hotspots_table, run_hotspots, write_hotspots_json, HotspotsReport,
 };
 pub use latency::{latency_json, latency_table, run_latency_sweep, write_latency_json, LatencyRow};
+pub use requests::{
+    requests_json, requests_table, run_requests, write_requests_json, FanoutRow, RequestsReport,
+};
 pub use scenarios::{fig4_scenario, fig5a_scenario, fig5b_scenario, fig6_isn_scenario};
 pub use simcheck::sim_crosscheck_table;
 pub use slo::{run_slo_replay, slo_json, slo_table, write_slo_json, SloMeasurement};

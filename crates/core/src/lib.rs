@@ -62,5 +62,5 @@ pub mod stack;
 pub use chaos::{ChaosEvidence, StormSpec};
 pub use config::{ProtocolKind, StackConfig};
 pub use fabric::{FabricReliability, FabricSimEvidence, FabricSimOptions, FabricSpec};
-pub use load::{LoadEvidence, LoadSweepSpec};
+pub use load::{LoadEvidence, LoadSweepSpec, RequestEvidence, RequestSweepSpec};
 pub use stack::{CxlStack, ReceiveError, RxlStack};

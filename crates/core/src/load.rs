@@ -8,7 +8,12 @@
 //! `rxl-load` subsystem, and reports per-point latency distributions with a
 //! detected saturation knee.
 
-use rxl_load::{ArrivalProcess, LoadSweep, LoadSweepConfig, LoadSweepReport, TrafficMatrix};
+use rxl_load::{
+    ArrivalProcess, FanoutShape, LoadSweep, LoadSweepConfig, LoadSweepReport, TrafficMatrix,
+};
+use rxl_telemetry::{
+    OperatingPoint, RequestSweep, RequestSweepConfig, RequestSweepReport, SloSpec,
+};
 
 use crate::fabric::{FabricSimOptions, FabricSpec};
 
@@ -83,6 +88,90 @@ impl FabricSpec {
     }
 }
 
+/// Parameters of the canonical open-system request sweep.
+#[derive(Clone, Debug)]
+pub struct RequestSweepSpec {
+    /// Per-session message-load ladder, ascending fractions in `(0, 1]`.
+    pub loads: Vec<f64>,
+    /// Shards per request.
+    pub fanout: usize,
+    /// Shard placement shape.
+    pub shape: FanoutShape,
+    /// Unit-rate request arrival-process template.
+    pub arrival: ArrivalProcess,
+    /// Slots each trial's arrivals span (the measurement horizon).
+    pub measure_slots: u64,
+    /// Request-telemetry window length, in slots.
+    pub window_slots: u64,
+    /// Request SLO judged by the operating-point recommender.
+    pub slo: SloSpec,
+}
+
+impl Default for RequestSweepSpec {
+    fn default() -> Self {
+        RequestSweepSpec {
+            loads: vec![0.05, 0.10, 0.20, 0.40],
+            fanout: 4,
+            shape: FanoutShape::Uniform,
+            arrival: ArrivalProcess::poisson(1.0),
+            measure_slots: 2_000,
+            window_slots: 400,
+            slo: SloSpec::default(),
+        }
+    }
+}
+
+/// Open-system request-sweep evidence for a [`FabricSpec`].
+#[derive(Clone, Debug)]
+pub struct RequestEvidence {
+    /// Label of the generated topology.
+    pub topology: String,
+    /// Sessions shards were placed on.
+    pub loaded_sessions: usize,
+    /// The request-level latency-vs-load curve.
+    pub report: RequestSweepReport,
+    /// The recommended operating point under the spec's SLO.
+    pub operating_point: OperatingPoint,
+}
+
+impl FabricSpec {
+    /// Runs the canonical open-system request sweep against this spec: the
+    /// same accelerated ring fabric as [`FabricSpec::simulate`], serving an
+    /// unbounded-arrival fanout workload to a fixed horizon (no drain
+    /// tail), measured over warmup-discarded steady-state windows, with an
+    /// operating-point recommendation under `sweep.slo`.
+    pub fn simulate_requests(
+        &self,
+        opts: &FabricSimOptions,
+        sweep: &RequestSweepSpec,
+    ) -> RequestEvidence {
+        let (topology, _variant, config) = self.instantiate(opts);
+        let name = topology.name.clone();
+        let driver = RequestSweep::new(
+            topology,
+            config,
+            RequestSweepConfig {
+                loads: sweep.loads.clone(),
+                fanout: sweep.fanout,
+                shape: sweep.shape,
+                trials: opts.trials,
+                arrival: sweep.arrival,
+                measure_slots: sweep.measure_slots,
+                window_slots: sweep.window_slots,
+                ..RequestSweepConfig::default()
+            },
+        );
+        let report = driver.run();
+        let operating_point = OperatingPoint::recommend(&report, &sweep.slo);
+        RequestEvidence {
+            topology: name,
+            loaded_sessions: report.loaded_sessions,
+            report,
+            operating_point,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +225,32 @@ mod tests {
         // Permutation is downstream-only: half the symmetric volume.
         let p = &ev.report.points[0];
         assert_eq!(p.injected_messages, ev.sessions as u64 * 60);
+    }
+
+    #[test]
+    fn request_sweep_serves_the_spec_fabric_and_recommends_a_point() {
+        let spec = FabricSpec::new(ProtocolKind::Rxl, 64, 1);
+        let opts = FabricSimOptions {
+            ber: 0.0,
+            sessions: 4,
+            messages_per_session: 0,
+            trials: 1,
+            base_seed: 5,
+        };
+        let sweep = RequestSweepSpec {
+            loads: vec![0.05, 0.30],
+            fanout: 2,
+            measure_slots: 1_200,
+            window_slots: 300,
+            ..RequestSweepSpec::default()
+        };
+        let ev = spec.simulate_requests(&opts, &sweep);
+        assert!(ev.topology.contains("ring"));
+        assert_eq!(ev.report.points.len(), 2);
+        for p in &ev.report.points {
+            assert!(p.requests_completed > 0);
+            assert!(p.steady.windows_used >= 1);
+        }
+        assert!(ev.operating_point.summary.contains("SLO"));
     }
 }

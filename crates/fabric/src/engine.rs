@@ -616,6 +616,11 @@ pub enum StepOutcome {
     /// [`FabricSim::step`] again to continue (scenario engines use this to
     /// pause at epoch boundaries).
     Budget,
+    /// [`FabricSim::run_to_horizon`] reached its measurement horizon with
+    /// work still in flight — the expected outcome of an open-system run,
+    /// which measures a steady-state window and never waits for the drain
+    /// tail.
+    Horizon,
 }
 
 /// Mid-run snapshot of a trial's cumulative counters, taken with
@@ -1945,6 +1950,25 @@ impl<'a, P: Probe> FabricSim<'a, P> {
             }
         }
         StepOutcome::SlotLimit
+    }
+
+    /// Open-system serving mode: advances the trial until `horizon` slots
+    /// have been simulated, then stops *without draining* — the tail of
+    /// in-flight work past the horizon is deliberately left unmeasured, so
+    /// steady-state windows are not contaminated by the drain transient a
+    /// closed run ends with. Returns [`StepOutcome::Horizon`] when the
+    /// horizon was reached with work still in flight; a trial that drains
+    /// or wedges before the horizon passes its outcome through unchanged.
+    ///
+    /// [`FabricConfig::max_slots`] must exceed `horizon` for the horizon to
+    /// be reachable (otherwise the slot limit fires first, as in any run).
+    /// Call [`Self::finish_with_probe`] afterwards as usual: the report's
+    /// `drained` flag records that the run was cut at the horizon.
+    pub fn run_to_horizon(&mut self, horizon: u64) -> StepOutcome {
+        match self.step(horizon.saturating_sub(self.slots)) {
+            StepOutcome::Budget => StepOutcome::Horizon,
+            other => other,
+        }
     }
 
     /// Runs the trial to quiescence (or the slot limit) and reports.

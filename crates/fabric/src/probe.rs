@@ -291,6 +291,80 @@ impl Probe for NullProbe {
     const ENABLED: bool = false;
 }
 
+/// Two probes riding one trial: every event is forwarded to `A` first,
+/// then `B`. Composition preserves the seam's contract — neither half can
+/// perturb the trial, so a `(RequestProbe, MetricsProbe)` pair observes the
+/// same byte-identical run either probe would alone. The constants fold:
+/// a pair is enabled (profiled) iff either half is, so pairing with
+/// [`NullProbe`] costs nothing extra at the emission sites.
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+    const PROFILE: bool = A::PROFILE || B::PROFILE;
+
+    fn on_inject(&mut self, ev: InjectEvent) {
+        self.0.on_inject(ev);
+        self.1.on_inject(ev);
+    }
+    fn on_deliver(&mut self, ev: DeliverEvent) {
+        self.0.on_deliver(ev);
+        self.1.on_deliver(ev);
+    }
+    fn on_fail_order(&mut self, slot: u64, session: usize, dst: usize) {
+        self.0.on_fail_order(slot, session, dst);
+        self.1.on_fail_order(slot, session, dst);
+    }
+    fn on_retransmit(&mut self, slot: u64, endpoint: usize, session: usize) {
+        self.0.on_retransmit(slot, endpoint, session);
+        self.1.on_retransmit(slot, endpoint, session);
+    }
+    fn on_nack(&mut self, slot: u64, endpoint: usize, session: usize) {
+        self.0.on_nack(slot, endpoint, session);
+        self.1.on_nack(slot, endpoint, session);
+    }
+    fn on_credit_stall(
+        &mut self,
+        slot: u64,
+        switch: usize,
+        port: Option<usize>,
+        vc: Option<usize>,
+    ) {
+        self.0.on_credit_stall(slot, switch, port, vc);
+        self.1.on_credit_stall(slot, switch, port, vc);
+    }
+    fn on_link_traversal(&mut self, ev: LinkTraversalEvent) {
+        self.0.on_link_traversal(ev);
+        self.1.on_link_traversal(ev);
+    }
+    fn on_phase(&mut self, phase: EnginePhase, nanos: u64) {
+        self.0.on_phase(phase, nanos);
+        self.1.on_phase(phase, nanos);
+    }
+    fn on_vc_occupancy(&mut self, slot: u64, switch: usize, port: usize, vc: usize, occ: usize) {
+        self.0.on_vc_occupancy(slot, switch, port, vc, occ);
+        self.1.on_vc_occupancy(slot, switch, port, vc, occ);
+    }
+    fn on_channel_error(&mut self, ev: ChannelErrorEvent) {
+        self.0.on_channel_error(ev);
+        self.1.on_channel_error(ev);
+    }
+    fn on_blackhole(&mut self, slot: u64, switch: usize) {
+        self.0.on_blackhole(slot, switch);
+        self.1.on_blackhole(slot, switch);
+    }
+    fn on_switch_fail(&mut self, slot: u64, switch: usize, purged_flits: u64) {
+        self.0.on_switch_fail(slot, switch, purged_flits);
+        self.1.on_switch_fail(slot, switch, purged_flits);
+    }
+    fn on_switch_drain(&mut self, slot: u64, switch: usize, restored: bool) {
+        self.0.on_switch_drain(slot, switch, restored);
+        self.1.on_switch_drain(slot, switch, restored);
+    }
+    fn on_epoch(&mut self, slot: u64, epoch: usize) {
+        self.0.on_epoch(slot, epoch);
+        self.1.on_epoch(slot, epoch);
+    }
+}
+
 /// A minimal enabled probe: one counter per event class. Used by the
 /// neutrality regression (an enabled probe must not change any trial
 /// outcome) and by the probe-overhead measurement in `fabric_throughput`.

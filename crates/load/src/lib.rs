@@ -19,6 +19,9 @@
 //! * [`telemetry`] — [`Histogram`], an HDR-style log-bucketed latency
 //!   histogram (integer-only record, exact merge) plus [`LatencyStats`]
 //!   summaries;
+//! * [`request`] — [`RequestGenerator`]: request-scale fanout workloads
+//!   for the open-system serving mode (a request fans out into `k` shard
+//!   messages and completes at the max of its parts);
 //! * [`sweep`] — [`LoadSweep`]: the offered-load ladder driver, sharded
 //!   Monte-Carlo per point, knee detection, printable reports.
 //!
@@ -49,10 +52,14 @@
 
 pub mod arrival;
 pub mod matrix;
+pub mod request;
 pub mod sweep;
 pub mod telemetry;
 
 pub use arrival::ArrivalProcess;
 pub use matrix::{SessionLoad, TrafficMatrix};
+pub use request::{
+    request_completion_slot, FanoutShape, RequestGenerator, RequestMap, RequestSpec, ShardRef,
+};
 pub use sweep::{detect_knee, LoadPoint, LoadSweep, LoadSweepConfig, LoadSweepReport};
 pub use telemetry::{Histogram, LatencyHistogram, LatencyStats};

@@ -37,6 +37,11 @@
 //!   and the engine's per-phase self-profiler.
 //! * [`replay`] — [`IncidentReplay`]: a chaos scenario re-run as a scored
 //!   SLO incident over a [`rxl_chaos::ChaosMonteCarlo`].
+//! * [`request`] — [`RequestProbe`] / [`RequestSweep`] / [`OperatingPoint`]:
+//!   the request-scale layer — an open-system serving mode that joins
+//!   engine deliveries back to fanout requests, attributes each request's
+//!   critical path to its straggling shard (and the link behind it), and
+//!   recommends the max safe offered load under a request SLO.
 //!
 //! # Example
 //!
@@ -66,6 +71,7 @@
 pub mod metrics;
 pub mod probe;
 pub mod replay;
+pub mod request;
 pub mod slo;
 pub mod trace;
 pub mod window;
@@ -77,6 +83,10 @@ pub use metrics::{
 };
 pub use probe::SloProbe;
 pub use replay::{IncidentReplay, IncidentReport};
+pub use request::{
+    OperatingPoint, RequestPoint, RequestProbe, RequestRung, RequestSweep, RequestSweepConfig,
+    RequestSweepReport, StragglerLink,
+};
 pub use slo::{burn_series, incident_interval, score_incident, IncidentScore, SloSpec, WindowBurn};
 pub use trace::{InstantEvent, InstantKind, MessageSpan, TraceRecorder};
-pub use window::{WindowAccum, WindowStat, WindowedTelemetry};
+pub use window::{SteadyStateSummary, WindowAccum, WindowStat, WindowedTelemetry};

@@ -73,6 +73,11 @@ pub enum InstantKind {
     SwitchRestore,
     /// A chaos epoch boundary was crossed (`a` = epoch index, `b` unused).
     Epoch,
+    /// A fanout request completed — all shard spans delivered (`a` =
+    /// request index, `b` = arrival→completion latency in slots). Recorded
+    /// by the request probe; the shard message spans themselves are the
+    /// request's child spans.
+    RequestComplete,
 }
 
 impl InstantKind {
@@ -86,6 +91,7 @@ impl InstantKind {
             InstantKind::SwitchDrain => "switch_drain",
             InstantKind::SwitchRestore => "switch_restore",
             InstantKind::Epoch => "epoch",
+            InstantKind::RequestComplete => "request_complete",
         }
     }
 }
@@ -202,7 +208,9 @@ impl TraceRecorder {
 
     /// JSONL export: one object per line, spans (`"type":"span"`) and
     /// instants (`"type":"instant"`) merged in slot order (span sort key =
-    /// inject slot).
+    /// inject slot), closed by one `"type":"meta"` line carrying the
+    /// ring-truncation counters — a reader that ignores the dropped-span
+    /// counter would silently mistake a truncated ring for full coverage.
     pub fn to_jsonl(&self) -> String {
         enum Line<'a> {
             Span(&'a MessageSpan),
@@ -247,13 +255,24 @@ impl TraceRecorder {
                 }
             }
         }
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"spans\":{},\"instants\":{},\"open_spans\":{},\
+             \"dropped_spans\":{},\"dropped_instants\":{}}}",
+            self.spans.len(),
+            self.instants.len(),
+            self.open.len(),
+            self.dropped_spans,
+            self.dropped_instants,
+        );
         out
     }
 
     /// Chrome tracing / Perfetto export (JSON object format). Time unit is
     /// the flit slot, mapped 1:1 onto microseconds for display; spans carry
     /// `pid` = session and `tid` = destination endpoint so per-session
-    /// per-endpoint lanes line up.
+    /// per-endpoint lanes line up. The top-level `otherData` object carries
+    /// the ring-truncation counters (`dropped_spans` / `dropped_instants`).
     pub fn to_chrome_trace(&self) -> String {
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         let mut first = true;
@@ -292,7 +311,11 @@ impl TraceRecorder {
                 i.b,
             );
         }
-        out.push_str("]}");
+        let _ = write!(
+            out,
+            "],\"otherData\":{{\"dropped_spans\":{},\"dropped_instants\":{}}}}}",
+            self.dropped_spans, self.dropped_instants,
+        );
         out
     }
 }
@@ -362,13 +385,34 @@ mod tests {
         t.close_span(90, 1, 0, DeliveryVerdict::InOrder);
         let jsonl = t.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("\"type\":\"span\""), "{}", lines[0]);
         assert!(lines[0].contains("\"latency\":80"));
         assert!(lines[1].contains("\"kind\":\"switch_fail\""));
+        assert!(lines[2].contains("\"type\":\"meta\""), "{}", lines[2]);
+        assert!(lines[2].contains("\"dropped_spans\":0"));
         for l in lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
         }
+    }
+
+    #[test]
+    fn exports_surface_ring_truncation() {
+        let mut t = TraceRecorder::new(2);
+        for k in 0..5u64 {
+            t.open_span(inject(k, 0, k));
+            t.close_span(k + 3, 0, k, DeliveryVerdict::InOrder);
+        }
+        let meta = t.to_jsonl();
+        let meta_line = meta.lines().last().expect("meta line closes the export");
+        assert!(meta_line.contains("\"type\":\"meta\""));
+        assert!(meta_line.contains("\"spans\":2"));
+        assert!(meta_line.contains("\"dropped_spans\":3"), "{meta_line}");
+        let chrome = t.to_chrome_trace();
+        assert!(
+            chrome.contains("\"otherData\":{\"dropped_spans\":3,\"dropped_instants\":0}"),
+            "{chrome}"
+        );
     }
 
     #[test]

@@ -110,6 +110,29 @@ pub struct WindowStat {
     pub fail_orders: u64,
 }
 
+/// The warmup-discarded steady-state aggregate of an open-system run,
+/// built by [`WindowedTelemetry::steady_state`]. Exact: folding per-trial
+/// telemetries in trial order and summarising yields the same numbers for
+/// any worker-thread count.
+#[derive(Clone, Debug)]
+pub struct SteadyStateSummary {
+    /// First window included (the warmup cut).
+    pub first_window: usize,
+    /// Complete measurement windows folded in (0 if the run never outlived
+    /// its warmup).
+    pub windows_used: usize,
+    /// Arrivals inside the measurement windows (injection-slot attribution).
+    pub injected: u64,
+    /// Of [`Self::injected`], those eventually served cleanly.
+    pub clean: u64,
+    /// `clean / injected` (1.0 with no arrivals).
+    pub availability: f64,
+    /// Latency summary over the measurement windows' deliveries.
+    pub stats: LatencyStats,
+    /// The merged measurement-window histogram (exact merge).
+    pub hist: LatencyHistogram,
+}
+
 /// Fixed-width sliding-window accumulator over probe events.
 #[derive(Clone, Debug)]
 pub struct WindowedTelemetry {
@@ -252,6 +275,41 @@ impl WindowedTelemetry {
             .collect()
     }
 
+    /// Folds the settled measurement windows of an open-system run into one
+    /// steady-state summary. Two exclusions implement the "warmup-discarded
+    /// steady state" contract:
+    ///
+    /// * windows before `warmup` (normally from [`Self::warmup_window`])
+    ///   are still filling pipelines and are dropped;
+    /// * the final *partial* window — any window not fully contained in
+    ///   `[0, horizon)` — is dropped, so a run cut at its horizon never
+    ///   biases the tail with a half-measured window.
+    pub fn steady_state(&self, warmup: usize, horizon: u64) -> SteadyStateSummary {
+        // Windows [0, complete) lie entirely inside the horizon.
+        let complete = (horizon / self.window_slots) as usize;
+        let end = complete.min(self.windows.len());
+        let first_window = warmup.min(end);
+        let mut accum = WindowAccum::default();
+        for w in &self.windows[first_window..end] {
+            accum.merge(w);
+        }
+        let stats = LatencyStats::from_histogram(&accum.hist);
+        let availability = if accum.injected == 0 {
+            1.0
+        } else {
+            accum.clean as f64 / accum.injected as f64
+        };
+        SteadyStateSummary {
+            first_window,
+            windows_used: end - first_window,
+            injected: accum.injected,
+            clean: accum.clean,
+            availability,
+            stats,
+            hist: accum.hist,
+        }
+    }
+
     /// Warmup detection for open-system runs: the first window index `w`
     /// such that `run` consecutive windows starting at `w` all have
     /// deliveries and their p50 latencies agree within `tolerance`
@@ -334,6 +392,35 @@ mod tests {
         assert_eq!(stats[0].deliveries, 1);
         assert_eq!(stats[1].retransmits, 1);
         assert_eq!(stats[2].deliveries, 1);
+    }
+
+    #[test]
+    fn steady_state_drops_warmup_and_partial_final_window() {
+        let mut t = WindowedTelemetry::new(10);
+        // Warmup window 0 is slow; windows 1..3 are settled; window 3 is
+        // cut by the horizon at slot 35 and must be excluded.
+        t.record_inject(2);
+        t.record_latency(5, 400);
+        t.record_outcome(2, true);
+        for w in 1..4u64 {
+            t.record_inject(w * 10 + 1);
+            t.record_latency(w * 10 + 5, 20);
+            t.record_outcome(w * 10 + 1, true);
+        }
+        let s = t.steady_state(1, 35);
+        assert_eq!(s.first_window, 1);
+        assert_eq!(s.windows_used, 2, "windows 1 and 2 only");
+        assert_eq!(s.injected, 2);
+        assert_eq!(s.clean, 2);
+        assert_eq!(s.availability, 1.0);
+        assert_eq!(s.hist.count(), 2);
+        assert_eq!(s.stats.max, 20, "warmup's 400-slot outlier excluded");
+        // A horizon covering everything folds the last window back in.
+        assert_eq!(t.steady_state(1, 40).windows_used, 3);
+        // A warmup past the horizon yields an empty (but well-formed) summary.
+        let empty = t.steady_state(10, 35);
+        assert_eq!(empty.windows_used, 0);
+        assert_eq!(empty.availability, 1.0);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Property tests for the open-system steady-state window fold.
+//!
+//! The request sweep merges per-trial windowed telemetry and only then
+//! folds it into a steady-state summary, so both halves must be exact:
+//!
+//! * **Merge exactness** — splitting an event stream across accumulators
+//!   and merging equals recording the whole stream into one accumulator,
+//!   window for window (the sharded-trial invariant).
+//! * **Steady-state fold** — the summary drops exactly the warmup prefix
+//!   and the final partial window, and its histogram equals re-recording
+//!   the surviving windows' samples.
+
+use proptest::prelude::*;
+
+use rxl_telemetry::WindowedTelemetry;
+
+/// One request-level event: injected at `slot`, resolved `clean`, with a
+/// completion `latency` recorded at `slot + latency`.
+fn events() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
+    proptest::collection::vec((0u64..4_000, 0u64..900, any::<bool>()), 1..160)
+}
+
+fn record(t: &mut WindowedTelemetry, stream: &[(u64, u64, bool)]) {
+    for &(slot, latency, clean) in stream {
+        t.record_inject(slot);
+        t.record_latency(slot + latency, latency);
+        t.record_outcome(slot, clean);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// merge(a, b) == record(a ++ b): the sharded-trial merge is exact for
+    /// any split of the event stream, and so is every steady-state fold of
+    /// the merged accumulator.
+    #[test]
+    fn windowed_merge_equals_concatenated_recording(
+        a in events(),
+        b in events(),
+        window_slots in 50u64..400,
+        warmup in 0usize..6,
+        horizon in 500u64..6_000,
+    ) {
+        let mut ta = WindowedTelemetry::new(window_slots);
+        let mut tb = WindowedTelemetry::new(window_slots);
+        let mut tc = WindowedTelemetry::new(window_slots);
+        record(&mut ta, &a);
+        record(&mut tb, &b);
+        record(&mut tc, &a);
+        record(&mut tc, &b);
+        ta.merge(&tb);
+        prop_assert_eq!(format!("{:?}", ta.windows()), format!("{:?}", tc.windows()));
+        prop_assert_eq!(
+            format!("{:?}", ta.steady_state(warmup, horizon)),
+            format!("{:?}", tc.steady_state(warmup, horizon))
+        );
+    }
+
+    /// The steady-state fold counts exactly the complete windows after the
+    /// warmup prefix: injected/clean tallies match a by-hand fold, and no
+    /// sample from the warmup prefix or the partial final window leaks in.
+    #[test]
+    fn steady_state_drops_warmup_and_the_partial_window(
+        stream in events(),
+        window_slots in 50u64..400,
+        warmup in 0usize..6,
+        horizon in 500u64..6_000,
+    ) {
+        let mut t = WindowedTelemetry::new(window_slots);
+        record(&mut t, &stream);
+        let s = t.steady_state(warmup, horizon);
+
+        let complete = (horizon / window_slots) as usize;
+        let end = complete.min(t.windows().len());
+        let first = warmup.min(end);
+        prop_assert_eq!(s.first_window, first);
+        prop_assert_eq!(s.windows_used, end - first);
+
+        // By-hand fold over the injection-window attribution.
+        let in_range = |slot: u64| {
+            let w = (slot / window_slots) as usize;
+            w >= first && w < end
+        };
+        let injected = stream.iter().filter(|&&(slot, _, _)| in_range(slot)).count() as u64;
+        let clean = stream
+            .iter()
+            .filter(|&&(slot, _, clean)| clean && in_range(slot))
+            .count() as u64;
+        prop_assert_eq!(s.injected, injected);
+        prop_assert_eq!(s.clean, clean);
+
+        // Delivery-window attribution for the histogram population.
+        let deliveries = stream
+            .iter()
+            .filter(|&&(slot, latency, _)| in_range(slot + latency))
+            .count() as u64;
+        prop_assert_eq!(s.hist.count(), deliveries);
+        if injected > 0 {
+            prop_assert!((s.availability - clean as f64 / injected as f64).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(s.availability, 1.0);
+        }
+    }
+}

@@ -116,6 +116,13 @@ fn main() {
     for line in jsonl.lines().take(4) {
         println!("  {line}");
     }
+    // The final JSONL line is the meta record carrying the bounded ring's
+    // truncation counters — downstream tooling checks it before trusting
+    // span coverage, so surface it here too.
+    if let Some(meta) = jsonl.lines().last() {
+        println!("meta line (ring truncation accounting):");
+        println!("  {meta}");
+    }
     let dir = std::env::temp_dir();
     let jsonl_path = dir.join("rxl_incident_trace.jsonl");
     let chrome_path = dir.join("rxl_incident_trace_chrome.json");

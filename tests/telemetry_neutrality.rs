@@ -12,13 +12,21 @@
 //!   without one, and everything a probe accumulates merges exactly across
 //!   any rayon worker-thread count.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rxl::chaos::{ChaosMonteCarlo, Scenario};
 use rxl::fabric::{
     CountingProbe, FabricConfig, FabricSim, FabricTopology, FabricWorkload, RoutingTable,
 };
 use rxl::link::{ChannelErrorModel, ProtocolVariant};
-use rxl::load::{ArrivalProcess, LatencyHistogram, LoadSweep, LoadSweepConfig, TrafficMatrix};
-use rxl::telemetry::{MetricsProbe, MetricsRegistry, SloProbe, WindowedTelemetry};
+use rxl::load::{
+    ArrivalProcess, FanoutShape, LatencyHistogram, LoadSweep, LoadSweepConfig, RequestGenerator,
+    TrafficMatrix,
+};
+use rxl::telemetry::{
+    MetricsProbe, MetricsRegistry, RequestProbe, RequestSweep, RequestSweepConfig, SloProbe,
+    WindowedTelemetry,
+};
 
 /// A noisy single-trial configuration: enough channel errors to exercise
 /// retransmission, NACK and verdict paths, so any probe-induced RNG drift
@@ -259,6 +267,104 @@ fn probe_traversals_agree_with_engine_link_stats() {
                 assert_eq!(injected, non_idle, "{variant:?}: exact on an ideal channel");
             }
         }
+    }
+}
+
+#[test]
+fn request_probe_observes_a_bit_identical_open_system_trial() {
+    let topology = FabricTopology::leaf_spine(2, 1, 2);
+    let routing = RoutingTable::new(&topology);
+    let generator = RequestGenerator {
+        fanout: 4,
+        requests: 600,
+        shape: FanoutShape::Uniform,
+        arrival: ArrivalProcess::poisson(1.0),
+        cqids: 8,
+    };
+
+    for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+        let config = FabricConfig {
+            max_slots: u64::MAX,
+            ..noisy_config(variant)
+        };
+        let (workload, pacing, map) =
+            generator.build(&topology, 0.2, config.seed, &mut StdRng::seed_from_u64(42));
+        let horizon = map.last_arrival() + 400;
+
+        // Baseline: the identical undrained open-system run, no probe.
+        let mut sim = FabricSim::new(&topology, &routing, config);
+        sim.begin_paced(&workload, &pacing);
+        let _ = sim.run_to_horizon(horizon);
+        let baseline = sim.finish();
+
+        let probe = RequestProbe::new(&map, topology.session_count(), 200);
+        let mut sim = FabricSim::with_probe(&topology, &routing, config, probe);
+        sim.begin_paced(&workload, &pacing);
+        let _ = sim.run_to_horizon(horizon);
+        let (probed, probe) = sim.finish_with_probe();
+
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{probed:?}"),
+            "{variant:?}: attaching a RequestProbe changed the open-system trial"
+        );
+        assert!(probe.completed() > 0, "{variant:?}: probe saw completions");
+        assert_eq!(
+            probe.started(),
+            map.requests.len() as u64,
+            "{variant:?}: every request's first shard passed the probe"
+        );
+    }
+}
+
+/// The open-system request sweep on a dedicated `threads`-wide rayon pool;
+/// returns the full report and per-rung probe/registry renderings.
+fn request_sweep_on_pool(variant: ProtocolVariant, threads: usize) -> (String, String) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build rayon pool");
+    pool.install(|| {
+        let topology = FabricTopology::leaf_spine(2, 1, 2);
+        let config = FabricConfig {
+            queue_capacity: 8,
+            ..noisy_config(variant)
+        };
+        let sweep = RequestSweep::new(
+            topology,
+            config,
+            RequestSweepConfig {
+                loads: vec![0.1, 0.4],
+                fanout: 2,
+                shape: FanoutShape::Incast { leaf: 1 },
+                trials: 4,
+                measure_slots: 1_200,
+                window_slots: 300,
+                ..RequestSweepConfig::default()
+            },
+        );
+        let (report, rungs) = sweep.run_detailed();
+        let rungs: Vec<String> = rungs
+            .iter()
+            .map(|r| format!("{:?} {:?} {}", r.probe.windows(), r.registry, r.slots))
+            .collect();
+        (format!("{report:?}"), rungs.join("\n"))
+    })
+}
+
+#[test]
+fn request_telemetry_is_thread_count_independent() {
+    for variant in [ProtocolVariant::CxlPiggyback, ProtocolVariant::Rxl] {
+        let (report_1, rungs_1) = request_sweep_on_pool(variant, 1);
+        let (report_4, rungs_4) = request_sweep_on_pool(variant, 4);
+        assert_eq!(
+            report_1, report_4,
+            "{variant:?}: request sweep report drifted with thread count"
+        );
+        assert_eq!(
+            rungs_1, rungs_4,
+            "{variant:?}: merged request windows/registries drifted with thread count"
+        );
     }
 }
 
